@@ -1,0 +1,259 @@
+package diffusearch_test
+
+// Benchmark harness: one benchmark per table/figure of the paper plus
+// micro-benchmarks for the hot paths and ablation benches for the design
+// choices called out in DESIGN.md §5.
+//
+// The per-figure benchmarks run one full experiment iteration (placement →
+// personalization → diffusion-scored walks) on a scaled environment per
+// b.N step; cmd/experiments regenerates the figures at full paper scale.
+
+import (
+	"sync"
+	"testing"
+
+	"diffusearch"
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/expt"
+	"diffusearch/internal/gengraph"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/ppr"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/vecmath"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *expt.Environment
+	benchErr  error
+)
+
+// benchEnvironment caches a quarter-scale environment (~1,000 nodes,
+// ~3,700-word vocabulary) shared by every benchmark.
+func benchEnvironment(b *testing.B) *expt.Environment {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = diffusearch.NewScaledEnvironment(42, 0.25)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// --- Fig. 3: accuracy vs distance, one benchmark per subplot -------------
+
+func benchmarkFig3(b *testing.B, m int) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := expt.AccuracyByDistance(env, expt.AccuracyConfig{
+			M: m, Alphas: []float64{0.1, 0.5, 0.9}, MaxDistance: 8, TTL: 50,
+			Iterations: 1, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_M10(b *testing.B)   { benchmarkFig3(b, 10) }
+func BenchmarkFig3_M100(b *testing.B)  { benchmarkFig3(b, 100) }
+func BenchmarkFig3_M1000(b *testing.B) { benchmarkFig3(b, 1000) }
+
+// BenchmarkFig3_M3000 is the largest M the scaled pool supports, standing
+// in for the paper's M=10000 subplot (cmd/experiments runs the real size).
+func BenchmarkFig3_M3000(b *testing.B) { benchmarkFig3(b, 3000) }
+
+// --- Table I: hop counts --------------------------------------------------
+
+func benchmarkTableI(b *testing.B, m int) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := expt.HopCount(env, expt.HopCountConfig{
+			Ms: []int{m}, Alpha: 0.5, Iterations: 1, QueriesPerIter: 10, TTL: 50,
+			Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI_M10(b *testing.B)   { benchmarkTableI(b, 10) }
+func BenchmarkTableI_M100(b *testing.B)  { benchmarkTableI(b, 100) }
+func BenchmarkTableI_M1000(b *testing.B) { benchmarkTableI(b, 1000) }
+func BenchmarkTableI_M3000(b *testing.B) { benchmarkTableI(b, 3000) }
+
+// --- Ablation benches (DESIGN.md §5) --------------------------------------
+
+func BenchmarkAblationParallelWalks(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := expt.ComparePolicies(env, expt.CompareConfig{
+			M: 100, Alpha: 0.5, TTL: 50, Iterations: 1, QueriesPerIter: 5, Seed: uint64(i),
+			Variants: []expt.Variant{
+				{Name: "walks-1", Policy: core.GreedyPolicy{Fanout: 1}},
+				{Name: "walks-2", Policy: core.GreedyPolicy{Fanout: 2}},
+				{Name: "walks-4", Policy: core.GreedyPolicy{Fanout: 4}},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := expt.ComparePolicies(env, expt.CompareConfig{
+			M: 100, Alpha: 0.5, TTL: 50, Iterations: 1, QueriesPerIter: 2, Seed: uint64(i),
+			Variants: expt.BaselineVariants(2),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRecallAtK(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := expt.RecallAtK(env, expt.RecallConfig{
+			M: 200, Alpha: 0.5, Ks: []int{1, 5, 10}, TTL: 50, Iterations: 1, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks: the hot paths --------------------------------------
+
+func BenchmarkDot300(b *testing.B) {
+	r := randx.New(1)
+	x := vecmath.RandomUnit(r, 300)
+	y := vecmath.RandomUnit(r, 300)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += vecmath.Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkDiffusionSyncStep(b *testing.B) {
+	// One synchronous PPR sweep of a 64-d signal over the ~1,000-node graph.
+	env := benchEnvironment(b)
+	tr := graph.NewTransition(env.Graph, graph.ColumnStochastic)
+	r := randx.New(2)
+	e0 := vecmath.NewMatrix(env.Graph.NumNodes(), 64)
+	for u := 0; u < env.Graph.NumNodes(); u++ {
+		e0.SetRow(u, vecmath.RandomGaussian(r, 64, 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := (ppr.PPRFilter{Alpha: 0.5, Tol: 0, MaxIter: 1}).Apply(tr, e0); err == nil {
+			b.Fatal("one iteration must not converge at default tol")
+		}
+	}
+}
+
+func BenchmarkDiffusionAsyncFull(b *testing.B) {
+	env := benchEnvironment(b)
+	tr := graph.NewTransition(env.Graph, graph.ColumnStochastic)
+	r := randx.New(3)
+	e0 := vecmath.NewMatrix(env.Graph.NumNodes(), 16)
+	for u := 0; u < env.Graph.NumNodes(); u++ {
+		e0.SetRow(u, vecmath.RandomGaussian(r, 16, 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := diffuse.Asynchronous(tr, e0, diffuse.Params{Alpha: 0.5, Tol: 1e-6},
+			randx.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastNodeScores(b *testing.B) {
+	env := benchEnvironment(b)
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.New(4)
+	pair := env.Bench.SamplePair(r)
+	docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, 999)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		b.Fatal(err)
+	}
+	query := env.Bench.Vocabulary().Vector(pair.Query)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.FastNodeScores(query, 0.5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunQueryGreedyTTL50(b *testing.B) {
+	env := benchEnvironment(b)
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.New(5)
+	pair := env.Bench.SamplePair(r)
+	docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, 99)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		b.Fatal(err)
+	}
+	query := env.Bench.Vocabulary().Vector(pair.Query)
+	scores, err := net.FastNodeScores(query, 0.5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		origin := i % env.Graph.NumNodes()
+		if _, err := net.RunQuery(origin, query, pair.Gold, core.QueryConfig{
+			TTL: 50, Seed: uint64(i), Scores: scores,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCentralizedSearch(b *testing.B) {
+	env := benchEnvironment(b)
+	vocab := env.Bench.Vocabulary()
+	docs := make([]retrieval.DocID, 1000)
+	copy(docs, env.Bench.Pool[:1000])
+	engine := retrieval.NewEngine(vocab, docs)
+	query := vocab.Vector(env.Bench.Pairs[0].Query)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Search(query, 10, retrieval.DotProduct)
+	}
+}
+
+func BenchmarkSocialGraphGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := gengraph.SocialCircles(gengraph.SocialCirclesParams{
+			Nodes: 1000, TargetAvgDegree: 20, MeanCircleSize: 40, SizeSigma: 0.45,
+			IntraFraction: 0.94, MaxIntraProb: 0.72, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = g.NumEdges()
+	}
+}

@@ -1,0 +1,257 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§V) plus the ablations listed in DESIGN.md §5.
+//
+// Usage:
+//
+//	experiments -exp fig3                 # Fig. 3a–d (accuracy vs distance)
+//	experiments -exp table1               # Table I (hop counts)
+//	experiments -exp all                  # everything below
+//	experiments -exp parallel|topk|placement|summary|visited|baselines|norm
+//	experiments -quick                    # scaled-down environment & iterations
+//	experiments -seed 7 -iters 200 -csv   # tuning & CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/expt"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/stats"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|all")
+		seed  = flag.Uint64("seed", 42, "master seed (all results are deterministic in it)")
+		quick = flag.Bool("quick", false, "scaled-down environment and iteration counts")
+		iters = flag.Int("iters", 0, "override iteration count (0 = experiment default)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if err := run(*exp, *seed, *quick, *iters, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	env   *expt.Environment
+	quick bool
+	iters int
+	csv   bool
+	seed  uint64
+}
+
+func run(exp string, seed uint64, quick bool, iters int, csv bool) error {
+	start := time.Now()
+	params := expt.PaperParams(seed)
+	if quick {
+		params = expt.ScaledParams(seed, 0.25)
+	}
+	fmt.Printf("# environment: %d nodes, %d-word vocabulary, %d query/gold pairs (seed %d)\n",
+		params.GraphNodes, params.VocabWords, params.NumQueries, seed)
+	env, err := expt.NewEnvironment(params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# built in %v: %d edges, pool %d docs\n\n",
+		time.Since(start).Round(time.Millisecond), env.Graph.NumEdges(), env.MaxPoolDocs()-1)
+
+	r := &runner{env: env, quick: quick, iters: iters, csv: csv, seed: seed}
+	known := map[string]func() error{
+		"fig3":      r.fig3,
+		"table1":    r.table1,
+		"parallel":  r.parallel,
+		"topk":      r.topk,
+		"placement": r.placement,
+		"summary":   r.summary,
+		"visited":   r.visited,
+		"baselines": r.baselines,
+		"norm":      r.norm,
+	}
+	if exp == "all" {
+		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm"} {
+			if err := known[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := known[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want %s|all)", exp, strings.Join(keys(known), "|"))
+	}
+	return fn()
+}
+
+func keys(m map[string]func() error) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (r *runner) emit(title string, t *stats.Table) {
+	fmt.Printf("== %s\n", title)
+	if r.csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+	fmt.Println()
+}
+
+// figMs returns the document counts per subplot, clamped to the pool.
+func (r *runner) figMs() []int {
+	all := []int{10, 100, 1000, 10000}
+	out := make([]int, 0, len(all))
+	for _, m := range all {
+		if m <= r.env.MaxPoolDocs() {
+			out = append(out, m)
+		}
+	}
+	if len(out) < len(all) {
+		fmt.Printf("# note: pool supports only M ≤ %d; larger subplots skipped (use the full-scale env)\n", r.env.MaxPoolDocs())
+	}
+	return out
+}
+
+func (r *runner) itersOr(def, quickDef int) int {
+	if r.iters > 0 {
+		return r.iters
+	}
+	if r.quick {
+		return quickDef
+	}
+	return def
+}
+
+func (r *runner) fig3() error {
+	subplot := 'a'
+	for _, m := range r.figMs() {
+		start := time.Now()
+		res, err := expt.AccuracyByDistance(r.env, expt.AccuracyConfig{
+			M:          m,
+			Iterations: r.itersOr(200, 40),
+			Seed:       r.seed,
+		})
+		if err != nil {
+			return err
+		}
+		r.emit(fmt.Sprintf("Fig. 3%c — accuracy vs distance, M=%d (TTL %d, %v)",
+			subplot, m, res.TTL, time.Since(start).Round(time.Millisecond)), expt.FormatAccuracy(res))
+		subplot++
+	}
+	return nil
+}
+
+func (r *runner) table1() error {
+	start := time.Now()
+	ms := r.figMs()
+	rows, err := expt.HopCount(r.env, expt.HopCountConfig{
+		Ms:         ms,
+		Iterations: r.itersOr(500, 60),
+		Seed:       r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	r.emit(fmt.Sprintf("Table I — average hop count (α=0.5, TTL 50, %v)",
+		time.Since(start).Round(time.Millisecond)), expt.FormatHopCount(rows))
+	return nil
+}
+
+func (r *runner) parallel() error {
+	rows, err := expt.ComparePolicies(r.env, expt.CompareConfig{
+		M: 100, Alpha: 0.5, TTL: 50,
+		Iterations: r.itersOr(100, 20), QueriesPerIter: 5, Seed: r.seed,
+		Variants: []expt.Variant{
+			{Name: "walks-1", Policy: core.GreedyPolicy{Fanout: 1}},
+			{Name: "walks-2", Policy: core.GreedyPolicy{Fanout: 2}},
+			{Name: "walks-4", Policy: core.GreedyPolicy{Fanout: 4}},
+			{Name: "walks-8", Policy: core.GreedyPolicy{Fanout: 8}},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	r.emit("abl-parallel — parallel walks (M=100, α=0.5)", expt.FormatCompare(rows))
+	return nil
+}
+
+func (r *runner) topk() error {
+	rows, err := expt.RecallAtK(r.env, expt.RecallConfig{
+		M: 1000, Alpha: 0.5, Ks: []int{1, 5, 10}, TTL: 50,
+		Iterations: r.itersOr(200, 40), Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	r.emit("abl-topk — top-k recall vs centralized engine (M=1000, α=0.5)", expt.FormatRecall(rows))
+	return nil
+}
+
+func (r *runner) accuracyBase(m int) expt.AccuracyConfig {
+	return expt.AccuracyConfig{
+		M:          m,
+		Alphas:     []float64{0.5},
+		Iterations: r.itersOr(150, 30),
+		Seed:       r.seed,
+	}
+}
+
+func (r *runner) placement() error {
+	res, err := expt.PlacementAblation(r.env, r.accuracyBase(1000))
+	if err != nil {
+		return err
+	}
+	r.emit("abl-placement — uniform vs correlated placement (M=1000, α=0.5)", expt.FormatLabeledAccuracy(res))
+	return nil
+}
+
+func (r *runner) summary() error {
+	res, err := expt.SummarizationAblation(r.env, r.accuracyBase(1000))
+	if err != nil {
+		return err
+	}
+	r.emit("abl-summary — personalization summarization (M=1000, α=0.5)", expt.FormatLabeledAccuracy(res))
+	return nil
+}
+
+func (r *runner) visited() error {
+	res, err := expt.VisitedAblation(r.env, r.accuracyBase(100))
+	if err != nil {
+		return err
+	}
+	r.emit("abl-visited — visited-avoidance mechanisms (M=100, α=0.5)", expt.FormatLabeledAccuracy(res))
+	return nil
+}
+
+func (r *runner) baselines() error {
+	rows, err := expt.ComparePolicies(r.env, expt.CompareConfig{
+		M: 100, Alpha: 0.5, TTL: 50,
+		Iterations: r.itersOr(100, 20), QueriesPerIter: 5, Seed: r.seed,
+		Variants: expt.BaselineVariants(2),
+	})
+	if err != nil {
+		return err
+	}
+	r.emit("abl-baselines — PPR walk vs blind walk vs flooding (M=100, α=0.5)", expt.FormatCompare(rows))
+	return nil
+}
+
+func (r *runner) norm() error {
+	res, err := expt.NormalizationAblation(r.env, r.accuracyBase(100))
+	if err != nil {
+		return err
+	}
+	_ = graph.ColumnStochastic // documented default
+	r.emit("abl-norm — transition normalization (M=100, α=0.5)", expt.FormatLabeledAccuracy(res))
+	return nil
+}

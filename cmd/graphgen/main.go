@@ -1,0 +1,81 @@
+// Command graphgen generates P2P topologies, prints their statistics, and
+// optionally writes a SNAP-style edge list. The social model validates the
+// Facebook social-circles substitution of DESIGN.md §3.
+//
+// Usage:
+//
+//	graphgen -model social -nodes 4039 -seed 42 -out graph.txt
+//	graphgen -model ba -nodes 1000 -param 4
+//	graphgen -model ws -nodes 1000 -param 10 -beta 0.1
+//	graphgen -model er -nodes 1000 -p 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diffusearch/internal/gengraph"
+	"diffusearch/internal/graph"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "social", "graph model: social|ba|ws|er")
+		nodes = flag.Int("nodes", 4039, "number of nodes")
+		param = flag.Int("param", 4, "ba: edges per new node; ws: lattice degree (even)")
+		beta  = flag.Float64("beta", 0.1, "ws: rewiring probability")
+		p     = flag.Float64("p", 0.01, "er: edge probability")
+		deg   = flag.Float64("deg", 43.7, "social: target average degree")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		out   = flag.String("out", "", "write edge list to this file")
+	)
+	flag.Parse()
+	if err := run(*model, *nodes, *param, *beta, *p, *deg, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, nodes, param int, beta, p, deg float64, seed uint64, out string) error {
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch model {
+	case "social":
+		params := gengraph.FacebookLikeParams(seed)
+		params.Nodes = nodes
+		params.TargetAvgDegree = deg
+		g, err = gengraph.SocialCircles(params)
+		if err != nil {
+			return err
+		}
+	case "ba":
+		g = gengraph.BarabasiAlbert(nodes, param, seed)
+	case "ws":
+		g = gengraph.WattsStrogatz(nodes, param, beta, seed)
+	case "er":
+		g = gengraph.ErdosRenyi(nodes, p, seed)
+	default:
+		return fmt.Errorf("unknown model %q (want social|ba|ws|er)", model)
+	}
+
+	fmt.Printf("model %s (seed %d)\n%s\n", model, seed, graph.Summarize(g, seed))
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", out, err)
+	}
+	defer f.Close()
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", out, err)
+	}
+	fmt.Printf("edge list written to %s\n", out)
+	return nil
+}

@@ -1,0 +1,214 @@
+// Command peerd runs one real P2P search peer over TCP — the deployable
+// counterpart of the simulation. Peers are configured with a static
+// topology file mapping node ids to addresses and neighbour lists; every
+// peer regenerates the same corpus from the shared seed, stores the
+// documents assigned to its id, gossips PPR embeddings, and answers
+// queries.
+//
+// Topology file format (one peer per line):
+//
+//	<id> <host:port> <neighbour,neighbour,...> [doc,doc,...]
+//
+// Example (three peers on one machine):
+//
+//	0 127.0.0.1:7000 1 12,99
+//	1 127.0.0.1:7001 0,2
+//	2 127.0.0.1:7002 1 7
+//
+// Run each in its own terminal:
+//
+//	peerd -topology net.txt -id 0
+//	peerd -topology net.txt -id 1
+//	peerd -topology net.txt -id 2 -query w12 -wait 3s
+//
+// The -query flag issues a search for the embedding of the named word after
+// -wait (allowing diffusion to settle) and prints the results.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/peernet"
+	"diffusearch/internal/retrieval"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "topology file (required)")
+		id       = flag.Int("id", -1, "this peer's node id (required)")
+		alpha    = flag.Float64("alpha", 0.5, "PPR teleport probability")
+		seed     = flag.Uint64("seed", 42, "shared corpus seed (must match across peers)")
+		words    = flag.Int("words", 2000, "shared vocabulary size (must match across peers)")
+		dim      = flag.Int("dim", 64, "shared embedding dimension (must match across peers)")
+		query    = flag.String("query", "", "issue a query for this word (e.g. w12) and exit")
+		ttl      = flag.Int("ttl", 20, "query hop budget")
+		k        = flag.Int("k", 3, "tracked results")
+		wait     = flag.Duration("wait", 2*time.Second, "diffusion settling time before -query")
+	)
+	flag.Parse()
+	if err := run(*topoPath, *id, *alpha, *seed, *words, *dim, *query, *ttl, *k, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "peerd:", err)
+		os.Exit(1)
+	}
+}
+
+type peerSpec struct {
+	addr      string
+	neighbors []graph.NodeID
+	docs      []retrieval.DocID
+}
+
+func run(topoPath string, id int, alpha float64, seed uint64, words, dim int,
+	query string, ttl, k int, wait time.Duration) error {
+	if topoPath == "" || id < 0 {
+		return fmt.Errorf("-topology and -id are required (see -h)")
+	}
+	specs, err := loadTopology(topoPath)
+	if err != nil {
+		return err
+	}
+	spec, ok := specs[id]
+	if !ok {
+		return fmt.Errorf("id %d not present in %s", id, topoPath)
+	}
+
+	vocab, err := embed.Synthetic(embed.SyntheticParams{
+		Words: words, Dim: dim, Clusters: max(words/12, 1), Spread: 0.55,
+		CommonComponent: 0.6, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	tr, err := peernet.ListenTCP(id, spec.addr)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	dir := make(map[graph.NodeID]string, len(specs))
+	for pid, s := range specs {
+		dir[pid] = s.addr
+	}
+	tr.SetDirectory(dir)
+
+	peer, err := peernet.NewPeer(peernet.PeerConfig{
+		ID:        id,
+		Neighbors: spec.neighbors,
+		Vocab:     vocab,
+		Docs:      spec.docs,
+		Alpha:     alpha,
+	}, tr)
+	if err != nil {
+		return err
+	}
+	peer.Start()
+	defer peer.Stop()
+	fmt.Printf("peer %d listening on %s (%d neighbours, %d local docs)\n",
+		id, tr.Addr(), len(spec.neighbors), len(spec.docs))
+
+	if query != "" {
+		time.Sleep(wait)
+		w, err := parseWord(query, vocab.Len())
+		if err != nil {
+			return err
+		}
+		results, err := peer.Query(vocab.Vector(w), ttl, k, 30*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query %s returned %d result(s):\n", query, len(results))
+		for i, r := range results {
+			fmt.Printf("  %d. %s (score %.4f)\n", i+1, vocab.Word(r.Doc), r.Score)
+		}
+		return nil
+	}
+
+	// Serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	updates, messages := peer.Stats()
+	fmt.Printf("\npeer %d shutting down: %d diffusion updates, %d messages sent\n", id, updates, messages)
+	return nil
+}
+
+func parseWord(token string, vocabLen int) (retrieval.DocID, error) {
+	w, err := strconv.Atoi(strings.TrimPrefix(token, "w"))
+	if err != nil || w < 0 || w >= vocabLen {
+		return 0, fmt.Errorf("bad word token %q (want w<0..%d>)", token, vocabLen-1)
+	}
+	return w, nil
+}
+
+func loadTopology(path string) (map[int]peerSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open topology: %w", err)
+	}
+	defer f.Close()
+	specs := make(map[int]peerSpec)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%s:%d: want `<id> <addr> <neighbours> [docs]`", path, line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("%s:%d: bad id %q", path, line, fields[0])
+		}
+		spec := peerSpec{addr: fields[1]}
+		if spec.neighbors, err = parseIntList(fields[2]); err != nil {
+			return nil, fmt.Errorf("%s:%d: neighbours: %w", path, line, err)
+		}
+		if len(fields) > 3 {
+			if spec.docs, err = parseIntList(fields[3]); err != nil {
+				return nil, fmt.Errorf("%s:%d: docs: %w", path, line, err)
+			}
+		}
+		if _, dup := specs[id]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate id %d", path, line, id)
+		}
+		specs[id] = spec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read topology: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%s: empty topology", path)
+	}
+	return specs, nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

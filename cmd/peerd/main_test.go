@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTopo(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.txt")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadTopology(t *testing.T) {
+	path := writeTopo(t, `# comment
+0 127.0.0.1:7000 1 12,99
+1 127.0.0.1:7001 0,2
+2 127.0.0.1:7002 1 7
+`)
+	specs, err := loadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("specs %d", len(specs))
+	}
+	if specs[0].addr != "127.0.0.1:7000" {
+		t.Fatalf("addr %q", specs[0].addr)
+	}
+	if len(specs[0].neighbors) != 1 || specs[0].neighbors[0] != 1 {
+		t.Fatalf("neighbors %v", specs[0].neighbors)
+	}
+	if len(specs[0].docs) != 2 || specs[0].docs[1] != 99 {
+		t.Fatalf("docs %v", specs[0].docs)
+	}
+	if len(specs[1].docs) != 0 {
+		t.Fatalf("peer 1 docs %v", specs[1].docs)
+	}
+	if len(specs[1].neighbors) != 2 {
+		t.Fatalf("peer 1 neighbors %v", specs[1].neighbors)
+	}
+}
+
+func TestLoadTopologyErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "0 127.0.0.1:7000\n",
+		"bad id":         "x 127.0.0.1:7000 1\n",
+		"negative id":    "-1 127.0.0.1:7000 1\n",
+		"bad neighbour":  "0 127.0.0.1:7000 a,b\n",
+		"bad doc":        "0 127.0.0.1:7000 1 x\n",
+		"duplicate id":   "0 a:1 1\n0 a:2 1\n",
+		"empty":          "# nothing\n",
+	}
+	for name, content := range cases {
+		if _, err := loadTopology(writeTopo(t, content)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, err := loadTopology(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList("1,2, 3,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, err := parseIntList("1,-2"); err == nil {
+		t.Fatal("negative must error")
+	}
+}
+
+func TestParseWord(t *testing.T) {
+	w, err := parseWord("w12", 100)
+	if err != nil || w != 12 {
+		t.Fatalf("w=%d err=%v", w, err)
+	}
+	if _, err := parseWord("w100", 100); err == nil {
+		t.Fatal("out-of-range must error")
+	}
+	if _, err := parseWord("nope", 100); err == nil {
+		t.Fatal("bad token must error")
+	}
+}

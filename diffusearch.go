@@ -1,0 +1,133 @@
+// Package diffusearch is the public API of the reproduction of
+// "A Graph Diffusion Scheme for Decentralized Content Search based on
+// Personalized PageRank" (Giatsoglou et al., ICDCS 2022).
+//
+// The package re-exports the building blocks (topology, embedding corpus,
+// PPR diffusion, the decentralized search protocol, and the experiment
+// harness) and offers turn-key constructors for the paper's evaluation
+// setting. A typical session:
+//
+//	env, _ := diffusearch.NewPaperEnvironment(42)
+//	net := diffusearch.NewNetwork(env.Graph, env.Bench.Vocabulary())
+//	r := diffusearch.NewRand(42)
+//	pair := env.Bench.SamplePair(r)
+//	docs := append([]diffusearch.DocID{pair.Gold}, env.Bench.SamplePool(r, 99)...)
+//	_ = net.PlaceDocuments(docs, diffusearch.UniformHosts(r, len(docs), env.Graph.NumNodes()))
+//	_ = net.ComputePersonalization()
+//	_, _ = net.DiffuseAsync(0.5, 0, 42) // decentralized PPR diffusion (§IV-B)
+//	out, _ := net.RunQuery(0, env.Bench.Vocabulary().Vector(pair.Query), pair.Gold,
+//		diffusearch.QueryConfig{TTL: 50})
+//	fmt.Println(out.Found, out.HopsToGold)
+//
+// See the examples/ directory for runnable programs and cmd/experiments for
+// the harness that regenerates every table and figure of the paper.
+package diffusearch
+
+import (
+	"diffusearch/internal/core"
+	"diffusearch/internal/embed"
+	"diffusearch/internal/expt"
+	"diffusearch/internal/gengraph"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+)
+
+// Re-exported identifier types.
+type (
+	// NodeID identifies a P2P node.
+	NodeID = graph.NodeID
+	// DocID identifies a document (its embedding's word id).
+	DocID = retrieval.DocID
+	// Rand is the deterministic PRNG used across the library.
+	Rand = randx.Rand
+)
+
+// Re-exported core types. External users interact with these through this
+// package; the internal packages carry the implementation.
+type (
+	// Graph is an immutable undirected P2P topology.
+	Graph = graph.Graph
+	// Vocabulary is an immutable table of word embeddings.
+	Vocabulary = embed.Vocabulary
+	// Benchmark is a mined query/gold workload plus an irrelevant pool.
+	Benchmark = embed.Benchmark
+	// QueryPair couples a query with its gold document.
+	QueryPair = embed.QueryPair
+	// Network is the decentralized search network (the paper's scheme).
+	Network = core.Network
+	// Option customizes NewNetwork.
+	Option = core.Option
+	// QueryConfig controls one query execution.
+	QueryConfig = core.QueryConfig
+	// QueryOutcome reports one finished query.
+	QueryOutcome = core.QueryOutcome
+	// Policy decides forwarding targets (§IV-C).
+	Policy = core.Policy
+	// GreedyPolicy is the paper's embedding-guided walk.
+	GreedyPolicy = core.GreedyPolicy
+	// RandomPolicy is the blind random-walk baseline.
+	RandomPolicy = core.RandomPolicy
+	// FloodingPolicy is the Gnutella-style flooding baseline.
+	FloodingPolicy = core.FloodingPolicy
+	// VisitedMode selects the visited-avoidance mechanism.
+	VisitedMode = core.VisitedMode
+	// Result is a scored document.
+	Result = retrieval.Result
+	// Environment bundles a topology with a mined workload.
+	Environment = expt.Environment
+)
+
+// Visited-avoidance modes (§IV-C).
+const (
+	VisitedNodeMemory = core.VisitedNodeMemory
+	VisitedInMessage  = core.VisitedInMessage
+	VisitedNone       = core.VisitedNone
+)
+
+// Re-exported constructors and options.
+var (
+	// NewNetwork creates a search network over a topology and vocabulary.
+	NewNetwork = core.NewNetwork
+	// WithScorer selects the comparison function φ.
+	WithScorer = core.WithScorer
+	// WithSummarization selects the personalization summarization mode.
+	WithSummarization = core.WithSummarization
+	// WithNormalization selects the transition-matrix normalization.
+	WithNormalization = core.WithNormalization
+	// UniformHosts draws uniform document hosts (the paper's placement).
+	UniformHosts = core.UniformHosts
+	// NewRand returns a deterministic PRNG for the given seed.
+	NewRand = randx.New
+)
+
+// NewPaperEnvironment builds the full-scale evaluation setting of §V: a
+// Facebook-like 4,039-node social graph and a 1,000-pair workload mined at
+// cosine ≥ 0.6 from a synthetic GloVe-like vocabulary.
+func NewPaperEnvironment(seed uint64) (*Environment, error) {
+	return expt.NewEnvironment(expt.PaperParams(seed))
+}
+
+// NewScaledEnvironment builds a reduced evaluation setting (scale in (0,1],
+// floors applied) for tests, benchmarks, and quick demos.
+func NewScaledEnvironment(seed uint64, scale float64) (*Environment, error) {
+	return expt.NewEnvironment(expt.ScaledParams(seed, scale))
+}
+
+// NewSocialGraph generates the Facebook-like topology on its own (4,039
+// nodes, ≈88k edges, clustering ≈ 0.6).
+func NewSocialGraph(seed uint64) *Graph {
+	return gengraph.FacebookLike(seed)
+}
+
+// NewVocabulary generates the default synthetic GloVe substitute (15k
+// words, 300 dimensions, anisotropic clusters).
+func NewVocabulary(seed uint64) (*Vocabulary, error) {
+	return embed.Synthetic(embed.DefaultSyntheticParams(seed))
+}
+
+// MineWorkload mines query/gold pairs at the given cosine threshold
+// (paper: 1,000 pairs at 0.6).
+func MineWorkload(v *Vocabulary, numQueries int, minCos float64, seed uint64) (*Benchmark, error) {
+	return embed.MineBenchmark(v, numQueries, minCos, seed)
+}

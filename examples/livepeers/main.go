@@ -1,0 +1,106 @@
+// Live peers: a fully decentralized run with one goroutine per peer
+// exchanging real protocol messages (embedding gossip, query, response)
+// over an in-process transport fabric — the deployable runtime rather than
+// the simulation. The same binary logic runs over TCP via cmd/peerd.
+//
+//	go run ./examples/livepeers
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"diffusearch"
+	"diffusearch/internal/gengraph"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/peernet"
+	"diffusearch/internal/retrieval"
+)
+
+func main() {
+	const (
+		seed  = 11
+		alpha = 0.3
+	)
+
+	// Corpus and workload shared by every peer.
+	env, err := diffusearch.NewScaledEnvironment(seed, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vocab := env.Bench.Vocabulary()
+	pair := env.Bench.SamplePair(diffusearch.NewRand(seed))
+
+	// A 60-peer small-world overlay.
+	g := gengraph.WattsStrogatz(60, 6, 0.2, seed)
+	fmt.Printf("overlay: %d peers, %d links\n", g.NumNodes(), g.NumEdges())
+
+	// Documents: the gold at peer 17, irrelevant documents scattered.
+	r := diffusearch.NewRand(seed + 1)
+	docsAt := map[graph.NodeID][]retrieval.DocID{17: {pair.Gold}}
+	for _, d := range env.Bench.SamplePool(r, 120) {
+		u := r.IntN(g.NumNodes())
+		docsAt[u] = append(docsAt[u], d)
+	}
+
+	// Launch one goroutine-peer per node over a channel fabric.
+	fabric := peernet.NewChannelFabric(g.NumNodes(), 0)
+	peers := make([]*peernet.Peer, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		p, err := peernet.NewPeer(peernet.PeerConfig{
+			ID:        u,
+			Neighbors: g.Neighbors(u),
+			Vocab:     vocab,
+			Docs:      docsAt[u],
+			Alpha:     alpha,
+		}, fabric.Transport(u))
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers[u] = p
+	}
+	for _, p := range peers {
+		p.Start()
+	}
+	defer func() {
+		for _, p := range peers {
+			p.Stop()
+		}
+		fabric.Close()
+	}()
+
+	// Let the asynchronous PPR diffusion settle (anti-entropy gossip).
+	fmt.Print("diffusing embeddings")
+	for i := 0; i < 5; i++ {
+		time.Sleep(150 * time.Millisecond)
+		fmt.Print(".")
+	}
+	var updates, messages int64
+	for _, p := range peers {
+		u, m := p.Stats()
+		updates += u
+		messages += m
+	}
+	fmt.Printf(" done (%d local updates, %d messages network-wide)\n", updates, messages)
+
+	// Query from several peers at increasing distance from the gold host.
+	dist := g.BFSDistances(17)
+	for _, origin := range []graph.NodeID{17, 16, 20, 40} {
+		start := time.Now()
+		results, err := peers[origin].Query(vocab.Vector(pair.Query), 25, 1, 10*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hit := len(results) > 0 && results[0].Doc == pair.Gold
+		fmt.Printf("peer %2d (distance %d from gold): hit=%-5v best=%s in %v\n",
+			origin, dist[origin], hit, describe(vocab, results), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func describe(vocab *diffusearch.Vocabulary, results []retrieval.Result) string {
+	if len(results) == 0 {
+		return "<none>"
+	}
+	return fmt.Sprintf("%s(%.3f)", vocab.Word(results[0].Doc), results[0].Score)
+}

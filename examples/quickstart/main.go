@@ -1,0 +1,71 @@
+// Quickstart: build a small P2P network, place documents, diffuse node
+// embeddings with Personalized PageRank, and run one embedding-guided
+// search walk.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffusearch"
+)
+
+func main() {
+	const seed = 42
+
+	// 1. A scaled-down evaluation setting: a social-style topology plus a
+	//    synthetic embedding vocabulary with mined query/gold pairs.
+	env, err := diffusearch.NewScaledEnvironment(seed, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := env.Graph
+	fmt.Printf("topology: %d nodes, %d edges (avg degree %.1f)\n",
+		g.NumNodes(), g.NumEdges(), g.AverageDegree())
+
+	// 2. Place one gold document and 29 irrelevant ones uniformly (the
+	//    paper's Fig. 2 pipeline).
+	net := diffusearch.NewNetwork(g, env.Bench.Vocabulary())
+	r := diffusearch.NewRand(seed)
+	pair := env.Bench.SamplePair(r)
+	docs := append([]diffusearch.DocID{pair.Gold}, env.Bench.SamplePool(r, 29)...)
+	if err := net.PlaceDocuments(docs, diffusearch.UniformHosts(r, len(docs), g.NumNodes())); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Summarize collections into personalization vectors (eq. 3) and
+	//    diffuse them with the decentralized asynchronous PPR (§IV-B).
+	if err := net.ComputePersonalization(); err != nil {
+		log.Fatal(err)
+	}
+	st, err := net.DiffuseAsync(0.5, 0, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diffusion: converged after %d sweeps, %d embedding exchanges\n", st.Sweeps, st.Messages)
+
+	// 4. Search: a biased walk guided by the diffused embeddings (Fig. 1).
+	goldHost := net.HostOf(pair.Gold)
+	origins := g.NodesAtDistance(goldHost, 2)
+	origin := goldHost
+	if len(origins[2]) > 0 {
+		origin = origins[2][0] // start two hops from the gold document
+	}
+	out, err := net.RunQuery(origin, env.Bench.Vocabulary().Vector(pair.Query), pair.Gold,
+		diffusearch.QueryConfig{TTL: 50, K: 3, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query from node %d (gold at node %d):\n", origin, goldHost)
+	if out.Found {
+		fmt.Printf("  found the gold document after %d hops (visited %d nodes, %d messages)\n",
+			out.HopsToGold, out.Visited, out.Messages)
+	} else {
+		fmt.Printf("  walk expired without finding the gold (visited %d nodes)\n", out.Visited)
+	}
+	for i, res := range out.Results {
+		fmt.Printf("  %d. %s (score %.4f)\n", i+1, env.Bench.Vocabulary().Word(res.Doc), res.Score)
+	}
+}

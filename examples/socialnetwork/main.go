@@ -1,0 +1,49 @@
+// Social-network search: the paper's motivating scenario. A Facebook-like
+// social overlay where every user stores a handful of documents; we sweep
+// the teleport probability α and measure how hit accuracy depends on the
+// distance between the querying user and the user holding the relevant
+// document (a miniature Fig. 3).
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffusearch"
+	"diffusearch/internal/expt"
+)
+
+func main() {
+	const seed = 7
+
+	// A mid-sized social topology (~1,000 users) keeps the demo quick; the
+	// full 4,039-node evaluation lives in cmd/experiments.
+	env, err := diffusearch.NewScaledEnvironment(seed, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social overlay: %d users, %d friendships\n", env.Graph.NumNodes(), env.Graph.NumEdges())
+	fmt.Printf("workload: %d query/gold pairs mined at cosine ≥ 0.6, %d-word pool\n\n",
+		len(env.Bench.Pairs), len(env.Bench.Pool))
+
+	for _, m := range []int{10, 1000} {
+		res, err := expt.AccuracyByDistance(env, expt.AccuracyConfig{
+			M:           m,
+			Alphas:      []float64{0.1, 0.5, 0.9},
+			MaxDistance: 6,
+			TTL:         50,
+			Iterations:  30,
+			Seed:        seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hit accuracy vs distance with M=%d documents in the network:\n", m)
+		fmt.Println(expt.FormatAccuracy(res))
+	}
+	fmt.Println("Reading the tables: accuracy is ≈1 when the document sits within ~2")
+	fmt.Println("friendship hops and declines sharply farther away — and the decline")
+	fmt.Println("steepens as more documents pollute the diffused summaries (§V-C).")
+}

@@ -1,0 +1,209 @@
+// Package ann implements the nearest-neighbour search substrate referenced
+// in §III-A of the paper: centralized engines cast retrieval as a k-NN
+// problem over embeddings, solved exactly (brute force) or approximately
+// (locality-sensitive hashing over random hyperplanes).
+package ann
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+// Match is a search result: an item id with its similarity score.
+type Match struct {
+	ID    int
+	Score float64
+}
+
+// Index answers top-k maximum-inner-product queries over a fixed item set.
+type Index interface {
+	// Search returns up to k matches sorted by decreasing score (ties by
+	// increasing id).
+	Search(query []float64, k int) []Match
+	// Len returns the number of indexed items.
+	Len() int
+}
+
+// matchHeap is a min-heap over scores, used to keep the best k.
+type matchHeap []Match
+
+func (h matchHeap) Len() int { return len(h) }
+func (h matchHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].ID > h[j].ID // evict larger ids first so ties keep smaller ids
+}
+func (h matchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any)   { *h = append(*h, x.(Match)) }
+func (h *matchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SortMatches orders matches by decreasing score, breaking ties by
+// increasing id, in place.
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Score != ms[j].Score {
+			return ms[i].Score > ms[j].Score
+		}
+		return ms[i].ID < ms[j].ID
+	})
+}
+
+// Exact is the brute-force index: O(n·dim) per query, exact results.
+type Exact struct {
+	vecs *vecmath.Matrix
+}
+
+// NewExact indexes the rows of vecs. The matrix is retained, not copied.
+func NewExact(vecs *vecmath.Matrix) *Exact { return &Exact{vecs: vecs} }
+
+// Len implements Index.
+func (e *Exact) Len() int { return e.vecs.Rows() }
+
+// Search implements Index.
+func (e *Exact) Search(query []float64, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	h := make(matchHeap, 0, k+1)
+	for i := 0; i < e.vecs.Rows(); i++ {
+		s := vecmath.Dot(query, e.vecs.Row(i))
+		if len(h) < k {
+			heap.Push(&h, Match{ID: i, Score: s})
+			continue
+		}
+		if s > h[0].Score || (s == h[0].Score && i < h[0].ID) {
+			h[0] = Match{ID: i, Score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Match, len(h))
+	copy(out, h)
+	SortMatches(out)
+	return out
+}
+
+// LSHParams configure the random-hyperplane LSH index.
+type LSHParams struct {
+	Tables int // hash tables (more tables, higher recall)
+	Bits   int // hyperplanes per table (more bits, smaller buckets)
+	Seed   uint64
+}
+
+// DefaultLSHParams returns a configuration with good recall on unit-norm
+// clustered data (validated in tests).
+func DefaultLSHParams(seed uint64) LSHParams {
+	return LSHParams{Tables: 12, Bits: 10, Seed: seed}
+}
+
+// LSH is a random-hyperplane (SimHash) index for cosine similarity. Each
+// table hashes an item to the sign pattern of Bits random projections;
+// queries probe their bucket in every table and rank candidates exactly.
+type LSH struct {
+	vecs   *vecmath.Matrix
+	planes [][][]float64 // [table][bit] -> hyperplane normal
+	tables []map[uint64][]int
+}
+
+// NewLSH indexes the rows of vecs (retained, not copied).
+func NewLSH(vecs *vecmath.Matrix, p LSHParams) (*LSH, error) {
+	if p.Tables < 1 || p.Bits < 1 || p.Bits > 64 {
+		return nil, fmt.Errorf("ann: invalid LSH params %+v", p)
+	}
+	l := &LSH{
+		vecs:   vecs,
+		planes: make([][][]float64, p.Tables),
+		tables: make([]map[uint64][]int, p.Tables),
+	}
+	dim := vecs.Cols()
+	for t := 0; t < p.Tables; t++ {
+		r := randx.DeriveN(p.Seed, "lsh-table", t)
+		l.planes[t] = make([][]float64, p.Bits)
+		for b := 0; b < p.Bits; b++ {
+			l.planes[t][b] = vecmath.RandomUnit(r, dim)
+		}
+		l.tables[t] = make(map[uint64][]int)
+		for i := 0; i < vecs.Rows(); i++ {
+			sig := l.signature(t, vecs.Row(i))
+			l.tables[t][sig] = append(l.tables[t][sig], i)
+		}
+	}
+	return l, nil
+}
+
+func (l *LSH) signature(table int, v []float64) uint64 {
+	var sig uint64
+	for b, plane := range l.planes[table] {
+		if vecmath.Dot(plane, v) >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return sig
+}
+
+// Len implements Index.
+func (l *LSH) Len() int { return l.vecs.Rows() }
+
+// Search implements Index. Candidates from all probed buckets are scored
+// exactly; recall depends on LSHParams.
+func (l *LSH) Search(query []float64, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	seen := make(map[int]struct{})
+	var cands []int
+	for t := range l.tables {
+		sig := l.signature(t, query)
+		for _, id := range l.tables[t][sig] {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				cands = append(cands, id)
+			}
+		}
+	}
+	h := make(matchHeap, 0, k+1)
+	for _, id := range cands {
+		s := vecmath.Dot(query, l.vecs.Row(id))
+		if len(h) < k {
+			heap.Push(&h, Match{ID: id, Score: s})
+			continue
+		}
+		if s > h[0].Score || (s == h[0].Score && id < h[0].ID) {
+			h[0] = Match{ID: id, Score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Match, len(h))
+	copy(out, h)
+	SortMatches(out)
+	return out
+}
+
+// Recall computes |approx ∩ exact| / |exact| for two result lists, the
+// standard ANN quality metric.
+func Recall(approx, exact []Match) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int]struct{}, len(approx))
+	for _, m := range approx {
+		in[m.ID] = struct{}{}
+	}
+	hit := 0
+	for _, m := range exact {
+		if _, ok := in[m.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}

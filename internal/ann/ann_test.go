@@ -1,0 +1,177 @@
+package ann
+
+import (
+	"testing"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+func clusteredMatrix(t *testing.T, words int) *vecmath.Matrix {
+	t.Helper()
+	v, err := embed.Synthetic(embed.SyntheticParams{
+		Words: words, Dim: 64, Clusters: words / 10, Spread: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vecmath.NewMatrix(words, 64)
+	for i := 0; i < words; i++ {
+		m.SetRow(i, v.Vector(i))
+	}
+	return m
+}
+
+func TestExactTopKOrdering(t *testing.T) {
+	m := vecmath.NewMatrix(4, 2)
+	m.SetRow(0, []float64{1, 0})
+	m.SetRow(1, []float64{0, 1})
+	m.SetRow(2, []float64{0.9, 0.1})
+	m.SetRow(3, []float64{-1, 0})
+	idx := NewExact(m)
+	got := idx.Search([]float64{1, 0}, 3)
+	want := []int{0, 2, 1}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("rank %d: got id %d, want %d (results %v)", i, got[i].ID, id, got)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatal("scores not descending")
+		}
+	}
+}
+
+func TestExactKLargerThanN(t *testing.T) {
+	m := vecmath.NewMatrix(2, 2)
+	m.SetRow(0, []float64{1, 0})
+	m.SetRow(1, []float64{0, 1})
+	got := NewExact(m).Search([]float64{1, 1}, 10)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+}
+
+func TestExactNonPositiveK(t *testing.T) {
+	m := vecmath.NewMatrix(2, 2)
+	if got := NewExact(m).Search([]float64{1, 0}, 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestExactTieBreakById(t *testing.T) {
+	m := vecmath.NewMatrix(3, 1)
+	m.SetRow(0, []float64{1})
+	m.SetRow(1, []float64{1})
+	m.SetRow(2, []float64{1})
+	got := NewExact(m).Search([]float64{1}, 2)
+	if got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("ties must keep smallest ids: %v", got)
+	}
+}
+
+func TestExactMatchesNaiveOnRandomData(t *testing.T) {
+	m := clusteredMatrix(t, 200)
+	idx := NewExact(m)
+	r := randx.New(9)
+	for trial := 0; trial < 20; trial++ {
+		q := vecmath.RandomUnit(r, 64)
+		got := idx.Search(q, 5)
+		// Naive: compute all scores, sort.
+		all := make([]Match, m.Rows())
+		for i := 0; i < m.Rows(); i++ {
+			all[i] = Match{ID: i, Score: vecmath.Dot(q, m.Row(i))}
+		}
+		SortMatches(all)
+		for i := 0; i < 5; i++ {
+			if got[i].ID != all[i].ID {
+				t.Fatalf("rank %d mismatch: %v vs %v", i, got[i], all[i])
+			}
+		}
+	}
+}
+
+func TestLSHRecallOnClusteredData(t *testing.T) {
+	m := clusteredMatrix(t, 1000)
+	exact := NewExact(m)
+	lsh, err := NewLSH(m, DefaultLSHParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsh.Len() != 1000 || exact.Len() != 1000 {
+		t.Fatal("Len broken")
+	}
+	var recall float64
+	const trials = 50
+	r := randx.New(10)
+	for i := 0; i < trials; i++ {
+		q := m.Row(r.IntN(m.Rows())) // query near an indexed point
+		recall += Recall(lsh.Search(q, 10), exact.Search(q, 10))
+	}
+	recall /= trials
+	if recall < 0.5 {
+		t.Fatalf("LSH recall@10 = %.3f, want >= 0.5 on clustered data", recall)
+	}
+}
+
+func TestLSHFindsSelf(t *testing.T) {
+	m := clusteredMatrix(t, 300)
+	lsh, err := NewLSH(m, DefaultLSHParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := 0; i < 50; i++ {
+		res := lsh.Search(m.Row(i), 1)
+		if len(res) == 1 && res[0].ID == i {
+			found++
+		}
+	}
+	if found < 45 {
+		t.Fatalf("self-lookup succeeded only %d/50 times", found)
+	}
+}
+
+func TestLSHInvalidParams(t *testing.T) {
+	m := vecmath.NewMatrix(1, 2)
+	for _, p := range []LSHParams{{Tables: 0, Bits: 4}, {Tables: 2, Bits: 0}, {Tables: 2, Bits: 65}} {
+		if _, err := NewLSH(m, p); err == nil {
+			t.Fatalf("params %+v must error", p)
+		}
+	}
+}
+
+func TestLSHNonPositiveK(t *testing.T) {
+	m := clusteredMatrix(t, 50)
+	lsh, err := NewLSH(m, DefaultLSHParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lsh.Search(m.Row(0), -1); got != nil {
+		t.Fatal("k<0 must return nil")
+	}
+}
+
+func TestRecall(t *testing.T) {
+	exact := []Match{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
+	approx := []Match{{ID: 2}, {ID: 4}, {ID: 9}}
+	if got := Recall(approx, exact); got != 0.5 {
+		t.Fatalf("recall = %v, want 0.5", got)
+	}
+	if Recall(nil, nil) != 1 {
+		t.Fatal("empty exact set must give recall 1")
+	}
+}
+
+func TestSortMatchesStableTies(t *testing.T) {
+	ms := []Match{{ID: 5, Score: 1}, {ID: 2, Score: 1}, {ID: 9, Score: 3}}
+	SortMatches(ms)
+	if ms[0].ID != 9 || ms[1].ID != 2 || ms[2].ID != 5 {
+		t.Fatalf("sorted %v", ms)
+	}
+}

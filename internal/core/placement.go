@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+)
+
+// UniformHosts draws one host per document uniformly at random (with
+// replacement across documents — several documents may share a node), the
+// paper's placement (§V-B, Fig. 2 line 2).
+func UniformHosts(r *randx.Rand, numDocs, numNodes int) []graph.NodeID {
+	hosts := make([]graph.NodeID, numDocs)
+	for i := range hosts {
+		hosts[i] = r.IntN(numNodes)
+	}
+	return hosts
+}
+
+// CorrelatedHosts places documents with spatial correlation (the "more
+// realistic document distribution" the paper expects to aid diffusion,
+// §V-B): documents that share a vocabulary cluster are hosted inside the
+// same BFS ball of the given radius around a cluster-specific centre node.
+func CorrelatedHosts(r *randx.Rand, g *graph.Graph, docs []retrieval.DocID,
+	clusterOf func(retrieval.DocID) int, radius int) ([]graph.NodeID, error) {
+	if radius < 0 {
+		return nil, fmt.Errorf("core: negative radius %d", radius)
+	}
+	centres := make(map[int][]graph.NodeID) // cluster -> candidate hosts
+	hosts := make([]graph.NodeID, len(docs))
+	for i, d := range docs {
+		c := clusterOf(d)
+		ball, ok := centres[c]
+		if !ok {
+			centre := r.IntN(g.NumNodes())
+			groups := g.NodesAtDistance(centre, radius)
+			for _, grp := range groups {
+				ball = append(ball, grp...)
+			}
+			if len(ball) == 0 {
+				ball = []graph.NodeID{centre}
+			}
+			centres[c] = ball
+		}
+		hosts[i] = ball[r.IntN(len(ball))]
+	}
+	return hosts, nil
+}

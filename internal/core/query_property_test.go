@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diffusearch/internal/randx"
+	"diffusearch/internal/sim"
+)
+
+func newTestRand() *randx.Rand { return randx.New(555) }
+
+// TestResponseAccountingProperty fuzzes policies, TTLs, and origins: every
+// branch of every walk must backtrack exactly one response chain to the
+// origin (RunQuery errors otherwise), message counts must cover forwards,
+// and hop counts must respect the TTL.
+func TestResponseAccountingProperty(t *testing.T) {
+	f, pair := prepared(t, 40, 0.5, 99)
+	q := f.net.Vocabulary().Vector(pair.Query)
+	n := f.net.Graph().NumNodes()
+
+	check := func(seed uint64, originRaw, ttlRaw, policyRaw uint8) bool {
+		origin := int(originRaw) % n
+		ttl := int(ttlRaw) % 12
+		var policy Policy
+		switch policyRaw % 4 {
+		case 0:
+			policy = GreedyPolicy{Fanout: 1}
+		case 1:
+			policy = GreedyPolicy{Fanout: 3}
+		case 2:
+			policy = RandomPolicy{Fanout: 2}
+		default:
+			if ttl > 4 {
+				ttl = 4 // keep flooding bounded
+			}
+			policy = FloodingPolicy{}
+		}
+		out, err := f.net.RunQuery(origin, q, pair.Gold, QueryConfig{
+			TTL: ttl, Policy: policy, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		if out.Messages < out.HopsTraveled {
+			return false // responses must add to, never subtract from, messages
+		}
+		if out.Found && (out.HopsToGold < 0 || out.HopsToGold > ttl) {
+			return false
+		}
+		if !out.Found && out.HopsToGold != -1 {
+			return false
+		}
+		if out.Visited < 1 || out.Duration < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurationScalesWithLatencyDistribution verifies the DES integration:
+// expected duration under exponential latency tracks its mean.
+func TestDurationScalesWithLatencyDistribution(t *testing.T) {
+	f, pair := prepared(t, 20, 0.5, 100)
+	q := f.net.Vocabulary().Vector(pair.Query)
+	run := func(mean float64) float64 {
+		var total float64
+		const trials = 10
+		for i := 0; i < trials; i++ {
+			out, err := f.net.RunQuery(1, q, pair.Gold, QueryConfig{
+				TTL: 10, Seed: uint64(i), Latency: sim.ExponentialLatency{Mean: mean},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += out.Duration
+		}
+		return total / trials
+	}
+	fast := run(1)
+	slow := run(5)
+	if slow < 2*fast {
+		t.Fatalf("5x mean latency should roughly scale duration: %v vs %v", slow, fast)
+	}
+}
+
+// TestInMessageVisitedSharedAcrossBranches: with the in-message ablation,
+// parallel branches share the visited set, so total distinct visits can
+// exceed a single branch's reach but no node is processed as "unvisited"
+// twice.
+func TestInMessageVisitedSharedAcrossBranches(t *testing.T) {
+	f, pair := prepared(t, 30, 0.5, 101)
+	q := f.net.Vocabulary().Vector(pair.Query)
+	out, err := f.net.RunQuery(0, q, pair.Gold, QueryConfig{
+		TTL: 10, Policy: GreedyPolicy{Fanout: 3}, Visited: VisitedInMessage, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 walks × 10 hops can visit at most 31 distinct nodes (incl. origin);
+	// with a shared visited set they also should not revisit much, so the
+	// count should be close to the hop budget.
+	if out.Visited > 31 {
+		t.Fatalf("visited %d exceeds 3 walks × TTL + origin", out.Visited)
+	}
+	if out.Visited < 10 {
+		t.Fatalf("shared visited set should still cover ≥ TTL nodes, got %d", out.Visited)
+	}
+}
+
+// TestCorrelatedHostsRadiusZero places every same-cluster doc on a single
+// node.
+func TestCorrelatedHostsRadiusZero(t *testing.T) {
+	f := newFixture(t)
+	vocab := f.net.Vocabulary()
+	r := newTestRand()
+	docs := f.bench.SamplePool(r, 20)
+	hosts, err := CorrelatedHosts(r, f.net.Graph(), docs,
+		func(d int) int { return vocab.Cluster(d) }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCluster := make(map[int]int)
+	for i, d := range docs {
+		c := vocab.Cluster(d)
+		if prev, ok := byCluster[c]; ok && prev != hosts[i] {
+			t.Fatalf("cluster %d split across nodes %d and %d at radius 0", c, prev, hosts[i])
+		}
+		byCluster[c] = hosts[i]
+	}
+}

@@ -1,0 +1,207 @@
+package diffuse
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/vecmath"
+)
+
+// ConcurrentParams configure the goroutine-per-node driver.
+type ConcurrentParams struct {
+	Alpha   float64
+	Tol     float64       // quiescence tolerance; 0 means DefaultTol
+	Timeout time.Duration // wall-clock budget; 0 means 10s
+}
+
+// Concurrent runs the diffusion with one goroutine per node. Peers push
+// their embedding to neighbour mailboxes whenever it changes by more than a
+// quarter of the tolerance; the run ends when the network quiesces (no
+// dirty node and no update in flight) or the timeout expires.
+//
+// Memory is O(|E|·dim) for the mailboxes — this driver exists to
+// demonstrate and test real asynchronous message passing, not to run the
+// full-scale experiments (those use Asynchronous).
+func Concurrent(tr *graph.Transition, e0 *vecmath.Matrix, p ConcurrentParams) (*vecmath.Matrix, Stats, error) {
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		return nil, Stats{}, fmt.Errorf("diffuse: teleport probability %v out of (0,1]", p.Alpha)
+	}
+	g := tr.Graph()
+	n := g.NumNodes()
+	if e0.Rows() != n {
+		return nil, Stats{}, fmt.Errorf("diffuse: signal has %d rows, graph has %d nodes", e0.Rows(), n)
+	}
+	tol := p.Tol
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	pushTol := tol / 4
+
+	dim := e0.Cols()
+	peers := make([]*peerState, n)
+	for u := 0; u < n; u++ {
+		peers[u] = &peerState{
+			own:    vecmath.Clone(e0.Row(u)),
+			inbox:  make(map[graph.NodeID][]float64, g.Degree(u)),
+			notify: make(chan struct{}, 1),
+		}
+	}
+
+	var (
+		busy     atomic.Int64 // nodes currently processing an update
+		dirty    atomic.Int64 // nodes with unprocessed mail
+		updates  atomic.Int64
+		messages atomic.Int64
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// deliver pushes src's embedding to dst's mailbox and wakes dst.
+	deliver := func(src, dst graph.NodeID, emb []float64) {
+		ps := peers[dst]
+		ps.mu.Lock()
+		if prev, ok := ps.inbox[src]; ok {
+			copy(prev, emb) // reuse the buffer; last write wins
+		} else {
+			ps.inbox[src] = vecmath.Clone(emb)
+		}
+		wasDirty := ps.dirty
+		ps.dirty = true
+		ps.mu.Unlock()
+		messages.Add(1)
+		if !wasDirty {
+			dirty.Add(1)
+		}
+		select {
+		case ps.notify <- struct{}{}:
+		default: // already notified; the pending wake-up will see this mail
+		}
+	}
+
+	worker := func(u graph.NodeID) {
+		defer wg.Done()
+		ps := peers[u]
+		scratch := make([]float64, dim)
+		cache := make(map[graph.NodeID][]float64, g.Degree(u))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ps.notify:
+			}
+			busy.Add(1)
+			ps.mu.Lock()
+			for src, emb := range ps.inbox {
+				if prev, ok := cache[src]; ok {
+					copy(prev, emb)
+				} else {
+					cache[src] = vecmath.Clone(emb)
+				}
+				delete(ps.inbox, src)
+			}
+			if ps.dirty {
+				ps.dirty = false
+				dirty.Add(-1)
+			}
+			ps.mu.Unlock()
+
+			// e_u ← (1−a)·Σ_v A[u][v]·ê_v + a·e0_u over cached mail.
+			vecmath.Zero(scratch)
+			for _, v := range g.Neighbors(u) {
+				if emb, ok := cache[v]; ok {
+					vecmath.AXPY(scratch, (1-p.Alpha)*tr.Weight(u, v), emb)
+				}
+			}
+			vecmath.AXPY(scratch, p.Alpha, e0.Row(u))
+			ps.mu.Lock()
+			change := vecmath.MaxAbsDiff(ps.own, scratch)
+			copy(ps.own, scratch)
+			ps.mu.Unlock()
+			updates.Add(1)
+			if change > pushTol {
+				for _, v := range g.Neighbors(u) {
+					deliver(u, v, scratch)
+				}
+			}
+			busy.Add(-1)
+		}
+	}
+
+	wg.Add(n)
+	for u := 0; u < n; u++ {
+		go worker(u)
+	}
+	// Bootstrap: every peer announces its personalization vector, and every
+	// peer (including isolated ones) is marked dirty so it applies at least
+	// one local update before the network can quiesce.
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			deliver(u, v, e0.Row(u))
+		}
+	}
+	for u := 0; u < n; u++ {
+		ps := peers[u]
+		ps.mu.Lock()
+		wasDirty := ps.dirty
+		ps.dirty = true
+		ps.mu.Unlock()
+		if !wasDirty {
+			dirty.Add(1)
+		}
+		select {
+		case ps.notify <- struct{}{}:
+		default:
+		}
+	}
+
+	// Quiescence detection: no busy worker and no dirty mailbox, observed
+	// stably. Deliveries happen before busy is decremented, so a (busy=0,
+	// dirty=0) observation implies no work exists anywhere.
+	deadline := time.Now().Add(timeout)
+	quiesced := false
+	for time.Now().Before(deadline) {
+		if busy.Load() == 0 && dirty.Load() == 0 {
+			// Confirm after a scheduling pause to let in-flight wake-ups land.
+			time.Sleep(200 * time.Microsecond)
+			if busy.Load() == 0 && dirty.Load() == 0 {
+				quiesced = true
+				break
+			}
+			continue
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	out := vecmath.NewMatrix(n, dim)
+	for u := 0; u < n; u++ {
+		out.SetRow(u, peers[u].own)
+	}
+	st := Stats{
+		Updates:   updates.Load(),
+		Messages:  messages.Load(),
+		Residual:  pushTol,
+		Converged: quiesced,
+	}
+	if !quiesced {
+		return out, st, fmt.Errorf("%w within %v", ErrNoConvergence, timeout)
+	}
+	return out, st, nil
+}
+
+// peerState is the mailbox-and-embedding state of one concurrent peer.
+type peerState struct {
+	mu     sync.Mutex
+	own    []float64
+	inbox  map[graph.NodeID][]float64
+	dirty  bool
+	notify chan struct{}
+}

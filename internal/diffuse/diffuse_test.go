@@ -1,0 +1,221 @@
+package diffuse
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"diffusearch/internal/gengraph"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/ppr"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+func randomSignal(seed uint64, rows, cols int) *vecmath.Matrix {
+	r := randx.New(seed)
+	m := vecmath.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	return m
+}
+
+func syncFixedPoint(t *testing.T, tr *graph.Transition, e0 *vecmath.Matrix, alpha float64) *vecmath.Matrix {
+	t.Helper()
+	out, _, err := ppr.PPRFilter{Alpha: alpha, Tol: 1e-12}.Apply(tr, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAsynchronousMatchesSynchronousFixedPoint(t *testing.T) {
+	g := gengraph.ErdosRenyi(60, 0.12, 3)
+	g, _ = g.LargestComponent()
+	for _, norm := range []graph.Normalization{graph.ColumnStochastic, graph.RowStochastic, graph.Symmetric} {
+		for _, alpha := range []float64{0.1, 0.5, 0.9} {
+			tr := graph.NewTransition(g, norm)
+			e0 := randomSignal(1, g.NumNodes(), 5)
+			want := syncFixedPoint(t, tr, e0, alpha)
+			got, st, err := Asynchronous(tr, e0, Params{Alpha: alpha, Tol: 1e-10}, randx.New(7))
+			if err != nil {
+				t.Fatalf("%v a=%v: %v", norm, alpha, err)
+			}
+			if !st.Converged {
+				t.Fatalf("%v a=%v: not converged", norm, alpha)
+			}
+			if d := vecmath.MaxAbsDiffMatrix(got, want); d > 1e-6 {
+				t.Fatalf("%v a=%v: async differs from sync fixed point by %g", norm, alpha, d)
+			}
+		}
+	}
+}
+
+func TestAsynchronousDeterministicForSeed(t *testing.T) {
+	g := gengraph.ErdosRenyi(40, 0.15, 4)
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(2, g.NumNodes(), 3)
+	a, stA, err := Asynchronous(tr, e0, Params{Alpha: 0.3}, randx.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, stB, err := Asynchronous(tr, e0, Params{Alpha: 0.3}, randx.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.MaxAbsDiffMatrix(a, b) != 0 {
+		t.Fatal("same seed must reproduce identical diffusion")
+	}
+	if stA.Updates != stB.Updates || stA.Messages != stB.Messages {
+		t.Fatal("same seed must reproduce identical stats")
+	}
+}
+
+func TestAsynchronousStats(t *testing.T) {
+	g := gengraph.ErdosRenyi(30, 0.2, 5)
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(3, g.NumNodes(), 2)
+	_, st, err := Asynchronous(tr, e0, Params{Alpha: 0.5}, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates < int64(g.NumNodes()) {
+		t.Fatalf("updates %d < node count", st.Updates)
+	}
+	if st.Messages <= 0 {
+		t.Fatal("message count must be positive")
+	}
+	if st.Sweeps < 1 {
+		t.Fatal("sweeps must be >= 1")
+	}
+	// One sweep visits every node once: updates = sweeps*n.
+	if st.Updates != int64(st.Sweeps*g.NumNodes()) {
+		t.Fatalf("updates %d != sweeps %d × n %d", st.Updates, st.Sweeps, g.NumNodes())
+	}
+}
+
+func TestAsynchronousInputUnmodified(t *testing.T) {
+	g := gengraph.ErdosRenyi(20, 0.2, 6)
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(4, g.NumNodes(), 2)
+	snap := e0.Clone()
+	if _, _, err := Asynchronous(tr, e0, Params{Alpha: 0.4}, randx.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.MaxAbsDiffMatrix(e0, snap) != 0 {
+		t.Fatal("input signal modified")
+	}
+}
+
+func TestAsynchronousValidation(t *testing.T) {
+	g := gengraph.ErdosRenyi(10, 0.3, 7)
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(5, g.NumNodes(), 1)
+	if _, _, err := Asynchronous(tr, e0, Params{Alpha: 0}, randx.New(1)); err == nil {
+		t.Fatal("alpha=0 must error")
+	}
+	bad := randomSignal(6, 3, 1)
+	if _, _, err := Asynchronous(tr, bad, Params{Alpha: 0.5}, randx.New(1)); err == nil {
+		t.Fatal("row mismatch must error")
+	}
+}
+
+func TestAsynchronousNoConvergenceBudget(t *testing.T) {
+	g := gengraph.ErdosRenyi(30, 0.2, 8)
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(7, g.NumNodes(), 2)
+	_, st, err := Asynchronous(tr, e0, Params{Alpha: 0.05, Tol: 1e-14, MaxSweeps: 1}, randx.New(3))
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+	if st.Converged {
+		t.Fatal("stats must report non-convergence")
+	}
+}
+
+func TestAsynchronousAlphaOneKeepsPersonalization(t *testing.T) {
+	g := gengraph.ErdosRenyi(15, 0.3, 9)
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(8, g.NumNodes(), 2)
+	out, _, err := Asynchronous(tr, e0, Params{Alpha: 1}, randx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.MaxAbsDiffMatrix(out, e0) > 1e-12 {
+		t.Fatal("alpha=1 must leave personalization vectors unchanged")
+	}
+}
+
+func TestConcurrentMatchesSynchronousFixedPoint(t *testing.T) {
+	g := gengraph.ErdosRenyi(40, 0.15, 10)
+	g, _ = g.LargestComponent()
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(9, g.NumNodes(), 4)
+	want := syncFixedPoint(t, tr, e0, 0.4)
+	got, st, err := Concurrent(tr, e0, ConcurrentParams{Alpha: 0.4, Tol: 1e-8, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("concurrent run did not quiesce")
+	}
+	if st.Messages == 0 || st.Updates == 0 {
+		t.Fatal("stats must be populated")
+	}
+	// The push threshold bounds each neighbour's staleness; allow a
+	// proportional band.
+	if d := vecmath.MaxAbsDiffMatrix(got, want); d > 1e-4 {
+		t.Fatalf("concurrent result differs from fixed point by %g", d)
+	}
+}
+
+func TestConcurrentOnStarGraph(t *testing.T) {
+	// A hub with many leaves exercises mailbox coalescing.
+	g := gengraph.Star(30)
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(10, g.NumNodes(), 3)
+	want := syncFixedPoint(t, tr, e0, 0.5)
+	got, _, err := Concurrent(tr, e0, ConcurrentParams{Alpha: 0.5, Tol: 1e-8, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vecmath.MaxAbsDiffMatrix(got, want); d > 1e-4 {
+		t.Fatalf("star graph result off by %g", d)
+	}
+}
+
+func TestConcurrentValidation(t *testing.T) {
+	g := gengraph.Star(5)
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(11, g.NumNodes(), 2)
+	if _, _, err := Concurrent(tr, e0, ConcurrentParams{Alpha: -1}); err == nil {
+		t.Fatal("bad alpha must error")
+	}
+	bad := randomSignal(12, 2, 2)
+	if _, _, err := Concurrent(tr, bad, ConcurrentParams{Alpha: 0.5}); err == nil {
+		t.Fatal("row mismatch must error")
+	}
+}
+
+func TestConcurrentIsolatedNodes(t *testing.T) {
+	// Isolated nodes have no neighbours: their embedding must settle at
+	// alpha·e0 (no incoming mass).
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := randomSignal(13, 3, 2)
+	got, _, err := Concurrent(tr, e0, ConcurrentParams{Alpha: 0.5, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		want := 0.5 * e0.At(2, j)
+		if diff := got.At(2, j) - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("isolated node embedding %g, want %g", got.At(2, j), want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package embed
+
+import (
+	"fmt"
+
+	"diffusearch/internal/randx"
+)
+
+// QueryPair couples a query word with its gold document word, mined per the
+// paper's protocol: gold is the query's nearest neighbour, accepted only
+// when their cosine exceeds the threshold (§V-B: 0.6).
+type QueryPair struct {
+	Query WordID
+	Gold  WordID
+	Cos   float64 // cosine between query and gold at mining time
+}
+
+// Benchmark is a mined retrieval workload: query/gold pairs plus the pool
+// of irrelevant words, with queries, golds, and pool mutually disjoint.
+type Benchmark struct {
+	Pairs []QueryPair
+	Pool  []WordID
+	vocab *Vocabulary
+}
+
+// DefaultGoldThreshold is the paper's cosine acceptance threshold for gold
+// documents (§V-B).
+const DefaultGoldThreshold = 0.6
+
+// MineBenchmark mines up to numQueries query/gold pairs from v: words are
+// visited in a seeded random order; a word becomes a query if its nearest
+// unassigned neighbour has cosine ≥ minCos, in which case that neighbour
+// becomes its gold document. All remaining words form the irrelevant pool.
+//
+// It returns an error when fewer than numQueries pairs can be mined, since
+// a short workload would silently weaken the experiments.
+func MineBenchmark(v *Vocabulary, numQueries int, minCos float64, seed uint64) (*Benchmark, error) {
+	if numQueries < 1 {
+		return nil, fmt.Errorf("embed: numQueries %d < 1", numQueries)
+	}
+	if minCos <= -1 || minCos >= 1 {
+		return nil, fmt.Errorf("embed: minCos %v out of (-1,1)", minCos)
+	}
+	r := randx.Derive(seed, "benchmark", "order")
+	order := r.Perm(v.Len())
+	assigned := make([]bool, v.Len()) // query or gold
+	skip := func(u WordID) bool { return assigned[u] }
+
+	pairs := make([]QueryPair, 0, numQueries)
+	for _, w := range order {
+		if len(pairs) == numQueries {
+			break
+		}
+		if assigned[w] {
+			continue
+		}
+		nn, cos := v.NearestNeighbor(w, skip)
+		if nn < 0 || cos < minCos {
+			continue
+		}
+		assigned[w] = true
+		assigned[nn] = true
+		pairs = append(pairs, QueryPair{Query: w, Gold: nn, Cos: cos})
+	}
+	if len(pairs) < numQueries {
+		return nil, fmt.Errorf("embed: mined only %d/%d pairs at threshold %v; grow the vocabulary or lower the threshold",
+			len(pairs), numQueries, minCos)
+	}
+	pool := make([]WordID, 0, v.Len()-2*numQueries)
+	for w := 0; w < v.Len(); w++ {
+		if !assigned[w] {
+			pool = append(pool, w)
+		}
+	}
+	return &Benchmark{Pairs: pairs, Pool: pool, vocab: v}, nil
+}
+
+// Vocabulary returns the vocabulary the benchmark was mined from.
+func (b *Benchmark) Vocabulary() *Vocabulary { return b.vocab }
+
+// SamplePair returns a uniformly chosen query/gold pair.
+func (b *Benchmark) SamplePair(r *randx.Rand) QueryPair {
+	return b.Pairs[r.IntN(len(b.Pairs))]
+}
+
+// SamplePool draws m distinct irrelevant words. It panics if m exceeds the
+// pool size; experiment configs are validated upstream.
+func (b *Benchmark) SamplePool(r *randx.Rand, m int) []WordID {
+	idx := randx.Sample(r, len(b.Pool), m)
+	out := make([]WordID, m)
+	for i, j := range idx {
+		out[i] = b.Pool[j]
+	}
+	return out
+}

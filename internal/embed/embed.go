@@ -1,0 +1,155 @@
+// Package embed provides the embedding corpus substrate. The paper draws
+// documents and queries from GloVe 300-d word embeddings; that dataset is
+// not shipped here, so Synthetic generates a vocabulary with the same
+// retrieval-relevant geometry: unit vectors clustered on the sphere so that
+// every word has same-cluster neighbours at cosine ≥ 0.6 while cross-cluster
+// cosines concentrate near zero (see DESIGN.md §3).
+package embed
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+// WordID indexes a word in a Vocabulary.
+type WordID = int
+
+// Vocabulary is an immutable table of unit-norm word embeddings.
+type Vocabulary struct {
+	dim     int
+	vecs    *vecmath.Matrix
+	cluster []int // cluster id per word; -1 when unknown
+}
+
+// SyntheticParams configure Synthetic.
+type SyntheticParams struct {
+	Words    int     // vocabulary size
+	Dim      int     // embedding dimension (paper: 300)
+	Clusters int     // number of semantic clusters
+	Spread   float64 // expected norm of the Gaussian noise around the cluster centre
+
+	// CommonComponent adds a shared direction (with this weight) to every
+	// word before normalization, mimicking the well-known anisotropy of
+	// GloVe embeddings: random word pairs then have positive cosine
+	// ≈ c²/(1+c²) instead of ≈ 0. This matters for reproducing the paper's
+	// α trade-off — summed irrelevant documents must inject positive noise
+	// into heavy diffusion (§V-C).
+	CommonComponent float64
+
+	Seed uint64
+}
+
+// DefaultSyntheticParams returns the full-scale corpus parameters used by
+// the experiments: a 15k-word, 300-d vocabulary with ≈0.8 expected
+// same-cluster cosine (above the paper's 0.6 gold threshold) and ≈0.26
+// background cosine between unrelated words (GloVe-like anisotropy).
+func DefaultSyntheticParams(seed uint64) SyntheticParams {
+	return SyntheticParams{Words: 15000, Dim: 300, Clusters: 1200, Spread: 0.55, CommonComponent: 0.6, Seed: seed}
+}
+
+func (p SyntheticParams) validate() error {
+	switch {
+	case p.Words < 1:
+		return fmt.Errorf("embed: need >= 1 word, got %d", p.Words)
+	case p.Dim < 2:
+		return fmt.Errorf("embed: need dim >= 2, got %d", p.Dim)
+	case p.Clusters < 1 || p.Clusters > p.Words:
+		return fmt.Errorf("embed: clusters %d out of [1,%d]", p.Clusters, p.Words)
+	case p.Spread < 0:
+		return fmt.Errorf("embed: negative spread %v", p.Spread)
+	case p.CommonComponent < 0:
+		return fmt.Errorf("embed: negative common component %v", p.CommonComponent)
+	}
+	return nil
+}
+
+// Synthetic generates a clustered vocabulary. Every word is the
+// normalization of (cluster centre + Spread·gaussian); with unit centres the
+// expected same-cluster cosine is ≈ 1/(1+Spread²).
+func Synthetic(p SyntheticParams) (*Vocabulary, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	centreRand := randx.Derive(p.Seed, "embed", "centres")
+	noiseRand := randx.Derive(p.Seed, "embed", "noise")
+	assignRand := randx.Derive(p.Seed, "embed", "assign")
+
+	common := vecmath.RandomUnit(centreRand, p.Dim)
+	centres := make([][]float64, p.Clusters)
+	for c := range centres {
+		centres[c] = vecmath.RandomUnit(centreRand, p.Dim)
+		// Bake the anisotropy into the centres: every word inherits the
+		// shared direction through its cluster centre.
+		vecmath.AXPY(centres[c], p.CommonComponent, common)
+	}
+	v := &Vocabulary{
+		dim:     p.Dim,
+		vecs:    vecmath.NewMatrix(p.Words, p.Dim),
+		cluster: make([]int, p.Words),
+	}
+	// Round-robin over a shuffled cluster order guarantees every cluster has
+	// at least ⌊Words/Clusters⌋ members, so threshold mining always finds
+	// same-cluster neighbours.
+	order := assignRand.Perm(p.Clusters)
+	// Spread is the expected Euclidean norm of the whole noise vector, so
+	// each coordinate gets std Spread/√dim; the resulting same-cluster
+	// cosine concentrates around 1/(1+Spread²) independent of dimension.
+	perCoord := p.Spread / math.Sqrt(float64(p.Dim))
+	for w := 0; w < p.Words; w++ {
+		c := order[w%p.Clusters]
+		v.cluster[w] = c
+		row := v.vecs.Row(w)
+		copy(row, centres[c])
+		for i := range row {
+			row[i] += perCoord * noiseRand.NormFloat64()
+		}
+		vecmath.Normalize(row)
+	}
+	return v, nil
+}
+
+// Len returns the vocabulary size.
+func (v *Vocabulary) Len() int { return v.vecs.Rows() }
+
+// Dim returns the embedding dimension.
+func (v *Vocabulary) Dim() int { return v.dim }
+
+// Vector returns the embedding of word w. The slice aliases internal
+// storage and must not be mutated.
+func (v *Vocabulary) Vector(w WordID) []float64 { return v.vecs.Row(w) }
+
+// Cluster returns the cluster id of word w (-1 when unknown).
+func (v *Vocabulary) Cluster(w WordID) int { return v.cluster[w] }
+
+// Word returns a synthetic token for w, stable across runs.
+func (v *Vocabulary) Word(w WordID) string { return "w" + strconv.Itoa(w) }
+
+// Cosine returns the cosine similarity between two words. Vectors are
+// unit-norm by construction so this is a single dot product.
+func (v *Vocabulary) Cosine(a, b WordID) float64 {
+	return vecmath.Dot(v.vecs.Row(a), v.vecs.Row(b))
+}
+
+// NearestNeighbor returns the word with the highest cosine to w, skipping w
+// itself and any word for which skip returns true. It returns (-1, 0) when
+// every other word is skipped. skip may be nil.
+func (v *Vocabulary) NearestNeighbor(w WordID, skip func(WordID) bool) (WordID, float64) {
+	best, bestCos := -1, -2.0
+	wv := v.vecs.Row(w)
+	for u := 0; u < v.Len(); u++ {
+		if u == w || (skip != nil && skip(u)) {
+			continue
+		}
+		if c := vecmath.Dot(wv, v.vecs.Row(u)); c > bestCos {
+			best, bestCos = u, c
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestCos
+}

@@ -1,0 +1,282 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+func smallVocab(t *testing.T, seed uint64) *Vocabulary {
+	t.Helper()
+	v, err := Synthetic(SyntheticParams{Words: 600, Dim: 100, Clusters: 60, Spread: 0.55, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSyntheticUnitNorm(t *testing.T) {
+	v := smallVocab(t, 1)
+	for w := 0; w < v.Len(); w++ {
+		if math.Abs(vecmath.Norm(v.Vector(w))-1) > 1e-9 {
+			t.Fatalf("word %d not unit norm", w)
+		}
+	}
+}
+
+func TestSyntheticClusterGeometry(t *testing.T) {
+	v := smallVocab(t, 2)
+	var intra, inter []float64
+	r := randx.New(3)
+	for i := 0; i < 3000; i++ {
+		a, b := r.IntN(v.Len()), r.IntN(v.Len())
+		if a == b {
+			continue
+		}
+		c := v.Cosine(a, b)
+		if v.Cluster(a) == v.Cluster(b) {
+			intra = append(intra, c)
+		} else {
+			inter = append(inter, c)
+		}
+	}
+	if len(intra) == 0 || len(inter) == 0 {
+		t.Fatal("sampling produced no intra or inter pairs")
+	}
+	meanIntra := mean(intra)
+	meanInter := mean(inter)
+	// Spread 0.55 → expected intra cosine ≈ 1/(1+0.3) ≈ 0.77.
+	if meanIntra < 0.6 || meanIntra > 0.9 {
+		t.Fatalf("mean intra-cluster cosine %.3f outside [0.6,0.9]", meanIntra)
+	}
+	if math.Abs(meanInter) > 0.15 {
+		t.Fatalf("mean inter-cluster cosine %.3f not near 0", meanInter)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := smallVocab(t, 5)
+	b := smallVocab(t, 5)
+	for w := 0; w < a.Len(); w++ {
+		if vecmath.MaxAbsDiff(a.Vector(w), b.Vector(w)) != 0 {
+			t.Fatal("same seed must reproduce identical vocabulary")
+		}
+	}
+}
+
+func TestSyntheticEveryClusterPopulated(t *testing.T) {
+	v := smallVocab(t, 6)
+	seen := make(map[int]int)
+	for w := 0; w < v.Len(); w++ {
+		seen[v.Cluster(w)]++
+	}
+	if len(seen) != 60 {
+		t.Fatalf("expected 60 populated clusters, got %d", len(seen))
+	}
+	for c, n := range seen {
+		if n < 600/60 {
+			t.Fatalf("cluster %d has only %d members", c, n)
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := []SyntheticParams{
+		{Words: 0, Dim: 10, Clusters: 1, Spread: 0.5},
+		{Words: 10, Dim: 1, Clusters: 1, Spread: 0.5},
+		{Words: 10, Dim: 10, Clusters: 0, Spread: 0.5},
+		{Words: 10, Dim: 10, Clusters: 11, Spread: 0.5},
+		{Words: 10, Dim: 10, Clusters: 2, Spread: -1},
+	}
+	for i, p := range bad {
+		if _, err := Synthetic(p); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNearestNeighborIsSameCluster(t *testing.T) {
+	v := smallVocab(t, 7)
+	same := 0
+	const trials = 100
+	for w := 0; w < trials; w++ {
+		nn, cos := v.NearestNeighbor(w, nil)
+		if nn < 0 {
+			t.Fatalf("word %d has no neighbour", w)
+		}
+		if cos <= 0 {
+			t.Fatalf("word %d nearest cosine %v", w, cos)
+		}
+		if v.Cluster(nn) == v.Cluster(w) {
+			same++
+		}
+	}
+	if same < trials*9/10 {
+		t.Fatalf("nearest neighbour in same cluster only %d/%d times", same, trials)
+	}
+}
+
+func TestNearestNeighborSkip(t *testing.T) {
+	v := smallVocab(t, 8)
+	nn, _ := v.NearestNeighbor(0, nil)
+	nn2, _ := v.NearestNeighbor(0, func(u WordID) bool { return u == nn })
+	if nn2 == nn {
+		t.Fatal("skip predicate ignored")
+	}
+	all, _ := v.NearestNeighbor(0, func(WordID) bool { return true })
+	if all != -1 {
+		t.Fatal("skipping everything must return -1")
+	}
+}
+
+func TestMineBenchmarkDisjointSets(t *testing.T) {
+	v := smallVocab(t, 9)
+	b, err := MineBenchmark(v, 50, DefaultGoldThreshold, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Pairs) != 50 {
+		t.Fatalf("pairs = %d", len(b.Pairs))
+	}
+	used := make(map[WordID]bool)
+	for _, p := range b.Pairs {
+		if used[p.Query] || used[p.Gold] {
+			t.Fatal("queries and golds must be disjoint")
+		}
+		used[p.Query] = true
+		used[p.Gold] = true
+		if p.Cos < DefaultGoldThreshold {
+			t.Fatalf("pair cosine %.3f below threshold", p.Cos)
+		}
+		if got := v.Cosine(p.Query, p.Gold); math.Abs(got-p.Cos) > 1e-12 {
+			t.Fatal("recorded cosine mismatch")
+		}
+	}
+	for _, w := range b.Pool {
+		if used[w] {
+			t.Fatal("pool overlaps query/gold sets")
+		}
+	}
+	if len(b.Pool)+2*len(b.Pairs) != v.Len() {
+		t.Fatalf("pool size %d inconsistent", len(b.Pool))
+	}
+}
+
+func TestMineBenchmarkGoldIsNearestUnassigned(t *testing.T) {
+	// The gold must outscore every pool word for its query — this is what
+	// makes "walk reached gold's host" equal to "top-1 retrieved gold".
+	v := smallVocab(t, 10)
+	b, err := MineBenchmark(v, 30, DefaultGoldThreshold, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range b.Pairs {
+		for _, w := range b.Pool {
+			if v.Cosine(p.Query, w) > p.Cos+1e-12 {
+				t.Fatalf("pool word %d outscores gold for query %d", w, p.Query)
+			}
+		}
+	}
+}
+
+func TestMineBenchmarkInsufficientVocabulary(t *testing.T) {
+	v, err := Synthetic(SyntheticParams{Words: 20, Dim: 50, Clusters: 20, Spread: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 singleton clusters with tiny spread: nearest neighbours are
+	// cross-cluster with cosine ≈ 0, so mining at 0.6 must fail.
+	if _, err := MineBenchmark(v, 5, 0.6, 1); err == nil {
+		t.Fatal("expected mining failure")
+	}
+}
+
+func TestMineBenchmarkValidation(t *testing.T) {
+	v := smallVocab(t, 11)
+	if _, err := MineBenchmark(v, 0, 0.6, 1); err == nil {
+		t.Fatal("numQueries=0 must error")
+	}
+	if _, err := MineBenchmark(v, 5, 1.5, 1); err == nil {
+		t.Fatal("minCos=1.5 must error")
+	}
+}
+
+func TestBenchmarkSampling(t *testing.T) {
+	v := smallVocab(t, 12)
+	b, err := MineBenchmark(v, 40, DefaultGoldThreshold, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(4)
+	p := b.SamplePair(r)
+	if p.Query < 0 || p.Gold < 0 {
+		t.Fatal("bad sampled pair")
+	}
+	docs := b.SamplePool(r, 25)
+	if len(docs) != 25 {
+		t.Fatalf("pool sample size %d", len(docs))
+	}
+	seen := make(map[WordID]bool)
+	for _, d := range docs {
+		if seen[d] {
+			t.Fatal("pool sample has duplicates")
+		}
+		seen[d] = true
+	}
+	if b.Vocabulary() != v {
+		t.Fatal("vocabulary accessor broken")
+	}
+}
+
+func TestSyntheticCommonComponentAnisotropy(t *testing.T) {
+	v, err := Synthetic(SyntheticParams{
+		Words: 600, Dim: 100, Clusters: 60, Spread: 0.55, CommonComponent: 0.6, Seed: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inter []float64
+	r := randx.New(21)
+	for i := 0; i < 3000; i++ {
+		a, b := r.IntN(v.Len()), r.IntN(v.Len())
+		if a == b || v.Cluster(a) == v.Cluster(b) {
+			continue
+		}
+		inter = append(inter, v.Cosine(a, b))
+	}
+	// c=0.6 → background cosine ≈ c²/(1+c²) ≈ 0.26 (GloVe-like), clearly
+	// positive unlike the centered corpus.
+	if m := mean(inter); m < 0.15 || m > 0.4 {
+		t.Fatalf("mean cross-cluster cosine %.3f outside [0.15,0.4]", m)
+	}
+	// Mining must still work above the background similarity.
+	if _, err := MineBenchmark(v, 30, DefaultGoldThreshold, 1); err != nil {
+		t.Fatalf("mining with anisotropy failed: %v", err)
+	}
+}
+
+func TestSyntheticNegativeCommonComponentRejected(t *testing.T) {
+	if _, err := Synthetic(SyntheticParams{Words: 10, Dim: 10, Clusters: 2, Spread: 0.5, CommonComponent: -1}); err == nil {
+		t.Fatal("negative common component must error")
+	}
+}
+
+func TestWordToken(t *testing.T) {
+	v := smallVocab(t, 13)
+	if v.Word(42) != "w42" {
+		t.Fatalf("token %q", v.Word(42))
+	}
+	if v.Dim() != 100 {
+		t.Fatalf("dim %d", v.Dim())
+	}
+}

@@ -1,0 +1,123 @@
+package expt
+
+import (
+	"fmt"
+	"strconv"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/stats"
+)
+
+// HopCountConfig parameterizes the Table I experiment (§V-D): hop counts of
+// successful queries under uniformly placed query origins.
+type HopCountConfig struct {
+	Ms             []int   // document counts (paper: 10, 100, 1000, 10000)
+	Alpha          float64 // teleport probability (paper: 0.5)
+	Iterations     int     // placements (paper: 500)
+	QueriesPerIter int     // uniformly placed query origins per placement (paper: 10)
+	TTL            int     // hop budget (paper: 50)
+	Seed           uint64
+}
+
+func (c HopCountConfig) withDefaults() HopCountConfig {
+	if len(c.Ms) == 0 {
+		c.Ms = []int{10, 100, 1000, 10000}
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 500
+	}
+	if c.QueriesPerIter <= 0 {
+		c.QueriesPerIter = 10
+	}
+	if c.TTL <= 0 {
+		c.TTL = 50
+	}
+	return c
+}
+
+// HopCountRow is one row of Table I.
+type HopCountRow struct {
+	M          int
+	Successes  int
+	Samples    int
+	MedianHops float64
+	MeanHops   float64
+	StdHops    float64
+}
+
+// HopCount reproduces Table I. Each iteration draws a fresh query/gold
+// pair, places one gold and M−1 irrelevant documents uniformly, and issues
+// the query from QueriesPerIter uniformly drawn origins; hops of successful
+// queries (gold retrieved within TTL) are aggregated.
+func HopCount(env *Environment, cfg HopCountConfig) ([]HopCountRow, error) {
+	cfg = cfg.withDefaults()
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	rows := make([]HopCountRow, 0, len(cfg.Ms))
+	for _, m := range cfg.Ms {
+		if m < 1 || m > env.MaxPoolDocs() {
+			return nil, fmt.Errorf("expt: M=%d out of [1,%d]", m, env.MaxPoolDocs())
+		}
+		row := HopCountRow{M: m}
+		var hops []float64
+		for iter := 0; iter < cfg.Iterations; iter++ {
+			r := randx.Derive(cfg.Seed, "table1", strconv.Itoa(m), strconv.Itoa(iter))
+			pair := env.Bench.SamplePair(r)
+			query := env.Bench.Vocabulary().Vector(pair.Query)
+
+			net.ClearDocuments()
+			docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, m-1)...)
+			hosts := core.UniformHosts(r, len(docs), env.Graph.NumNodes())
+			if err := net.PlaceDocuments(docs, hosts); err != nil {
+				return nil, err
+			}
+			if err := net.ComputePersonalization(); err != nil {
+				return nil, err
+			}
+			scores, err := net.FastNodeScores(query, cfg.Alpha, 0)
+			if err != nil {
+				return nil, err
+			}
+			for q := 0; q < cfg.QueriesPerIter; q++ {
+				origin := r.IntN(env.Graph.NumNodes())
+				out, err := net.RunQuery(origin, query, pair.Gold, core.QueryConfig{
+					TTL:    cfg.TTL,
+					Seed:   randx.DeriveN(cfg.Seed, "table1-walk", iter*64+q).Uint64(),
+					Scores: scores,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row.Samples++
+				if out.Found {
+					row.Successes++
+					hops = append(hops, float64(out.HopsToGold))
+				}
+			}
+		}
+		row.MedianHops = stats.Median(hops)
+		row.MeanHops = stats.Mean(hops)
+		row.StdHops = stats.Std(hops)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatHopCount renders rows in the layout of Table I.
+func FormatHopCount(rows []HopCountRow) *stats.Table {
+	t := &stats.Table{Header: []string{"M documents", "success rate", "median hops", "mean hops", "std hops"}}
+	for _, r := range rows {
+		t.AddRow(
+			strconv.Itoa(r.M),
+			fmt.Sprintf("%d / %d", r.Successes, r.Samples),
+			fmt.Sprintf("%.0f", r.MedianHops),
+			fmt.Sprintf("%.2f", r.MeanHops),
+			fmt.Sprintf("%.2f", r.StdHops),
+		)
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+// Package gengraph generates the synthetic topologies used by the
+// reproduction. The paper evaluates on the SNAP Facebook social-circles
+// graph; that dataset is not redistributable here, so SocialCircles
+// synthesizes a community-structured small-world graph matched to its
+// published statistics (see DESIGN.md §3). Classic random-graph models are
+// provided as baselines and test fixtures.
+package gengraph
+
+import (
+	"fmt"
+	"math"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+)
+
+// ErdosRenyi returns G(n, p): every pair connected independently with
+// probability p. Runs in O(n + m) expected time using geometric skipping.
+func ErdosRenyi(n int, p float64, seed uint64) *graph.Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("gengraph: probability %v out of [0,1]", p))
+	}
+	b := graph.NewBuilder(n)
+	if p == 0 || n < 2 {
+		return b.Build()
+	}
+	r := randx.Derive(seed, "erdos-renyi")
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		return b.Build()
+	}
+	// Batagelj–Brandes: walk candidate pairs (v, w) with w < v in
+	// lexicographic order, skipping ahead by geometrically distributed gaps.
+	logq := math.Log(1 - p)
+	v, w := 1, -1
+	for v < n {
+		w += 1 + int(math.Log(1-r.Float64())/logq)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(v, w)
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: start from a clique
+// of m0 = m+1 nodes, then attach each new node to m existing nodes chosen
+// proportionally to degree.
+func BarabasiAlbert(n, m int, seed uint64) *graph.Graph {
+	if m < 1 {
+		panic(fmt.Sprintf("gengraph: BarabasiAlbert needs m >= 1, got %d", m))
+	}
+	if n < m+1 {
+		panic(fmt.Sprintf("gengraph: BarabasiAlbert needs n >= m+1 (%d >= %d)", n, m+1))
+	}
+	r := randx.Derive(seed, "barabasi-albert")
+	b := graph.NewBuilder(n)
+	// Repeated-nodes list: each edge endpoint appears once, so sampling a
+	// uniform element of the list is degree-proportional sampling.
+	repeated := make([]int, 0, 2*m*n)
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	targets := make(map[int]struct{}, m)
+	for u := m + 1; u < n; u++ {
+		clear(targets)
+		for len(targets) < m {
+			targets[repeated[r.IntN(len(repeated))]] = struct{}{}
+		}
+		for v := range targets {
+			b.AddEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz builds a small-world graph: a ring lattice where every node
+// connects to its k nearest neighbours (k must be even), with each edge
+// rewired with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+	if k%2 != 0 || k < 2 {
+		panic(fmt.Sprintf("gengraph: WattsStrogatz needs even k >= 2, got %d", k))
+	}
+	if k >= n {
+		panic(fmt.Sprintf("gengraph: WattsStrogatz needs k < n (%d < %d)", k, n))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("gengraph: beta %v out of [0,1]", beta))
+	}
+	r := randx.Derive(seed, "watts-strogatz")
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if r.Float64() < beta {
+				// Rewire to a uniform non-self, non-duplicate target.
+				for tries := 0; tries < 32; tries++ {
+					w := r.IntN(n)
+					if w != u && !b.HasEdge(u, w) {
+						v = w
+						break
+					}
+				}
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// RingLattice returns the unrewired Watts-Strogatz lattice (beta = 0).
+func RingLattice(n, k int) *graph.Graph {
+	return WattsStrogatz(n, k, 0, 0)
+}
+
+// Grid returns the rows×cols 4-neighbour grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star graph: node 0 connected to nodes 1..n-1.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,298 @@
+package gengraph
+
+import (
+	"math"
+	"testing"
+
+	"diffusearch/internal/graph"
+)
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	const n = 500
+	const p = 0.05
+	g := ErdosRenyi(n, p, 1)
+	want := p * float64(n*(n-1)) / 2
+	got := float64(g.NumEdges())
+	if got < 0.85*want || got > 1.15*want {
+		t.Fatalf("edges = %v, want ~%v", got, want)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(100, 0.1, 7)
+	b := ErdosRenyi(100, 0.1, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	for u := 0; u < 100; u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			t.Fatal("same seed must give same adjacency")
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("same seed must give same adjacency")
+			}
+		}
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	if g := ErdosRenyi(50, 0, 1); g.NumEdges() != 0 {
+		t.Fatal("p=0 must yield empty graph")
+	}
+	if g := ErdosRenyi(20, 1, 1); g.NumEdges() != 190 {
+		t.Fatalf("p=1 must yield complete graph, got %d edges", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiInvalidProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	ErdosRenyi(10, 1.5, 1)
+}
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	const n, m = 300, 3
+	g := BarabasiAlbert(n, m, 2)
+	if g.NumNodes() != n {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Clique m0 edges + m per additional node (deduped occasionally).
+	wantMax := (m+1)*m/2 + (n-m-1)*m
+	if g.NumEdges() > wantMax || g.NumEdges() < wantMax*9/10 {
+		t.Fatalf("edges = %d, want ~%d", g.NumEdges(), wantMax)
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA graph must be connected")
+	}
+	// Heavy tail: max degree should far exceed the mean.
+	if float64(g.MaxDegree()) < 3*g.AverageDegree() {
+		t.Fatalf("max degree %d vs avg %.1f: no hub structure", g.MaxDegree(), g.AverageDegree())
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BarabasiAlbert(10, 0, 1) },
+		func() { BarabasiAlbert(3, 3, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	g := RingLattice(20, 4)
+	for u := 0; u < 20; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("lattice degree %d at node %d", g.Degree(u), u)
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("lattice must be connected")
+	}
+	// Clustering of a k=4 ring lattice is 0.5.
+	if c := g.AverageClustering(); math.Abs(c-0.5) > 1e-9 {
+		t.Fatalf("lattice clustering %v, want 0.5", c)
+	}
+}
+
+func TestWattsStrogatzRewiringShortensPaths(t *testing.T) {
+	lattice := RingLattice(200, 4)
+	rewired := WattsStrogatz(200, 4, 0.2, 5)
+	if rewired.ApproxDiameter(0) >= lattice.ApproxDiameter(0) {
+		t.Fatalf("rewiring should shorten paths: %d vs %d",
+			rewired.ApproxDiameter(0), lattice.ApproxDiameter(0))
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { WattsStrogatz(10, 3, 0.1, 1) },  // odd k
+		func() { WattsStrogatz(4, 4, 0.1, 1) },   // k >= n
+		func() { WattsStrogatz(10, 4, -0.1, 1) }, // bad beta
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Edges: 3*3 horizontal + 2*4 vertical = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("edges = %d, want 17", g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(5) != 4 {
+		t.Fatalf("corner degree %d, center degree %d", g.Degree(0), g.Degree(5))
+	}
+}
+
+func TestStarAndComplete(t *testing.T) {
+	s := Star(6)
+	if s.Degree(0) != 5 || s.Degree(3) != 1 || s.NumEdges() != 5 {
+		t.Fatal("star structure wrong")
+	}
+	k := Complete(5)
+	if k.NumEdges() != 10 || k.AverageClustering() != 1 {
+		t.Fatal("complete graph structure wrong")
+	}
+}
+
+func TestSocialCirclesMatchesFacebookStats(t *testing.T) {
+	g := FacebookLike(42)
+	s := graph.Summarize(g, 42)
+
+	if s.Nodes != 4039 {
+		t.Fatalf("nodes = %d, want 4039", s.Nodes)
+	}
+	// Facebook social circles: 88,234 edges → avg degree 43.69. Accept ±20%.
+	if s.AvgDegree < 35 || s.AvgDegree > 53 {
+		t.Fatalf("avg degree %.2f outside [35,53]", s.AvgDegree)
+	}
+	// Published average clustering 0.6057. Accept a generous band — the
+	// search dynamics need "high clustering", not the exact third decimal.
+	if s.Clustering < 0.45 || s.Clustering > 0.75 {
+		t.Fatalf("clustering %.3f outside [0.45,0.75]", s.Clustering)
+	}
+	if s.LargestCompPct < 0.99 {
+		t.Fatalf("largest component %.3f, want connected", s.LargestCompPct)
+	}
+	// Published diameter 8; our double-sweep bound should be in a
+	// small-world range.
+	if s.ApproxDiameter < 3 || s.ApproxDiameter > 14 {
+		t.Fatalf("approx diameter %d outside [3,14]", s.ApproxDiameter)
+	}
+	// Degree tail: hubs must exist (published max degree 1,045; ours need
+	// not match but must exceed several times the mean).
+	if float64(s.MaxDegree) < 2*s.AvgDegree {
+		t.Fatalf("max degree %d vs avg %.1f: no hubs", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestSocialCirclesDeterministic(t *testing.T) {
+	a := FacebookLike(7)
+	b := FacebookLike(7)
+	if a.NumEdges() != b.NumEdges() || a.NumNodes() != b.NumNodes() {
+		t.Fatal("same seed must reproduce the same graph")
+	}
+	c := FacebookLike(8)
+	if a.NumEdges() == c.NumEdges() {
+		t.Log("different seeds produced equal edge counts (possible but unlikely)")
+	}
+}
+
+func TestSocialCirclesSmall(t *testing.T) {
+	g, err := SocialCircles(SocialCirclesParams{
+		Nodes:           200,
+		TargetAvgDegree: 12,
+		MeanCircleSize:  25,
+		SizeSigma:       0.4,
+		IntraFraction:   0.9,
+		MaxIntraProb:    0.7,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Fatal("spanning pass must connect the circles")
+	}
+	avg := g.AverageDegree()
+	if avg < 7 || avg > 17 {
+		t.Fatalf("avg degree %.2f outside [7,17]", avg)
+	}
+}
+
+func TestSocialCirclesDistanceTail(t *testing.T) {
+	// The locality-biased bridges must produce the long distance tail of
+	// real friendship graphs: some node pairs ≥ 6 hops apart (the Facebook
+	// graph's diameter is 8) while most pairs stay within ~5 hops
+	// (effective diameter 4.7).
+	g := FacebookLike(42)
+	far := 0
+	total := 0
+	within5 := 0
+	for src := 0; src < g.NumNodes(); src += 500 {
+		for _, d := range g.BFSDistances(src) {
+			if d < 0 {
+				continue
+			}
+			total++
+			if d >= 6 {
+				far++
+			}
+			if d <= 5 {
+				within5++
+			}
+		}
+	}
+	if far == 0 {
+		t.Fatal("no node pairs at distance >= 6: distance tail missing")
+	}
+	if frac := float64(within5) / float64(total); frac < 0.8 {
+		t.Fatalf("only %.2f of pairs within 5 hops; graph no longer small-world", frac)
+	}
+}
+
+func TestSocialCirclesBridgeLocalityValidation(t *testing.T) {
+	p := FacebookLikeParams(1)
+	p.BridgeLocality = 1.5
+	if _, err := SocialCircles(p); err == nil {
+		t.Fatal("bridge locality > 1 must error")
+	}
+	p.BridgeLocality = -0.1
+	if _, err := SocialCircles(p); err == nil {
+		t.Fatal("negative bridge locality must error")
+	}
+}
+
+func TestSocialCirclesPureUniformBridgesStillConnected(t *testing.T) {
+	p := FacebookLikeParams(2)
+	p.Nodes = 500
+	p.BridgeLocality = 0 // all long-range
+	g, err := SocialCircles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("spanning pass must keep the graph connected")
+	}
+}
+
+func TestSocialCirclesValidation(t *testing.T) {
+	bad := []SocialCirclesParams{
+		{Nodes: 1, TargetAvgDegree: 5, MeanCircleSize: 10, IntraFraction: 0.9, MaxIntraProb: 0.5},
+		{Nodes: 100, TargetAvgDegree: 0, MeanCircleSize: 10, IntraFraction: 0.9, MaxIntraProb: 0.5},
+		{Nodes: 100, TargetAvgDegree: 5, MeanCircleSize: 1, IntraFraction: 0.9, MaxIntraProb: 0.5},
+		{Nodes: 100, TargetAvgDegree: 5, MeanCircleSize: 10, IntraFraction: 0, MaxIntraProb: 0.5},
+		{Nodes: 100, TargetAvgDegree: 5, MeanCircleSize: 10, IntraFraction: 0.9, MaxIntraProb: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := SocialCircles(p); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}

@@ -1,0 +1,433 @@
+// Package graph implements the undirected-graph substrate: the P2P overlay
+// G=(V,E) of the paper's §III-B. Graphs are immutable after construction
+// and stored in CSR form (offsets + neighbor array) so traversals and
+// diffusion sweeps are allocation-free.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; nodes are densely numbered [0, NumNodes).
+type NodeID = int
+
+// Graph is an immutable simple undirected graph in CSR layout.
+type Graph struct {
+	offsets   []int    // len = n+1
+	neighbors []NodeID // len = 2m, sorted within each node's range
+	numEdges  int
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self-loops are dropped.
+type Builder struct {
+	n   int
+	adj []map[NodeID]struct{}
+}
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Builder{n: n, adj: make([]map[NodeID]struct{}, n)}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
+// It panics on out-of-range endpoints: topology construction is
+// programmatic, so a bad endpoint is a bug in the generator.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if b.adj[u] == nil {
+		b.adj[u] = make(map[NodeID]struct{})
+	}
+	if b.adj[v] == nil {
+		b.adj[v] = make(map[NodeID]struct{})
+	}
+	b.adj[u][v] = struct{}{}
+	b.adj[v][u] = struct{}{}
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n || b.adj[u] == nil {
+		return false
+	}
+	_, ok := b.adj[u][v]
+	return ok
+}
+
+// Degree returns the current degree of u inside the builder.
+func (b *Builder) Degree(u NodeID) int {
+	if b.adj[u] == nil {
+		return 0
+	}
+	return len(b.adj[u])
+}
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// Build freezes the accumulated edges into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	offsets := make([]int, b.n+1)
+	total := 0
+	for u := 0; u < b.n; u++ {
+		offsets[u] = total
+		total += len(b.adj[u])
+	}
+	offsets[b.n] = total
+	neighbors := make([]NodeID, total)
+	for u := 0; u < b.n; u++ {
+		i := offsets[u]
+		for v := range b.adj[u] {
+			neighbors[i] = v
+			i++
+		}
+		sort.Ints(neighbors[offsets[u]:offsets[u+1]])
+	}
+	return &Graph{offsets: offsets, neighbors: neighbors, numEdges: total / 2}
+}
+
+// FromEdges builds a graph with n nodes from an explicit edge list.
+func FromEdges(n int, edges [][2]NodeID) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns |E| (undirected edges counted once).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u NodeID) int { return g.offsets[u+1] - g.offsets[u] }
+
+// Neighbors returns the sorted neighbor list of u. The returned slice
+// aliases internal storage and must not be mutated.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	return g.neighbors[g.offsets[u]:g.offsets[u+1]:g.offsets[u+1]]
+}
+
+// HasEdge reports whether {u,v} ∈ E using binary search over the sorted
+// neighbor list of the lower-degree endpoint.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u < 0 || v < 0 || u >= g.NumNodes() || v >= g.NumNodes() || u == v {
+		return false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// Edges returns all undirected edges with u < v, in deterministic order.
+func (g *Graph) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.numEdges)
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				out = append(out, [2]NodeID{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// AverageDegree returns 2|E| / |V|, or 0 for the empty graph.
+func (g *Graph) AverageDegree() float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(g.numEdges) / float64(n)
+}
+
+// MaxDegree returns the largest node degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(u); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ErrDisconnected is returned by operations that require the target nodes to
+// be mutually reachable.
+var ErrDisconnected = errors.New("graph: nodes are not connected")
+
+// BFSDistances returns the hop distance from src to every node; unreachable
+// nodes get -1.
+func (g *Graph) BFSDistances(src NodeID) []int {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// NodesAtDistance groups nodes by hop distance from src: result[d] holds all
+// nodes exactly d hops away, up to maxDist. Used to sample query origins
+// "one from each radius away from the gold document" (§V-C).
+func (g *Graph) NodesAtDistance(src NodeID, maxDist int) [][]NodeID {
+	dist := g.BFSDistances(src)
+	out := make([][]NodeID, maxDist+1)
+	for v, d := range dist {
+		if d >= 0 && d <= maxDist {
+			out[d] = append(out[d], v)
+		}
+	}
+	return out
+}
+
+// ConnectedComponents returns the component id of every node plus the number
+// of components. Component ids are assigned in order of lowest member node.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	n := g.NumNodes()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []NodeID
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] < 0 {
+					comp[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph has exactly one connected component
+// (the empty graph is considered connected).
+func (g *Graph) IsConnected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}
+
+// LargestComponent returns the induced subgraph of the largest connected
+// component together with the mapping from new ids to original ids.
+func (g *Graph) LargestComponent() (*Graph, []NodeID) {
+	comp, count := g.ConnectedComponents()
+	if count <= 1 {
+		ids := make([]NodeID, g.NumNodes())
+		for i := range ids {
+			ids[i] = i
+		}
+		return g, ids
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	keep := make([]NodeID, 0, sizes[best])
+	for v, c := range comp {
+		if c == best {
+			keep = append(keep, v)
+		}
+	}
+	return g.InducedSubgraph(keep)
+}
+
+// InducedSubgraph returns the subgraph induced by keep (which must contain
+// distinct node ids) and the mapping from new ids to original ids.
+func (g *Graph) InducedSubgraph(keep []NodeID) (*Graph, []NodeID) {
+	oldToNew := make(map[NodeID]int, len(keep))
+	for i, v := range keep {
+		if _, dup := oldToNew[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate node %d in InducedSubgraph", v))
+		}
+		oldToNew[v] = i
+	}
+	b := NewBuilder(len(keep))
+	for i, v := range keep {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := oldToNew[w]; ok && i < j {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	ids := make([]NodeID, len(keep))
+	copy(ids, keep)
+	return b.Build(), ids
+}
+
+// Eccentricity returns the maximum BFS distance from src to any reachable
+// node.
+func (g *Graph) Eccentricity(src NodeID) int {
+	m := 0
+	for _, d := range g.BFSDistances(src) {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ApproxDiameter lower-bounds the diameter with a double BFS sweep starting
+// from src: BFS to the farthest node, then BFS again from there.
+func (g *Graph) ApproxDiameter(src NodeID) int {
+	dist := g.BFSDistances(src)
+	far, fd := src, 0
+	for v, d := range dist {
+		if d > fd {
+			far, fd = v, d
+		}
+	}
+	return g.Eccentricity(far)
+}
+
+// EffectiveDiameter estimates the q-quantile of the pairwise distance
+// distribution (the statistic SNAP reports as "90% effective diameter",
+// 4.7 for the Facebook graph) by BFS from the given sample of source
+// nodes. q must be in (0, 1]; sources must be non-empty.
+func (g *Graph) EffectiveDiameter(sources []NodeID, q float64) float64 {
+	if len(sources) == 0 {
+		panic("graph: EffectiveDiameter needs at least one source")
+	}
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("graph: quantile %v out of (0,1]", q))
+	}
+	var dists []int
+	for _, s := range sources {
+		for _, d := range g.BFSDistances(s) {
+			if d > 0 {
+				dists = append(dists, d)
+			}
+		}
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	sort.Ints(dists)
+	idx := int(q*float64(len(dists))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(dists) {
+		idx = len(dists) - 1
+	}
+	// Interpolate within the quantile bucket the way SNAP does, so the
+	// estimate is not artificially integral.
+	d := dists[idx]
+	below := sort.SearchInts(dists, d)
+	atOrBelow := sort.SearchInts(dists, d+1)
+	if atOrBelow == below {
+		return float64(d)
+	}
+	frac := (q*float64(len(dists)) - float64(below)) / float64(atOrBelow-below)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return float64(d-1) + frac
+}
+
+// LocalClustering returns the clustering coefficient of u: the fraction of
+// neighbor pairs that are themselves connected. Nodes with degree < 2 have
+// coefficient 0.
+func (g *Graph) LocalClustering(u NodeID) float64 {
+	ns := g.Neighbors(u)
+	d := len(ns)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(ns[i], ns[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(d*(d-1))
+}
+
+// AverageClustering returns the mean local clustering coefficient over all
+// nodes (the statistic reported for the Facebook social-circles graph).
+func (g *Graph) AverageClustering() float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for u := 0; u < n; u++ {
+		sum += g.LocalClustering(u)
+	}
+	return sum / float64(n)
+}
+
+// SampledAverageClustering estimates AverageClustering from a node sample,
+// for graphs where the exact O(Σ deg²) computation is too slow. nodes must
+// be non-empty.
+func (g *Graph) SampledAverageClustering(nodes []NodeID) float64 {
+	if len(nodes) == 0 {
+		panic("graph: empty sample for clustering estimate")
+	}
+	var sum float64
+	for _, u := range nodes {
+		sum += g.LocalClustering(u)
+	}
+	return sum / float64(len(nodes))
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for u := 0; u < g.NumNodes(); u++ {
+		counts[g.Degree(u)]++
+	}
+	return counts
+}

@@ -1,0 +1,355 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diffusearch/internal/randx"
+)
+
+// path returns the path graph 0-1-2-...-(n-1).
+func path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// triangle returns K3.
+func triangle() *Graph {
+	return FromEdges(3, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}})
+}
+
+// randomGraph builds a deterministic ER-ish graph for property tests.
+func randomGraph(seed uint64, n int, p float64) *Graph {
+	r := randx.New(seed)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 0)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestDegreeSumEqualsTwiceEdges(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed, 40, 0.1)
+		sum := 0
+		for u := 0; u < g.NumNodes(); u++ {
+			sum += g.Degree(u)
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsSortedAndSymmetric(t *testing.T) {
+	g := randomGraph(7, 30, 0.2)
+	for u := 0; u < g.NumNodes(); u++ {
+		ns := g.Neighbors(u)
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1] >= ns[i] {
+				t.Fatalf("neighbors of %d not strictly sorted: %v", u, ns)
+			}
+		}
+		for _, v := range ns {
+			if !g.HasEdge(v, u) {
+				t.Fatalf("edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := triangle()
+	if !g.HasEdge(0, 2) || g.HasEdge(0, 0) || g.HasEdge(0, 3) || g.HasEdge(-1, 0) {
+		t.Fatal("HasEdge misbehaves on bounds")
+	}
+}
+
+func TestEdgesDeterministicAndComplete(t *testing.T) {
+	g := randomGraph(5, 25, 0.15)
+	e1 := g.Edges()
+	e2 := g.Edges()
+	if len(e1) != g.NumEdges() || len(e2) != len(e1) {
+		t.Fatalf("edge count %d want %d", len(e1), g.NumEdges())
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("Edges not deterministic")
+		}
+		if e1[i][0] >= e1[i][1] {
+			t.Fatal("edge not in u<v order")
+		}
+	}
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := path(5)
+	d := g.BFSDistances(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], i)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {2, 3}})
+	d := g.BFSDistances(0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Fatalf("unreachable nodes must be -1, got %v", d)
+	}
+}
+
+func TestBFSSymmetryProperty(t *testing.T) {
+	// d(u,v) == d(v,u) on a connected random graph.
+	g := randomGraph(11, 30, 0.2)
+	g, _ = g.LargestComponent()
+	r := randx.New(2)
+	for i := 0; i < 20; i++ {
+		u := r.IntN(g.NumNodes())
+		v := r.IntN(g.NumNodes())
+		if g.BFSDistances(u)[v] != g.BFSDistances(v)[u] {
+			t.Fatalf("asymmetric distance between %d and %d", u, v)
+		}
+	}
+}
+
+func TestBFSTriangleInequality(t *testing.T) {
+	g := randomGraph(13, 30, 0.2)
+	g, _ = g.LargestComponent()
+	r := randx.New(3)
+	for i := 0; i < 20; i++ {
+		u, v, w := r.IntN(g.NumNodes()), r.IntN(g.NumNodes()), r.IntN(g.NumNodes())
+		duv := g.BFSDistances(u)[v]
+		duw := g.BFSDistances(u)[w]
+		dwv := g.BFSDistances(w)[v]
+		if duv > duw+dwv {
+			t.Fatalf("triangle inequality violated: d(%d,%d)=%d > %d+%d", u, v, duv, duw, dwv)
+		}
+	}
+}
+
+func TestNodesAtDistance(t *testing.T) {
+	g := path(6)
+	groups := g.NodesAtDistance(2, 3)
+	want := [][]int{{2}, {1, 3}, {0, 4}, {5}}
+	for d, ws := range want {
+		if len(groups[d]) != len(ws) {
+			t.Fatalf("distance %d: got %v want %v", d, groups[d], ws)
+		}
+		for i := range ws {
+			if groups[d][i] != ws[i] {
+				t.Fatalf("distance %d: got %v want %v", d, groups[d], ws)
+			}
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := FromEdges(6, [][2]NodeID{{0, 1}, {1, 2}, {3, 4}})
+	comp, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("nodes 0..2 must share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("component split wrong")
+	}
+	if g.IsConnected() {
+		t.Fatal("graph is not connected")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := FromEdges(7, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {5, 6}})
+	sub, ids := g.LargestComponent()
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("largest component %d nodes %d edges", sub.NumNodes(), sub.NumEdges())
+	}
+	if ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("id mapping %v", ids)
+	}
+	if !sub.IsConnected() {
+		t.Fatal("component not connected")
+	}
+}
+
+func TestLargestComponentOnConnectedGraphIsIdentity(t *testing.T) {
+	g := triangle()
+	sub, ids := g.LargestComponent()
+	if sub != g {
+		t.Fatal("connected graph should be returned as-is")
+	}
+	for i, v := range ids {
+		if i != v {
+			t.Fatal("identity mapping expected")
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	sub, ids := g.InducedSubgraph([]NodeID{0, 1, 2})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("induced: %d nodes %d edges", sub.NumNodes(), sub.NumEdges())
+	}
+	_ = ids
+}
+
+func TestInducedSubgraphDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	triangle().InducedSubgraph([]NodeID{0, 0})
+}
+
+func TestClusteringTriangle(t *testing.T) {
+	g := triangle()
+	if c := g.LocalClustering(0); c != 1 {
+		t.Fatalf("triangle clustering = %v, want 1", c)
+	}
+	if c := g.AverageClustering(); c != 1 {
+		t.Fatalf("triangle average clustering = %v, want 1", c)
+	}
+}
+
+func TestClusteringPathIsZero(t *testing.T) {
+	g := path(4)
+	if c := g.AverageClustering(); c != 0 {
+		t.Fatalf("path clustering = %v, want 0", c)
+	}
+}
+
+func TestClusteringBounds(t *testing.T) {
+	g := randomGraph(21, 40, 0.2)
+	for u := 0; u < g.NumNodes(); u++ {
+		c := g.LocalClustering(u)
+		if c < 0 || c > 1 {
+			t.Fatalf("clustering out of bounds: %v", c)
+		}
+	}
+}
+
+func TestSampledClusteringMatchesExactOnFullSample(t *testing.T) {
+	g := randomGraph(22, 30, 0.3)
+	all := make([]NodeID, g.NumNodes())
+	for i := range all {
+		all[i] = i
+	}
+	if math.Abs(g.SampledAverageClustering(all)-g.AverageClustering()) > 1e-12 {
+		t.Fatal("full-sample estimate must equal exact value")
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := path(5)
+	if ecc := g.Eccentricity(2); ecc != 2 {
+		t.Fatalf("eccentricity(2) = %d, want 2", ecc)
+	}
+	if d := g.ApproxDiameter(2); d != 4 {
+		t.Fatalf("diameter = %d, want 4", d)
+	}
+}
+
+func TestAverageAndMaxDegree(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {0, 2}, {0, 3}})
+	if g.MaxDegree() != 3 {
+		t.Fatalf("max degree %d", g.MaxDegree())
+	}
+	if g.AverageDegree() != 1.5 {
+		t.Fatalf("avg degree %v", g.AverageDegree())
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {0, 2}, {0, 3}})
+	h := g.DegreeHistogram()
+	if h[3] != 1 || h[1] != 3 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestEffectiveDiameterPath(t *testing.T) {
+	g := path(11) // distances from node 0: 1..10
+	// From source 0 only: the 50% quantile of {1..10} is 5.
+	got := g.EffectiveDiameter([]NodeID{0}, 0.5)
+	if got < 4 || got > 6 {
+		t.Fatalf("effective diameter %v, want ≈5", got)
+	}
+	full := g.EffectiveDiameter([]NodeID{0}, 1)
+	if full < 9 || full > 10 {
+		t.Fatalf("full quantile %v, want ≈10", full)
+	}
+}
+
+func TestEffectiveDiameterCompleteGraph(t *testing.T) {
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}})
+	d := g.EffectiveDiameter([]NodeID{0, 1}, 0.9)
+	if d > 1 {
+		t.Fatalf("complete graph effective diameter %v, want ≤1", d)
+	}
+}
+
+func TestEffectiveDiameterPanics(t *testing.T) {
+	g := triangle()
+	for _, f := range []func(){
+		func() { g.EffectiveDiameter(nil, 0.9) },
+		func() { g.EffectiveDiameter([]NodeID{0}, 0) },
+		func() { g.EffectiveDiameter([]NodeID{0}, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 || !g.IsConnected() {
+		t.Fatal("empty graph invariants")
+	}
+	if g.AverageDegree() != 0 || g.AverageClustering() != 0 {
+		t.Fatal("empty graph stats")
+	}
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in SNAP-style edge-list format: a header comment
+// with node and edge counts followed by one "u v" pair per line (u < v).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d edges %d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				bw.WriteString(strconv.Itoa(u))
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.Itoa(v))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flush edge list: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' are comments; the first comment may carry "nodes N" to fix the
+// node count, otherwise the count is max id + 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := -1
+	var edges [][2]NodeID
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if n < 0 {
+				if declared, ok := parseNodeHeader(text); ok {
+					n = declared
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want two node ids, got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %w", line, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %w", line, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", line)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, [2]NodeID{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan edge list: %w", err)
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	if maxID >= n {
+		return nil, fmt.Errorf("graph: node id %d exceeds declared count %d", maxID, n)
+	}
+	return FromEdges(n, edges), nil
+}
+
+func parseNodeHeader(comment string) (int, bool) {
+	fields := strings.Fields(strings.TrimPrefix(comment, "#"))
+	for i := 0; i+1 < len(fields); i++ {
+		if fields[i] == "nodes" {
+			if n, err := strconv.Atoi(fields[i+1]); err == nil && n >= 0 {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(41, 30, 0.2)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d", back.NumNodes(), back.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		nsA, nsB := g.Neighbors(u), back.Neighbors(u)
+		if len(nsA) != len(nsB) {
+			t.Fatalf("node %d degree mismatch", u)
+		}
+		for i := range nsA {
+			if nsA[i] != nsB[i] {
+				t.Fatalf("node %d neighbors differ", u)
+			}
+		}
+	}
+}
+
+func TestReadEdgeListWithoutHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListIsolatedTrailingNodes(t *testing.T) {
+	// Header declares 5 nodes but edges only mention 0..2.
+	g, err := ReadEdgeList(strings.NewReader("# nodes 5 edges 1\n0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("declared node count ignored: %d", g.NumNodes())
+	}
+	if g.Degree(4) != 0 {
+		t.Fatal("node 4 should be isolated")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",              // too few fields
+		"a b\n",            // non-numeric
+		"0 x\n",            // second field bad
+		"-1 2\n",           // negative id
+		"# nodes 2\n0 5\n", // id exceeds declared count
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Fatalf("input %q: expected error", c)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsBlanksAndComments(t *testing.T) {
+	in := "# a comment\n\n0 1\n# another\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diffusearch/internal/randx"
+)
+
+// TestNodesAtDistanceConsistentWithBFS cross-checks the two distance APIs
+// on random graphs.
+func TestNodesAtDistanceConsistentWithBFS(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed, 30, 0.15)
+		r := randx.New(seed)
+		src := r.IntN(g.NumNodes())
+		dist := g.BFSDistances(src)
+		groups := g.NodesAtDistance(src, 5)
+		// Every node in groups[d] must have BFS distance d…
+		for d, nodes := range groups {
+			for _, v := range nodes {
+				if dist[v] != d {
+					return false
+				}
+			}
+		}
+		// …and every node with distance ≤ 5 must appear in its group.
+		counts := make([]int, 6)
+		for _, d := range dist {
+			if d >= 0 && d <= 5 {
+				counts[d]++
+			}
+		}
+		for d := 0; d <= 5; d++ {
+			if counts[d] != len(groups[d]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInducedSubgraphPreservesEdges checks that the induced subgraph has
+// exactly the edges whose endpoints are both kept.
+func TestInducedSubgraphPreservesEdges(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed, 25, 0.2)
+		r := randx.New(seed ^ 0xabc)
+		keep := randx.Sample(r, g.NumNodes(), 10)
+		sub, ids := g.InducedSubgraph(keep)
+		// Each subgraph edge maps to an original edge.
+		for _, e := range sub.Edges() {
+			if !g.HasEdge(ids[e[0]], ids[e[1]]) {
+				return false
+			}
+		}
+		// Count original edges inside the kept set.
+		inside := 0
+		kept := make(map[NodeID]bool, len(keep))
+		for _, v := range keep {
+			kept[v] = true
+		}
+		for _, e := range g.Edges() {
+			if kept[e[0]] && kept[e[1]] {
+				inside++
+			}
+		}
+		return inside == sub.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComponentsPartitionNodes checks that component labels are a valid
+// partition: same-component nodes are mutually reachable, different labels
+// are not.
+func TestComponentsPartitionNodes(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed, 20, 0.08)
+		comp, count := g.ConnectedComponents()
+		if count < 1 && g.NumNodes() > 0 {
+			return false
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			dist := g.BFSDistances(u)
+			for v := 0; v < g.NumNodes(); v++ {
+				reachable := dist[v] >= 0
+				if reachable != (comp[u] == comp[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalization selects how the adjacency matrix is turned into the
+// transition matrix A of eq. (5) ("a suitable normalization of the
+// adjacency matrix"). The choice is an ablation axis of the reproduction.
+type Normalization int
+
+const (
+	// ColumnStochastic sets A[u][v] = 1/deg(v): the random-walk transition
+	// matrix. Diffusion mass is conserved and each node only needs its
+	// neighbours' degrees, so this is the default for the decentralized
+	// implementation.
+	ColumnStochastic Normalization = iota + 1
+	// RowStochastic sets A[u][v] = 1/deg(u): each node averages its
+	// neighbours' values.
+	RowStochastic
+	// Symmetric sets A[u][v] = 1/sqrt(deg(u)*deg(v)), the normalization
+	// used by graph convolution networks.
+	Symmetric
+)
+
+// String implements fmt.Stringer.
+func (n Normalization) String() string {
+	switch n {
+	case ColumnStochastic:
+		return "column-stochastic"
+	case RowStochastic:
+		return "row-stochastic"
+	case Symmetric:
+		return "symmetric"
+	default:
+		return fmt.Sprintf("Normalization(%d)", int(n))
+	}
+}
+
+// Valid reports whether n is a known normalization.
+func (n Normalization) Valid() bool {
+	switch n {
+	case ColumnStochastic, RowStochastic, Symmetric:
+		return true
+	}
+	return false
+}
+
+// Transition provides the weights of the normalized adjacency operator for
+// one graph. Weight(u, v) is A[u][v] for an edge {u,v}; the operator is only
+// defined on edges.
+type Transition struct {
+	g       *Graph
+	norm    Normalization
+	invDeg  []float64
+	invSqrt []float64
+}
+
+// NewTransition precomputes degree normalizers for g under norm.
+func NewTransition(g *Graph, norm Normalization) *Transition {
+	if !norm.Valid() {
+		panic(fmt.Sprintf("graph: invalid normalization %d", int(norm)))
+	}
+	n := g.NumNodes()
+	t := &Transition{g: g, norm: norm}
+	t.invDeg = make([]float64, n)
+	t.invSqrt = make([]float64, n)
+	for u := 0; u < n; u++ {
+		if d := g.Degree(u); d > 0 {
+			t.invDeg[u] = 1 / float64(d)
+			t.invSqrt[u] = 1 / math.Sqrt(float64(d))
+		}
+	}
+	return t
+}
+
+// Graph returns the underlying graph.
+func (t *Transition) Graph() *Graph { return t.g }
+
+// Kind returns the normalization in effect.
+func (t *Transition) Kind() Normalization { return t.norm }
+
+// Weight returns A[u][v] for the edge {u,v}. The caller must pass an actual
+// edge; the weight of a non-edge is 0 by definition but is not checked here
+// because all call sites iterate neighbor lists.
+func (t *Transition) Weight(u, v NodeID) float64 {
+	switch t.norm {
+	case ColumnStochastic:
+		return t.invDeg[v]
+	case RowStochastic:
+		return t.invDeg[u]
+	default: // Symmetric
+		return t.invSqrt[u] * t.invSqrt[v]
+	}
+}
+
+// Apply computes dst[u] = Σ_{v∈N(u)} A[u][v] · src[v] for a scalar signal.
+// dst and src must have length NumNodes and must not alias.
+func (t *Transition) Apply(dst, src []float64) {
+	n := t.g.NumNodes()
+	if len(dst) != n || len(src) != n {
+		panic(fmt.Sprintf("graph: Apply length mismatch dst=%d src=%d n=%d", len(dst), len(src), n))
+	}
+	for u := 0; u < n; u++ {
+		var s float64
+		for _, v := range t.g.Neighbors(u) {
+			s += t.Weight(u, v) * src[v]
+		}
+		dst[u] = s
+	}
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransitionColumnStochasticColumnsSumToOne(t *testing.T) {
+	g := randomGraph(31, 25, 0.25)
+	g, _ = g.LargestComponent()
+	tr := NewTransition(g, ColumnStochastic)
+	// For each column v: Σ_u A[u][v] over u∈N(v) should be 1.
+	for v := 0; v < g.NumNodes(); v++ {
+		var sum float64
+		for _, u := range g.Neighbors(v) {
+			sum += tr.Weight(u, v)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("column %d sums to %v", v, sum)
+		}
+	}
+}
+
+func TestTransitionRowStochasticRowsSumToOne(t *testing.T) {
+	g := randomGraph(32, 25, 0.25)
+	g, _ = g.LargestComponent()
+	tr := NewTransition(g, RowStochastic)
+	for u := 0; u < g.NumNodes(); u++ {
+		var sum float64
+		for _, v := range g.Neighbors(u) {
+			sum += tr.Weight(u, v)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", u, sum)
+		}
+	}
+}
+
+func TestTransitionSymmetricIsSymmetric(t *testing.T) {
+	g := randomGraph(33, 25, 0.25)
+	tr := NewTransition(g, Symmetric)
+	for _, e := range g.Edges() {
+		if math.Abs(tr.Weight(e[0], e[1])-tr.Weight(e[1], e[0])) > 1e-15 {
+			t.Fatalf("asymmetric weight on edge %v", e)
+		}
+	}
+}
+
+func TestTransitionApplyMatchesNaive(t *testing.T) {
+	g := randomGraph(34, 20, 0.3)
+	for _, norm := range []Normalization{ColumnStochastic, RowStochastic, Symmetric} {
+		tr := NewTransition(g, norm)
+		n := g.NumNodes()
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = float64(i%7) - 3
+		}
+		dst := make([]float64, n)
+		tr.Apply(dst, src)
+		for u := 0; u < n; u++ {
+			var want float64
+			for _, v := range g.Neighbors(u) {
+				want += tr.Weight(u, v) * src[v]
+			}
+			if math.Abs(dst[u]-want) > 1e-12 {
+				t.Fatalf("%v: Apply[%d] = %v, want %v", norm, u, dst[u], want)
+			}
+		}
+	}
+}
+
+func TestTransitionApplyPreservesMassColumnStochastic(t *testing.T) {
+	// Column-stochastic propagation conserves total mass on any graph with
+	// no isolated nodes.
+	g := randomGraph(35, 30, 0.3)
+	g, _ = g.LargestComponent()
+	tr := NewTransition(g, ColumnStochastic)
+	n := g.NumNodes()
+	src := make([]float64, n)
+	src[0] = 1
+	src[3] = 2
+	dst := make([]float64, n)
+	tr.Apply(dst, src)
+	var before, after float64
+	for i := 0; i < n; i++ {
+		before += src[i]
+		after += dst[i]
+	}
+	if math.Abs(before-after) > 1e-12 {
+		t.Fatalf("mass not conserved: %v -> %v", before, after)
+	}
+}
+
+func TestNormalizationString(t *testing.T) {
+	cases := map[Normalization]string{
+		ColumnStochastic:  "column-stochastic",
+		RowStochastic:     "row-stochastic",
+		Symmetric:         "symmetric",
+		Normalization(42): "Normalization(42)",
+	}
+	for norm, want := range cases {
+		if norm.String() != want {
+			t.Fatalf("String() = %q, want %q", norm.String(), want)
+		}
+	}
+}
+
+func TestNewTransitionInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewTransition(triangle(), Normalization(0))
+}
+
+func TestTransitionIsolatedNodeZeroWeight(t *testing.T) {
+	g := FromEdges(3, [][2]NodeID{{0, 1}})
+	tr := NewTransition(g, ColumnStochastic)
+	src := []float64{1, 1, 1}
+	dst := make([]float64, 3)
+	tr.Apply(dst, src)
+	if dst[2] != 0 {
+		t.Fatalf("isolated node received mass %v", dst[2])
+	}
+}

@@ -1,0 +1,466 @@
+package peernet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/vecmath"
+)
+
+// PeerConfig configures one peer.
+type PeerConfig struct {
+	ID        graph.NodeID
+	Neighbors []graph.NodeID
+	Vocab     *embed.Vocabulary
+	Docs      []retrieval.DocID
+	Alpha     float64 // PPR teleport probability
+	PushTol   float64 // re-gossip threshold; 0 means 1e-6
+	Scorer    retrieval.Scorer
+
+	// GossipInterval paces embedding announcements (anti-entropy): a peer
+	// re-gossips at most once per interval, and only when its embedding
+	// moved by more than PushTol since the last announcement. This bounds
+	// message volume regardless of inbound traffic patterns. 0 means 2ms.
+	GossipInterval time.Duration
+}
+
+// Peer is a running protocol participant: it gossips embeddings until the
+// PPR diffusion converges (§IV-B) and serves/forwards queries per Fig. 1.
+// Start launches its event loop; Stop shuts it down.
+type Peer struct {
+	cfg   PeerConfig
+	tr    Transport
+	index *retrieval.LocalIndex
+	e0    []float64 // personalization vector (eq. 3)
+
+	mu         sync.Mutex
+	own        []float64                          // current diffused embedding
+	lastPushed []float64                          // embedding as of the last gossip
+	cache      map[graph.NodeID][]float64         // last received neighbour embeddings
+	queries    map[string]*peerQueryState         // per-query protocol memory
+	waiters    map[string]chan []retrieval.Result // origin-side response collectors
+	updates    atomic.Int64
+	messages   atomic.Int64
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+type peerQueryState struct {
+	parent       graph.NodeID
+	receivedFrom map[graph.NodeID]struct{}
+	sentTo       map[graph.NodeID]struct{}
+}
+
+// Wire payloads.
+type embedPayload struct {
+	Embedding []float64 `json:"embedding"`
+}
+
+type queryPayload struct {
+	QueryID   string             `json:"query_id"`
+	Embedding []float64          `json:"embedding"`
+	TTL       int                `json:"ttl"`
+	K         int                `json:"k"`
+	Results   []retrieval.Result `json:"results,omitempty"`
+}
+
+type responsePayload struct {
+	QueryID string             `json:"query_id"`
+	Results []retrieval.Result `json:"results,omitempty"`
+}
+
+// NewPeer creates a peer bound to a transport. Call Start to launch it.
+func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("peernet: teleport probability %v out of (0,1]", cfg.Alpha)
+	}
+	if cfg.Vocab == nil {
+		return nil, fmt.Errorf("peernet: nil vocabulary")
+	}
+	if cfg.PushTol <= 0 {
+		cfg.PushTol = 1e-6
+	}
+	if cfg.Scorer == 0 {
+		cfg.Scorer = retrieval.DotProduct
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 2 * time.Millisecond
+	}
+	neighbors := make([]graph.NodeID, len(cfg.Neighbors))
+	copy(neighbors, cfg.Neighbors)
+	sort.Ints(neighbors)
+	cfg.Neighbors = neighbors
+
+	index := retrieval.NewLocalIndex(cfg.Vocab, cfg.Docs)
+	p := &Peer{
+		cfg:     cfg,
+		tr:      tr,
+		index:   index,
+		e0:      index.PersonalizationVector(),
+		cache:   make(map[graph.NodeID][]float64, len(neighbors)),
+		queries: make(map[string]*peerQueryState),
+		waiters: make(map[string]chan []retrieval.Result),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	p.own = vecmath.Clone(p.e0)
+	p.lastPushed = vecmath.Clone(p.e0)
+	return p, nil
+}
+
+// ID returns the peer id.
+func (p *Peer) ID() graph.NodeID { return p.cfg.ID }
+
+// Start launches the event loop and announces the personalization vector
+// to all neighbours (diffusion bootstrap).
+func (p *Peer) Start() {
+	go p.loop()
+	p.gossip(p.Embedding())
+}
+
+// Stop terminates the event loop and waits for it to exit. The transport is
+// not closed; the owner closes it (it may be shared fabric state).
+func (p *Peer) Stop() {
+	close(p.quit)
+	<-p.done
+}
+
+// Embedding returns a copy of the current diffused embedding.
+func (p *Peer) Embedding() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return vecmath.Clone(p.own)
+}
+
+// AddDocuments inserts documents into the local collection at runtime and
+// recomputes the personalization vector (§IV: "when new nodes enter the
+// network or update their document collections, they compute
+// personalization vectors" and re-diffuse). The next gossip ticks propagate
+// the change through the network.
+func (p *Peer) AddDocuments(docs ...retrieval.DocID) {
+	p.mu.Lock()
+	p.index.Add(docs...)
+	p.e0 = p.index.PersonalizationVector()
+	// Refresh our own embedding immediately so local answers and the next
+	// announcement reflect the new collection.
+	next := make([]float64, p.cfg.Vocab.Dim())
+	w := (1 - p.cfg.Alpha) / float64(max(len(p.cfg.Neighbors), 1))
+	for _, v := range p.cfg.Neighbors {
+		if e, ok := p.cache[v]; ok {
+			vecmath.AXPY(next, w, e)
+		}
+	}
+	vecmath.AXPY(next, p.cfg.Alpha, p.e0)
+	copy(p.own, next)
+	p.mu.Unlock()
+	p.updates.Add(1)
+}
+
+// Docs returns the peer's current document collection.
+func (p *Peer) Docs() []retrieval.DocID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.index.Docs()
+}
+
+// Stats returns (local updates applied, messages sent).
+func (p *Peer) Stats() (updates, messages int64) {
+	return p.updates.Load(), p.messages.Load()
+}
+
+func (p *Peer) loop() {
+	defer close(p.done)
+	inbox := p.tr.Inbox()
+	ticker := time.NewTicker(p.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			// Coalesce: drain every already-delivered envelope before
+			// acting. A burst of embed messages then triggers ONE local
+			// recomputation instead of one per message.
+			embedDirty := p.absorb(env)
+			for drained := false; !drained; {
+				select {
+				case more, ok := <-inbox:
+					if !ok {
+						return
+					}
+					embedDirty = p.absorb(more) || embedDirty
+				default:
+					drained = true
+				}
+			}
+			if embedDirty {
+				p.recomputeEmbedding()
+			}
+		case <-ticker.C:
+			// Anti-entropy pacing: announce at most once per interval and
+			// only when the embedding moved since the last announcement.
+			// This bounds gossip volume regardless of inbound traffic.
+			p.maybeGossip()
+		}
+	}
+}
+
+// maybeGossip announces the current embedding when it drifted more than
+// PushTol from the last announcement.
+func (p *Peer) maybeGossip() {
+	p.mu.Lock()
+	if vecmath.MaxAbsDiff(p.own, p.lastPushed) <= p.cfg.PushTol {
+		p.mu.Unlock()
+		return
+	}
+	copy(p.lastPushed, p.own)
+	snapshot := vecmath.Clone(p.own)
+	p.mu.Unlock()
+	p.gossip(snapshot)
+}
+
+// absorb processes one envelope: embed messages only update the neighbour
+// cache (recomputation is coalesced by the caller); queries and responses
+// are handled immediately. It reports whether the embedding cache changed.
+func (p *Peer) absorb(env Envelope) bool {
+	switch env.Type {
+	case MsgEmbed:
+		var pl embedPayload
+		if json.Unmarshal(env.Data, &pl) != nil {
+			return false // malformed gossip: ignore
+		}
+		return p.cacheEmbed(env.From, pl.Embedding)
+	case MsgQuery:
+		var pl queryPayload
+		if json.Unmarshal(env.Data, &pl) == nil {
+			p.handleQuery(env.From, pl)
+		}
+	case MsgResponse:
+		var pl responsePayload
+		if json.Unmarshal(env.Data, &pl) == nil {
+			p.handleResponse(pl)
+		}
+	}
+	return false
+}
+
+func (p *Peer) cacheEmbed(from graph.NodeID, emb []float64) bool {
+	if !p.isNeighbor(from) || len(emb) != p.cfg.Vocab.Dim() {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.cache[from]; ok {
+		copy(prev, emb)
+	} else {
+		p.cache[from] = vecmath.Clone(emb)
+	}
+	return true
+}
+
+// recomputeEmbedding applies the asynchronous diffusion update of §IV-B:
+// e_u ← (1−a)·Σ_v A[u][v]·ê_v + a·e0_u. The peer uses the row-stochastic
+// weight 1/deg(u), which it knows locally (the column-stochastic weight
+// 1/deg(v) would require every neighbour's degree); both are valid
+// normalizations of eq. 5. Announcement happens separately on the gossip
+// ticker (maybeGossip).
+func (p *Peer) recomputeEmbedding() {
+	p.mu.Lock()
+	next := make([]float64, p.cfg.Vocab.Dim())
+	w := (1 - p.cfg.Alpha) / float64(len(p.cfg.Neighbors))
+	for _, v := range p.cfg.Neighbors {
+		if e, ok := p.cache[v]; ok {
+			vecmath.AXPY(next, w, e)
+		}
+	}
+	vecmath.AXPY(next, p.cfg.Alpha, p.e0)
+	copy(p.own, next)
+	p.mu.Unlock()
+	p.updates.Add(1)
+}
+
+// handleQuery implements Fig. 1 at this peer.
+func (p *Peer) handleQuery(from graph.NodeID, pl queryPayload) {
+	st := p.queryState(pl.QueryID)
+	if from >= 0 {
+		st.receivedFrom[from] = struct{}{}
+		if st.parent < 0 {
+			st.parent = from
+		}
+	}
+	// Step 2: local search into the carried tracker.
+	tracker := retrieval.NewTopK(max(pl.K, 1))
+	for _, r := range pl.Results {
+		tracker.Offer(r.Doc, r.Score)
+	}
+	p.index.SearchInto(tracker, pl.Embedding, p.cfg.Scorer)
+	pl.Results = tracker.Results()
+
+	// Step 3/4b: TTL bookkeeping.
+	pl.TTL--
+	if pl.TTL < 0 {
+		p.respond(pl.QueryID, pl.Results)
+		return
+	}
+
+	// Step 4a: candidate selection (node-memory visited avoidance).
+	candidates := make([]graph.NodeID, 0, len(p.cfg.Neighbors))
+	for _, v := range p.cfg.Neighbors {
+		if _, r := st.receivedFrom[v]; r {
+			continue
+		}
+		if _, s := st.sentTo[v]; s {
+			continue
+		}
+		candidates = append(candidates, v)
+	}
+	if len(candidates) == 0 { // footnote 9
+		candidates = p.cfg.Neighbors
+	}
+	if len(candidates) == 0 { // isolated peer
+		p.respond(pl.QueryID, pl.Results)
+		return
+	}
+	// Greedy single-walk forwarding: best diffused neighbour embedding.
+	best, bestScore := candidates[0], p.scoreNeighbor(candidates[0], pl.Embedding)
+	for _, v := range candidates[1:] {
+		if s := p.scoreNeighbor(v, pl.Embedding); s > bestScore {
+			best, bestScore = v, s
+		}
+	}
+	st.sentTo[best] = struct{}{}
+	p.send(best, MsgQuery, pl)
+}
+
+func (p *Peer) handleResponse(pl responsePayload) {
+	p.mu.Lock()
+	waiter, isOrigin := p.waiters[pl.QueryID]
+	var parent graph.NodeID = -1
+	if st, ok := p.queries[pl.QueryID]; ok {
+		parent = st.parent
+	}
+	p.mu.Unlock()
+	if isOrigin {
+		waiter <- pl.Results
+		return
+	}
+	if parent >= 0 {
+		p.send(parent, MsgResponse, pl)
+	}
+	// No parent and no waiter: stray response; drop it.
+}
+
+// Query runs a search from this peer: it processes the query locally, lets
+// the walk roam, and waits for the backtracked response (or the timeout,
+// returning whatever arrived).
+func (p *Peer) Query(embedding []float64, ttl, k int, timeout time.Duration) ([]retrieval.Result, error) {
+	if ttl < 0 {
+		return nil, fmt.Errorf("peernet: negative TTL %d", ttl)
+	}
+	if k < 1 {
+		k = 1
+	}
+	id := "q" + strconv.Itoa(int(p.cfg.ID)) + "-" + strconv.FormatInt(time.Now().UnixNano(), 36)
+	waiter := make(chan []retrieval.Result, 1)
+	p.mu.Lock()
+	p.waiters[id] = waiter
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.waiters, id)
+		p.mu.Unlock()
+	}()
+
+	// Inject the query into our own loop through the transport so it is
+	// serialized with other traffic exactly like a remote query.
+	pl := queryPayload{QueryID: id, Embedding: embedding, TTL: ttl, K: k}
+	if err := p.sendTo(p.cfg.ID, MsgQuery, pl); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-waiter:
+		return res, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("peernet: query %s timed out after %v", id, timeout)
+	}
+}
+
+func (p *Peer) scoreNeighbor(v graph.NodeID, query []float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.cache[v]
+	if !ok {
+		return 0 // no embedding received yet: zero knowledge
+	}
+	return p.cfg.Scorer.Score(query, e)
+}
+
+func (p *Peer) queryState(id string) *peerQueryState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.queries[id]
+	if !ok {
+		st = &peerQueryState{
+			parent:       -1,
+			receivedFrom: make(map[graph.NodeID]struct{}),
+			sentTo:       make(map[graph.NodeID]struct{}),
+		}
+		p.queries[id] = st
+	}
+	return st
+}
+
+func (p *Peer) respond(id string, results []retrieval.Result) {
+	p.mu.Lock()
+	waiter, isOrigin := p.waiters[id]
+	var parent graph.NodeID = -1
+	if st, ok := p.queries[id]; ok {
+		parent = st.parent
+	}
+	p.mu.Unlock()
+	if isOrigin {
+		waiter <- results
+		return
+	}
+	if parent >= 0 {
+		p.send(parent, MsgResponse, responsePayload{QueryID: id, Results: results})
+	}
+}
+
+func (p *Peer) gossip(embedding []float64) {
+	for _, v := range p.cfg.Neighbors {
+		p.send(v, MsgEmbed, embedPayload{Embedding: embedding})
+	}
+}
+
+func (p *Peer) send(to graph.NodeID, t MsgType, payload any) {
+	// Best-effort: transport errors (peer down, fabric closed) drop the
+	// message; diffusion re-gossips and queries are timeout-guarded.
+	_ = p.sendTo(to, t, payload)
+}
+
+func (p *Peer) sendTo(to graph.NodeID, t MsgType, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("peernet: marshal %v payload: %w", t, err)
+	}
+	p.messages.Add(1)
+	return p.tr.Send(to, Envelope{From: p.cfg.ID, Type: t, Data: data})
+}
+
+func (p *Peer) isNeighbor(v graph.NodeID) bool {
+	i := sort.SearchInts(p.cfg.Neighbors, v)
+	return i < len(p.cfg.Neighbors) && p.cfg.Neighbors[i] == v
+}

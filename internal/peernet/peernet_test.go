@@ -1,0 +1,243 @@
+package peernet
+
+import (
+	"testing"
+	"time"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/gengraph"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/ppr"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/vecmath"
+)
+
+func testVocab(t testing.TB) *embed.Vocabulary {
+	t.Helper()
+	v, err := embed.Synthetic(embed.SyntheticParams{
+		Words: 300, Dim: 16, Clusters: 30, Spread: 0.5, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// launchPeers builds a peer per node over a channel fabric, with docs[u]
+// assigned to node u (nil entries allowed).
+func launchPeers(t testing.TB, g *graph.Graph, vocab *embed.Vocabulary,
+	docs map[graph.NodeID][]retrieval.DocID, alpha float64) ([]*Peer, *ChannelFabric) {
+	t.Helper()
+	fabric := NewChannelFabric(g.NumNodes(), 0)
+	peers := make([]*Peer, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		p, err := NewPeer(PeerConfig{
+			ID:        u,
+			Neighbors: g.Neighbors(u),
+			Vocab:     vocab,
+			Docs:      docs[u],
+			Alpha:     alpha,
+			PushTol:   1e-8,
+		}, fabric.Transport(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[u] = p
+	}
+	for _, p := range peers {
+		p.Start()
+	}
+	return peers, fabric
+}
+
+func stopPeers(peers []*Peer, fabric *ChannelFabric) {
+	for _, p := range peers {
+		p.Stop()
+	}
+	fabric.Close()
+}
+
+// waitQuiescent polls until peer message counters stop moving.
+func waitQuiescent(t testing.TB, peers []*Peer, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last int64 = -1
+	for time.Now().Before(deadline) {
+		var total int64
+		for _, p := range peers {
+			_, m := p.Stats()
+			total += m
+		}
+		if total == last {
+			return
+		}
+		last = total
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("network did not quiesce within %v", timeout)
+}
+
+func TestPeerDiffusionConvergesToFixedPoint(t *testing.T) {
+	vocab := testVocab(t)
+	g := gengraph.ErdosRenyi(25, 0.2, 7)
+	g, _ = g.LargestComponent()
+	r := randx.New(3)
+	docs := make(map[graph.NodeID][]retrieval.DocID)
+	for d := 0; d < 40; d++ {
+		u := r.IntN(g.NumNodes())
+		docs[u] = append(docs[u], d)
+	}
+	const alpha = 0.5
+	peers, fabric := launchPeers(t, g, vocab, docs, alpha)
+	defer stopPeers(peers, fabric)
+	waitQuiescent(t, peers, 20*time.Second)
+
+	// Reference: synchronous PPR with the row-stochastic transition (the
+	// peers' locally computable normalization).
+	e0 := vecmath.NewMatrix(g.NumNodes(), vocab.Dim())
+	for u := 0; u < g.NumNodes(); u++ {
+		e0.SetRow(u, retrieval.NewLocalIndex(vocab, docs[u]).PersonalizationVector())
+	}
+	tr := graph.NewTransition(g, graph.RowStochastic)
+	want, _, err := ppr.PPRFilter{Alpha: alpha, Tol: 1e-12}.Apply(tr, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, p := range peers {
+		if d := vecmath.MaxAbsDiff(p.Embedding(), want.Row(u)); d > 1e-4 {
+			t.Fatalf("peer %d embedding off fixed point by %g", u, d)
+		}
+	}
+}
+
+func TestPeerQueryFindsLocalAndNearbyGold(t *testing.T) {
+	vocab := testVocab(t)
+	bench, err := embed.MineBenchmark(vocab, 10, 0.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := bench.Pairs[0]
+	g := gengraph.RingLattice(12, 4)
+	docs := map[graph.NodeID][]retrieval.DocID{
+		3: {pair.Gold},
+		7: {bench.Pool[0], bench.Pool[1]},
+	}
+	peers, fabric := launchPeers(t, g, vocab, docs, 0.3)
+	defer stopPeers(peers, fabric)
+	waitQuiescent(t, peers, 20*time.Second)
+
+	// Local hit.
+	res, err := peers[3].Query(vocab.Vector(pair.Query), 0, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Doc != pair.Gold {
+		t.Fatalf("local query results %v, want gold %d", res, pair.Gold)
+	}
+	// One hop away (node 2 neighbours node 3 on the k=4 lattice).
+	res, err = peers[2].Query(vocab.Vector(pair.Query), 5, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Doc != pair.Gold {
+		t.Fatalf("1-hop query results %v, want gold %d", res, pair.Gold)
+	}
+}
+
+func TestPeerQueryTimeout(t *testing.T) {
+	vocab := testVocab(t)
+	// A peer whose only neighbour does not exist: the walk dies, no
+	// response ever comes back.
+	fabric := NewChannelFabric(1, 0)
+	p, err := NewPeer(PeerConfig{
+		ID: 0, Neighbors: nil, Vocab: vocab, Alpha: 0.5,
+	}, fabric.Transport(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer func() { p.Stop(); fabric.Close() }()
+	// An isolated peer responds to itself immediately (footnote-9 fallback
+	// cannot apply with zero neighbours), so this must NOT time out.
+	if _, err := p.Query(vocab.Vector(0), 5, 1, 5*time.Second); err != nil {
+		t.Fatalf("isolated peer query: %v", err)
+	}
+	// Negative TTL is rejected.
+	if _, err := p.Query(vocab.Vector(0), -1, 1, time.Second); err == nil {
+		t.Fatal("negative TTL must error")
+	}
+}
+
+func TestPeerConfigValidation(t *testing.T) {
+	vocab := testVocab(t)
+	fabric := NewChannelFabric(1, 0)
+	if _, err := NewPeer(PeerConfig{ID: 0, Vocab: vocab, Alpha: 0}, fabric.Transport(0)); err == nil {
+		t.Fatal("alpha=0 must error")
+	}
+	if _, err := NewPeer(PeerConfig{ID: 0, Alpha: 0.5}, fabric.Transport(0)); err == nil {
+		t.Fatal("nil vocabulary must error")
+	}
+	fabric.Close()
+}
+
+func TestChannelFabricSendValidation(t *testing.T) {
+	fabric := NewChannelFabric(2, 4)
+	tr := fabric.Transport(0)
+	if err := tr.Send(5, Envelope{}); err == nil {
+		t.Fatal("out-of-range target must error")
+	}
+	if err := tr.Send(1, Envelope{From: 0, Type: MsgEmbed}); err != nil {
+		t.Fatal(err)
+	}
+	fabric.Close()
+	if err := tr.Send(1, Envelope{}); err == nil {
+		t.Fatal("send after close must error")
+	}
+}
+
+func TestPeerDynamicDocumentUpdate(t *testing.T) {
+	// A document added at runtime becomes findable by remote peers after
+	// the diffusion re-propagates (§IV node update path).
+	vocab := testVocab(t)
+	bench, err := embed.MineBenchmark(vocab, 10, 0.6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := bench.Pairs[1]
+	g := gengraph.RingLattice(10, 4)
+	peers, fabric := launchPeers(t, g, vocab, nil, 0.3)
+	defer stopPeers(peers, fabric)
+	waitQuiescent(t, peers, 20*time.Second)
+
+	// Before the update: nothing to find.
+	res, err := peers[0].Query(vocab.Vector(pair.Query), 4, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) > 0 && res[0].Doc == pair.Gold {
+		t.Fatal("gold found before it was stored anywhere")
+	}
+
+	// Node 2 acquires the gold document at runtime.
+	peers[2].AddDocuments(pair.Gold)
+	if docs := peers[2].Docs(); len(docs) != 1 || docs[0] != pair.Gold {
+		t.Fatalf("docs after update: %v", docs)
+	}
+	waitQuiescent(t, peers, 20*time.Second)
+
+	res, err = peers[1].Query(vocab.Vector(pair.Query), 4, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Doc != pair.Gold {
+		t.Fatalf("gold not found after dynamic update: %v", res)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgEmbed.String() != "embed" || MsgQuery.String() != "query" ||
+		MsgResponse.String() != "response" || MsgType(9).String() != "MsgType(9)" {
+		t.Fatal("MsgType names")
+	}
+}

@@ -1,0 +1,237 @@
+package peernet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"diffusearch/internal/graph"
+)
+
+// maxFrameBytes bounds a single wire frame (an envelope carrying a 300-d
+// embedding is ≈ 7 KB; 16 MB leaves room for large top-k result sets).
+const maxFrameBytes = 16 << 20
+
+// TCPTransport is a Transport over TCP with length-prefixed JSON frames.
+// Peers are addressed through a static directory (NodeID → host:port), the
+// deployment model of cmd/peerd.
+type TCPTransport struct {
+	id       graph.NodeID
+	listener net.Listener
+	inbox    chan Envelope
+
+	mu        sync.Mutex
+	directory map[graph.NodeID]string
+	conns     map[graph.NodeID]net.Conn // outgoing, keyed by peer
+	accepted  map[net.Conn]struct{}     // incoming, closed on shutdown to unblock readers
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// ListenTCP starts a transport for peer id on addr (e.g. "127.0.0.1:0").
+func ListenTCP(id graph.NodeID, addr string) (*TCPTransport, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("peernet: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		id:        id,
+		listener:  l,
+		inbox:     make(chan Envelope, 4096),
+		directory: make(map[graph.NodeID]string),
+		conns:     make(map[graph.NodeID]net.Conn),
+		accepted:  make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// SetDirectory installs the peer address book. The map is copied.
+func (t *TCPTransport) SetDirectory(dir map[graph.NodeID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.directory = make(map[graph.NodeID]string, len(dir))
+	for id, addr := range dir {
+		t.directory[id] = addr
+	}
+}
+
+// Inbox implements Transport.
+func (t *TCPTransport) Inbox() <-chan Envelope { return t.inbox }
+
+// Send implements Transport: it reuses an established connection to the
+// target or dials the directory address.
+func (t *TCPTransport) Send(to graph.NodeID, env Envelope) error {
+	conn, err := t.connTo(to)
+	if err != nil {
+		return err
+	}
+	frame, err := encodeFrame(env)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return errors.New("peernet: transport closed")
+	}
+	if _, err := conn.Write(frame); err != nil {
+		// Drop the broken connection; the next Send redials.
+		delete(t.conns, to)
+		_ = conn.Close()
+		return fmt.Errorf("peernet: send to %d: %w", to, err)
+	}
+	return nil
+}
+
+func (t *TCPTransport) connTo(to graph.NodeID) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("peernet: transport closed")
+	}
+	if conn, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return conn, nil
+	}
+	addr, ok := t.directory[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("peernet: no address for peer %d", to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("peernet: dial peer %d at %s: %w", to, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = conn.Close()
+		return nil, errors.New("peernet: transport closed")
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost a dial race; keep the established one.
+		_ = conn.Close()
+		return existing, nil
+	}
+	t.conns[to] = conn
+	return conn, nil
+}
+
+// Close implements Transport: it stops the listener, closes connections,
+// and closes the inbox after the reader goroutines drain.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	err := t.listener.Close()
+	for _, c := range t.conns {
+		_ = c.Close()
+	}
+	for c := range t.accepted {
+		_ = c.Close() // unblocks the reader goroutines
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	close(t.inbox)
+	return err
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		env, err := decodeFrame(r)
+		if err != nil {
+			return // EOF or broken frame: drop the connection
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- env:
+		default:
+			// Inbox full: drop the message. Diffusion is self-healing
+			// (the next gossip round repairs state) and queries are
+			// timeout-guarded at the origin.
+			continue
+		}
+	}
+}
+
+// encodeFrame renders a 4-byte big-endian length prefix + JSON body.
+func encodeFrame(env Envelope) ([]byte, error) {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("peernet: marshal envelope: %w", err)
+	}
+	if len(body) > maxFrameBytes {
+		return nil, fmt.Errorf("peernet: frame of %d bytes exceeds limit", len(body))
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
+func decodeFrame(r io.Reader) (Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrameBytes {
+		return Envelope{}, fmt.Errorf("peernet: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return Envelope{}, fmt.Errorf("peernet: unmarshal envelope: %w", err)
+	}
+	return env, nil
+}

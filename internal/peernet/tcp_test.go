@@ -1,0 +1,157 @@
+package peernet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/gengraph"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/retrieval"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	env := Envelope{From: 7, Type: MsgQuery, Data: []byte(`{"x":1}`)}
+	frame, err := encodeFrame(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 7 || got.Type != MsgQuery || string(got.Data) != `{"x":1}` {
+		t.Fatalf("round trip %+v", got)
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	if _, err := decodeFrame(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty reader must error")
+	}
+	// Zero-length frame.
+	if _, err := decodeFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero frame must error")
+	}
+	// Oversized frame.
+	if _, err := decodeFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Fatal("oversized frame must error")
+	}
+	// Truncated body.
+	if _, err := decodeFrame(bytes.NewReader([]byte{0, 0, 0, 5, 'x'})); err == nil {
+		t.Fatal("truncated body must error")
+	}
+	// Malformed JSON.
+	frame := append([]byte{0, 0, 0, 3}, []byte("{{{")...)
+	if _, err := decodeFrame(bytes.NewReader(frame)); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+}
+
+func TestTCPTransportSendReceive(t *testing.T) {
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := map[graph.NodeID]string{0: a.Addr(), 1: b.Addr()}
+	a.SetDirectory(dir)
+	b.SetDirectory(dir)
+
+	if err := a.Send(1, Envelope{From: 0, Type: MsgEmbed, Data: []byte(`{"embedding":[1]}`)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-b.Inbox():
+		if env.From != 0 || env.Type != MsgEmbed {
+			t.Fatalf("received %+v", env)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message not delivered")
+	}
+
+	// Unknown peer.
+	if err := a.Send(9, Envelope{}); err == nil {
+		t.Fatal("unknown peer must error")
+	}
+
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close must be idempotent")
+	}
+	if err := a.Send(1, Envelope{}); err == nil {
+		t.Fatal("send after close must error")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPEndToEndPeerNetwork(t *testing.T) {
+	// Five real peers on TCP loopback: diffuse, then query for a gold
+	// document two hops away.
+	vocab := testVocab(t)
+	bench, err := embed.MineBenchmark(vocab, 5, 0.6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := bench.Pairs[0]
+	g := gengraph.RingLattice(5, 2) // cycle: 0-1-2-3-4-0
+
+	transports := make([]*TCPTransport, g.NumNodes())
+	dir := make(map[graph.NodeID]string, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		tr, err := ListenTCP(u, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[u] = tr
+		dir[u] = tr.Addr()
+	}
+	for _, tr := range transports {
+		tr.SetDirectory(dir)
+	}
+
+	docs := map[graph.NodeID][]retrieval.DocID{2: {pair.Gold}}
+	peers := make([]*Peer, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		p, err := NewPeer(PeerConfig{
+			ID:        u,
+			Neighbors: g.Neighbors(u),
+			Vocab:     vocab,
+			Docs:      docs[u],
+			Alpha:     0.3,
+			PushTol:   1e-7,
+		}, transports[u])
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[u] = p
+	}
+	for _, p := range peers {
+		p.Start()
+	}
+	defer func() {
+		for _, p := range peers {
+			p.Stop()
+		}
+		for _, tr := range transports {
+			_ = tr.Close()
+		}
+	}()
+	waitQuiescent(t, peers, 30*time.Second)
+
+	res, err := peers[0].Query(vocab.Vector(pair.Query), 4, 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Doc != pair.Gold {
+		t.Fatalf("TCP query results %v, want gold %d", res, pair.Gold)
+	}
+}

@@ -1,0 +1,134 @@
+// Package peernet is the deployable peer runtime: real peers exchanging
+// protocol messages (embedding gossip, queries, responses) over a pluggable
+// transport — in-process channels for simulations and tests, TCP for
+// multi-process deployments (cmd/peerd).
+//
+// The simulation engine in internal/core executes the same protocol with
+// global knowledge for speed and determinism; this package is the
+// message-passing implementation a downstream user would actually deploy.
+package peernet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"diffusearch/internal/graph"
+)
+
+// MsgType discriminates wire messages.
+type MsgType int
+
+const (
+	// MsgEmbed carries a node's current diffused embedding (§IV-B gossip).
+	MsgEmbed MsgType = iota + 1
+	// MsgQuery carries a search query walking the network (§IV-C).
+	MsgQuery
+	// MsgResponse carries results backtracking toward the origin.
+	MsgResponse
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgEmbed:
+		return "embed"
+	case MsgQuery:
+		return "query"
+	case MsgResponse:
+		return "response"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Envelope is the wire unit: a typed JSON payload with its sender.
+type Envelope struct {
+	From graph.NodeID    `json:"from"`
+	Type MsgType         `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Transport delivers envelopes between peers. Implementations must be safe
+// for concurrent Send.
+type Transport interface {
+	// Send delivers env to peer `to`. It may block for backpressure.
+	Send(to graph.NodeID, env Envelope) error
+	// Inbox returns the stream of envelopes addressed to this peer. The
+	// channel closes when the transport closes.
+	Inbox() <-chan Envelope
+	// Close releases resources and closes the inbox.
+	Close() error
+}
+
+// ChannelFabric is an in-process transport fabric: one buffered channel per
+// peer.
+type ChannelFabric struct {
+	mu      sync.Mutex
+	inboxes []chan Envelope
+	closed  bool
+}
+
+// NewChannelFabric creates a fabric for n peers with the given per-peer
+// buffer (≤ 0 selects 4096, ample for converging diffusions on test-sized
+// networks).
+func NewChannelFabric(n, buffer int) *ChannelFabric {
+	if buffer <= 0 {
+		buffer = 4096
+	}
+	f := &ChannelFabric{inboxes: make([]chan Envelope, n)}
+	for i := range f.inboxes {
+		f.inboxes[i] = make(chan Envelope, buffer)
+	}
+	return f
+}
+
+// Transport returns peer id's endpoint.
+func (f *ChannelFabric) Transport(id graph.NodeID) Transport {
+	return &channelTransport{fabric: f, id: id}
+}
+
+// Close closes every inbox. Sends after Close return an error.
+func (f *ChannelFabric) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for _, ch := range f.inboxes {
+		close(ch)
+	}
+}
+
+func (f *ChannelFabric) send(to graph.NodeID, env Envelope) error {
+	if to < 0 || to >= len(f.inboxes) {
+		return fmt.Errorf("peernet: peer %d out of range", to)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return fmt.Errorf("peernet: fabric closed")
+	}
+	ch := f.inboxes[to]
+	f.mu.Unlock()
+	// Deliver outside the lock; the buffer provides backpressure.
+	ch <- env
+	return nil
+}
+
+type channelTransport struct {
+	fabric *ChannelFabric
+	id     graph.NodeID
+}
+
+var _ Transport = (*channelTransport)(nil)
+
+func (t *channelTransport) Send(to graph.NodeID, env Envelope) error {
+	return t.fabric.send(to, env)
+}
+
+func (t *channelTransport) Inbox() <-chan Envelope { return t.fabric.inboxes[t.id] }
+
+// Close is a no-op for individual endpoints; close the fabric instead.
+func (t *channelTransport) Close() error { return nil }

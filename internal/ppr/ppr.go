@@ -1,0 +1,265 @@
+// Package ppr implements Personalized PageRank and related low-pass graph
+// filters (§II-C, §IV-B of the paper): the closed form
+// E = a·(I − (1−a)A)⁻¹·E0 (eq. 6), its synchronous fixed-point iteration
+// E(t) = (1−a)·A·E(t−1) + a·E0 (eq. 7), scalar PPR vectors (eq. 5), and a
+// truncated heat-kernel filter as an alternative low-pass diffusion.
+package ppr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/vecmath"
+)
+
+// Default convergence controls for the fixed-point iterations.
+const (
+	DefaultTol     = 1e-8
+	DefaultMaxIter = 1000
+)
+
+// ErrNoConvergence is returned when an iteration exhausts MaxIter without
+// meeting its tolerance.
+var ErrNoConvergence = errors.New("ppr: iteration did not converge")
+
+// Stats reports how an iterative filter run went.
+type Stats struct {
+	Iterations int
+	Residual   float64 // max-norm of the last update
+	Converged  bool
+}
+
+// Filter diffuses a node-signal matrix (one row per node) over a graph.
+type Filter interface {
+	// Apply diffuses e0 and returns the diffused matrix along with
+	// iteration statistics. e0 is not modified.
+	Apply(tr *graph.Transition, e0 *vecmath.Matrix) (*vecmath.Matrix, Stats, error)
+}
+
+// PPRFilter is the Personalized PageRank filter of eq. 6/7. Alpha is the
+// teleport probability: the effective diffusion radius is a random walk of
+// mean length 1/Alpha, so small Alpha means heavy (wide) diffusion and
+// Alpha→1 means no diffusion (§IV-B).
+type PPRFilter struct {
+	Alpha   float64
+	Tol     float64 // 0 means DefaultTol
+	MaxIter int     // 0 means DefaultMaxIter
+}
+
+var _ Filter = PPRFilter{}
+
+func (f PPRFilter) controls() (tol float64, maxIter int) {
+	tol, maxIter = f.Tol, f.MaxIter
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	return tol, maxIter
+}
+
+func (f PPRFilter) validate() error {
+	if f.Alpha <= 0 || f.Alpha > 1 {
+		return fmt.Errorf("ppr: teleport probability %v out of (0,1]", f.Alpha)
+	}
+	return nil
+}
+
+// Apply implements Filter with the synchronous iteration of eq. 7. The
+// iteration is a contraction with factor (1−Alpha), so it always converges
+// for Alpha in (0,1]; ErrNoConvergence can only trip with an unreasonably
+// tight tolerance.
+func (f PPRFilter) Apply(tr *graph.Transition, e0 *vecmath.Matrix) (*vecmath.Matrix, Stats, error) {
+	if err := f.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	n := tr.Graph().NumNodes()
+	if e0.Rows() != n {
+		return nil, Stats{}, fmt.Errorf("ppr: signal has %d rows, graph has %d nodes", e0.Rows(), n)
+	}
+	tol, maxIter := f.controls()
+	cur := e0.Clone()
+	next := vecmath.NewMatrix(n, e0.Cols())
+	var st Stats
+	for st.Iterations = 1; st.Iterations <= maxIter; st.Iterations++ {
+		step(tr, f.Alpha, e0, cur, next)
+		st.Residual = vecmath.MaxAbsDiffMatrix(cur, next)
+		cur, next = next, cur
+		if st.Residual <= tol {
+			st.Converged = true
+			return cur, st, nil
+		}
+	}
+	st.Iterations = maxIter
+	return cur, st, fmt.Errorf("%w after %d iterations (residual %g)", ErrNoConvergence, maxIter, st.Residual)
+}
+
+// step computes next = (1-alpha)·A·cur + alpha·e0.
+func step(tr *graph.Transition, alpha float64, e0, cur, next *vecmath.Matrix) {
+	g := tr.Graph()
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		row := next.Row(u)
+		vecmath.Zero(row)
+		for _, v := range g.Neighbors(u) {
+			vecmath.AXPY(row, (1-alpha)*tr.Weight(u, v), cur.Row(v))
+		}
+		vecmath.AXPY(row, alpha, e0.Row(u))
+	}
+}
+
+// Personalized computes the scalar PPR vector of eq. 5 for one origin:
+// π = a·(I − (1−a)A)⁻¹·δ_origin. With a column-stochastic transition the
+// result is a probability distribution over nodes.
+func Personalized(tr *graph.Transition, origin graph.NodeID, f PPRFilter) ([]float64, Stats, error) {
+	if err := f.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	n := tr.Graph().NumNodes()
+	if origin < 0 || origin >= n {
+		return nil, Stats{}, fmt.Errorf("ppr: origin %d out of [0,%d)", origin, n)
+	}
+	tol, maxIter := f.controls()
+	delta := make([]float64, n)
+	delta[origin] = 1
+	cur := make([]float64, n)
+	copy(cur, delta)
+	next := make([]float64, n)
+	tmp := make([]float64, n)
+	var st Stats
+	for st.Iterations = 1; st.Iterations <= maxIter; st.Iterations++ {
+		tr.Apply(tmp, cur)
+		for i := range next {
+			next[i] = (1-f.Alpha)*tmp[i] + f.Alpha*delta[i]
+		}
+		st.Residual = vecmath.MaxAbsDiff(cur, next)
+		cur, next = next, cur
+		if st.Residual <= tol {
+			st.Converged = true
+			return cur, st, nil
+		}
+	}
+	return cur, st, fmt.Errorf("%w after %d iterations (residual %g)", ErrNoConvergence, maxIter, st.Residual)
+}
+
+// HeatKernelFilter applies the truncated heat-kernel diffusion
+// H = Σ_{k=0}^{Terms} e^{-T}·T^k/k!·A^k, the other classic low-pass graph
+// filter mentioned in §II-C.
+type HeatKernelFilter struct {
+	T     float64 // diffusion time; 0 reduces to the identity
+	Terms int     // series truncation; 0 means 30
+}
+
+var _ Filter = HeatKernelFilter{}
+
+// Apply implements Filter. The series always terminates, so Stats.Converged
+// is true and the error is always nil unless parameters are invalid.
+func (f HeatKernelFilter) Apply(tr *graph.Transition, e0 *vecmath.Matrix) (*vecmath.Matrix, Stats, error) {
+	if f.T < 0 {
+		return nil, Stats{}, fmt.Errorf("ppr: negative heat-kernel time %v", f.T)
+	}
+	n := tr.Graph().NumNodes()
+	if e0.Rows() != n {
+		return nil, Stats{}, fmt.Errorf("ppr: signal has %d rows, graph has %d nodes", e0.Rows(), n)
+	}
+	terms := f.Terms
+	if terms <= 0 {
+		terms = 30
+	}
+	out := vecmath.NewMatrix(n, e0.Cols())
+	power := e0.Clone() // A^k · E0
+	next := vecmath.NewMatrix(n, e0.Cols())
+	coeff := math.Exp(-f.T) // e^{-T}·T^k/k! for k = 0
+	g := tr.Graph()
+	for k := 0; ; k++ {
+		for u := 0; u < n; u++ {
+			vecmath.AXPY(out.Row(u), coeff, power.Row(u))
+		}
+		if k == terms {
+			break
+		}
+		// next = A · power
+		for u := 0; u < n; u++ {
+			row := next.Row(u)
+			vecmath.Zero(row)
+			for _, v := range g.Neighbors(u) {
+				vecmath.AXPY(row, tr.Weight(u, v), power.Row(v))
+			}
+		}
+		power, next = next, power
+		coeff *= f.T / float64(k+1)
+	}
+	return out, Stats{Iterations: terms, Converged: true}, nil
+}
+
+// DenseClosedForm solves eq. 6 exactly by Gaussian elimination:
+// E = a·(I − (1−a)A)⁻¹·E0. Intended for validating the iterative filters on
+// small graphs (O(n³) time, O(n²) memory).
+func DenseClosedForm(tr *graph.Transition, e0 *vecmath.Matrix, alpha float64) (*vecmath.Matrix, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("ppr: teleport probability %v out of (0,1]", alpha)
+	}
+	g := tr.Graph()
+	n := g.NumNodes()
+	if e0.Rows() != n {
+		return nil, fmt.Errorf("ppr: signal has %d rows, graph has %d nodes", e0.Rows(), n)
+	}
+	// Build M = I − (1−a)A.
+	m := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		m[u] = make([]float64, n)
+		m[u][u] = 1
+		for _, v := range g.Neighbors(u) {
+			m[u][v] -= (1 - alpha) * tr.Weight(u, v)
+		}
+	}
+	// Right-hand side: a·E0 (copied so elimination can overwrite).
+	rhs := e0.Clone()
+	for u := 0; u < n; u++ {
+		vecmath.Scale(rhs.Row(u), alpha)
+	}
+	// Gaussian elimination with partial pivoting over the multi-column RHS.
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, fmt.Errorf("ppr: singular system at column %d", col)
+		}
+		if pivot != col {
+			m[pivot], m[col] = m[col], m[pivot]
+			// Swap RHS rows.
+			tmp := vecmath.Clone(rhs.Row(col))
+			rhs.SetRow(col, rhs.Row(pivot))
+			rhs.SetRow(pivot, tmp)
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+			vecmath.AXPY(rhs.Row(r), -factor, rhs.Row(col))
+		}
+	}
+	// Back substitution.
+	out := vecmath.NewMatrix(n, e0.Cols())
+	for r := n - 1; r >= 0; r-- {
+		row := out.Row(r)
+		copy(row, rhs.Row(r))
+		for c := r + 1; c < n; c++ {
+			vecmath.AXPY(row, -m[r][c], out.Row(c))
+		}
+		vecmath.Scale(row, 1/m[r][r])
+	}
+	return out, nil
+}

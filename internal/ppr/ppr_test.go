@@ -1,0 +1,345 @@
+package ppr
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+// testGraph returns a small connected graph and its transition.
+func testGraph(norm graph.Normalization) *graph.Transition {
+	g := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4}})
+	return graph.NewTransition(g, norm)
+}
+
+func randomSignal(seed uint64, rows, cols int) *vecmath.Matrix {
+	r := randx.New(seed)
+	m := vecmath.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestPPRFilterMatchesClosedForm(t *testing.T) {
+	for _, norm := range []graph.Normalization{graph.ColumnStochastic, graph.RowStochastic, graph.Symmetric} {
+		for _, alpha := range []float64{0.1, 0.5, 0.9} {
+			tr := testGraph(norm)
+			e0 := randomSignal(1, tr.Graph().NumNodes(), 4)
+			iterative, st, err := PPRFilter{Alpha: alpha, Tol: 1e-12}.Apply(tr, e0)
+			if err != nil {
+				t.Fatalf("%v a=%v: %v", norm, alpha, err)
+			}
+			if !st.Converged {
+				t.Fatalf("%v a=%v: not converged", norm, alpha)
+			}
+			exact, err := DenseClosedForm(tr, e0, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := vecmath.MaxAbsDiffMatrix(iterative, exact); d > 1e-8 {
+				t.Fatalf("%v a=%v: iterative vs closed form differ by %g", norm, alpha, d)
+			}
+		}
+	}
+}
+
+func TestPPRFilterAlphaOneIsIdentity(t *testing.T) {
+	tr := testGraph(graph.ColumnStochastic)
+	e0 := randomSignal(2, tr.Graph().NumNodes(), 3)
+	out, _, err := PPRFilter{Alpha: 1}.Apply(tr, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.MaxAbsDiffMatrix(out, e0) > 1e-12 {
+		t.Fatal("alpha=1 must return the input signal")
+	}
+}
+
+func TestPPRFilterLinearity(t *testing.T) {
+	// filter(aX + bY) == a·filter(X) + b·filter(Y) — the property that makes
+	// summed personalization vectors meaningful (eq. 3 + eq. 4).
+	tr := testGraph(graph.ColumnStochastic)
+	n := tr.Graph().NumNodes()
+	x := randomSignal(3, n, 2)
+	y := randomSignal(4, n, 2)
+	const a, b = 2.5, -1.25
+	combo := vecmath.NewMatrix(n, 2)
+	for u := 0; u < n; u++ {
+		for j := 0; j < 2; j++ {
+			combo.Set(u, j, a*x.At(u, j)+b*y.At(u, j))
+		}
+	}
+	f := PPRFilter{Alpha: 0.3, Tol: 1e-12}
+	fx, _, err := f.Apply(tr, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fy, _, err := f.Apply(tr, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _, err := f.Apply(tr, combo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		for j := 0; j < 2; j++ {
+			want := a*fx.At(u, j) + b*fy.At(u, j)
+			if math.Abs(fc.At(u, j)-want) > 1e-7 {
+				t.Fatalf("linearity violated at (%d,%d): %g vs %g", u, j, fc.At(u, j), want)
+			}
+		}
+	}
+}
+
+func TestPPRFilterDoesNotModifyInput(t *testing.T) {
+	tr := testGraph(graph.ColumnStochastic)
+	e0 := randomSignal(5, tr.Graph().NumNodes(), 2)
+	snapshot := e0.Clone()
+	if _, _, err := (PPRFilter{Alpha: 0.5}).Apply(tr, e0); err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.MaxAbsDiffMatrix(e0, snapshot) != 0 {
+		t.Fatal("Apply must not modify its input")
+	}
+}
+
+func TestPPRFilterValidation(t *testing.T) {
+	tr := testGraph(graph.ColumnStochastic)
+	e0 := randomSignal(6, tr.Graph().NumNodes(), 1)
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if _, _, err := (PPRFilter{Alpha: alpha}).Apply(tr, e0); err == nil {
+			t.Fatalf("alpha=%v must error", alpha)
+		}
+	}
+	wrong := randomSignal(7, 3, 1)
+	if _, _, err := (PPRFilter{Alpha: 0.5}).Apply(tr, wrong); err == nil {
+		t.Fatal("row-count mismatch must error")
+	}
+}
+
+func TestPPRFilterNoConvergence(t *testing.T) {
+	tr := testGraph(graph.ColumnStochastic)
+	e0 := randomSignal(8, tr.Graph().NumNodes(), 1)
+	_, st, err := PPRFilter{Alpha: 0.01, Tol: 1e-15, MaxIter: 2}.Apply(tr, e0)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+	if st.Converged {
+		t.Fatal("Stats must report non-convergence")
+	}
+}
+
+func TestPersonalizedIsDistribution(t *testing.T) {
+	// With a column-stochastic transition, the PPR vector is a probability
+	// distribution: non-negative, sums to 1 (teleport mass conservation).
+	tr := testGraph(graph.ColumnStochastic)
+	for _, alpha := range []float64{0.1, 0.5, 0.9} {
+		pi, st, err := Personalized(tr, 0, PPRFilter{Alpha: alpha, Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatal("must converge")
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < -1e-12 {
+				t.Fatalf("negative probability %g", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("alpha=%v: PPR mass %g, want 1", alpha, sum)
+		}
+	}
+}
+
+func TestPersonalizedLocality(t *testing.T) {
+	// On a path graph, PPR from one end must decay monotonically with
+	// distance — the "low-pass localization" the paper builds on.
+	b := graph.NewBuilder(8)
+	for i := 0; i+1 < 8; i++ {
+		b.AddEdge(i, i+1)
+	}
+	tr := graph.NewTransition(b.Build(), graph.ColumnStochastic)
+	pi, _, err := Personalized(tr, 0, PPRFilter{Alpha: 0.5, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pi); i++ {
+		if pi[i] > pi[i-1]+1e-12 {
+			t.Fatalf("PPR not decaying along path: pi[%d]=%g > pi[%d]=%g", i, pi[i], i-1, pi[i-1])
+		}
+	}
+}
+
+func TestPersonalizedSmallerAlphaDiffusesWider(t *testing.T) {
+	// Heavy diffusion (small alpha) leaves more mass far from the origin.
+	b := graph.NewBuilder(10)
+	for i := 0; i+1 < 10; i++ {
+		b.AddEdge(i, i+1)
+	}
+	tr := graph.NewTransition(b.Build(), graph.ColumnStochastic)
+	heavy, _, err := Personalized(tr, 0, PPRFilter{Alpha: 0.1, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, _, err := Personalized(tr, 0, PPRFilter{Alpha: 0.9, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mass beyond distance 3:
+	var farHeavy, farLight float64
+	for i := 4; i < 10; i++ {
+		farHeavy += heavy[i]
+		farLight += light[i]
+	}
+	if farHeavy <= farLight {
+		t.Fatalf("far mass heavy=%g should exceed light=%g", farHeavy, farLight)
+	}
+}
+
+func TestPersonalizedColumnsMatchMatrixFilter(t *testing.T) {
+	// Diffusing one-hot signals through the matrix filter reproduces the
+	// scalar PPR vectors: E = H·E0 with E0 = I gives H's columns (eq. 4/5).
+	tr := testGraph(graph.ColumnStochastic)
+	n := tr.Graph().NumNodes()
+	eye := vecmath.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		eye.Set(i, i, 1)
+	}
+	diffused, _, err := PPRFilter{Alpha: 0.4, Tol: 1e-12}.Apply(tr, eye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for origin := 0; origin < n; origin++ {
+		pi, _, err := Personalized(tr, origin, PPRFilter{Alpha: 0.4, Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < n; u++ {
+			// Column `origin` of the diffused identity = π_origin[u] at row u.
+			if math.Abs(diffused.At(u, origin)-pi[u]) > 1e-8 {
+				t.Fatalf("H column %d row %d: %g vs %g", origin, u, diffused.At(u, origin), pi[u])
+			}
+		}
+	}
+}
+
+func TestPersonalizedValidation(t *testing.T) {
+	tr := testGraph(graph.ColumnStochastic)
+	if _, _, err := Personalized(tr, -1, PPRFilter{Alpha: 0.5}); err == nil {
+		t.Fatal("bad origin must error")
+	}
+	if _, _, err := Personalized(tr, 0, PPRFilter{Alpha: 0}); err == nil {
+		t.Fatal("bad alpha must error")
+	}
+}
+
+func TestHeatKernelZeroTimeIsIdentity(t *testing.T) {
+	tr := testGraph(graph.ColumnStochastic)
+	e0 := randomSignal(9, tr.Graph().NumNodes(), 3)
+	out, st, err := HeatKernelFilter{T: 0, Terms: 10}.Apply(tr, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("heat kernel must always converge")
+	}
+	if vecmath.MaxAbsDiffMatrix(out, e0) > 1e-12 {
+		t.Fatal("T=0 must be the identity")
+	}
+}
+
+func TestHeatKernelPreservesMassColumnStochastic(t *testing.T) {
+	// With column-stochastic A and full series, Σ_u H[u] = Σ_u E0[u]
+	// because Σ_k e^{-T}T^k/k! = 1 and A conserves column mass.
+	tr := testGraph(graph.ColumnStochastic)
+	n := tr.Graph().NumNodes()
+	e0 := vecmath.NewMatrix(n, 1)
+	e0.Set(2, 0, 1)
+	out, _, err := HeatKernelFilter{T: 1.5, Terms: 60}.Apply(tr, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for u := 0; u < n; u++ {
+		sum += out.At(u, 0)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("heat kernel mass %g, want 1", sum)
+	}
+}
+
+func TestHeatKernelSmoothing(t *testing.T) {
+	// Larger T spreads a delta further: origin mass must decrease with T.
+	tr := testGraph(graph.ColumnStochastic)
+	n := tr.Graph().NumNodes()
+	e0 := vecmath.NewMatrix(n, 1)
+	e0.Set(0, 0, 1)
+	small, _, err := HeatKernelFilter{T: 0.5, Terms: 40}.Apply(tr, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, _, err := HeatKernelFilter{T: 3, Terms: 60}.Apply(tr, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.At(0, 0) >= small.At(0, 0) {
+		t.Fatalf("origin mass must shrink with T: %g vs %g", large.At(0, 0), small.At(0, 0))
+	}
+}
+
+func TestHeatKernelValidation(t *testing.T) {
+	tr := testGraph(graph.ColumnStochastic)
+	e0 := randomSignal(10, tr.Graph().NumNodes(), 1)
+	if _, _, err := (HeatKernelFilter{T: -1}).Apply(tr, e0); err == nil {
+		t.Fatal("negative time must error")
+	}
+	wrong := randomSignal(11, 2, 1)
+	if _, _, err := (HeatKernelFilter{T: 1}).Apply(tr, wrong); err == nil {
+		t.Fatal("row mismatch must error")
+	}
+}
+
+func TestDenseClosedFormValidation(t *testing.T) {
+	tr := testGraph(graph.ColumnStochastic)
+	e0 := randomSignal(12, tr.Graph().NumNodes(), 1)
+	if _, err := DenseClosedForm(tr, e0, 0); err == nil {
+		t.Fatal("alpha=0 must error")
+	}
+	wrong := randomSignal(13, 2, 1)
+	if _, err := DenseClosedForm(tr, wrong, 0.5); err == nil {
+		t.Fatal("row mismatch must error")
+	}
+}
+
+func TestDenseClosedFormOnDisconnectedGraph(t *testing.T) {
+	// Diffusion must stay within components.
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	e0 := vecmath.NewMatrix(4, 1)
+	e0.Set(0, 0, 1)
+	out, err := DenseClosedForm(tr, e0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(2, 0) != 0 || out.At(3, 0) != 0 {
+		t.Fatal("mass leaked across components")
+	}
+	iter, _, err := PPRFilter{Alpha: 0.3, Tol: 1e-12}.Apply(tr, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.MaxAbsDiffMatrix(iter, out) > 1e-8 {
+		t.Fatal("iterative and closed form disagree on disconnected graph")
+	}
+}

@@ -1,0 +1,92 @@
+package ppr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diffusearch/internal/gengraph"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+// TestIterativeMatchesClosedFormProperty fuzzes graphs, teleport
+// probabilities, and signals: the fixed-point iteration must always land
+// on the dense closed-form solution.
+func TestIterativeMatchesClosedFormProperty(t *testing.T) {
+	f := func(seed uint64, alphaRaw uint8, normRaw uint8) bool {
+		alpha := 0.05 + 0.9*float64(alphaRaw)/255
+		norms := []graph.Normalization{graph.ColumnStochastic, graph.RowStochastic, graph.Symmetric}
+		norm := norms[int(normRaw)%len(norms)]
+		g := gengraph.ErdosRenyi(15, 0.25, seed)
+		tr := graph.NewTransition(g, norm)
+		r := randx.New(seed ^ 0x5a5a)
+		e0 := vecmath.NewMatrix(g.NumNodes(), 2)
+		for u := 0; u < g.NumNodes(); u++ {
+			e0.Set(u, 0, r.NormFloat64())
+			e0.Set(u, 1, r.NormFloat64())
+		}
+		iter, _, err := PPRFilter{Alpha: alpha, Tol: 1e-12}.Apply(tr, e0)
+		if err != nil {
+			return false
+		}
+		exact, err := DenseClosedForm(tr, e0, alpha)
+		if err != nil {
+			return false
+		}
+		return vecmath.MaxAbsDiffMatrix(iter, exact) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPPRMassConservationProperty fuzzes the scalar PPR: with a
+// column-stochastic transition on a graph without isolated nodes, the
+// result is always a probability distribution.
+func TestPPRMassConservationProperty(t *testing.T) {
+	f := func(seed uint64, alphaRaw uint8, originRaw uint8) bool {
+		alpha := 0.05 + 0.9*float64(alphaRaw)/255
+		g := gengraph.ErdosRenyi(20, 0.3, seed)
+		g, _ = g.LargestComponent()
+		if g.NumNodes() < 2 {
+			return true
+		}
+		tr := graph.NewTransition(g, graph.ColumnStochastic)
+		origin := int(originRaw) % g.NumNodes()
+		pi, _, err := Personalized(tr, origin, PPRFilter{Alpha: alpha, Tol: 1e-12})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return sum > 1-1e-8 && sum < 1+1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPPROriginHasLargestMass checks the localization property the search
+// scheme relies on: with the teleport anchored at the origin, no other
+// node accumulates more PPR mass (column-stochastic, regular-ish graphs).
+func TestPPROriginHasLargestMass(t *testing.T) {
+	g := gengraph.RingLattice(30, 4)
+	tr := graph.NewTransition(g, graph.ColumnStochastic)
+	for _, alpha := range []float64{0.1, 0.5, 0.9} {
+		pi, _, err := Personalized(tr, 7, PPRFilter{Alpha: alpha, Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, p := range pi {
+			if v != 7 && p > pi[7] {
+				t.Fatalf("alpha=%v: node %d mass %g exceeds origin %g", alpha, v, p, pi[7])
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a := Derive(7, "alpha")
+	b := Derive(7, "beta")
+	c := Derive(7, "alpha")
+	if a.Uint64() != c.Uint64() {
+		t.Fatal("same labels must yield same stream")
+	}
+	// Refresh a, compare many draws against b.
+	a = Derive(7, "alpha")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Fatalf("derived streams look correlated: %d/64 equal draws", same)
+	}
+}
+
+func TestDeriveLabelSeparator(t *testing.T) {
+	a := Derive(7, "ab", "c")
+	b := Derive(7, "a", "bc")
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("label concatenation collision: (ab,c) == (a,bc)")
+	}
+}
+
+func TestDeriveN(t *testing.T) {
+	a := DeriveN(9, "iter", 3)
+	b := Derive(9, "iter", "3")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("DeriveN must equal Derive with stringified index")
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		k := int(kRaw) % (n + 1)
+		r := New(seed)
+		s := Sample(r, n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePanicsWhenOversized(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	Sample(New(1), 3, 4)
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// Each element of [0,10) should appear in a 5-sample about half the time.
+	const trials = 4000
+	counts := make([]int, 10)
+	r := New(123)
+	for i := 0; i < trials; i++ {
+		for _, v := range Sample(r, 10, 5) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		p := float64(c) / trials
+		if p < 0.45 || p > 0.55 {
+			t.Fatalf("element %d frequency %.3f outside [0.45,0.55]", v, p)
+		}
+	}
+}
+
+func TestSampleOrderUniform(t *testing.T) {
+	// First element of a full permutation sample should be uniform.
+	const trials = 6000
+	counts := make([]int, 5)
+	r := New(99)
+	for i := 0; i < trials; i++ {
+		counts[Sample(r, 5, 5)[0]]++
+	}
+	for v, c := range counts {
+		p := float64(c) / trials
+		if p < 0.15 || p > 0.25 {
+			t.Fatalf("first-slot frequency of %d is %.3f, want ~0.2", v, p)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(5)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	const trials = 8000
+	for i := 0; i < trials; i++ {
+		idx := WeightedChoice(r, w)
+		if idx < 0 || idx > 2 {
+			t.Fatalf("index out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight element chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight ratio %.2f, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoiceDegenerate(t *testing.T) {
+	r := New(5)
+	if got := WeightedChoice(r, nil); got != -1 {
+		t.Fatalf("nil weights: got %d, want -1", got)
+	}
+	if got := WeightedChoice(r, []float64{0, -2}); got != -1 {
+		t.Fatalf("non-positive weights: got %d, want -1", got)
+	}
+	if got := WeightedChoice(r, []float64{0, 0, 7}); got != 2 {
+		t.Fatalf("single positive weight: got %d, want 2", got)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := New(11)
+	const n = 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := Gaussian(r, 2, 3)
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-2) > 0.1 {
+		t.Fatalf("mean %.3f, want ~2", mean)
+	}
+	if math.Abs(std-3) > 0.15 {
+		t.Fatalf("std %.3f, want ~3", std)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		if LogNormal(r, 1, 0.5) <= 0 {
+			t.Fatal("log-normal draw must be positive")
+		}
+	}
+}
+
+func TestChoiceRange(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if v := Choice(r, 7); v < 0 || v >= 7 {
+			t.Fatalf("choice %d out of [0,7)", v)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package retrieval implements the bi-encoder retrieval operations of
+// §III-A: scoring s = φ(e_q, e_d), top-k tracking, per-node local indexes,
+// and the centralized ground-truth engine that decentralized search is
+// measured against.
+package retrieval
+
+import (
+	"fmt"
+	"sort"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/vecmath"
+)
+
+// DocID identifies a document globally (it doubles as the word id of the
+// document's embedding in the vocabulary).
+type DocID = int
+
+// Scorer selects the comparison function φ of eq. (2).
+type Scorer int
+
+const (
+	// DotProduct scores by inner product (the paper's choice; equals
+	// cosine on unit-norm embeddings).
+	DotProduct Scorer = iota + 1
+	// CosineSim scores by cosine similarity.
+	CosineSim
+)
+
+// String implements fmt.Stringer.
+func (s Scorer) String() string {
+	switch s {
+	case DotProduct:
+		return "dot"
+	case CosineSim:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Scorer(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is a known scorer.
+func (s Scorer) Valid() bool { return s == DotProduct || s == CosineSim }
+
+// Score applies φ to a query and document embedding.
+func (s Scorer) Score(query, doc []float64) float64 {
+	switch s {
+	case DotProduct:
+		return vecmath.Dot(query, doc)
+	case CosineSim:
+		return vecmath.Cosine(query, doc)
+	default:
+		panic(fmt.Sprintf("retrieval: invalid scorer %d", int(s)))
+	}
+}
+
+// Result is a scored document.
+type Result struct {
+	Doc   DocID
+	Score float64
+}
+
+// TopK accumulates the k best results seen so far — the state a query
+// message carries through the network (§IV-C: "queries keep track of the k
+// most relevant documents they have encountered"). The zero value is not
+// usable; construct with NewTopK.
+type TopK struct {
+	k       int
+	results []Result // kept sorted: best first
+}
+
+// NewTopK returns a tracker for the best k results.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		panic(fmt.Sprintf("retrieval: TopK needs k >= 1, got %d", k))
+	}
+	return &TopK{k: k, results: make([]Result, 0, k)}
+}
+
+// K returns the tracker capacity.
+func (t *TopK) K() int { return t.k }
+
+// Offer considers a scored document, returning true when it enters the
+// current top-k. Duplicate doc ids keep their best score.
+func (t *TopK) Offer(doc DocID, score float64) bool {
+	for i, r := range t.results {
+		if r.Doc == doc {
+			if score > r.Score {
+				t.results[i].Score = score
+				t.restore(i)
+				return true
+			}
+			return false
+		}
+	}
+	if len(t.results) < t.k {
+		t.results = append(t.results, Result{Doc: doc, Score: score})
+		t.restore(len(t.results) - 1)
+		return true
+	}
+	last := len(t.results) - 1
+	worst := t.results[last]
+	if score > worst.Score || (score == worst.Score && doc < worst.Doc) {
+		t.results[last] = Result{Doc: doc, Score: score}
+		t.restore(last)
+		return true
+	}
+	return false
+}
+
+// restore bubbles entry i toward the front to keep the slice sorted
+// (descending score, ascending doc id on ties).
+func (t *TopK) restore(i int) {
+	for i > 0 {
+		a, b := t.results[i-1], t.results[i]
+		if a.Score > b.Score || (a.Score == b.Score && a.Doc < b.Doc) {
+			break
+		}
+		t.results[i-1], t.results[i] = b, a
+		i--
+	}
+}
+
+// Merge offers every result of other into t.
+func (t *TopK) Merge(other *TopK) {
+	for _, r := range other.results {
+		t.Offer(r.Doc, r.Score)
+	}
+}
+
+// Results returns the tracked results, best first. The returned slice is a
+// copy.
+func (t *TopK) Results() []Result {
+	out := make([]Result, len(t.results))
+	copy(out, t.results)
+	return out
+}
+
+// Best returns the single best result and whether one exists.
+func (t *TopK) Best() (Result, bool) {
+	if len(t.results) == 0 {
+		return Result{}, false
+	}
+	return t.results[0], true
+}
+
+// Contains reports whether doc is currently tracked.
+func (t *TopK) Contains(doc DocID) bool {
+	for _, r := range t.results {
+		if r.Doc == doc {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of the tracker (query messages are
+// copied when walks fork).
+func (t *TopK) Clone() *TopK {
+	c := &TopK{k: t.k, results: make([]Result, len(t.results), t.k)}
+	copy(c.results, t.results)
+	return c
+}
+
+// LocalIndex is a node's private document collection D_u with exact local
+// scoring (step 2 of Fig. 1).
+type LocalIndex struct {
+	vocab *embed.Vocabulary
+	docs  []DocID
+}
+
+// NewLocalIndex creates an index over the given documents. The doc slice is
+// copied.
+func NewLocalIndex(vocab *embed.Vocabulary, docs []DocID) *LocalIndex {
+	owned := make([]DocID, len(docs))
+	copy(owned, docs)
+	sort.Ints(owned)
+	return &LocalIndex{vocab: vocab, docs: owned}
+}
+
+// Len returns the number of local documents.
+func (l *LocalIndex) Len() int { return len(l.docs) }
+
+// Docs returns a copy of the stored document ids.
+func (l *LocalIndex) Docs() []DocID {
+	out := make([]DocID, len(l.docs))
+	copy(out, l.docs)
+	return out
+}
+
+// Add inserts documents (used when nodes update their collections).
+func (l *LocalIndex) Add(docs ...DocID) {
+	l.docs = append(l.docs, docs...)
+	sort.Ints(l.docs)
+}
+
+// SearchInto scores every local document and offers it to the tracker.
+func (l *LocalIndex) SearchInto(t *TopK, query []float64, scorer Scorer) {
+	for _, d := range l.docs {
+		t.Offer(d, scorer.Score(query, l.vocab.Vector(d)))
+	}
+}
+
+// PersonalizationVector returns e0_u = Σ_{d∈D_u} e_d (eq. 3): the sum of
+// the node's document embeddings. Returns a zero vector for an empty
+// collection.
+func (l *LocalIndex) PersonalizationVector() []float64 {
+	v := make([]float64, l.vocab.Dim())
+	for _, d := range l.docs {
+		vecmath.AXPY(v, 1, l.vocab.Vector(d))
+	}
+	return v
+}
+
+// SummarizedPersonalization generalizes eq. 3 for the summarization
+// ablation. Mode "sum" is the paper's; "mean" divides by |D_u|; "unit"
+// normalizes the sum to unit length (removing the collection-size bias
+// discussed at the end of §IV-A).
+func (l *LocalIndex) SummarizedPersonalization(mode string) ([]float64, error) {
+	v := l.PersonalizationVector()
+	switch mode {
+	case "sum":
+		return v, nil
+	case "mean":
+		if len(l.docs) > 0 {
+			vecmath.Scale(v, 1/float64(len(l.docs)))
+		}
+		return v, nil
+	case "unit":
+		vecmath.Normalize(v)
+		return v, nil
+	default:
+		return nil, fmt.Errorf("retrieval: unknown summarization mode %q", mode)
+	}
+}
+
+// Engine is the centralized search engine of §III-A: it sees every document
+// in the network and answers exact top-k queries. Decentralized search
+// accuracy is measured against its results.
+type Engine struct {
+	vocab *embed.Vocabulary
+	docs  []DocID
+}
+
+// NewEngine indexes all documents. The slice is copied.
+func NewEngine(vocab *embed.Vocabulary, docs []DocID) *Engine {
+	owned := make([]DocID, len(docs))
+	copy(owned, docs)
+	return &Engine{vocab: vocab, docs: owned}
+}
+
+// Len returns the corpus size.
+func (e *Engine) Len() int { return len(e.docs) }
+
+// Search returns the exact top-k documents for the query embedding.
+func (e *Engine) Search(query []float64, k int, scorer Scorer) []Result {
+	t := NewTopK(k)
+	for _, d := range e.docs {
+		t.Offer(d, scorer.Score(query, e.vocab.Vector(d)))
+	}
+	return t.Results()
+}

@@ -1,0 +1,324 @@
+package retrieval
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+func testVocab(t *testing.T) *embed.Vocabulary {
+	t.Helper()
+	v, err := embed.Synthetic(embed.SyntheticParams{
+		Words: 300, Dim: 50, Clusters: 30, Spread: 0.5, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestScorerString(t *testing.T) {
+	if DotProduct.String() != "dot" || CosineSim.String() != "cosine" {
+		t.Fatal("scorer names")
+	}
+	if Scorer(9).String() != "Scorer(9)" {
+		t.Fatal("unknown scorer name")
+	}
+	if !DotProduct.Valid() || Scorer(9).Valid() {
+		t.Fatal("validity")
+	}
+}
+
+func TestScorerInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Scorer(0).Score([]float64{1}, []float64{1})
+}
+
+func TestScorersAgreeOnUnitVectors(t *testing.T) {
+	r := randx.New(1)
+	for i := 0; i < 20; i++ {
+		a, b := vecmath.RandomUnit(r, 30), vecmath.RandomUnit(r, 30)
+		if math.Abs(DotProduct.Score(a, b)-CosineSim.Score(a, b)) > 1e-9 {
+			t.Fatal("dot != cosine on unit vectors")
+		}
+	}
+}
+
+func TestTopKBasic(t *testing.T) {
+	tr := NewTopK(2)
+	if _, ok := tr.Best(); ok {
+		t.Fatal("empty tracker must have no best")
+	}
+	tr.Offer(1, 0.5)
+	tr.Offer(2, 0.9)
+	tr.Offer(3, 0.1) // does not fit
+	res := tr.Results()
+	if len(res) != 2 || res[0].Doc != 2 || res[1].Doc != 1 {
+		t.Fatalf("results %v", res)
+	}
+	if best, _ := tr.Best(); best.Doc != 2 {
+		t.Fatalf("best %v", best)
+	}
+	if !tr.Contains(1) || tr.Contains(3) {
+		t.Fatal("contains broken")
+	}
+	if tr.K() != 2 {
+		t.Fatal("K broken")
+	}
+}
+
+func TestTopKDuplicateKeepsBestScore(t *testing.T) {
+	tr := NewTopK(3)
+	tr.Offer(7, 0.2)
+	tr.Offer(7, 0.8)
+	tr.Offer(7, 0.5)
+	res := tr.Results()
+	if len(res) != 1 || res[0].Score != 0.8 {
+		t.Fatalf("results %v", res)
+	}
+}
+
+func TestTopKOrderInvariant(t *testing.T) {
+	// Offering in any order yields the same top-k as global sorting.
+	f := func(seed uint64) bool {
+		r := randx.New(seed)
+		n := 30
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = math.Round(r.Float64()*100) / 100 // force ties
+		}
+		tr := NewTopK(5)
+		for _, i := range r.Perm(n) {
+			tr.Offer(i, scores[i])
+		}
+		type pair struct {
+			doc   int
+			score float64
+		}
+		all := make([]pair, n)
+		for i := range scores {
+			all[i] = pair{i, scores[i]}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].score != all[b].score {
+				return all[a].score > all[b].score
+			}
+			return all[a].doc < all[b].doc
+		})
+		res := tr.Results()
+		for i := 0; i < 5; i++ {
+			if res[i].Doc != all[i].doc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKMerge(t *testing.T) {
+	a := NewTopK(2)
+	a.Offer(1, 0.9)
+	a.Offer(2, 0.5)
+	b := NewTopK(2)
+	b.Offer(3, 0.7)
+	b.Offer(4, 0.1)
+	a.Merge(b)
+	res := a.Results()
+	if res[0].Doc != 1 || res[1].Doc != 3 {
+		t.Fatalf("merged %v", res)
+	}
+}
+
+func TestTopKCloneIndependent(t *testing.T) {
+	a := NewTopK(2)
+	a.Offer(1, 0.9)
+	c := a.Clone()
+	c.Offer(2, 0.95)
+	if a.Contains(2) {
+		t.Fatal("clone shares state")
+	}
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("clone lost state")
+	}
+}
+
+func TestTopKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewTopK(0)
+}
+
+func TestLocalIndexSearchAndPersonalization(t *testing.T) {
+	v := testVocab(t)
+	docs := []DocID{5, 10, 15}
+	li := NewLocalIndex(v, docs)
+	if li.Len() != 3 {
+		t.Fatalf("len %d", li.Len())
+	}
+	// Personalization = sum of doc embeddings (eq. 3).
+	want := make([]float64, v.Dim())
+	for _, d := range docs {
+		vecmath.AXPY(want, 1, v.Vector(d))
+	}
+	got := li.PersonalizationVector()
+	if vecmath.MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatal("personalization mismatch")
+	}
+	// Linearity (eq. 3): query · e0 == Σ query · e_d.
+	q := v.Vector(0)
+	var sum float64
+	for _, d := range docs {
+		sum += vecmath.Dot(q, v.Vector(d))
+	}
+	if math.Abs(vecmath.Dot(q, got)-sum) > 1e-9 {
+		t.Fatal("eq. 3 linearity violated")
+	}
+	// Local search finds the best local doc.
+	tr := NewTopK(1)
+	li.SearchInto(tr, v.Vector(5), DotProduct)
+	best, _ := tr.Best()
+	if best.Doc != 5 {
+		t.Fatalf("local search best %v", best)
+	}
+}
+
+func TestLocalIndexDocsCopied(t *testing.T) {
+	v := testVocab(t)
+	in := []DocID{3, 1}
+	li := NewLocalIndex(v, in)
+	in[0] = 99
+	docs := li.Docs()
+	if docs[0] != 1 || docs[1] != 3 {
+		t.Fatalf("docs %v (must be sorted, unaffected by caller mutation)", docs)
+	}
+	docs[0] = 77
+	if li.Docs()[0] != 1 {
+		t.Fatal("Docs must return a copy")
+	}
+}
+
+func TestLocalIndexAdd(t *testing.T) {
+	v := testVocab(t)
+	li := NewLocalIndex(v, nil)
+	li.Add(9, 2)
+	if li.Len() != 2 || li.Docs()[0] != 2 {
+		t.Fatalf("after add: %v", li.Docs())
+	}
+}
+
+func TestEmptyLocalIndexPersonalizationIsZero(t *testing.T) {
+	v := testVocab(t)
+	li := NewLocalIndex(v, nil)
+	p := li.PersonalizationVector()
+	if vecmath.Norm(p) != 0 {
+		t.Fatal("empty collection must have zero personalization")
+	}
+}
+
+func TestSummarizedPersonalization(t *testing.T) {
+	v := testVocab(t)
+	li := NewLocalIndex(v, []DocID{1, 2, 3, 4})
+	sum, err := li.SummarizedPersonalization("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := li.SummarizedPersonalization("mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sum {
+		if math.Abs(mean[i]-sum[i]/4) > 1e-12 {
+			t.Fatal("mean != sum/4")
+		}
+	}
+	unit, err := li.SummarizedPersonalization("unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vecmath.Norm(unit)-1) > 1e-9 {
+		t.Fatal("unit mode must normalize")
+	}
+	if _, err := li.SummarizedPersonalization("bogus"); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}
+
+func TestSummarizedPersonalizationEmptyCollection(t *testing.T) {
+	v := testVocab(t)
+	li := NewLocalIndex(v, nil)
+	for _, mode := range []string{"sum", "mean", "unit"} {
+		p, err := li.SummarizedPersonalization(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vecmath.Norm(p) != 0 {
+			t.Fatalf("mode %s: empty collection must stay zero", mode)
+		}
+	}
+}
+
+func TestEngineExactTopK(t *testing.T) {
+	v := testVocab(t)
+	docs := make([]DocID, 100)
+	for i := range docs {
+		docs[i] = i
+	}
+	e := NewEngine(v, docs)
+	if e.Len() != 100 {
+		t.Fatalf("len %d", e.Len())
+	}
+	q := v.Vector(42)
+	res := e.Search(q, 3, DotProduct)
+	if len(res) != 3 {
+		t.Fatalf("results %v", res)
+	}
+	if res[0].Doc != 42 {
+		t.Fatalf("self-query best = %v, want doc 42", res[0])
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestEngineMatchesLocalIndexUnion(t *testing.T) {
+	// Searching the engine equals merging local searches over a partition —
+	// the core correctness statement for distributed retrieval.
+	v := testVocab(t)
+	all := make([]DocID, 60)
+	for i := range all {
+		all[i] = i
+	}
+	e := NewEngine(v, all)
+	li1 := NewLocalIndex(v, all[:20])
+	li2 := NewLocalIndex(v, all[20:45])
+	li3 := NewLocalIndex(v, all[45:])
+	q := v.Vector(7)
+	tr := NewTopK(5)
+	li1.SearchInto(tr, q, DotProduct)
+	li2.SearchInto(tr, q, DotProduct)
+	li3.SearchInto(tr, q, DotProduct)
+	want := e.Search(q, 5, DotProduct)
+	got := tr.Results()
+	for i := range want {
+		if got[i].Doc != want[i].Doc {
+			t.Fatalf("rank %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}

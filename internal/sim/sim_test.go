@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+
+	"diffusearch/internal/randx"
+)
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	var s Scheduler
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock %v", s.Now())
+	}
+}
+
+func TestSchedulerTieBreakBySchedulingOrder(t *testing.T) {
+	var s Scheduler
+	var got []string
+	s.At(1, func() { got = append(got, "a") })
+	s.At(1, func() { got = append(got, "b") })
+	s.Run()
+	if got[0] != "a" || got[1] != "b" {
+		t.Fatalf("tie order %v", got)
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	var s Scheduler
+	var got []float64
+	s.At(1, func() {
+		got = append(got, s.Now())
+		s.After(2, func() { got = append(got, s.Now()) })
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("times %v", got)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	var s Scheduler
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestSchedulerNegativeDelayPanics(t *testing.T) {
+	var s Scheduler
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	ran := 0
+	s.At(1, func() { ran++ })
+	s.At(5, func() { ran++ })
+	if n := s.RunUntil(3); n != 1 || ran != 1 {
+		t.Fatalf("n=%d ran=%d", n, ran)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock must advance to horizon, got %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	s.Run()
+	if ran != 2 || s.Now() != 5 {
+		t.Fatalf("final ran=%d now=%v", ran, s.Now())
+	}
+}
+
+func TestConstantLatency(t *testing.T) {
+	r := randx.New(1)
+	if ConstantLatency(2.5).Sample(r) != 2.5 {
+		t.Fatal("constant latency broken")
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	r := randx.New(2)
+	u := UniformLatency{Min: 1, Max: 3}
+	for i := 0; i < 1000; i++ {
+		d := u.Sample(r)
+		if d < 1 || d > 3 {
+			t.Fatalf("delay %v out of bounds", d)
+		}
+	}
+	degenerate := UniformLatency{Min: 2, Max: 2}
+	if degenerate.Sample(r) != 2 {
+		t.Fatal("degenerate uniform must return Min")
+	}
+}
+
+func TestExponentialLatencyMean(t *testing.T) {
+	r := randx.New(3)
+	e := ExponentialLatency{Mean: 2}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := e.Sample(r)
+		if d < 0 {
+			t.Fatal("negative delay")
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < 1.9 || mean > 2.1 {
+		t.Fatalf("sample mean %v, want ~2", mean)
+	}
+	if (ExponentialLatency{Mean: 0}).Sample(r) != 0 {
+		t.Fatal("zero mean must yield zero delay")
+	}
+}

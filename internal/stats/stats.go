@@ -1,0 +1,169 @@
+// Package stats provides the descriptive statistics and table rendering
+// used by the experiment harness (success rates, hop-count summaries,
+// accuracy series).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs (0 when len < 2).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median of xs (0 for an empty slice). The input is not
+// modified.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile of xs (nearest-rank on the sorted
+// copy; p clamped to [0,100]). Returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	// Linear interpolation between closest ranks.
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// IntsToFloats converts an int slice for use with the float statistics.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Histogram counts xs into equal-width buckets over [min, max].
+func Histogram(xs []float64, buckets int, min, max float64) []int {
+	if buckets <= 0 || max <= min {
+		return nil
+	}
+	counts := make([]int, buckets)
+	width := (max - min) / float64(buckets)
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		i := int((x - min) / width)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// Table renders rows as an aligned plain-text table with a header, in the
+// style of the paper's Table I.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String implements fmt.Stringer with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

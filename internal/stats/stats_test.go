@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianStd(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 10}
+	if Mean(xs) != 4 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if Median(xs) != 3 {
+		t.Fatalf("median %v", Median(xs))
+	}
+	want := math.Sqrt((9 + 4 + 1 + 0 + 36) / 5.0)
+	if math.Abs(Std(xs)-want) > 1e-12 {
+		t.Fatalf("std %v want %v", Std(xs), want)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 || Std(nil) != 0 || Std([]float64{5}) != 0 {
+		t.Fatal("empty-input conventions")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("even median %v", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("median mutated input")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	xs := []float64{5, 1, 9}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 9 || Percentile(xs, -5) != 1 || Percentile(xs, 200) != 9 {
+		t.Fatal("percentile bounds")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = x
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			x = math.Mod(x, 1e6)
+			xs[i] = x
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	fs := IntsToFloats([]int{1, -2})
+	if fs[0] != 1 || fs[1] != -2 {
+		t.Fatal("conversion")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 99}
+	h := Histogram(xs, 2, 0, 2)
+	if len(h) != 2 || h[0] != 2 || h[1] != 3 {
+		t.Fatalf("histogram %v", h)
+	}
+	if Histogram(xs, 0, 0, 1) != nil || Histogram(xs, 2, 1, 1) != nil {
+		t.Fatal("degenerate histograms must be nil")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("alpha", "0.5")
+	tab.AddRow("a-longer-name", "10000")
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator %q", lines[1])
+	}
+	// Alignment: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if lines[2][idx:idx+3] != "0.5" {
+		t.Fatalf("misaligned row %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("x,y", `q"q`)
+	csv := tab.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"q\"\n"
+	if csv != want {
+		t.Fatalf("csv %q want %q", csv, want)
+	}
+}

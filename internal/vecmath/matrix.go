@@ -1,0 +1,76 @@
+package vecmath
+
+import "fmt"
+
+// Matrix is a dense row-major matrix holding one embedding per row. The
+// embedding table E of the paper (one row per node) is stored this way so a
+// diffusion sweep walks memory linearly.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: negative matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns a mutable view of row i. The slice aliases the matrix storage;
+// callers that need an owned copy must Clone it.
+func (m *Matrix) Row(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("vecmath: SetRow width %d != %d", len(v), m.cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// CopyFrom overwrites m with the contents of src, which must share m's shape.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("vecmath: CopyFrom shape %dx%d != %dx%d", src.rows, src.cols, m.rows, m.cols))
+	}
+	copy(m.data, src.data)
+}
+
+// ZeroAll resets every element to 0.
+func (m *Matrix) ZeroAll() { Zero(m.data) }
+
+// MaxAbsDiffMatrix returns the largest elementwise absolute difference
+// between a and b, used as the convergence residual for matrix iterations.
+func MaxAbsDiffMatrix(a, b *Matrix) float64 {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("vecmath: MaxAbsDiffMatrix shape %dx%d != %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	return MaxAbsDiff(a.data, b.data)
+}
+
+// Data exposes the backing slice for tests and serialization. The slice
+// aliases matrix storage.
+func (m *Matrix) Data() []float64 { return m.data }

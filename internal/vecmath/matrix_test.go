@@ -1,0 +1,86 @@
+package vecmath
+
+import "testing"
+
+func TestMatrixRowAliasing(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetRow(1, []float64{4, 5})
+	row := m.Row(1)
+	row[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must alias storage")
+	}
+	if m.At(1, 1) != 5 {
+		t.Fatal("SetRow lost data")
+	}
+}
+
+func TestMatrixRowFullSliceExpr(t *testing.T) {
+	// Appending to a row view must not clobber the next row.
+	m := NewMatrix(2, 2)
+	m.SetRow(0, []float64{1, 2})
+	m.SetRow(1, []float64{3, 4})
+	row := m.Row(0)
+	_ = append(row, 99)
+	if m.At(1, 0) != 3 {
+		t.Fatal("append through row view corrupted the next row")
+	}
+}
+
+func TestMatrixCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestMatrixCopyFrom(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	b.Set(1, 2, 7)
+	a.CopyFrom(b)
+	if a.At(1, 2) != 7 {
+		t.Fatal("CopyFrom failed")
+	}
+}
+
+func TestMatrixCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewMatrix(2, 2).CopyFrom(NewMatrix(2, 3))
+}
+
+func TestMaxAbsDiffMatrix(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 2)
+	b.Set(1, 1, -3)
+	if got := MaxAbsDiffMatrix(a, b); got != 3 {
+		t.Fatalf("MaxAbsDiffMatrix = %v", got)
+	}
+}
+
+func TestMatrixZeroAll(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 5)
+	m.ZeroAll()
+	for _, v := range m.Data() {
+		if v != 0 {
+			t.Fatal("ZeroAll failed")
+		}
+	}
+}
+
+func TestSetRowWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewMatrix(1, 2).SetRow(0, []float64{1})
+}

@@ -1,0 +1,202 @@
+// Package vecmath implements the dense vector and matrix primitives used
+// throughout the reproduction: document/query embeddings, node
+// personalization vectors, and diffused embedding tables.
+//
+// Embeddings are float64 slices. A Matrix stores one embedding per row in a
+// single contiguous allocation so diffusion sweeps are cache friendly.
+package vecmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diffusearch/internal/randx"
+)
+
+// ErrDimensionMismatch is returned by checked operations whose operands have
+// different lengths.
+var ErrDimensionMismatch = errors.New("vecmath: dimension mismatch")
+
+// Dot returns the inner product of a and b. It panics if the lengths differ;
+// embedding dimensions are fixed at construction, so a mismatch is a
+// programming error rather than a runtime condition.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of a and b, or 0 when either vector
+// has zero norm (a zero personalization vector matches nothing).
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Normalize scales v in place to unit L2 norm and returns v. A zero vector
+// is left unchanged.
+func Normalize(v []float64) []float64 {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Normalized returns a fresh unit-norm copy of v (or a zero copy when v is
+// the zero vector).
+func Normalized(v []float64) []float64 {
+	out := Clone(v)
+	return Normalize(out)
+}
+
+// Clone returns a copy of v. A nil input yields a nil output.
+func Clone(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element of v to 0.
+func Zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Add stores a+b into dst and returns dst. All three must share a length.
+func Add(dst, a, b []float64) []float64 {
+	checkLen3(dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// Sub stores a-b into dst and returns dst.
+func Sub(dst, a, b []float64) []float64 {
+	checkLen3(dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// Scale multiplies v in place by c and returns v.
+func Scale(v []float64, c float64) []float64 {
+	for i := range v {
+		v[i] *= c
+	}
+	return v
+}
+
+// AXPY performs dst += alpha*x, the workhorse of diffusion updates.
+func AXPY(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("vecmath: AXPY length mismatch %d != %d", len(dst), len(x)))
+	}
+	for i, xv := range x {
+		dst[i] += alpha * xv
+	}
+}
+
+// Lerp stores (1-t)*a + t*b into dst and returns dst.
+func Lerp(dst, a, b []float64, t float64) []float64 {
+	checkLen3(dst, a, b)
+	for i := range dst {
+		dst[i] = (1-t)*a[i] + t*b[i]
+	}
+	return dst
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|, the convergence residual used by the
+// diffusion engines.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: MaxAbsDiff length mismatch %d != %d", len(a), len(b)))
+	}
+	var m float64
+	for i, av := range a {
+		d := math.Abs(av - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// L1Diff returns sum_i |a[i]-b[i]|.
+func L1Diff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: L1Diff length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += math.Abs(av - b[i])
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// RandomUnit returns a vector drawn uniformly from the unit sphere in dim
+// dimensions (Gaussian draw, normalized).
+func RandomUnit(r *randx.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for {
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		if Norm(v) > 1e-12 {
+			break
+		}
+	}
+	return Normalize(v)
+}
+
+// RandomGaussian returns a vector with i.i.d. N(0, std²) entries.
+func RandomGaussian(r *randx.Rand, dim int, std float64) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = std * r.NormFloat64()
+	}
+	return v
+}
+
+func checkLen3(a, b, c []float64) {
+	if len(a) != len(b) || len(b) != len(c) {
+		panic(fmt.Sprintf("vecmath: length mismatch %d/%d/%d", len(a), len(b), len(c)))
+	}
+}

@@ -1,0 +1,224 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diffusearch/internal/randx"
+)
+
+const eps = 1e-9
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// genVecs builds two same-length vectors from quick-check raw material.
+func genVecs(raw []float64) (a, b []float64) {
+	n := len(raw) / 2
+	if n == 0 {
+		return []float64{1}, []float64{1}
+	}
+	a, b = make([]float64, n), make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Clamp to a sane range so products do not overflow.
+		a[i] = math.Mod(raw[i], 1e3)
+		b[i] = math.Mod(raw[n+i], 1e3)
+		if math.IsNaN(a[i]) {
+			a[i] = 0
+		}
+		if math.IsNaN(b[i]) {
+			b[i] = 0
+		}
+	}
+	return a, b
+}
+
+func TestDotBasic(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestDotSymmetry(t *testing.T) {
+	f := func(raw []float64) bool {
+		a, b := genVecs(raw)
+		return almost(Dot(a, b), Dot(b, a), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotLinearity(t *testing.T) {
+	f := func(raw []float64, cRaw float64) bool {
+		a, b := genVecs(raw)
+		c := math.Mod(cRaw, 100)
+		if math.IsNaN(c) {
+			c = 1
+		}
+		scaled := Clone(a)
+		Scale(scaled, c)
+		return almost(Dot(scaled, b), c*Dot(a, b), 1e-3*(1+math.Abs(c*Dot(a, b))))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCauchySchwarz(t *testing.T) {
+	f := func(raw []float64) bool {
+		a, b := genVecs(raw)
+		lhs := math.Abs(Dot(a, b))
+		rhs := Norm(a) * Norm(b)
+		return lhs <= rhs*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	r := randx.New(3)
+	for i := 0; i < 50; i++ {
+		v := RandomGaussian(r, 20, 5)
+		Normalize(v)
+		n1 := Norm(v)
+		Normalize(v)
+		n2 := Norm(v)
+		if !almost(n1, 1, eps) || !almost(n2, 1, eps) {
+			t.Fatalf("norms after normalize: %v, %v", n1, n2)
+		}
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	v := []float64{0, 0, 0}
+	Normalize(v)
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("zero vector must stay zero")
+		}
+	}
+	if Cosine(v, []float64{1, 0, 0}) != 0 {
+		t.Fatal("cosine with zero vector must be 0")
+	}
+}
+
+func TestNormalizedDoesNotAlias(t *testing.T) {
+	v := []float64{3, 4}
+	u := Normalized(v)
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatal("input mutated")
+	}
+	if !almost(u[0], 0.6, eps) || !almost(u[1], 0.8, eps) {
+		t.Fatalf("unexpected normalized value %v", u)
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		a, b := genVecs(raw)
+		c := Cosine(a, b)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineSelf(t *testing.T) {
+	r := randx.New(8)
+	for i := 0; i < 20; i++ {
+		v := RandomUnit(r, 16)
+		if !almost(Cosine(v, v), 1, 1e-9) {
+			t.Fatalf("cos(v,v) = %v", Cosine(v, v))
+		}
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		a, b := genVecs(raw)
+		dst := make([]float64, len(a))
+		Add(dst, a, b)
+		back := make([]float64, len(a))
+		Sub(back, dst, b)
+		return almost(MaxAbsDiff(back, a), 0, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	dst := []float64{1, 1}
+	AXPY(dst, 2, []float64{3, -1})
+	if dst[0] != 7 || dst[1] != -1 {
+		t.Fatalf("AXPY result %v", dst)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{5, 0}
+	dst := make([]float64, 2)
+	Lerp(dst, a, b, 0)
+	if MaxAbsDiff(dst, a) > eps {
+		t.Fatal("lerp(0) != a")
+	}
+	Lerp(dst, a, b, 1)
+	if MaxAbsDiff(dst, b) > eps {
+		t.Fatal("lerp(1) != b")
+	}
+}
+
+func TestSumAndZero(t *testing.T) {
+	v := []float64{1, 2, 3.5}
+	if Sum(v) != 6.5 {
+		t.Fatalf("Sum = %v", Sum(v))
+	}
+	Zero(v)
+	if Sum(v) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	if Clone(nil) != nil {
+		t.Fatal("Clone(nil) must be nil")
+	}
+}
+
+func TestRandomUnitNorm(t *testing.T) {
+	r := randx.New(77)
+	for i := 0; i < 30; i++ {
+		v := RandomUnit(r, 300)
+		if !almost(Norm(v), 1, 1e-9) {
+			t.Fatalf("unit vector norm %v", Norm(v))
+		}
+	}
+}
+
+func TestRandomUnitNearlyOrthogonalInHighDim(t *testing.T) {
+	// In 300-d, two random unit vectors should have |cos| well below 0.3.
+	r := randx.New(78)
+	a, b := RandomUnit(r, 300), RandomUnit(r, 300)
+	if c := math.Abs(Cosine(a, b)); c > 0.3 {
+		t.Fatalf("random 300-d unit vectors too aligned: %v", c)
+	}
+}
+
+func TestL1Diff(t *testing.T) {
+	if got := L1Diff([]float64{1, 2}, []float64{0, 4}); got != 3 {
+		t.Fatalf("L1Diff = %v", got)
+	}
+}
