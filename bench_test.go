@@ -2,7 +2,7 @@ package diffusearch_test
 
 // Benchmark harness: one benchmark per table/figure of the paper plus
 // micro-benchmarks for the hot paths and ablation benches for the design
-// choices called out in DESIGN.md §5.
+// choices described in PAPER.md and ROADMAP.md.
 //
 // The per-figure benchmarks run one full experiment iteration (placement →
 // personalization → diffusion-scored walks) on a scaled environment per
@@ -88,7 +88,7 @@ func BenchmarkTableI_M100(b *testing.B)  { benchmarkTableI(b, 100) }
 func BenchmarkTableI_M1000(b *testing.B) { benchmarkTableI(b, 1000) }
 func BenchmarkTableI_M3000(b *testing.B) { benchmarkTableI(b, 3000) }
 
-// --- Ablation benches (DESIGN.md §5) --------------------------------------
+// --- Ablation benches (design choices, see PAPER.md/ROADMAP.md) -----------
 
 func BenchmarkAblationParallelWalks(b *testing.B) {
 	env := benchEnvironment(b)
@@ -166,20 +166,91 @@ func BenchmarkDiffusionSyncStep(b *testing.B) {
 	}
 }
 
-func BenchmarkDiffusionAsyncFull(b *testing.B) {
+// --- BenchmarkDiffuse*: the diffusion engines and their fused kernels ------
+//
+// One full diffusion to convergence per b.N step over the shared
+// quarter-scale graph (~1,000 nodes), 16-d signal. The Parallel engine must
+// beat Asynchronous on wall clock and allocations (tracked in
+// BENCH_diffuse.json via cmd/benchjson).
+
+// diffuseInput builds the shared diffusion benchmark input.
+func diffuseInput(b *testing.B, dim int) (*graph.Transition, *vecmath.Matrix) {
+	b.Helper()
 	env := benchEnvironment(b)
 	tr := graph.NewTransition(env.Graph, graph.ColumnStochastic)
 	r := randx.New(3)
-	e0 := vecmath.NewMatrix(env.Graph.NumNodes(), 16)
+	e0 := vecmath.NewMatrix(env.Graph.NumNodes(), dim)
 	for u := 0; u < env.Graph.NumNodes(); u++ {
-		e0.SetRow(u, vecmath.RandomGaussian(r, 16, 1))
+		e0.SetRow(u, vecmath.RandomGaussian(r, dim, 1))
 	}
+	return tr, e0
+}
+
+func BenchmarkDiffuseAsynchronous(b *testing.B) {
+	tr, e0 := diffuseInput(b, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := diffuse.Asynchronous(tr, e0, diffuse.Params{Alpha: 0.5, Tol: 1e-6},
 			randx.New(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkDiffuseParallel(b *testing.B) {
+	tr, e0 := diffuseInput(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := diffuse.Parallel(tr, e0, diffuse.Params{Alpha: 0.5, Tol: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiffuseParallelSingleWorker isolates the frontier + fused-kernel
+// gain from multi-core parallelism.
+func BenchmarkDiffuseParallelSingleWorker(b *testing.B) {
+	tr, e0 := diffuseInput(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := diffuse.Parallel(tr, e0, diffuse.Params{Alpha: 0.5, Tol: 1e-6, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiffuseApplyRow measures the fused CSR edge-weight kernel alone:
+// one accumulate pass over every node's row of a 64-d signal.
+func BenchmarkDiffuseApplyRow(b *testing.B) {
+	tr, e0 := diffuseInput(b, 64)
+	n := tr.Graph().NumNodes()
+	dst := make([]float64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < n; u++ {
+			tr.ApplyRow(dst, u, 0.5, e0)
+		}
+	}
+}
+
+// BenchmarkDiffuseScalarApply measures the scalar CSR kernel behind
+// FastNodeScores (one Transition.Apply over the whole graph).
+func BenchmarkDiffuseScalarApply(b *testing.B) {
+	tr, _ := diffuseInput(b, 1)
+	n := tr.Graph().NumNodes()
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i%13) - 6
+	}
+	dst := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Apply(dst, src)
 	}
 }
 

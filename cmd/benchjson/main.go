@@ -1,0 +1,183 @@
+// Command benchjson measures the diffusion engines on the paper's workload
+// (a scaled environment with a realistic document placement, so E0 is the
+// sparse personalization matrix) and writes a machine-readable snapshot
+// (BENCH_diffuse.json) so CI can track the perf trajectory of the hottest
+// path.
+//
+// Three drivers are timed on the identical input: the seed repo's
+// goroutine-per-node "concurrent" driver (preserved in seedref.go as the
+// baseline the Parallel engine replaced), the deterministic Asynchronous
+// reference, and the residual-driven Parallel engine. Speedups are reported
+// against both baselines; gomaxprocs records how many cores the snapshot
+// machine offered (the Parallel engine's scaling headroom).
+//
+// Usage:
+//
+//	benchjson -scale 0.25 -docs 500 -alpha 0.5 -seed 42 -out BENCH_diffuse.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/expt"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+)
+
+type engineResult struct {
+	Engine         string  `json:"engine"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	Sweeps         int     `json:"sweeps,omitempty"`
+	Updates        int64   `json:"updates"`
+	Messages       int64   `json:"messages"`
+	SpeedupVsSeed  float64 `json:"speedup_vs_seed"`
+	SpeedupVsAsync float64 `json:"speedup_vs_async"`
+}
+
+type snapshot struct {
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Nodes      int            `json:"nodes"`
+	Edges      int            `json:"edges"`
+	Docs       int            `json:"docs"`
+	Dim        int            `json:"dim"`
+	Alpha      float64        `json:"alpha"`
+	Tol        float64        `json:"tol"`
+	Seed       uint64         `json:"seed"`
+	Engines    []engineResult `json:"engines"`
+}
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.25, "environment scale in (0,1]")
+		docs  = flag.Int("docs", 500, "documents placed (gold + irrelevant pool)")
+		alpha = flag.Float64("alpha", 0.5, "PPR teleport probability")
+		tol   = flag.Float64("tol", 1e-6, "convergence tolerance")
+		seed  = flag.Uint64("seed", 42, "master seed")
+		out   = flag.String("out", "BENCH_diffuse.json", "output path")
+	)
+	flag.Parse()
+	if err := run(*scale, *docs, *alpha, *tol, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string) error {
+	env, err := expt.NewEnvironment(expt.ScaledParams(seed, scale))
+	if err != nil {
+		return err
+	}
+	if numDocs > env.MaxPoolDocs() {
+		numDocs = env.MaxPoolDocs()
+	}
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.Derive(seed, "benchjson")
+	pair := env.Bench.SamplePair(r)
+	docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, numDocs-1)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		return err
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		return err
+	}
+	e0 := net.PersonalizationMatrix()
+	tr := net.Transition()
+	params := diffuse.Params{Alpha: alpha, Tol: tol}
+
+	snap := snapshot{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Nodes:      env.Graph.NumNodes(),
+		Edges:      env.Graph.NumEdges(),
+		Docs:       numDocs,
+		Dim:        e0.Cols(),
+		Alpha:      alpha,
+		Tol:        tol,
+		Seed:       seed,
+	}
+
+	type driver struct {
+		name string
+		fn   func() (diffuse.Stats, error)
+	}
+	drivers := []driver{
+		{"seed-concurrent", func() (diffuse.Stats, error) {
+			_, st, err := seedConcurrent(tr, e0, alpha, tol, 2*time.Minute)
+			return st, err
+		}},
+		{"async", func() (diffuse.Stats, error) {
+			_, st, err := diffuse.Run(diffuse.EngineAsynchronous, tr, e0, params, seed)
+			return st, err
+		}},
+		{"parallel", func() (diffuse.Stats, error) {
+			_, st, err := diffuse.Run(diffuse.EngineParallel, tr, e0, params, seed)
+			return st, err
+		}},
+	}
+
+	var seedNs, asyncNs int64
+	for _, d := range drivers {
+		st, err := d.fn()
+		if err != nil {
+			return fmt.Errorf("driver %s: %w", d.name, err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		er := engineResult{
+			Engine:      d.name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Sweeps:      st.Sweeps,
+			Updates:     st.Updates,
+			Messages:    st.Messages,
+		}
+		switch d.name {
+		case "seed-concurrent":
+			seedNs = er.NsPerOp
+		case "async":
+			asyncNs = er.NsPerOp
+		}
+		snap.Engines = append(snap.Engines, er)
+	}
+	// Cross-speedups need every driver timed first; fill them in one pass.
+	for i := range snap.Engines {
+		er := &snap.Engines[i]
+		if er.NsPerOp <= 0 {
+			continue
+		}
+		er.SpeedupVsSeed = float64(seedNs) / float64(er.NsPerOp)
+		er.SpeedupVsAsync = float64(asyncNs) / float64(er.NsPerOp)
+		fmt.Printf("%-16s %12d ns/op %10d B/op %8d allocs/op  updates=%d messages=%d speedup_vs_seed=%.2fx\n",
+			er.Engine, er.NsPerOp, er.BytesPerOp, er.AllocsPerOp, er.Updates, er.Messages, er.SpeedupVsSeed)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

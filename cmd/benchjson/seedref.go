@@ -1,4 +1,12 @@
-package diffuse
+package main
+
+// seedConcurrent is the repo's original "realistic" diffusion driver,
+// preserved verbatim as the benchmark baseline for BENCH_diffuse.json: one
+// goroutine per node, map mailboxes, and a sleep-polling quiescence
+// detector. The library replaced it with diffuse.Parallel (fixed worker
+// pool, residual-driven frontier, pending-counter quiescence); keeping the
+// old driver here lets every snapshot quantify that replacement on the
+// same input.
 
 import (
 	"fmt"
@@ -6,39 +14,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"diffusearch/internal/diffuse"
 	"diffusearch/internal/graph"
 	"diffusearch/internal/vecmath"
 )
 
-// ConcurrentParams configure the goroutine-per-node driver.
-type ConcurrentParams struct {
-	Alpha   float64
-	Tol     float64       // quiescence tolerance; 0 means DefaultTol
-	Timeout time.Duration // wall-clock budget; 0 means 10s
-}
-
-// Concurrent runs the diffusion with one goroutine per node. Peers push
-// their embedding to neighbour mailboxes whenever it changes by more than a
-// quarter of the tolerance; the run ends when the network quiesces (no
-// dirty node and no update in flight) or the timeout expires.
-//
-// Memory is O(|E|·dim) for the mailboxes — this driver exists to
-// demonstrate and test real asynchronous message passing, not to run the
-// full-scale experiments (those use Asynchronous).
-func Concurrent(tr *graph.Transition, e0 *vecmath.Matrix, p ConcurrentParams) (*vecmath.Matrix, Stats, error) {
-	if p.Alpha <= 0 || p.Alpha > 1 {
-		return nil, Stats{}, fmt.Errorf("diffuse: teleport probability %v out of (0,1]", p.Alpha)
+func seedConcurrent(tr *graph.Transition, e0 *vecmath.Matrix, alpha, tol float64, timeout time.Duration) (*vecmath.Matrix, diffuse.Stats, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, diffuse.Stats{}, fmt.Errorf("seedref: teleport probability %v out of (0,1]", alpha)
 	}
 	g := tr.Graph()
 	n := g.NumNodes()
-	if e0.Rows() != n {
-		return nil, Stats{}, fmt.Errorf("diffuse: signal has %d rows, graph has %d nodes", e0.Rows(), n)
-	}
-	tol := p.Tol
 	if tol <= 0 {
-		tol = DefaultTol
+		tol = diffuse.DefaultTol
 	}
-	timeout := p.Timeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
@@ -116,10 +105,10 @@ func Concurrent(tr *graph.Transition, e0 *vecmath.Matrix, p ConcurrentParams) (*
 			vecmath.Zero(scratch)
 			for _, v := range g.Neighbors(u) {
 				if emb, ok := cache[v]; ok {
-					vecmath.AXPY(scratch, (1-p.Alpha)*tr.Weight(u, v), emb)
+					vecmath.AXPY(scratch, (1-alpha)*tr.Weight(u, v), emb)
 				}
 			}
-			vecmath.AXPY(scratch, p.Alpha, e0.Row(u))
+			vecmath.AXPY(scratch, alpha, e0.Row(u))
 			ps.mu.Lock()
 			change := vecmath.MaxAbsDiff(ps.own, scratch)
 			copy(ps.own, scratch)
@@ -162,13 +151,11 @@ func Concurrent(tr *graph.Transition, e0 *vecmath.Matrix, p ConcurrentParams) (*
 	}
 
 	// Quiescence detection: no busy worker and no dirty mailbox, observed
-	// stably. Deliveries happen before busy is decremented, so a (busy=0,
-	// dirty=0) observation implies no work exists anywhere.
+	// stably — by sleep polling, the pattern the new engine retired.
 	deadline := time.Now().Add(timeout)
 	quiesced := false
 	for time.Now().Before(deadline) {
 		if busy.Load() == 0 && dirty.Load() == 0 {
-			// Confirm after a scheduling pause to let in-flight wake-ups land.
 			time.Sleep(200 * time.Microsecond)
 			if busy.Load() == 0 && dirty.Load() == 0 {
 				quiesced = true
@@ -185,14 +172,14 @@ func Concurrent(tr *graph.Transition, e0 *vecmath.Matrix, p ConcurrentParams) (*
 	for u := 0; u < n; u++ {
 		out.SetRow(u, peers[u].own)
 	}
-	st := Stats{
+	st := diffuse.Stats{
 		Updates:   updates.Load(),
 		Messages:  messages.Load(),
 		Residual:  pushTol,
 		Converged: quiesced,
 	}
 	if !quiesced {
-		return out, st, fmt.Errorf("%w within %v", ErrNoConvergence, timeout)
+		return out, st, fmt.Errorf("seedref: did not quiesce within %v", timeout)
 	}
 	return out, st, nil
 }

@@ -1,10 +1,10 @@
 // Command dfsearch runs one end-to-end decentralized search demo: generate
 // the network and corpus, place documents, diffuse embeddings with the
-// asynchronous PPR algorithm, then walk a query and print the trace.
+// selected PPR engine, then walk a query and print the trace.
 //
 // Usage:
 //
-//	dfsearch -nodes 1000 -docs 500 -alpha 0.5 -ttl 50 -seed 42
+//	dfsearch -nodes 1000 -docs 500 -alpha 0.5 -ttl 50 -seed 42 -engine parallel
 package main
 
 import (
@@ -18,21 +18,26 @@ import (
 
 func main() {
 	var (
-		nodes = flag.Int("nodes", 1000, "P2P network size")
-		docs  = flag.Int("docs", 500, "documents stored in the network (1 gold + rest irrelevant)")
-		alpha = flag.Float64("alpha", 0.5, "PPR teleport probability")
-		ttl   = flag.Int("ttl", 50, "query hop budget")
-		seed  = flag.Uint64("seed", 42, "master seed")
-		k     = flag.Int("k", 3, "tracked results per query")
+		nodes  = flag.Int("nodes", 1000, "P2P network size")
+		docs   = flag.Int("docs", 500, "documents stored in the network (1 gold + rest irrelevant)")
+		alpha  = flag.Float64("alpha", 0.5, "PPR teleport probability")
+		ttl    = flag.Int("ttl", 50, "query hop budget")
+		seed   = flag.Uint64("seed", 42, "master seed")
+		k      = flag.Int("k", 3, "tracked results per query")
+		engine = flag.String("engine", "parallel", "diffusion engine: async|parallel")
 	)
 	flag.Parse()
-	if err := run(*nodes, *docs, *alpha, *ttl, *seed, *k); err != nil {
+	if err := run(*nodes, *docs, *alpha, *ttl, *seed, *k, *engine); err != nil {
 		fmt.Fprintln(os.Stderr, "dfsearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, docs int, alpha float64, ttl int, seed uint64, k int) error {
+func run(nodes, docs int, alpha float64, ttl int, seed uint64, k int, engine string) error {
+	eng, err := diffusearch.ParseEngine(engine)
+	if err != nil {
+		return err
+	}
 	scale := float64(nodes) / 4039
 	env, err := diffusearch.NewScaledEnvironment(seed, scale)
 	if err != nil {
@@ -56,12 +61,12 @@ func run(nodes, docs int, alpha float64, ttl int, seed uint64, k int) error {
 	}
 
 	start := time.Now()
-	st, err := net.DiffuseAsync(alpha, 0, seed)
+	st, err := net.Diffuse(eng, diffusearch.DiffusionParams{Alpha: alpha}, seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("diffusion: α=%.2f converged after %d sweeps, %d embedding exchanges (%v)\n",
-		alpha, st.Sweeps, st.Messages, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("diffusion: engine=%v α=%.2f converged after %d sweeps, %d embedding exchanges (%v)\n",
+		eng, alpha, st.Sweeps, st.Messages, time.Since(start).Round(time.Millisecond))
 
 	goldHost := net.HostOf(pair.Gold)
 	query := env.Bench.Vocabulary().Vector(pair.Query)

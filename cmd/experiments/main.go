@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation (§V) plus the ablations listed in DESIGN.md §5.
+// evaluation (§V) plus the repo's ablation extensions (see ROADMAP.md).
 //
 // Usage:
 //
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|all")
+		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|all")
 		seed  = flag.Uint64("seed", 42, "master seed (all results are deterministic in it)")
 		quick = flag.Bool("quick", false, "scaled-down environment and iteration counts")
 		iters = flag.Int("iters", 0, "override iteration count (0 = experiment default)")
@@ -73,9 +73,10 @@ func run(exp string, seed uint64, quick bool, iters int, csv bool) error {
 		"visited":   r.visited,
 		"baselines": r.baselines,
 		"norm":      r.norm,
+		"diffusion": r.diffusion,
 	}
 	if exp == "all" {
-		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm"} {
+		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion"} {
 			if err := known[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -243,6 +244,19 @@ func (r *runner) baselines() error {
 		return err
 	}
 	r.emit("abl-baselines — PPR walk vs blind walk vs flooding (M=100, α=0.5)", expt.FormatCompare(rows))
+	return nil
+}
+
+func (r *runner) diffusion() error {
+	start := time.Now()
+	rows, err := expt.CompareDiffusionEngines(r.env, expt.DiffusionConfig{
+		M: 1000, Alpha: 0.5, Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	r.emit(fmt.Sprintf("diffusion — engine comparison on identical E0 (M=1000, α=0.5, %v)",
+		time.Since(start).Round(time.Millisecond)), expt.FormatDiffusion(rows))
 	return nil
 }
 

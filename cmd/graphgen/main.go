@@ -1,6 +1,6 @@
 // Command graphgen generates P2P topologies, prints their statistics, and
 // optionally writes a SNAP-style edge list. The social model validates the
-// Facebook social-circles substitution of DESIGN.md §3.
+// Facebook social-circles substitution (see PAPER.md).
 //
 // Usage:
 //

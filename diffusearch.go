@@ -25,6 +25,7 @@ package diffusearch
 
 import (
 	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
 	"diffusearch/internal/embed"
 	"diffusearch/internal/expt"
 	"diffusearch/internal/gengraph"
@@ -76,6 +77,21 @@ type (
 	Result = retrieval.Result
 	// Environment bundles a topology with a mined workload.
 	Environment = expt.Environment
+	// DiffusionEngine selects a diffusion driver (async reference or the
+	// residual-driven parallel engine).
+	DiffusionEngine = diffuse.Engine
+	// DiffusionParams configure one diffusion run.
+	DiffusionParams = diffuse.Params
+	// DiffusionStats report one diffusion run (updates, messages, sweeps).
+	DiffusionStats = diffuse.Stats
+)
+
+// Diffusion engines (§IV-B). EngineAsynchronous is the deterministic
+// sequential reference; EngineParallel is the residual-driven frontier
+// engine on a fixed worker pool.
+const (
+	EngineAsynchronous = diffuse.EngineAsynchronous
+	EngineParallel     = diffuse.EngineParallel
 )
 
 // Visited-avoidance modes (§IV-C).
@@ -99,6 +115,11 @@ var (
 	UniformHosts = core.UniformHosts
 	// NewRand returns a deterministic PRNG for the given seed.
 	NewRand = randx.New
+	// ParseEngine maps a command-line name (async|parallel) to an engine.
+	ParseEngine = diffuse.ParseEngine
+	// RunDiffusion dispatches one diffusion over a transition operator to
+	// the selected engine, without going through a Network.
+	RunDiffusion = diffuse.Run
 )
 
 // NewPaperEnvironment builds the full-scale evaluation setting of §V: a

@@ -1,0 +1,3 @@
+module diffusearch
+
+go 1.24

@@ -13,7 +13,6 @@ import (
 	"diffusearch/internal/embed"
 	"diffusearch/internal/graph"
 	"diffusearch/internal/ppr"
-	"diffusearch/internal/randx"
 	"diffusearch/internal/retrieval"
 	"diffusearch/internal/vecmath"
 )
@@ -30,8 +29,9 @@ var (
 )
 
 // Network is the simulated P2P search network. Construct with NewNetwork,
-// then: PlaceDocuments → ComputePersonalization → DiffuseSync/DiffuseAsync
-// (or skip diffusion and use fast scalar scoring) → RunQuery.
+// then: PlaceDocuments → ComputePersonalization → Diffuse (selecting an
+// engine) / DiffuseSync / DiffuseAsync / DiffuseParallel (or skip diffusion
+// and use fast scalar scoring) → RunQuery.
 type Network struct {
 	g     *graph.Graph
 	tr    *graph.Transition
@@ -52,7 +52,7 @@ type Network struct {
 type Option func(*Network)
 
 // WithNormalization selects the transition-matrix normalization (default
-// ColumnStochastic, see DESIGN.md §6).
+// ColumnStochastic, the paper's choice).
 func WithNormalization(norm graph.Normalization) Option {
 	return func(n *Network) { n.tr = graph.NewTransition(n.g, norm) }
 }
@@ -206,21 +206,47 @@ func (n *Network) DiffuseWithFilter(f ppr.Filter) (ppr.Stats, error) {
 	return st, nil
 }
 
-// DiffuseAsync diffuses E0 with the decentralized asynchronous algorithm of
-// §IV-B (seeded, deterministic). tol ≤ 0 selects the default tolerance.
-func (n *Network) DiffuseAsync(alpha, tol float64, seed uint64) (diffuse.Stats, error) {
+// Diffuse runs the decentralized diffusion of §IV-B with the selected
+// engine and stores the diffused embeddings. tol ≤ 0 selects the default
+// tolerance; seed drives the Asynchronous engine's update schedule and is
+// ignored by the schedule-independent Parallel engine.
+func (n *Network) Diffuse(engine diffuse.Engine, p diffuse.Params, seed uint64) (diffuse.Stats, error) {
 	if n.perso == nil {
 		return diffuse.Stats{}, ErrNoPersonalization
 	}
-	emb, st, err := diffuse.Asynchronous(n.tr, n.perso, diffuse.Params{Alpha: alpha, Tol: tol},
-		randx.Derive(seed, "core", "diffusion"))
+	emb, st, err := diffuse.Run(engine, n.tr, n.perso, p, seed)
 	if err != nil {
 		return st, err
 	}
 	n.emb = emb
-	n.alpha = alpha
+	n.alpha = p.Alpha
 	return st, nil
 }
+
+// DiffuseAsync diffuses E0 with the deterministic sequential reference
+// engine (seeded randomized single-node updates). tol ≤ 0 selects the
+// default tolerance. Equivalent to Diffuse(EngineAsynchronous, ...): the
+// same seed yields bit-for-bit the same result through either entry point.
+func (n *Network) DiffuseAsync(alpha, tol float64, seed uint64) (diffuse.Stats, error) {
+	return n.Diffuse(diffuse.EngineAsynchronous, diffuse.Params{Alpha: alpha, Tol: tol}, seed)
+}
+
+// DiffuseParallel diffuses E0 with the residual-driven parallel engine
+// (workers ≤ 0 selects GOMAXPROCS). tol ≤ 0 selects the default tolerance.
+func (n *Network) DiffuseParallel(alpha, tol float64, workers int) (diffuse.Stats, error) {
+	return n.Diffuse(diffuse.EngineParallel, diffuse.Params{Alpha: alpha, Tol: tol, Workers: workers}, 0)
+}
+
+// PersonalizationMatrix returns the full E0 matrix (one personalization
+// vector per row), or nil before ComputePersonalization. The matrix aliases
+// network state and must not be mutated; the experiment harness reads it to
+// drive diffusion-engine comparisons.
+func (n *Network) PersonalizationMatrix() *vecmath.Matrix { return n.perso }
+
+// Transition returns the network's normalized adjacency operator (with its
+// materialized CSR edge weights), so harnesses can run diffusions on the
+// identical operator without rebuilding the O(|E|) weights array.
+func (n *Network) Transition() *graph.Transition { return n.tr }
 
 // NodeEmbedding returns the diffused embedding of node u (vector mode).
 func (n *Network) NodeEmbedding(u graph.NodeID) ([]float64, error) {

@@ -3,7 +3,6 @@ package diffuse
 import (
 	"errors"
 	"testing"
-	"time"
 
 	"diffusearch/internal/gengraph"
 	"diffusearch/internal/graph"
@@ -149,73 +148,45 @@ func TestAsynchronousAlphaOneKeepsPersonalization(t *testing.T) {
 	}
 }
 
-func TestConcurrentMatchesSynchronousFixedPoint(t *testing.T) {
+func TestRunDispatchesEngines(t *testing.T) {
 	g := gengraph.ErdosRenyi(40, 0.15, 10)
 	g, _ = g.LargestComponent()
 	tr := graph.NewTransition(g, graph.ColumnStochastic)
 	e0 := randomSignal(9, g.NumNodes(), 4)
 	want := syncFixedPoint(t, tr, e0, 0.4)
-	got, st, err := Concurrent(tr, e0, ConcurrentParams{Alpha: 0.4, Tol: 1e-8, Timeout: 30 * time.Second})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !st.Converged {
-		t.Fatal("concurrent run did not quiesce")
-	}
-	if st.Messages == 0 || st.Updates == 0 {
-		t.Fatal("stats must be populated")
-	}
-	// The push threshold bounds each neighbour's staleness; allow a
-	// proportional band.
-	if d := vecmath.MaxAbsDiffMatrix(got, want); d > 1e-4 {
-		t.Fatalf("concurrent result differs from fixed point by %g", d)
-	}
-}
-
-func TestConcurrentOnStarGraph(t *testing.T) {
-	// A hub with many leaves exercises mailbox coalescing.
-	g := gengraph.Star(30)
-	tr := graph.NewTransition(g, graph.ColumnStochastic)
-	e0 := randomSignal(10, g.NumNodes(), 3)
-	want := syncFixedPoint(t, tr, e0, 0.5)
-	got, _, err := Concurrent(tr, e0, ConcurrentParams{Alpha: 0.5, Tol: 1e-8, Timeout: 30 * time.Second})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if d := vecmath.MaxAbsDiffMatrix(got, want); d > 1e-4 {
-		t.Fatalf("star graph result off by %g", d)
-	}
-}
-
-func TestConcurrentValidation(t *testing.T) {
-	g := gengraph.Star(5)
-	tr := graph.NewTransition(g, graph.ColumnStochastic)
-	e0 := randomSignal(11, g.NumNodes(), 2)
-	if _, _, err := Concurrent(tr, e0, ConcurrentParams{Alpha: -1}); err == nil {
-		t.Fatal("bad alpha must error")
-	}
-	bad := randomSignal(12, 2, 2)
-	if _, _, err := Concurrent(tr, bad, ConcurrentParams{Alpha: 0.5}); err == nil {
-		t.Fatal("row mismatch must error")
-	}
-}
-
-func TestConcurrentIsolatedNodes(t *testing.T) {
-	// Isolated nodes have no neighbours: their embedding must settle at
-	// alpha·e0 (no incoming mass).
-	b := graph.NewBuilder(3)
-	b.AddEdge(0, 1)
-	g := b.Build()
-	tr := graph.NewTransition(g, graph.ColumnStochastic)
-	e0 := randomSignal(13, 3, 2)
-	got, _, err := Concurrent(tr, e0, ConcurrentParams{Alpha: 0.5, Timeout: 10 * time.Second})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for j := 0; j < 2; j++ {
-		want := 0.5 * e0.At(2, j)
-		if diff := got.At(2, j) - want; diff > 1e-9 || diff < -1e-9 {
-			t.Fatalf("isolated node embedding %g, want %g", got.At(2, j), want)
+	for _, eng := range []Engine{EngineAsynchronous, EngineParallel} {
+		got, st, err := Run(eng, tr, e0, Params{Alpha: 0.4, Tol: 1e-8}, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
 		}
+		if !st.Converged {
+			t.Fatalf("%v: not converged", eng)
+		}
+		if d := vecmath.MaxAbsDiffMatrix(got, want); d > 1e-4 {
+			t.Fatalf("%v differs from fixed point by %g", eng, d)
+		}
+	}
+	if _, _, err := Run(Engine(99), tr, e0, Params{Alpha: 0.4}, 7); err == nil {
+		t.Fatal("unknown engine must error")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for name, want := range map[string]Engine{
+		"async": EngineAsynchronous, "asynchronous": EngineAsynchronous, "parallel": EngineParallel,
+	} {
+		got, err := ParseEngine(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseEngine(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		if !got.Valid() {
+			t.Fatalf("%v must be valid", got)
+		}
+		if got.String() == "" {
+			t.Fatalf("%v must have a name", got)
+		}
+	}
+	if _, err := ParseEngine("mailboxes"); err == nil {
+		t.Fatal("unknown engine name must error")
 	}
 }

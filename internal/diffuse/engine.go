@@ -1,0 +1,63 @@
+package diffuse
+
+import (
+	"fmt"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+// Engine selects a diffusion driver. The engines reach the same PPR fixed
+// point (within tolerance); they differ in scheduling and cost model.
+type Engine int
+
+const (
+	// EngineAsynchronous is the deterministic sequential reference: seeded
+	// randomized single-node updates, bit-for-bit reproducible.
+	EngineAsynchronous Engine = iota + 1
+	// EngineParallel is the residual-driven frontier engine on a fixed
+	// worker pool — the fast path for large graphs and live serving.
+	EngineParallel
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineAsynchronous:
+		return "async"
+	case EngineParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Valid reports whether e is a known engine.
+func (e Engine) Valid() bool {
+	return e == EngineAsynchronous || e == EngineParallel
+}
+
+// ParseEngine maps a command-line name to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "async", "asynchronous":
+		return EngineAsynchronous, nil
+	case "parallel":
+		return EngineParallel, nil
+	}
+	return 0, fmt.Errorf("diffuse: unknown engine %q (want async|parallel)", s)
+}
+
+// Run dispatches one diffusion to the selected engine. seed feeds the
+// Asynchronous engine's update schedule and is ignored by Parallel (whose
+// result is schedule-independent).
+func Run(e Engine, tr *graph.Transition, e0 *vecmath.Matrix, p Params, seed uint64) (*vecmath.Matrix, Stats, error) {
+	switch e {
+	case EngineAsynchronous:
+		return Asynchronous(tr, e0, p, randx.Derive(seed, "diffuse", "async"))
+	case EngineParallel:
+		return Parallel(tr, e0, p)
+	}
+	return nil, Stats{}, fmt.Errorf("diffuse: unknown engine %d", int(e))
+}

@@ -1,0 +1,311 @@
+package diffuse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/vecmath"
+)
+
+// frontierChunk is the number of frontier nodes a worker claims per grab.
+// Small enough to balance skewed degrees, large enough to amortize the
+// atomic increment.
+const frontierChunk = 128
+
+// Parallel runs the residual-driven diffusion: instead of sweeping every
+// node, it maintains an active frontier of nodes with significant unseen
+// incoming change (the Gauss–Southwell selection rule, per the PowerWalk
+// observation that converged regions of the graph need no further work). A
+// node sends on an edge once the change accumulated since that edge's last
+// send exceeds a receiver-aware threshold derived from tol/4 (see
+// pushState), which bounds every receiver's pending incoming influence even
+// at high-degree hubs. Each round recomputes the whole frontier from the
+// previous round's embeddings (block Jacobi on the active set), so the
+// result is deterministic regardless of scheduling or worker count.
+//
+// The frontier is processed by a fixed pool of p.Workers goroutines
+// (default GOMAXPROCS) that claim chunks through an atomic cursor and
+// append to per-shard scratch frontiers — no per-node goroutines, no map
+// mailboxes. Round completion is detected by a pending-work counter, never
+// by sleep polling.
+//
+// Stats.Messages counts one embedding transfer per edge send (plus the
+// initial neighbourhood announcement), the same gossip accounting as a
+// real deployment; targeted per-edge pushes make this strictly smaller
+// than sweeping engines on converging runs.
+//
+// The returned matrix holds one diffused node embedding per row. The input
+// e0 is not modified.
+func Parallel(tr *graph.Transition, e0 *vecmath.Matrix, p Params) (*vecmath.Matrix, Stats, error) {
+	if err := p.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	g := tr.Graph()
+	n := g.NumNodes()
+	if e0.Rows() != n {
+		return nil, Stats{}, fmt.Errorf("diffuse: signal has %d rows, graph has %d nodes", e0.Rows(), n)
+	}
+	tol, maxRounds := p.controls()
+	pushTol := tol / 4
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+
+	cur := e0.Clone()
+	if n == 0 {
+		return cur, Stats{Converged: true}, nil
+	}
+	next := vecmath.NewMatrix(n, e0.Cols())
+	resid := make([]float64, n)      // per-node change of the current round
+	queued := make([]atomic.Bool, n) // membership marks for the next frontier
+	frontier := make([]graph.NodeID, n)
+	for u := range frontier {
+		frontier[u] = u
+	}
+	edgeOff, edgeThr, edgeStale := pushState(tr, pushTol, p.Alpha)
+
+	shards := make([]parShard, workers)
+	pool := newWorkerPool(workers)
+	defer pool.close()
+	var cursor atomic.Int64
+
+	var st Stats
+	// Bootstrap accounting: every node announces e0 to its neighbourhood so
+	// the first round has inputs to read (Σ deg(u) = 2|E| messages).
+	st.Messages = 2 * int64(g.NumEdges())
+
+	for round := 1; round <= maxRounds; round++ {
+		// Compute phase: new value for every frontier node from the previous
+		// round's embeddings. Writes touch only next rows and resid slots of
+		// frontier nodes, reads only cur — no write conflicts.
+		cursor.Store(0)
+		pool.run(func(w int) {
+			sh := &shards[w]
+			for {
+				hi := int(cursor.Add(frontierChunk))
+				lo := hi - frontierChunk
+				if lo >= len(frontier) {
+					return
+				}
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				for _, u := range frontier[lo:hi] {
+					row := next.Row(u)
+					vecmath.Zero(row)
+					tr.ApplyRow(row, u, 1-p.Alpha, cur)
+					vecmath.AXPY(row, p.Alpha, e0.Row(u))
+					resid[u] = vecmath.MaxAbsDiff(cur.Row(u), row)
+					sh.updates++
+				}
+			}
+		})
+		// Commit phase: publish the new values and mark every neighbour of a
+		// significantly changed node for the next round. Marking races are
+		// resolved by CompareAndSwap so each node enters the frontier once.
+		// When the frontier covers every node the row copies are replaced by
+		// one buffer swap after the phase.
+		fullRound := len(frontier) == n
+		cursor.Store(0)
+		pool.run(func(w int) {
+			sh := &shards[w]
+			for {
+				hi := int(cursor.Add(frontierChunk))
+				lo := hi - frontierChunk
+				if lo >= len(frontier) {
+					return
+				}
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				for _, u := range frontier[lo:hi] {
+					if !fullRound {
+						copy(cur.Row(u), next.Row(u))
+					}
+					r := resid[u]
+					if r > sh.maxResid {
+						sh.maxResid = r
+					}
+					if r == 0 {
+						continue
+					}
+					// Push per edge on the change accumulated since that
+					// edge's last send, against a receiver-aware threshold —
+					// a flat per-sender cutoff would let many senders each
+					// drift just under it and leave a shared hub arbitrarily
+					// stale, while broadcasting every change spams receivers
+					// that are insensitive to this sender.
+					base := edgeOff[u]
+					for i, v := range g.Neighbors(u) {
+						es := edgeStale[base+i] + r
+						if es <= edgeThr[base+i] {
+							edgeStale[base+i] = es
+							continue
+						}
+						edgeStale[base+i] = 0
+						sh.messages++
+						// Test-and-test-and-set: on dense frontiers most
+						// neighbours are already queued, and the plain load
+						// dodges the expensive CAS for them.
+						if !queued[v].Load() && queued[v].CompareAndSwap(false, true) {
+							sh.next = append(sh.next, v)
+						}
+					}
+				}
+			}
+		})
+		if fullRound {
+			cur, next = next, cur
+		}
+		st.Sweeps = round
+		var roundResid float64
+		total := 0
+		for w := range shards {
+			sh := &shards[w]
+			st.Updates += sh.updates
+			st.Messages += sh.messages
+			if sh.maxResid > roundResid {
+				roundResid = sh.maxResid
+			}
+			sh.updates, sh.messages, sh.maxResid = 0, 0, 0
+			total += len(sh.next)
+		}
+		st.Residual = roundResid
+		// Converged when nothing was re-queued: every node's accumulated
+		// unsent change is below its push threshold, so every receiver's
+		// pending incoming influence is at most tol/4. A plain
+		// max-norm-residual stop would be unsound here — (1−α)A is not a
+		// max-norm contraction for column-stochastic hubs, so a small
+		// per-round change can hide a large pending hub update.
+		if total == 0 {
+			st.Converged = true
+			return cur, st, nil
+		}
+		frontier = frontier[:0]
+		for w := range shards {
+			sh := &shards[w]
+			for _, v := range sh.next {
+				queued[v].Store(false)
+				frontier = append(frontier, v)
+			}
+			sh.next = sh.next[:0]
+		}
+	}
+	return cur, st, fmt.Errorf("%w after %d rounds (residual %g)", ErrNoConvergence, maxRounds, st.Residual)
+}
+
+// pushState precomputes the CSR-aligned per-edge push thresholds (plus the
+// offsets indexing them and a zeroed staleness accumulator). Sender u's
+// unseen change enters receiver v's update as (1−α)·A[v][u]·stale(u,v);
+// granting each of v's deg(v) incoming edges an equal pushTol/deg(v) share
+// of v's error budget gives the send rule
+//
+//	send on (u,v) once stale(u,v) > pushTol / ((1−α)·A[v][u]·deg(v))
+//
+// which caps every receiver's total pending incoming influence at pushTol
+// no matter how many sub-threshold senders feed it (the high-degree-hub
+// case a flat per-sender cutoff gets wrong), while suppressing sends to
+// receivers that barely weight this sender (a hub need not spam its
+// leaves).
+func pushState(tr *graph.Transition, pushTol, alpha float64) (off []int, thr, stale []float64) {
+	g := tr.Graph()
+	n := g.NumNodes()
+	off = make([]int, n+1)
+	for u := 0; u < n; u++ {
+		off[u+1] = off[u] + g.Degree(u)
+	}
+	thr = make([]float64, off[n])
+	stale = make([]float64, off[n])
+	for u := 0; u < n; u++ {
+		base := off[u]
+		for i, v := range g.Neighbors(u) {
+			if d := (1 - alpha) * tr.Weight(v, u) * float64(g.Degree(v)); d > 0 {
+				thr[base+i] = pushTol / d
+			} else { // alpha == 1: no diffusion, nothing to announce
+				thr[base+i] = math.Inf(1)
+			}
+		}
+	}
+	return off, thr, stale
+}
+
+// parShard is the per-worker scratch state: a private slice of next-round
+// frontier members plus round counters, merged by the coordinator between
+// rounds so workers never contend on shared accumulators.
+type parShard struct {
+	next     []graph.NodeID
+	updates  int64
+	messages int64
+	maxResid float64
+	// Pad to 128 bytes (two cache lines) so adjacent shards in the slice
+	// never share a line however the allocator aligns it.
+	_ [128 - 48]byte
+}
+
+// workerPool is a fixed set of goroutines executing one function per phase.
+// Phase completion is signalled through a pending-work counter: the last
+// worker to finish posts to done, so the coordinator blocks on a channel
+// receive instead of sleep-polling shared state.
+type workerPool struct {
+	tasks   []chan func(worker int)
+	pending atomic.Int64
+	done    chan struct{}
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		tasks: make([]chan func(int), workers),
+		done:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := range p.tasks {
+		p.tasks[i] = make(chan func(int), 1)
+		go func(id int) {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.quit:
+					return
+				case fn := <-p.tasks[id]:
+					fn(id)
+					if p.pending.Add(-1) == 0 {
+						p.done <- struct{}{}
+					}
+				}
+			}
+		}(i)
+	}
+	return p
+}
+
+// run executes fn on every worker and returns when all have finished. A
+// one-worker pool runs fn inline: the coordinator is the shard, sparing the
+// channel round trip per phase.
+func (p *workerPool) run(fn func(worker int)) {
+	if len(p.tasks) == 1 {
+		fn(0)
+		return
+	}
+	p.pending.Store(int64(len(p.tasks)))
+	for i := range p.tasks {
+		p.tasks[i] <- fn
+	}
+	<-p.done
+}
+
+// close stops the workers. The pool must be idle.
+func (p *workerPool) close() {
+	close(p.quit)
+	p.wg.Wait()
+}

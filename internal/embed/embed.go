@@ -3,7 +3,7 @@
 // not shipped here, so Synthetic generates a vocabulary with the same
 // retrieval-relevant geometry: unit vectors clustered on the sphere so that
 // every word has same-cluster neighbours at cosine ≥ 0.6 while cross-cluster
-// cosines concentrate near zero (see DESIGN.md §3).
+// cosines concentrate near zero (see PAPER.md).
 package embed
 
 import (

@@ -1,0 +1,122 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/ppr"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/stats"
+	"diffusearch/internal/vecmath"
+)
+
+// DiffusionConfig parameterizes CompareDiffusionEngines: one realistic
+// placement, then every engine diffuses the same personalization matrix.
+type DiffusionConfig struct {
+	M       int     // documents to place; 0 means min(1000, pool)
+	Alpha   float64 // teleport probability; 0 means 0.5
+	Tol     float64 // convergence tolerance; 0 means the engine default
+	Workers int     // Parallel pool size; 0 means GOMAXPROCS
+	Seed    uint64
+	Engines []diffuse.Engine // nil means {Asynchronous, Parallel}
+}
+
+func (c DiffusionConfig) withDefaults(env *Environment) DiffusionConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.M <= 0 {
+		c.M = 1000
+	}
+	if c.M > env.MaxPoolDocs() {
+		c.M = env.MaxPoolDocs()
+	}
+	if len(c.Engines) == 0 {
+		c.Engines = []diffuse.Engine{diffuse.EngineAsynchronous, diffuse.EngineParallel}
+	}
+	return c
+}
+
+// DiffusionRow reports one engine's run: cost model (updates, messages,
+// sweeps), wall-clock time, and fidelity against the synchronous fixed
+// point of eq. 7.
+type DiffusionRow struct {
+	Engine        string
+	Wall          time.Duration
+	Sweeps        int
+	Updates       int64
+	Messages      int64
+	Residual      float64
+	MaxDiffVsSync float64
+	Converged     bool
+}
+
+// CompareDiffusionEngines places one realistic document set, computes E0,
+// and runs every configured engine on the identical input, reporting cost
+// and fidelity side by side. The first row is the reference engine for
+// speedup comparisons.
+func CompareDiffusionEngines(env *Environment, cfg DiffusionConfig) ([]DiffusionRow, error) {
+	cfg = cfg.withDefaults(env)
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.Derive(cfg.Seed, "diffusion-engines")
+	pair := env.Bench.SamplePair(r)
+	docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, cfg.M-1)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		return nil, err
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		return nil, err
+	}
+	e0 := net.PersonalizationMatrix()
+	tr := net.Transition() // reuse the network's materialized CSR weights
+	ref, _, err := (ppr.PPRFilter{Alpha: cfg.Alpha, Tol: 1e-12}).Apply(tr, e0)
+	if err != nil {
+		return nil, fmt.Errorf("expt: synchronous reference: %w", err)
+	}
+	rows := make([]DiffusionRow, 0, len(cfg.Engines))
+	for _, eng := range cfg.Engines {
+		start := time.Now()
+		out, st, err := diffuse.Run(eng, tr, e0, diffuse.Params{
+			Alpha: cfg.Alpha, Tol: cfg.Tol, Workers: cfg.Workers,
+		}, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("expt: engine %v: %w", eng, err)
+		}
+		rows = append(rows, DiffusionRow{
+			Engine:        eng.String(),
+			Wall:          time.Since(start),
+			Sweeps:        st.Sweeps,
+			Updates:       st.Updates,
+			Messages:      st.Messages,
+			Residual:      st.Residual,
+			MaxDiffVsSync: vecmath.MaxAbsDiffMatrix(out, ref),
+			Converged:     st.Converged,
+		})
+	}
+	return rows, nil
+}
+
+// FormatDiffusion renders CompareDiffusionEngines rows; speedup is
+// wall-clock relative to the first row.
+func FormatDiffusion(rows []DiffusionRow) *stats.Table {
+	t := &stats.Table{Header: []string{"engine", "wall", "speedup", "sweeps", "updates", "messages", "max|Δ| vs sync"}}
+	for _, r := range rows {
+		speedup := "n/a"
+		if r.Wall > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(rows[0].Wall)/float64(r.Wall))
+		}
+		t.AddRow(
+			r.Engine,
+			r.Wall.Round(time.Microsecond).String(),
+			speedup,
+			fmt.Sprintf("%d", r.Sweeps),
+			fmt.Sprintf("%d", r.Updates),
+			fmt.Sprintf("%d", r.Messages),
+			fmt.Sprintf("%.2g", r.MaxDiffVsSync),
+		)
+	}
+	return t
+}

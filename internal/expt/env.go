@@ -1,6 +1,6 @@
 // Package expt is the experiment harness: it implements the simulation
 // pipeline of Fig. 2 and regenerates every table and figure of the paper's
-// evaluation (§V) plus the ablations listed in DESIGN.md §5.
+// evaluation (§V) plus the repo's ablation extensions (see ROADMAP.md).
 package expt
 
 import (

@@ -2,7 +2,7 @@
 // reproduction. The paper evaluates on the SNAP Facebook social-circles
 // graph; that dataset is not redistributable here, so SocialCircles
 // synthesizes a community-structured small-world graph matched to its
-// published statistics (see DESIGN.md §3). Classic random-graph models are
+// published statistics (see PAPER.md). Classic random-graph models are
 // provided as baselines and test fixtures.
 package gengraph
 

@@ -21,10 +21,12 @@ type Graph struct {
 }
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate edges
-// and self-loops are dropped.
+// and self-loops are dropped. Adjacency is kept as append-only slices (no
+// per-node maps), so AddEdge is a pair of amortized O(1) appends; duplicates
+// are removed by a sort-dedup pass in Build.
 type Builder struct {
 	n   int
-	adj []map[NodeID]struct{}
+	adj [][]NodeID // unsorted, may hold duplicates until Build
 }
 
 // NewBuilder returns a Builder for a graph with n nodes.
@@ -32,7 +34,7 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
-	return &Builder{n: n, adj: make([]map[NodeID]struct{}, n)}
+	return &Builder{n: n, adj: make([][]NodeID, n)}
 }
 
 // AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
@@ -45,55 +47,71 @@ func (b *Builder) AddEdge(u, v NodeID) {
 	if u == v {
 		return
 	}
-	if b.adj[u] == nil {
-		b.adj[u] = make(map[NodeID]struct{})
-	}
-	if b.adj[v] == nil {
-		b.adj[v] = make(map[NodeID]struct{})
-	}
-	b.adj[u][v] = struct{}{}
-	b.adj[v][u] = struct{}{}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
 }
 
-// HasEdge reports whether {u,v} has been added.
+// HasEdge reports whether {u,v} has been added. The scan is linear in u's
+// current degree; generators that probe edges do so against low-degree
+// endpoints, where a scan beats a map lookup.
 func (b *Builder) HasEdge(u, v NodeID) bool {
-	if u < 0 || u >= b.n || v < 0 || v >= b.n || b.adj[u] == nil {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		return false
 	}
-	_, ok := b.adj[u][v]
-	return ok
+	for _, w := range b.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
 }
 
-// Degree returns the current degree of u inside the builder.
+// Degree returns the current degree of u inside the builder, counting each
+// distinct neighbour once regardless of duplicate AddEdge calls. The list
+// is sorted and deduplicated in place (allocation-free; amortized cheap
+// when queried repeatedly between insertions).
 func (b *Builder) Degree(u NodeID) int {
-	if b.adj[u] == nil {
-		return 0
-	}
+	ns := b.adj[u]
+	sort.Ints(ns)
+	b.adj[u] = dedupSorted(ns)
 	return len(b.adj[u])
 }
 
 // NumNodes returns the node count the builder was created with.
 func (b *Builder) NumNodes() int { return b.n }
 
-// Build freezes the accumulated edges into an immutable Graph.
+// Build freezes the accumulated edges into an immutable Graph. Each
+// adjacency list is sorted and deduplicated in place, then packed into the
+// CSR arrays.
 func (b *Builder) Build() *Graph {
-	offsets := make([]int, b.n+1)
 	total := 0
 	for u := 0; u < b.n; u++ {
-		offsets[u] = total
-		total += len(b.adj[u])
+		ns := b.adj[u]
+		sort.Ints(ns)
+		ns = dedupSorted(ns)
+		b.adj[u] = ns
+		total += len(ns)
 	}
-	offsets[b.n] = total
+	offsets := make([]int, b.n+1)
 	neighbors := make([]NodeID, total)
+	pos := 0
 	for u := 0; u < b.n; u++ {
-		i := offsets[u]
-		for v := range b.adj[u] {
-			neighbors[i] = v
-			i++
-		}
-		sort.Ints(neighbors[offsets[u]:offsets[u+1]])
+		offsets[u] = pos
+		pos += copy(neighbors[pos:], b.adj[u])
 	}
+	offsets[b.n] = pos
 	return &Graph{offsets: offsets, neighbors: neighbors, numEdges: total / 2}
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice in place.
+func dedupSorted(ns []NodeID) []NodeID {
+	out := ns[:0]
+	for i, v := range ns {
+		if i == 0 || v != ns[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // FromEdges builds a graph with n nodes from an explicit edge list.

@@ -18,6 +18,31 @@ func path(n int) *Graph {
 }
 
 // triangle returns K3.
+func TestBuilderDuplicateEdgesAndDegree(t *testing.T) {
+	// AddEdge appends blindly; Degree and Build must both see each distinct
+	// neighbour once, however many times (and in whatever interleaving) the
+	// edge was added.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, reversed
+	if d := b.Degree(0); d != 1 {
+		t.Fatalf("Degree(0) = %d after duplicate insert, want 1", d)
+	}
+	b.AddEdge(0, 2) // interleave more inserts after a Degree call
+	b.AddEdge(0, 1) // duplicate again, post-dedup
+	b.AddEdge(0, 3)
+	if d := b.Degree(0); d != 3 {
+		t.Fatalf("Degree(0) = %d, want 3", d)
+	}
+	if !b.HasEdge(0, 1) || b.HasEdge(1, 2) {
+		t.Fatal("HasEdge wrong after duplicate inserts")
+	}
+	g := b.Build()
+	if g.NumEdges() != 3 || g.Degree(0) != 3 || g.Degree(1) != 1 {
+		t.Fatalf("built graph wrong: edges=%d deg0=%d deg1=%d", g.NumEdges(), g.Degree(0), g.Degree(1))
+	}
+}
+
 func triangle() *Graph {
 	return FromEdges(3, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}})
 }

@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"math"
+
+	"diffusearch/internal/vecmath"
 )
 
 // Normalization selects how the adjacency matrix is turned into the
@@ -50,14 +52,21 @@ func (n Normalization) Valid() bool {
 // Transition provides the weights of the normalized adjacency operator for
 // one graph. Weight(u, v) is A[u][v] for an edge {u,v}; the operator is only
 // defined on edges.
+//
+// The weights are materialized once into a CSR-aligned array (weights[i]
+// corresponds to the i-th entry of the graph's neighbor array), so the
+// diffusion kernels stream edge weights linearly instead of re-deriving
+// them branch-per-edge from node degrees.
 type Transition struct {
 	g       *Graph
 	norm    Normalization
 	invDeg  []float64
 	invSqrt []float64
+	weights []float64 // CSR-aligned: weights[i] = A[u][neighbors[i]]
 }
 
-// NewTransition precomputes degree normalizers for g under norm.
+// NewTransition precomputes degree normalizers and the CSR-aligned edge
+// weights for g under norm.
 func NewTransition(g *Graph, norm Normalization) *Transition {
 	if !norm.Valid() {
 		panic(fmt.Sprintf("graph: invalid normalization %d", int(norm)))
@@ -70,6 +79,26 @@ func NewTransition(g *Graph, norm Normalization) *Transition {
 		if d := g.Degree(u); d > 0 {
 			t.invDeg[u] = 1 / float64(d)
 			t.invSqrt[u] = 1 / math.Sqrt(float64(d))
+		}
+	}
+	t.weights = make([]float64, len(g.neighbors))
+	for u := 0; u < n; u++ {
+		start, end := g.offsets[u], g.offsets[u+1]
+		switch norm {
+		case ColumnStochastic:
+			for i := start; i < end; i++ {
+				t.weights[i] = t.invDeg[g.neighbors[i]]
+			}
+		case RowStochastic:
+			w := t.invDeg[u]
+			for i := start; i < end; i++ {
+				t.weights[i] = w
+			}
+		default: // Symmetric
+			w := t.invSqrt[u]
+			for i := start; i < end; i++ {
+				t.weights[i] = w * t.invSqrt[g.neighbors[i]]
+			}
 		}
 	}
 	return t
@@ -95,6 +124,32 @@ func (t *Transition) Weight(u, v NodeID) float64 {
 	}
 }
 
+// Weights returns the edge weights of u's CSR row: Weights(u)[i] is
+// A[u][Neighbors(u)[i]]. The returned slice aliases internal storage and
+// must not be mutated.
+func (t *Transition) Weights(u NodeID) []float64 {
+	return t.weights[t.g.offsets[u]:t.g.offsets[u+1]:t.g.offsets[u+1]]
+}
+
+// ApplyRow accumulates coeff · Σ_{v∈N(u)} A[u][v] · src[v] into dst in one
+// fused pass over u's CSR row: edge weights and neighbor ids stream from
+// two parallel arrays with no per-edge normalization branch. dst must have
+// src.Cols() length; entries are added to (callers zero dst first when they
+// want a plain product).
+func (t *Transition) ApplyRow(dst []float64, u NodeID, coeff float64, src *vecmath.Matrix) {
+	if len(dst) != src.Cols() {
+		panic(fmt.Sprintf("graph: ApplyRow width mismatch dst=%d src=%d", len(dst), src.Cols()))
+	}
+	start, end := t.g.offsets[u], t.g.offsets[u+1]
+	for i := start; i < end; i++ {
+		w := coeff * t.weights[i]
+		row := src.Row(t.g.neighbors[i])
+		for j, x := range row {
+			dst[j] += w * x
+		}
+	}
+}
+
 // Apply computes dst[u] = Σ_{v∈N(u)} A[u][v] · src[v] for a scalar signal.
 // dst and src must have length NumNodes and must not alias.
 func (t *Transition) Apply(dst, src []float64) {
@@ -104,8 +159,9 @@ func (t *Transition) Apply(dst, src []float64) {
 	}
 	for u := 0; u < n; u++ {
 		var s float64
-		for _, v := range t.g.Neighbors(u) {
-			s += t.Weight(u, v) * src[v]
+		start, end := t.g.offsets[u], t.g.offsets[u+1]
+		for i := start; i < end; i++ {
+			s += t.weights[i] * src[t.g.neighbors[i]]
 		}
 		dst[u] = s
 	}

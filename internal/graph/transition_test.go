@@ -3,7 +3,19 @@ package graph
 import (
 	"math"
 	"testing"
+
+	"diffusearch/internal/vecmath"
 )
+
+// star returns a hub (node 0) with leaves 1..n-1: the sharpest hub/leaf
+// degree asymmetry, where the three normalizations differ the most.
+func star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
 
 func TestTransitionColumnStochasticColumnsSumToOne(t *testing.T) {
 	g := randomGraph(31, 25, 0.25)
@@ -123,4 +135,98 @@ func TestTransitionIsolatedNodeZeroWeight(t *testing.T) {
 	if dst[2] != 0 {
 		t.Fatalf("isolated node received mass %v", dst[2])
 	}
+}
+
+func TestTransitionWeightsMatchWeight(t *testing.T) {
+	// The CSR-aligned weights array must agree entry-for-entry with the
+	// branchy Weight accessor, on both a random graph and the star's
+	// hub/leaf asymmetry.
+	for _, g := range []*Graph{randomGraph(36, 25, 0.3), star(12)} {
+		for _, norm := range []Normalization{ColumnStochastic, RowStochastic, Symmetric} {
+			tr := NewTransition(g, norm)
+			for u := 0; u < g.NumNodes(); u++ {
+				ns := g.Neighbors(u)
+				ws := tr.Weights(u)
+				if len(ws) != len(ns) {
+					t.Fatalf("%v: Weights(%d) has %d entries, %d neighbors", norm, u, len(ws), len(ns))
+				}
+				for i, v := range ns {
+					if math.Abs(ws[i]-tr.Weight(u, v)) > 1e-15 {
+						t.Fatalf("%v: Weights(%d)[%d] = %v, Weight(%d,%d) = %v",
+							norm, u, i, ws[i], u, v, tr.Weight(u, v))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTransitionStarHubLeafAsymmetry(t *testing.T) {
+	// On a star with n-1 leaves: the hub's incoming column-stochastic
+	// weights are 1 (each leaf has degree 1), a leaf's incoming weight is
+	// 1/(n-1), and the symmetric normalization splits the difference.
+	n := 10
+	tr := NewTransition(star(n), ColumnStochastic)
+	for _, w := range tr.Weights(0) {
+		if w != 1 {
+			t.Fatalf("hub weight %v, want 1", w)
+		}
+	}
+	if w := tr.Weights(1)[0]; math.Abs(w-1.0/float64(n-1)) > 1e-15 {
+		t.Fatalf("leaf weight %v, want %v", w, 1.0/float64(n-1))
+	}
+	trSym := NewTransition(star(n), Symmetric)
+	want := 1 / math.Sqrt(float64(n-1))
+	if w := trSym.Weights(0)[0]; math.Abs(w-want) > 1e-15 {
+		t.Fatalf("symmetric hub weight %v, want %v", w, want)
+	}
+	if w := trSym.Weights(1)[0]; math.Abs(w-want) > 1e-15 {
+		t.Fatalf("symmetric leaf weight %v, want %v", w, want)
+	}
+}
+
+func TestTransitionApplyRowMatchesNaive(t *testing.T) {
+	// The fused kernel must accumulate coeff·Σ A[u][v]·src[v] exactly like
+	// the per-edge Weight loop, for every normalization and both graph
+	// shapes (random and hub/leaf star).
+	for _, g := range []*Graph{randomGraph(37, 20, 0.3), star(15)} {
+		dim := 4
+		src := vecmath.NewMatrix(g.NumNodes(), dim)
+		for u := 0; u < g.NumNodes(); u++ {
+			for j := 0; j < dim; j++ {
+				src.Set(u, j, float64((u*dim+j)%11)-5)
+			}
+		}
+		for _, norm := range []Normalization{ColumnStochastic, RowStochastic, Symmetric} {
+			tr := NewTransition(g, norm)
+			for u := 0; u < g.NumNodes(); u++ {
+				dst := make([]float64, dim)
+				dst[0] = 2 // ApplyRow accumulates; pre-fill to check the += contract
+				tr.ApplyRow(dst, u, 0.7, src)
+				want := make([]float64, dim)
+				want[0] = 2
+				for _, v := range g.Neighbors(u) {
+					for j := 0; j < dim; j++ {
+						want[j] += 0.7 * tr.Weight(u, v) * src.At(v, j)
+					}
+				}
+				for j := 0; j < dim; j++ {
+					if math.Abs(dst[j]-want[j]) > 1e-12 {
+						t.Fatalf("%v: ApplyRow(%d)[%d] = %v, want %v", norm, u, j, dst[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTransitionApplyRowWidthMismatchPanics(t *testing.T) {
+	tr := NewTransition(triangle(), ColumnStochastic)
+	src := vecmath.NewMatrix(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on width mismatch")
+		}
+	}()
+	tr.ApplyRow(make([]float64, 3), 0, 1, src)
 }

@@ -97,16 +97,14 @@ func (f PPRFilter) Apply(tr *graph.Transition, e0 *vecmath.Matrix) (*vecmath.Mat
 	return cur, st, fmt.Errorf("%w after %d iterations (residual %g)", ErrNoConvergence, maxIter, st.Residual)
 }
 
-// step computes next = (1-alpha)·A·cur + alpha·e0.
+// step computes next = (1-alpha)·A·cur + alpha·e0 with the fused CSR
+// row kernel (edge weights stream from the precomputed transition array).
 func step(tr *graph.Transition, alpha float64, e0, cur, next *vecmath.Matrix) {
-	g := tr.Graph()
-	n := g.NumNodes()
+	n := tr.Graph().NumNodes()
 	for u := 0; u < n; u++ {
 		row := next.Row(u)
 		vecmath.Zero(row)
-		for _, v := range g.Neighbors(u) {
-			vecmath.AXPY(row, (1-alpha)*tr.Weight(u, v), cur.Row(v))
-		}
+		tr.ApplyRow(row, u, 1-alpha, cur)
 		vecmath.AXPY(row, alpha, e0.Row(u))
 	}
 }
@@ -173,7 +171,6 @@ func (f HeatKernelFilter) Apply(tr *graph.Transition, e0 *vecmath.Matrix) (*vecm
 	power := e0.Clone() // A^k · E0
 	next := vecmath.NewMatrix(n, e0.Cols())
 	coeff := math.Exp(-f.T) // e^{-T}·T^k/k! for k = 0
-	g := tr.Graph()
 	for k := 0; ; k++ {
 		for u := 0; u < n; u++ {
 			vecmath.AXPY(out.Row(u), coeff, power.Row(u))
@@ -185,9 +182,7 @@ func (f HeatKernelFilter) Apply(tr *graph.Transition, e0 *vecmath.Matrix) (*vecm
 		for u := 0; u < n; u++ {
 			row := next.Row(u)
 			vecmath.Zero(row)
-			for _, v := range g.Neighbors(u) {
-				vecmath.AXPY(row, tr.Weight(u, v), power.Row(v))
-			}
+			tr.ApplyRow(row, u, 1, power)
 		}
 		power, next = next, power
 		coeff *= f.T / float64(k+1)
