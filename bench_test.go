@@ -275,6 +275,41 @@ func BenchmarkFastNodeScores(b *testing.B) {
 	}
 }
 
+// benchmarkScoreBatch measures the unified request API's multi-column
+// scoring: one ScoreBatch call over batchSize distinct queries per b.N
+// step on the default (Parallel) engine. Compare ns/op ÷ batchSize against
+// BenchmarkFastNodeScores to see the amortization (tracked in
+// BENCH_diffuse.json via cmd/benchjson).
+func benchmarkScoreBatch(b *testing.B, batchSize int) {
+	env := benchEnvironment(b)
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.New(6)
+	pair := env.Bench.SamplePair(r)
+	docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, 999)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float64, batchSize)
+	for j := range queries {
+		queries[j] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
+	}
+	req := core.DiffusionRequest{Alpha: 0.5, Seed: 6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := net.ScoreBatch(queries, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScoreBatch1(b *testing.B)  { benchmarkScoreBatch(b, 1) }
+func BenchmarkScoreBatch8(b *testing.B)  { benchmarkScoreBatch(b, 8) }
+func BenchmarkScoreBatch64(b *testing.B) { benchmarkScoreBatch(b, 64) }
+
 func BenchmarkRunQueryGreedyTTL50(b *testing.B) {
 	env := benchEnvironment(b)
 	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())

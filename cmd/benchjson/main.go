@@ -6,14 +6,25 @@
 //
 // Three drivers are timed on the identical input: the seed repo's
 // goroutine-per-node "concurrent" driver (preserved in seedref.go as the
-// baseline the Parallel engine replaced), the deterministic Asynchronous
-// reference, and the residual-driven Parallel engine. Speedups are reported
-// against both baselines; gomaxprocs records how many cores the snapshot
-// machine offered (the Parallel engine's scaling headroom).
+// baseline the Parallel engine replaced; skipped with -skip-seed), the
+// deterministic Asynchronous reference, and the residual-driven Parallel
+// engine. Speedups are reported against both baselines; gomaxprocs records
+// how many cores the snapshot machine offered (the Parallel engine's
+// scaling headroom).
+//
+// BenchmarkScoreBatch rows (batch widths 1/8/64) time the unified request
+// API's multi-column query scoring on the Parallel engine against the
+// sequential baseline of B independent FastNodeScores calls; the batch=64
+// row is the ScoreBatch amortization acceptance number.
+//
+// With -baseline, the freshly measured snapshot is gated against a
+// committed one and the command exits non-zero when a Parallel-engine row
+// regressed more than -max-regress (CI's bench-regression step).
 //
 // Usage:
 //
 //	benchjson -scale 0.25 -docs 500 -alpha 0.5 -seed 42 -out BENCH_diffuse.json
+//	benchjson -scale 0.25 -skip-seed -out /tmp/fresh.json -baseline BENCH_diffuse.json
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -44,10 +56,25 @@ type engineResult struct {
 	SpeedupVsAsync float64 `json:"speedup_vs_async"`
 }
 
+// batchResult records one BenchmarkScoreBatch width: the Parallel engine
+// scoring B queries through one multi-column diffusion, against the
+// sequential baseline of B independent FastNodeScores calls.
+type batchResult struct {
+	Batch               int     `json:"batch"`
+	NsPerOp             int64   `json:"ns_per_op"`
+	NsPerQuery          int64   `json:"ns_per_query"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	BytesPerOp          int64   `json:"bytes_per_op"`
+	Sweeps              int     `json:"sweeps"`
+	MessagesPerQuery    float64 `json:"messages_per_query"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+}
+
 type snapshot struct {
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workers    int            `json:"workers"`
 	Nodes      int            `json:"nodes"`
 	Edges      int            `json:"edges"`
 	Docs       int            `json:"docs"`
@@ -56,25 +83,31 @@ type snapshot struct {
 	Tol        float64        `json:"tol"`
 	Seed       uint64         `json:"seed"`
 	Engines    []engineResult `json:"engines"`
+	ScoreBatch []batchResult  `json:"score_batch"`
 }
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.25, "environment scale in (0,1]")
-		docs  = flag.Int("docs", 500, "documents placed (gold + irrelevant pool)")
-		alpha = flag.Float64("alpha", 0.5, "PPR teleport probability")
-		tol   = flag.Float64("tol", 1e-6, "convergence tolerance")
-		seed  = flag.Uint64("seed", 42, "master seed")
-		out   = flag.String("out", "BENCH_diffuse.json", "output path")
+		scale    = flag.Float64("scale", 0.25, "environment scale in (0,1]")
+		docs     = flag.Int("docs", 500, "documents placed (gold + irrelevant pool)")
+		alpha    = flag.Float64("alpha", 0.5, "PPR teleport probability")
+		tol      = flag.Float64("tol", 1e-6, "convergence tolerance")
+		seed     = flag.Uint64("seed", 42, "master seed")
+		out      = flag.String("out", "BENCH_diffuse.json", "output path")
+		workers  = flag.Int("workers", 4, "parallel engine pool size, pinned (not GOMAXPROCS) so allocs/op are machine-independent for the regression gate")
+		skipSeed = flag.Bool("skip-seed", false, "skip the slow seed-concurrent baseline driver")
+		baseline = flag.String("baseline", "", "committed snapshot to compare against; exits non-zero on Parallel-row regressions")
+		regress  = flag.Float64("max-regress", 0.25, "allowed fractional regression vs -baseline (allocs absolute at the pinned -workers count; ns/op normalized to the async row so the gate transfers across runner hardware)")
 	)
 	flag.Parse()
-	if err := run(*scale, *docs, *alpha, *tol, *seed, *out); err != nil {
+	if err := run(*scale, *docs, *alpha, *tol, *seed, *out, *workers, *skipSeed, *baseline, *regress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string) error {
+func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string,
+	workers int, skipSeed bool, baseline string, maxRegress float64) error {
 	env, err := expt.NewEnvironment(expt.ScaledParams(seed, scale))
 	if err != nil {
 		return err
@@ -94,12 +127,16 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 	}
 	e0 := net.PersonalizationMatrix()
 	tr := net.Transition()
-	params := diffuse.Params{Alpha: alpha, Tol: tol}
+	if workers <= 0 {
+		workers = 4
+	}
+	params := diffuse.Params{Alpha: alpha, Tol: tol, Workers: workers}
 
 	snap := snapshot{
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
 		Nodes:      env.Graph.NumNodes(),
 		Edges:      env.Graph.NumEdges(),
 		Docs:       numDocs,
@@ -113,20 +150,23 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 		name string
 		fn   func() (diffuse.Stats, error)
 	}
-	drivers := []driver{
-		{"seed-concurrent", func() (diffuse.Stats, error) {
+	var drivers []driver
+	if !skipSeed {
+		drivers = append(drivers, driver{"seed-concurrent", func() (diffuse.Stats, error) {
 			_, st, err := seedConcurrent(tr, e0, alpha, tol, 2*time.Minute)
 			return st, err
-		}},
-		{"async", func() (diffuse.Stats, error) {
+		}})
+	}
+	drivers = append(drivers,
+		driver{"async", func() (diffuse.Stats, error) {
 			_, st, err := diffuse.Run(diffuse.EngineAsynchronous, tr, e0, params, seed)
 			return st, err
 		}},
-		{"parallel", func() (diffuse.Stats, error) {
+		driver{"parallel", func() (diffuse.Stats, error) {
 			_, st, err := diffuse.Run(diffuse.EngineParallel, tr, e0, params, seed)
 			return st, err
 		}},
-	}
+	)
 
 	var seedNs, asyncNs int64
 	for _, d := range drivers {
@@ -165,11 +205,66 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 		if er.NsPerOp <= 0 {
 			continue
 		}
-		er.SpeedupVsSeed = float64(seedNs) / float64(er.NsPerOp)
+		if seedNs > 0 {
+			er.SpeedupVsSeed = float64(seedNs) / float64(er.NsPerOp)
+		}
 		er.SpeedupVsAsync = float64(asyncNs) / float64(er.NsPerOp)
 		fmt.Printf("%-16s %12d ns/op %10d B/op %8d allocs/op  updates=%d messages=%d speedup_vs_seed=%.2fx\n",
 			er.Engine, er.NsPerOp, er.BytesPerOp, er.AllocsPerOp, er.Updates, er.Messages, er.SpeedupVsSeed)
 	}
+
+	// BenchmarkScoreBatch: the Parallel engine scoring B queries through
+	// one multi-column diffusion, vs the sequential baseline of B
+	// independent FastNodeScores calls (the legacy per-query path).
+	queries := make([][]float64, 64)
+	for j := range queries {
+		queries[j] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
+	}
+	query := queries[0]
+	if _, err := net.FastNodeScores(query, alpha, 0); err != nil {
+		return err
+	}
+	seqRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.FastNodeScores(query, alpha, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	seqNs := seqRes.NsPerOp()
+	req := core.DiffusionRequest{Engine: diffuse.EngineParallel, Alpha: alpha, Workers: workers, Seed: seed}
+	for _, bw := range []int{1, 8, 64} {
+		batch := queries[:bw]
+		_, st, err := net.ScoreBatch(batch, req)
+		if err != nil {
+			return fmt.Errorf("scorebatch B=%d: %w", bw, err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := net.ScoreBatch(batch, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		br := batchResult{
+			Batch:            bw,
+			NsPerOp:          res.NsPerOp(),
+			NsPerQuery:       res.NsPerOp() / int64(bw),
+			AllocsPerOp:      res.AllocsPerOp(),
+			BytesPerOp:       res.AllocedBytesPerOp(),
+			Sweeps:           st.Sweeps,
+			MessagesPerQuery: float64(st.Messages) / float64(bw),
+		}
+		if br.NsPerQuery > 0 {
+			br.SpeedupVsSequential = float64(seqNs) / float64(br.NsPerQuery)
+		}
+		fmt.Printf("scorebatch-%-5d %12d ns/op %12d ns/query %8d allocs/op  msgs/query=%.0f speedup_vs_seq=%.2fx\n",
+			bw, br.NsPerOp, br.NsPerQuery, br.AllocsPerOp, br.MessagesPerQuery, br.SpeedupVsSequential)
+		snap.ScoreBatch = append(snap.ScoreBatch, br)
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -179,5 +274,97 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+	if baseline != "" {
+		return checkRegression(baseline, snap, maxRegress)
+	}
+	return nil
+}
+
+// checkRegression gates the Parallel-engine rows of a fresh snapshot
+// against a committed baseline (the ROADMAP perf-tracking item). Allocs
+// are compared absolutely — machine-independent because both snapshots
+// must use the same pinned worker count. Wall-clock is compared two ways:
+// through ratios (the parallel engine's speed relative to the async
+// reference, ScoreBatch's amortization relative to sequential scoring),
+// which transfer across runner hardware only loosely (more cores
+// naturally raise both ratios, so they catch gross regressions, not
+// subtle ones); and absolutely via ns/op whenever the baseline was
+// recorded on matching goos/goarch/gomaxprocs — regenerate the committed
+// baseline on CI-like hardware to arm the tight check.
+func checkRegression(baselinePath string, fresh snapshot, maxRegress float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	// Workers is part of the configuration: Parallel-engine allocs/op scale
+	// with the pool size, so absolute alloc comparisons are only meaningful
+	// at the same pinned worker count (results are deterministic across
+	// worker counts, so pinning is free).
+	if base.Nodes != fresh.Nodes || base.Docs != fresh.Docs || base.Alpha != fresh.Alpha ||
+		base.Tol != fresh.Tol || base.Workers != fresh.Workers || base.Seed != fresh.Seed {
+		return fmt.Errorf("baseline %s measured a different configuration (nodes=%d docs=%d alpha=%g tol=%g workers=%d seed=%d, fresh nodes=%d docs=%d alpha=%g tol=%g workers=%d seed=%d)",
+			baselinePath, base.Nodes, base.Docs, base.Alpha, base.Tol, base.Workers, base.Seed,
+			fresh.Nodes, fresh.Docs, fresh.Alpha, fresh.Tol, fresh.Workers, fresh.Seed)
+	}
+	sameHardware := base.GOOS == fresh.GOOS && base.GOARCH == fresh.GOARCH && base.GOMAXPROCS == fresh.GOMAXPROCS
+	var problems []string
+	baseEngines := make(map[string]engineResult, len(base.Engines))
+	for _, er := range base.Engines {
+		baseEngines[er.Engine] = er
+	}
+	for _, er := range fresh.Engines {
+		if er.Engine != "parallel" {
+			continue
+		}
+		b, ok := baseEngines[er.Engine]
+		if !ok {
+			continue
+		}
+		if b.AllocsPerOp > 0 && float64(er.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxRegress) {
+			problems = append(problems, fmt.Sprintf("engine %s: allocs/op %d vs baseline %d", er.Engine, er.AllocsPerOp, b.AllocsPerOp))
+		}
+		if b.SpeedupVsAsync > 0 && er.SpeedupVsAsync < b.SpeedupVsAsync*(1-maxRegress) {
+			problems = append(problems, fmt.Sprintf("engine %s: speedup vs async %.2fx vs baseline %.2fx (ns/op regression)",
+				er.Engine, er.SpeedupVsAsync, b.SpeedupVsAsync))
+		}
+		if sameHardware && b.NsPerOp > 0 && float64(er.NsPerOp) > float64(b.NsPerOp)*(1+maxRegress) {
+			problems = append(problems, fmt.Sprintf("engine %s: %d ns/op vs baseline %d (same hardware)",
+				er.Engine, er.NsPerOp, b.NsPerOp))
+		}
+	}
+	baseBatch := make(map[int]batchResult, len(base.ScoreBatch))
+	for _, br := range base.ScoreBatch {
+		baseBatch[br.Batch] = br
+	}
+	for _, br := range fresh.ScoreBatch {
+		b, ok := baseBatch[br.Batch]
+		if !ok {
+			continue
+		}
+		if b.AllocsPerOp > 0 && float64(br.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxRegress) {
+			problems = append(problems, fmt.Sprintf("scorebatch B=%d: allocs/op %d vs baseline %d", br.Batch, br.AllocsPerOp, b.AllocsPerOp))
+		}
+		if b.SpeedupVsSequential > 0 && br.SpeedupVsSequential < b.SpeedupVsSequential*(1-maxRegress) {
+			problems = append(problems, fmt.Sprintf("scorebatch B=%d: speedup vs sequential %.2fx vs baseline %.2fx (ns/query regression)",
+				br.Batch, br.SpeedupVsSequential, b.SpeedupVsSequential))
+		}
+		if sameHardware && b.NsPerQuery > 0 && float64(br.NsPerQuery) > float64(b.NsPerQuery)*(1+maxRegress) {
+			problems = append(problems, fmt.Sprintf("scorebatch B=%d: %d ns/query vs baseline %d (same hardware)",
+				br.Batch, br.NsPerQuery, b.NsPerQuery))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("parallel-engine perf regressed beyond %.0f%% of %s:\n  %s",
+			maxRegress*100, baselinePath, strings.Join(problems, "\n  "))
+	}
+	mode := "ratio checks only — baseline hardware differs"
+	if sameHardware {
+		mode = "ratio + absolute ns checks"
+	}
+	fmt.Printf("regression gate passed against %s (max allowed %.0f%%, %s)\n", baselinePath, maxRegress*100, mode)
 	return nil
 }

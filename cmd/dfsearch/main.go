@@ -18,22 +18,23 @@ import (
 
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 1000, "P2P network size")
-		docs   = flag.Int("docs", 500, "documents stored in the network (1 gold + rest irrelevant)")
-		alpha  = flag.Float64("alpha", 0.5, "PPR teleport probability")
-		ttl    = flag.Int("ttl", 50, "query hop budget")
-		seed   = flag.Uint64("seed", 42, "master seed")
-		k      = flag.Int("k", 3, "tracked results per query")
-		engine = flag.String("engine", "parallel", "diffusion engine: async|parallel")
+		nodes   = flag.Int("nodes", 1000, "P2P network size")
+		docs    = flag.Int("docs", 500, "documents stored in the network (1 gold + rest irrelevant)")
+		alpha   = flag.Float64("alpha", 0.5, "PPR teleport probability")
+		ttl     = flag.Int("ttl", 50, "query hop budget")
+		seed    = flag.Uint64("seed", 42, "master seed")
+		k       = flag.Int("k", 3, "tracked results per query")
+		engine  = flag.String("engine", "parallel", "diffusion engine: async|parallel|sync")
+		workers = flag.Int("workers", 0, "parallel engine pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*nodes, *docs, *alpha, *ttl, *seed, *k, *engine); err != nil {
+	if err := run(*nodes, *docs, *alpha, *ttl, *seed, *k, *engine, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "dfsearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, docs int, alpha float64, ttl int, seed uint64, k int, engine string) error {
+func run(nodes, docs int, alpha float64, ttl int, seed uint64, k int, engine string, workers int) error {
 	eng, err := diffusearch.ParseEngine(engine)
 	if err != nil {
 		return err
@@ -61,7 +62,9 @@ func run(nodes, docs int, alpha float64, ttl int, seed uint64, k int, engine str
 	}
 
 	start := time.Now()
-	st, err := net.Diffuse(eng, diffusearch.DiffusionParams{Alpha: alpha}, seed)
+	st, err := net.Run(diffusearch.DiffusionRequest{
+		Engine: eng, Alpha: alpha, Workers: workers, Seed: seed,
+	})
 	if err != nil {
 		return err
 	}

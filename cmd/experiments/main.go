@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|all")
+		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|batch|all")
 		seed  = flag.Uint64("seed", 42, "master seed (all results are deterministic in it)")
 		quick = flag.Bool("quick", false, "scaled-down environment and iteration counts")
 		iters = flag.Int("iters", 0, "override iteration count (0 = experiment default)")
@@ -74,9 +74,10 @@ func run(exp string, seed uint64, quick bool, iters int, csv bool) error {
 		"baselines": r.baselines,
 		"norm":      r.norm,
 		"diffusion": r.diffusion,
+		"batch":     r.batch,
 	}
 	if exp == "all" {
-		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion"} {
+		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch"} {
 			if err := known[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -257,6 +258,19 @@ func (r *runner) diffusion() error {
 	}
 	r.emit(fmt.Sprintf("diffusion — engine comparison on identical E0 (M=1000, α=0.5, %v)",
 		time.Since(start).Round(time.Millisecond)), expt.FormatDiffusion(rows))
+	return nil
+}
+
+func (r *runner) batch() error {
+	start := time.Now()
+	rows, err := expt.BatchScaling(r.env, expt.BatchConfig{
+		M: 1000, Alpha: 0.5, Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	r.emit(fmt.Sprintf("batch — ScoreBatch amortization on the Parallel engine (M=1000, α=0.5, %v)",
+		time.Since(start).Round(time.Millisecond)), expt.FormatBatch(rows))
 	return nil
 }
 

@@ -22,20 +22,35 @@
 //	peerd -topology net.txt -id 2 -query w12 -wait 3s
 //
 // The -query flag issues a search for the embedding of the named word after
-// -wait (allowing diffusion to settle) and prints the results.
+// -wait (allowing diffusion to settle) and prints the results; -batch
+// issues several comma-separated words, scored through one batched
+// diffusion.
+//
+// With -engine, the peer serves queries through the unified
+// DiffusionRequest API instead of its own gossip-cache scoring: every peer
+// can reconstruct the deployment's Network from the shared topology file
+// and corpus seed, so forwarding decisions come from a
+// core.Network.ScoreBatch on the selected engine (async|parallel|sync),
+// and -batch amortizes all of its queries into a single multi-column
+// ScoreBatch call before the walks start. Without -engine the peer keeps
+// gossip-cache scoring for everything, -batch included.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
 	"diffusearch/internal/embed"
 	"diffusearch/internal/graph"
 	"diffusearch/internal/peernet"
@@ -51,15 +66,39 @@ func main() {
 		words    = flag.Int("words", 2000, "shared vocabulary size (must match across peers)")
 		dim      = flag.Int("dim", 64, "shared embedding dimension (must match across peers)")
 		query    = flag.String("query", "", "issue a query for this word (e.g. w12) and exit")
+		batch    = flag.String("batch", "", "issue a batch of comma-separated words (e.g. w12,w7) and exit; with -engine, the batch is scored in one diffusion first")
+		engine   = flag.String("engine", "", "serve queries through the request API on this engine (async|parallel|sync); empty keeps gossip-cache scoring")
+		workers  = flag.Int("workers", 0, "parallel engine pool size (0 = GOMAXPROCS)")
 		ttl      = flag.Int("ttl", 20, "query hop budget")
 		k        = flag.Int("k", 3, "tracked results")
-		wait     = flag.Duration("wait", 2*time.Second, "diffusion settling time before -query")
+		wait     = flag.Duration("wait", 2*time.Second, "diffusion settling time before -query/-batch")
 	)
 	flag.Parse()
-	if err := run(*topoPath, *id, *alpha, *seed, *words, *dim, *query, *ttl, *k, *wait); err != nil {
+	cfg := runConfig{
+		topoPath: *topoPath, id: *id, alpha: *alpha, seed: *seed,
+		words: *words, dim: *dim, query: *query, batch: *batch,
+		engine: *engine, workers: *workers, ttl: *ttl, k: *k, wait: *wait,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peerd:", err)
 		os.Exit(1)
 	}
+}
+
+type runConfig struct {
+	topoPath string
+	id       int
+	alpha    float64
+	seed     uint64
+	words    int
+	dim      int
+	query    string
+	batch    string
+	engine   string
+	workers  int
+	ttl      int
+	k        int
+	wait     time.Duration
 }
 
 type peerSpec struct {
@@ -68,29 +107,168 @@ type peerSpec struct {
 	docs      []retrieval.DocID
 }
 
-func run(topoPath string, id int, alpha float64, seed uint64, words, dim int,
-	query string, ttl, k int, wait time.Duration) error {
-	if topoPath == "" || id < 0 {
+// scorerCacheCap bounds the score memo: query embeddings arrive over the
+// wire from other peers, so an unbounded map would grow with every
+// distinct (or adversarial) query a long-running peer forwards. FIFO
+// eviction keeps the common case (a hot working set of repeated queries)
+// cached while capping memory at cap × n float64s.
+const scorerCacheCap = 512
+
+// queryScorer serves per-node relevance scores through the unified request
+// API over a mirror of the deployment: peerd peers share the topology file
+// and the seeded corpus, so any peer can reconstruct the same Network the
+// simulation uses and score queries with ScoreBatch instead of its own
+// diffusion call. Scores are memoized per query embedding (bounded, FIFO
+// eviction); Prewarm fills the memo for a whole batch with one
+// multi-column diffusion.
+type queryScorer struct {
+	net *core.Network
+	req core.DiffusionRequest
+
+	mu    sync.Mutex
+	cache map[string][]float64
+	order []string // insertion order for FIFO eviction
+}
+
+// newQueryScorer mirrors the topology and document placement into a
+// Network and resolves the engine flag into the DiffusionRequest that
+// every Score/Prewarm call dispatches through.
+func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary,
+	engineName string, alpha float64, workers int, seed uint64) (*queryScorer, error) {
+	eng, err := diffuse.ParseEngine(engineName)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for id := range specs {
+		if id >= n {
+			n = id + 1
+		}
+	}
+	b := graph.NewBuilder(n)
+	var docs []retrieval.DocID
+	var hosts []graph.NodeID
+	for id, spec := range specs {
+		for _, v := range spec.neighbors {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("peer %d lists unknown neighbour %d", id, v)
+			}
+			b.AddEdge(id, v)
+		}
+		for _, d := range spec.docs {
+			docs = append(docs, d)
+			hosts = append(hosts, id)
+		}
+	}
+	net := core.NewNetwork(b.Build(), vocab)
+	if err := net.PlaceDocuments(docs, hosts); err != nil {
+		return nil, err
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		return nil, err
+	}
+	return &queryScorer{
+		net:   net,
+		req:   core.DiffusionRequest{Engine: eng, Alpha: alpha, Workers: workers, Seed: seed},
+		cache: make(map[string][]float64),
+	}, nil
+}
+
+// Score returns the per-node relevance scores for one query embedding,
+// diffusing through the scorer's request unless memoized.
+func (s *queryScorer) Score(query []float64) ([]float64, error) {
+	key := scoreKey(query)
+	s.mu.Lock()
+	cached, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	batch, _, err := s.net.ScoreBatch([][]float64{query}, s.req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.insert(key, batch[0])
+	s.mu.Unlock()
+	return batch[0], nil
+}
+
+// insert memoizes one score column, evicting the oldest entry at capacity.
+// Callers must hold s.mu.
+func (s *queryScorer) insert(key string, scores []float64) {
+	if _, dup := s.cache[key]; !dup {
+		for len(s.order) >= scorerCacheCap {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.cache, oldest)
+		}
+		s.order = append(s.order, key)
+	}
+	s.cache[key] = scores
+}
+
+// Prewarm scores a whole query batch in one multi-column diffusion and
+// memoizes the per-query columns, so the subsequent live walks pay no
+// further diffusion cost.
+func (s *queryScorer) Prewarm(queries [][]float64) (diffuse.Stats, error) {
+	batch, st, err := s.net.ScoreBatch(queries, s.req)
+	if err != nil {
+		return st, err
+	}
+	s.mu.Lock()
+	for j, q := range queries {
+		s.insert(scoreKey(q), batch[j])
+	}
+	s.mu.Unlock()
+	return st, nil
+}
+
+// scoreKey fingerprints a query embedding for the memo.
+func scoreKey(query []float64) string {
+	var b strings.Builder
+	b.Grow(len(query) * 8)
+	for _, x := range query {
+		v := math.Float64bits(x)
+		for i := 0; i < 64; i += 8 {
+			b.WriteByte(byte(v >> i))
+		}
+	}
+	return b.String()
+}
+
+func run(cfg runConfig) error {
+	if cfg.topoPath == "" || cfg.id < 0 {
 		return fmt.Errorf("-topology and -id are required (see -h)")
 	}
-	specs, err := loadTopology(topoPath)
+	specs, err := loadTopology(cfg.topoPath)
 	if err != nil {
 		return err
 	}
-	spec, ok := specs[id]
+	spec, ok := specs[cfg.id]
 	if !ok {
-		return fmt.Errorf("id %d not present in %s", id, topoPath)
+		return fmt.Errorf("id %d not present in %s", cfg.id, cfg.topoPath)
 	}
 
 	vocab, err := embed.Synthetic(embed.SyntheticParams{
-		Words: words, Dim: dim, Clusters: max(words/12, 1), Spread: 0.55,
-		CommonComponent: 0.6, Seed: seed,
+		Words: cfg.words, Dim: cfg.dim, Clusters: max(cfg.words/12, 1), Spread: 0.55,
+		CommonComponent: 0.6, Seed: cfg.seed,
 	})
 	if err != nil {
 		return err
 	}
 
-	tr, err := peernet.ListenTCP(id, spec.addr)
+	// -engine alone decides the serving mode: -batch without it issues the
+	// queries over plain gossip scoring, same as the rest of a deployment
+	// that never opted into the request API.
+	var scorer *queryScorer
+	if cfg.engine != "" {
+		if scorer, err = newQueryScorer(specs, vocab, cfg.engine, cfg.alpha, cfg.workers, cfg.seed); err != nil {
+			return err
+		}
+	}
+
+	tr, err := peernet.ListenTCP(cfg.id, spec.addr)
 	if err != nil {
 		return err
 	}
@@ -101,36 +279,73 @@ func run(topoPath string, id int, alpha float64, seed uint64, words, dim int,
 	}
 	tr.SetDirectory(dir)
 
-	peer, err := peernet.NewPeer(peernet.PeerConfig{
-		ID:        id,
+	pcfg := peernet.PeerConfig{
+		ID:        cfg.id,
 		Neighbors: spec.neighbors,
 		Vocab:     vocab,
 		Docs:      spec.docs,
-		Alpha:     alpha,
-	}, tr)
+		Alpha:     cfg.alpha,
+	}
+	if scorer != nil {
+		pcfg.ScoreQuery = scorer.Score
+	}
+	peer, err := peernet.NewPeer(pcfg, tr)
 	if err != nil {
 		return err
 	}
 	peer.Start()
 	defer peer.Stop()
-	fmt.Printf("peer %d listening on %s (%d neighbours, %d local docs)\n",
-		id, tr.Addr(), len(spec.neighbors), len(spec.docs))
+	mode := "gossip-cache scoring"
+	if scorer != nil {
+		mode = fmt.Sprintf("request-API scoring (engine %v)", scorer.req.Engine)
+	}
+	fmt.Printf("peer %d listening on %s (%d neighbours, %d local docs, %s)\n",
+		cfg.id, tr.Addr(), len(spec.neighbors), len(spec.docs), mode)
 
-	if query != "" {
-		time.Sleep(wait)
-		w, err := parseWord(query, vocab.Len())
+	issue := func(word retrieval.DocID) error {
+		results, err := peer.Query(vocab.Vector(word), cfg.ttl, cfg.k, 30*time.Second)
 		if err != nil {
 			return err
 		}
-		results, err := peer.Query(vocab.Vector(w), ttl, k, 30*time.Second)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("query %s returned %d result(s):\n", query, len(results))
+		fmt.Printf("query %s returned %d result(s):\n", vocab.Word(word), len(results))
 		for i, r := range results {
 			fmt.Printf("  %d. %s (score %.4f)\n", i+1, vocab.Word(r.Doc), r.Score)
 		}
 		return nil
+	}
+
+	switch {
+	case cfg.batch != "":
+		ws, err := parseWordList(cfg.batch, vocab.Len())
+		if err != nil {
+			return err
+		}
+		time.Sleep(cfg.wait)
+		if scorer != nil {
+			queries := make([][]float64, len(ws))
+			for i, w := range ws {
+				queries[i] = vocab.Vector(w)
+			}
+			st, err := scorer.Prewarm(queries)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("batch of %d queries scored in one diffusion: %d sweeps, %d messages (%.0f per query)\n",
+				len(ws), st.Sweeps, st.Messages, float64(st.Messages)/float64(len(ws)))
+		}
+		for _, w := range ws {
+			if err := issue(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	case cfg.query != "":
+		w, err := parseWord(cfg.query, vocab.Len())
+		if err != nil {
+			return err
+		}
+		time.Sleep(cfg.wait)
+		return issue(w)
 	}
 
 	// Serve until interrupted.
@@ -138,8 +353,29 @@ func run(topoPath string, id int, alpha float64, seed uint64, words, dim int,
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	updates, messages := peer.Stats()
-	fmt.Printf("\npeer %d shutting down: %d diffusion updates, %d messages sent\n", id, updates, messages)
+	fmt.Printf("\npeer %d shutting down: %d diffusion updates, %d messages sent\n", cfg.id, updates, messages)
 	return nil
+}
+
+// parseWordList parses a comma-separated -batch argument.
+func parseWordList(s string, vocabLen int) ([]retrieval.DocID, error) {
+	parts := strings.Split(s, ",")
+	out := make([]retrieval.DocID, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		w, err := parseWord(p, vocabLen)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -batch list %q", s)
+	}
+	return out, nil
 }
 
 func parseWord(token string, vocabLen int) (retrieval.DocID, error) {

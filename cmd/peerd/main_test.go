@@ -4,6 +4,11 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/embed"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/retrieval"
 )
 
 func writeTopo(t *testing.T, content string) string {
@@ -75,6 +80,110 @@ func TestParseIntList(t *testing.T) {
 	}
 	if _, err := parseIntList("1,-2"); err == nil {
 		t.Fatal("negative must error")
+	}
+}
+
+func testVocab(t *testing.T) *embed.Vocabulary {
+	t.Helper()
+	vocab, err := embed.Synthetic(embed.SyntheticParams{
+		Words: 100, Dim: 16, Clusters: 10, Spread: 0.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vocab
+}
+
+func testSpecs() map[int]peerSpec {
+	return map[int]peerSpec{
+		0: {addr: "a:1", neighbors: []graph.NodeID{1}, docs: []retrieval.DocID{3, 9}},
+		1: {addr: "a:2", neighbors: []graph.NodeID{0, 2}},
+		2: {addr: "a:3", neighbors: []graph.NodeID{1}, docs: []retrieval.DocID{7}},
+	}
+}
+
+func TestEngineFlagReachesRequestDispatcher(t *testing.T) {
+	// The -engine value must land in the DiffusionRequest behind every
+	// score the live runtime serves.
+	vocab := testVocab(t)
+	for name, want := range map[string]diffuse.Engine{
+		"async":    diffuse.EngineAsynchronous,
+		"parallel": diffuse.EngineParallel,
+		"sync":     diffuse.EngineSync,
+	} {
+		scorer, err := newQueryScorer(testSpecs(), vocab, name, 0.5, 2, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if scorer.req.Engine != want {
+			t.Fatalf("-engine %s dispatched to %v, want %v", name, scorer.req.Engine, want)
+		}
+		if scorer.req.Alpha != 0.5 || scorer.req.Workers != 2 || scorer.req.Seed != 42 {
+			t.Fatalf("-engine %s request knobs lost: %+v", name, scorer.req)
+		}
+	}
+	if _, err := newQueryScorer(testSpecs(), vocab, "mailboxes", 0.5, 0, 1); err == nil {
+		t.Fatal("unknown engine name must error")
+	}
+}
+
+func TestQueryScorerScoresAndPrewarms(t *testing.T) {
+	vocab := testVocab(t)
+	scorer, err := newQueryScorer(testSpecs(), vocab, "parallel", 0.5, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vocab.Vector(3)
+	scores, err := scorer.Score(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("scores for %d nodes, want 3", len(scores))
+	}
+	// Doc 3 lives on peer 0: its host must outrank the empty peer 1.
+	if scores[0] <= scores[1] {
+		t.Fatalf("host score %g not above empty peer %g", scores[0], scores[1])
+	}
+	// Prewarm must memoize each batched column so live queries reuse it.
+	queries := [][]float64{vocab.Vector(3), vocab.Vector(7)}
+	st, err := scorer.Prewarm(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.ColumnSweeps) != 2 {
+		t.Fatalf("prewarm stats %+v", st)
+	}
+	if len(scorer.cache) != 2 {
+		t.Fatalf("memo holds %d entries, want 2", len(scorer.cache))
+	}
+	again, err := scorer.Score(vocab.Vector(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &scorer.cache[scoreKey(vocab.Vector(7))][0] {
+		t.Fatal("Score after Prewarm must serve the memoized slice")
+	}
+}
+
+func TestNewQueryScorerRejectsUnknownNeighbour(t *testing.T) {
+	specs := testSpecs()
+	specs[9] = peerSpec{addr: "a:9", neighbors: []graph.NodeID{77}}
+	if _, err := newQueryScorer(specs, testVocab(t), "parallel", 0.5, 0, 1); err == nil {
+		t.Fatal("neighbour outside the topology must error")
+	}
+}
+
+func TestParseWordList(t *testing.T) {
+	ws, err := parseWordList("w1, w2,,w3", 100)
+	if err != nil || len(ws) != 3 || ws[2] != 3 {
+		t.Fatalf("parsed %v, %v", ws, err)
+	}
+	if _, err := parseWordList("w1,w200", 100); err == nil {
+		t.Fatal("out-of-range word must error")
+	}
+	if _, err := parseWordList(",", 100); err == nil {
+		t.Fatal("empty list must error")
 	}
 }
 

@@ -5,7 +5,8 @@
 // The package re-exports the building blocks (topology, embedding corpus,
 // PPR diffusion, the decentralized search protocol, and the experiment
 // harness) and offers turn-key constructors for the paper's evaluation
-// setting. A typical session:
+// setting. Every diffusion — embedding smoothing and query scoring alike —
+// goes through one DiffusionRequest. A typical session:
 //
 //	env, _ := diffusearch.NewPaperEnvironment(42)
 //	net := diffusearch.NewNetwork(env.Graph, env.Bench.Vocabulary())
@@ -14,10 +15,24 @@
 //	docs := append([]diffusearch.DocID{pair.Gold}, env.Bench.SamplePool(r, 99)...)
 //	_ = net.PlaceDocuments(docs, diffusearch.UniformHosts(r, len(docs), env.Graph.NumNodes()))
 //	_ = net.ComputePersonalization()
-//	_, _ = net.DiffuseAsync(0.5, 0, 42) // decentralized PPR diffusion (§IV-B)
+//
+//	// Decentralized PPR diffusion (§IV-B) on the parallel engine (the
+//	// zero-value default); Engine/Tol/Workers/Seed select other drivers.
+//	_, _ = net.Run(diffusearch.DiffusionRequest{Alpha: 0.5, Seed: 42})
 //	out, _ := net.RunQuery(0, env.Bench.Vocabulary().Vector(pair.Query), pair.Gold,
 //		diffusearch.QueryConfig{TTL: 50})
 //	fmt.Println(out.Found, out.HopsToGold)
+//
+//	// Batch query scoring: one multi-column diffusion amortizes the
+//	// per-edge work across the whole batch (§IV-B linearity).
+//	queries := [][]float64{env.Bench.Vocabulary().Vector(pair.Query)}
+//	scores, _, _ := net.ScoreBatch(queries, diffusearch.DiffusionRequest{Alpha: 0.5})
+//	out, _ = net.RunQuery(0, queries[0], pair.Gold,
+//		diffusearch.QueryConfig{TTL: 50, Scores: scores[0]})
+//
+// The historical DiffuseSync / DiffuseAsync / DiffuseParallel /
+// DiffuseWithFilter / FastNodeScores entry points remain as deprecated
+// shims over Run and ScoreBatch.
 //
 // See the examples/ directory for runnable programs and cmd/experiments for
 // the harness that regenerates every table and figure of the paper.
@@ -77,21 +92,32 @@ type (
 	Result = retrieval.Result
 	// Environment bundles a topology with a mined workload.
 	Environment = expt.Environment
-	// DiffusionEngine selects a diffusion driver (async reference or the
-	// residual-driven parallel engine).
+	// DiffusionEngine selects a diffusion driver (async reference, the
+	// residual-driven parallel engine, or the synchronous eq. 7 iteration).
 	DiffusionEngine = diffuse.Engine
 	// DiffusionParams configure one diffusion run.
 	DiffusionParams = diffuse.Params
-	// DiffusionStats report one diffusion run (updates, messages, sweeps).
+	// DiffusionStats report one diffusion run (updates, messages, sweeps,
+	// and per-column sweep counts for batched signal runs).
 	DiffusionStats = diffuse.Stats
+	// DiffusionRequest is the single dispatch struct behind Network.Run
+	// (embedding diffusion) and Network.ScoreBatch (multi-column batch
+	// query scoring).
+	DiffusionRequest = core.DiffusionRequest
+	// DiffusionSignal is an n×B column block of scalar node signals the
+	// engines diffuse column-blocked with per-column early termination.
+	DiffusionSignal = diffuse.Signal
 )
 
 // Diffusion engines (§IV-B). EngineAsynchronous is the deterministic
 // sequential reference; EngineParallel is the residual-driven frontier
-// engine on a fixed worker pool.
+// engine on a fixed worker pool (the zero-value default of a
+// DiffusionRequest); EngineSync is the synchronous eq. 7 iteration,
+// bit-compatible with the historical ppr.PPRFilter scoring path.
 const (
 	EngineAsynchronous = diffuse.EngineAsynchronous
 	EngineParallel     = diffuse.EngineParallel
+	EngineSync         = diffuse.EngineSync
 )
 
 // Visited-avoidance modes (§IV-C).
@@ -115,11 +141,18 @@ var (
 	UniformHosts = core.UniformHosts
 	// NewRand returns a deterministic PRNG for the given seed.
 	NewRand = randx.New
-	// ParseEngine maps a command-line name (async|parallel) to an engine.
+	// ParseEngine maps a command-line name (async|parallel|sync) to an
+	// engine.
 	ParseEngine = diffuse.ParseEngine
 	// RunDiffusion dispatches one diffusion over a transition operator to
 	// the selected engine, without going through a Network.
 	RunDiffusion = diffuse.Run
+	// RunDiffusionSignal dispatches one column-blocked signal diffusion
+	// (per-column residual tracking and early termination) to the selected
+	// engine, without going through a Network.
+	RunDiffusionSignal = diffuse.RunSignal
+	// NewDiffusionSignal wraps an n×B matrix as a diffusion signal.
+	NewDiffusionSignal = diffuse.NewSignal
 )
 
 // NewPaperEnvironment builds the full-scale evaluation setting of §V: a

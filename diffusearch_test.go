@@ -23,16 +23,33 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err := net.ComputePersonalization(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := net.DiffuseAsync(0.5, 0, 42); err != nil {
+	if _, err := net.Run(diffusearch.DiffusionRequest{Alpha: 0.5, Seed: 42}); err != nil {
 		t.Fatal(err)
 	}
-	out, err := net.RunQuery(net.HostOf(pair.Gold), env.Bench.Vocabulary().Vector(pair.Query),
-		pair.Gold, diffusearch.QueryConfig{TTL: 50})
+	query := env.Bench.Vocabulary().Vector(pair.Query)
+	out, err := net.RunQuery(net.HostOf(pair.Gold), query, pair.Gold, diffusearch.QueryConfig{TTL: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !out.Found || out.HopsToGold != 0 {
 		t.Fatalf("local query must find the gold immediately: %+v", out)
+	}
+	// Batch scoring through the same request API, as the package docs
+	// advertise: per-query score slices drive walks via QueryConfig.Scores.
+	scores, st, err := net.ScoreBatch([][]float64{query, query}, diffusearch.DiffusionRequest{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 || len(st.ColumnSweeps) != 2 {
+		t.Fatalf("batch scoring shape: %d slices, stats %+v", len(scores), st)
+	}
+	shared, err := net.RunQuery(net.HostOf(pair.Gold), query, pair.Gold,
+		diffusearch.QueryConfig{TTL: 50, Scores: scores[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared.Found {
+		t.Fatalf("batch-scored walk must find the local gold: %+v", shared)
 	}
 }
 

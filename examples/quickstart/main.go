@@ -36,11 +36,13 @@ func main() {
 	}
 
 	// 3. Summarize collections into personalization vectors (eq. 3) and
-	//    diffuse them with the decentralized asynchronous PPR (§IV-B).
+	//    diffuse them with one DiffusionRequest (§IV-B). The zero-value
+	//    engine is the residual-driven parallel engine; set Engine to
+	//    diffusearch.EngineAsynchronous or EngineSync for the references.
 	if err := net.ComputePersonalization(); err != nil {
 		log.Fatal(err)
 	}
-	st, err := net.DiffuseAsync(0.5, 0, seed)
+	st, err := net.Run(diffusearch.DiffusionRequest{Alpha: 0.5, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,8 @@ func main() {
 	if len(origins[2]) > 0 {
 		origin = origins[2][0] // start two hops from the gold document
 	}
-	out, err := net.RunQuery(origin, env.Bench.Vocabulary().Vector(pair.Query), pair.Gold,
+	query := env.Bench.Vocabulary().Vector(pair.Query)
+	out, err := net.RunQuery(origin, query, pair.Gold,
 		diffusearch.QueryConfig{TTL: 50, K: 3, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
@@ -68,4 +71,22 @@ func main() {
 	for i, res := range out.Results {
 		fmt.Printf("  %d. %s (score %.4f)\n", i+1, env.Bench.Vocabulary().Word(res.Doc), res.Score)
 	}
+
+	// 5. Batch scoring: ScoreBatch diffuses one multi-column relevance
+	//    signal for a whole query batch (here the same query three times,
+	//    standing in for three concurrent users) and returns per-query
+	//    score slices that walks can share via QueryConfig.Scores.
+	scores, bst, err := net.ScoreBatch([][]float64{query, query, query},
+		diffusearch.DiffusionRequest{Alpha: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch scoring: %d queries in %d rounds, %.0f messages per query\n",
+		len(scores), bst.Sweeps, float64(bst.Messages)/float64(len(scores)))
+	shared, err := net.RunQuery(origin, query, pair.Gold,
+		diffusearch.QueryConfig{TTL: 50, K: 3, Seed: seed, Scores: scores[0]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch-scored walk found gold: %v\n", shared.Found)
 }

@@ -29,9 +29,10 @@ var (
 )
 
 // Network is the simulated P2P search network. Construct with NewNetwork,
-// then: PlaceDocuments → ComputePersonalization → Diffuse (selecting an
-// engine) / DiffuseSync / DiffuseAsync / DiffuseParallel (or skip diffusion
-// and use fast scalar scoring) → RunQuery.
+// then: PlaceDocuments → ComputePersonalization → Run (one DiffusionRequest
+// selecting engine/filter; or skip diffusion and use ScoreBatch scalar
+// scoring) → RunQuery. The historical Diffuse* / FastNodeScores entry
+// points remain as deprecated shims over Run and ScoreBatch.
 type Network struct {
 	g     *graph.Graph
 	tr    *graph.Transition
@@ -175,66 +176,62 @@ func (n *Network) Personalization(u graph.NodeID) ([]float64, error) {
 	return n.perso.Row(u), nil
 }
 
-// DiffuseSync diffuses E0 with the synchronous PPR filter of eq. 7
-// (vector mode). tol ≤ 0 selects the default tolerance.
+// DiffuseSync diffuses E0 with the synchronous PPR iteration of eq. 7
+// (vector mode). tol ≤ 0 selects the default tolerance. Bit-compatible
+// with the historical ppr.PPRFilter path via diffuse.EngineSync.
+//
+// Deprecated: use Run with DiffusionRequest{Engine: diffuse.EngineSync}.
 func (n *Network) DiffuseSync(alpha, tol float64) (ppr.Stats, error) {
-	if n.perso == nil {
-		return ppr.Stats{}, ErrNoPersonalization
-	}
-	emb, st, err := ppr.PPRFilter{Alpha: alpha, Tol: tol}.Apply(n.tr, n.perso)
-	if err != nil {
-		return st, err
-	}
-	n.emb = emb
-	n.alpha = alpha
-	return st, nil
+	st, err := n.Run(DiffusionRequest{Engine: diffuse.EngineSync, Alpha: alpha, Tol: tol})
+	return ppr.Stats{Iterations: st.Sweeps, Residual: st.Residual, Converged: st.Converged}, err
 }
 
 // DiffuseWithFilter diffuses E0 with an arbitrary low-pass graph filter
 // (§II-C: PPR and heat kernels are both admissible smoothing operators).
 // The network's recorded alpha is left untouched; use NodeScores for
 // querying since FastNodeScores assumes the PPR filter.
+//
+// Deprecated: use Run with DiffusionRequest{Filter: f}.
 func (n *Network) DiffuseWithFilter(f ppr.Filter) (ppr.Stats, error) {
-	if n.perso == nil {
-		return ppr.Stats{}, ErrNoPersonalization
-	}
-	emb, st, err := f.Apply(n.tr, n.perso)
-	if err != nil {
-		return st, err
-	}
-	n.emb = emb
-	return st, nil
+	st, err := n.Run(DiffusionRequest{Filter: f})
+	return ppr.Stats{Iterations: st.Sweeps, Residual: st.Residual, Converged: st.Converged}, err
 }
 
 // Diffuse runs the decentralized diffusion of §IV-B with the selected
 // engine and stores the diffused embeddings. tol ≤ 0 selects the default
 // tolerance; seed drives the Asynchronous engine's update schedule and is
-// ignored by the schedule-independent Parallel engine.
+// ignored by the schedule-independent Parallel and Sync engines.
+//
+// Deprecated: use Run with a DiffusionRequest.
 func (n *Network) Diffuse(engine diffuse.Engine, p diffuse.Params, seed uint64) (diffuse.Stats, error) {
-	if n.perso == nil {
-		return diffuse.Stats{}, ErrNoPersonalization
+	// Preserve the legacy contract: an uninitialized engine was an error
+	// here, whereas a zero-value DiffusionRequest.Engine means "default to
+	// Parallel" — don't let the shim silently remap a caller bug.
+	if engine == 0 {
+		return diffuse.Stats{}, fmt.Errorf("diffuse: unknown engine %d", int(engine))
 	}
-	emb, st, err := diffuse.Run(engine, n.tr, n.perso, p, seed)
-	if err != nil {
-		return st, err
-	}
-	n.emb = emb
-	n.alpha = p.Alpha
-	return st, nil
+	return n.Run(DiffusionRequest{
+		Engine: engine, Alpha: p.Alpha, Tol: p.Tol,
+		MaxSweeps: p.MaxSweeps, Workers: p.Workers, Seed: seed,
+	})
 }
 
 // DiffuseAsync diffuses E0 with the deterministic sequential reference
 // engine (seeded randomized single-node updates). tol ≤ 0 selects the
-// default tolerance. Equivalent to Diffuse(EngineAsynchronous, ...): the
-// same seed yields bit-for-bit the same result through either entry point.
+// default tolerance. Equivalent to Run with EngineAsynchronous: the same
+// seed yields bit-for-bit the same result through either entry point.
+//
+// Deprecated: use Run with DiffusionRequest{Engine: diffuse.EngineAsynchronous}.
 func (n *Network) DiffuseAsync(alpha, tol float64, seed uint64) (diffuse.Stats, error) {
-	return n.Diffuse(diffuse.EngineAsynchronous, diffuse.Params{Alpha: alpha, Tol: tol}, seed)
+	return n.Run(DiffusionRequest{Engine: diffuse.EngineAsynchronous, Alpha: alpha, Tol: tol, Seed: seed})
 }
 
 // DiffuseParallel diffuses E0 with the residual-driven parallel engine
 // (workers ≤ 0 selects GOMAXPROCS). tol ≤ 0 selects the default tolerance.
+//
+// Deprecated: use Run with DiffusionRequest{Engine: diffuse.EngineParallel}.
 func (n *Network) DiffuseParallel(alpha, tol float64, workers int) (diffuse.Stats, error) {
-	return n.Diffuse(diffuse.EngineParallel, diffuse.Params{Alpha: alpha, Tol: tol, Workers: workers}, 0)
+	return n.Run(DiffusionRequest{Engine: diffuse.EngineParallel, Alpha: alpha, Tol: tol, Workers: workers})
 }
 
 // PersonalizationMatrix returns the full E0 matrix (one personalization
@@ -276,30 +273,21 @@ func (n *Network) NodeScores(query []float64) ([]float64, error) {
 //	s[u] = e_q · (H·E0)[u] = (H·x)[u]  where  x[v] = e_q · E0[v],
 //
 // i.e. one scalar PPR diffusion of the per-node query relevances. This is
-// exact (equality asserted in tests), turns an O(dim) diffusion into an
-// O(1)-per-edge one, and is how the full-scale experiments run. Requires
-// the DotProduct scorer and computed personalization.
+// exact (equality asserted in tests). It is a single-query ScoreBatch on
+// the synchronous engine, which keeps it bit-compatible with the
+// historical ppr.PPRFilter implementation (asserted in a regression test).
+// Requires the DotProduct scorer and computed personalization.
+//
+// Deprecated: use ScoreBatch, which amortizes the diffusion across a batch
+// of queries and defaults to the Parallel engine.
 func (n *Network) FastNodeScores(query []float64, alpha, tol float64) ([]float64, error) {
-	if n.perso == nil {
-		return nil, ErrNoPersonalization
-	}
-	if n.scorer != retrieval.DotProduct {
-		return nil, fmt.Errorf("core: fast scoring requires the dot-product scorer, have %v", n.scorer)
-	}
-	nn := n.g.NumNodes()
-	x := vecmath.NewMatrix(nn, 1)
-	for u := 0; u < nn; u++ {
-		x.Set(u, 0, vecmath.Dot(query, n.perso.Row(u)))
-	}
-	diffused, _, err := ppr.PPRFilter{Alpha: alpha, Tol: tol}.Apply(n.tr, x)
+	scores, _, err := n.ScoreBatch([][]float64{query}, DiffusionRequest{
+		Engine: diffuse.EngineSync, Alpha: alpha, Tol: tol,
+	})
 	if err != nil {
 		return nil, err
 	}
-	s := make([]float64, nn)
-	for u := 0; u < nn; u++ {
-		s[u] = diffused.At(u, 0)
-	}
-	return s, nil
+	return scores[0], nil
 }
 
 // LocalSearch runs the node-local retrieval of Fig. 1 step 2, offering

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"diffusearch/internal/diffuse"
 	"diffusearch/internal/graph"
 	"diffusearch/internal/randx"
 	"diffusearch/internal/retrieval"
@@ -57,12 +58,20 @@ type QueryConfig struct {
 	// and simulated time coincide for single walks).
 	Latency sim.LatencyModel
 
-	// FastScores, when true, scores candidates with FastNodeScores instead
-	// of materialized diffused embeddings. Alpha/Tol configure the per-query
-	// scalar diffusion and must match the intended filter parameters.
+	// FastScores, when true, scores candidates with a single-query
+	// ScoreBatch instead of materialized diffused embeddings. Alpha/Tol
+	// configure the per-query scalar diffusion and must match the intended
+	// filter parameters; Engine selects its diffusion driver and Workers
+	// sizes the Parallel pool. The zero Engine selects
+	// diffuse.EngineParallel (the ScoreBatch default); callers that want
+	// the historical bit-exact scores — or the lowest single-query latency
+	// on few cores, where the sync sweep wins at B=1 — set Engine to
+	// diffuse.EngineSync.
 	FastScores bool
 	Alpha      float64
 	Tol        float64
+	Engine     diffuse.Engine
+	Workers    int
 
 	// Scores, when non-nil, supplies precomputed per-node relevance scores
 	// (e.g. one FastNodeScores call shared by many origins of the same
@@ -143,10 +152,14 @@ func (n *Network) RunQuery(origin graph.NodeID, query []float64, gold retrieval.
 		s := cfg.Scores
 		score = func(v graph.NodeID) float64 { return s[v] }
 	} else if cfg.FastScores {
-		s, err := n.FastNodeScores(query, cfg.Alpha, cfg.Tol)
+		batch, _, err := n.ScoreBatch([][]float64{query}, DiffusionRequest{
+			Engine: cfg.Engine, Alpha: cfg.Alpha, Tol: cfg.Tol,
+			Workers: cfg.Workers, Seed: cfg.Seed,
+		})
 		if err != nil {
 			return QueryOutcome{}, err
 		}
+		s := batch[0]
 		score = func(v graph.NodeID) float64 { return s[v] }
 	} else {
 		if n.emb == nil {

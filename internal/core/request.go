@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/ppr"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/vecmath"
+)
+
+// DefaultScoreTol is the per-column convergence tolerance ScoreBatch uses
+// when the request leaves Tol zero. Scoring keeps the historical
+// FastNodeScores precision (ppr.DefaultTol, the single authoritative
+// constant) on every engine, so switching engines never loosens query
+// relevances silently.
+const DefaultScoreTol = ppr.DefaultTol
+
+// DiffusionRequest is the single dispatch struct behind every diffusion on
+// a Network: embedding diffusion (Run) and batch query scoring
+// (ScoreBatch). It replaces the historical DiffuseSync / DiffuseAsync /
+// DiffuseParallel / DiffuseWithFilter / FastNodeScores spread of
+// inconsistently-knobbed entry points.
+type DiffusionRequest struct {
+	// Engine selects the diffusion driver; the zero value selects
+	// diffuse.EngineParallel, the fast path for serving.
+	Engine diffuse.Engine
+	// Alpha is the PPR teleport probability (required, in (0,1]).
+	Alpha float64
+	// Tol is the max-norm convergence tolerance; 0 selects the engine
+	// default in Run (sync 1e-8, async/parallel 1e-6) and DefaultScoreTol
+	// in ScoreBatch.
+	Tol float64
+	// MaxSweeps bounds sweeps/rounds; 0 selects the engine default.
+	MaxSweeps int
+	// Workers sizes the Parallel engine's pool; 0 means GOMAXPROCS.
+	Workers int
+	// Seed drives the Asynchronous engine's update schedule; the other
+	// engines are schedule-independent and ignore it.
+	Seed uint64
+	// Filter, when non-nil, overrides Engine with an arbitrary low-pass
+	// graph filter (§II-C; e.g. ppr.HeatKernelFilter). Filter runs have no
+	// per-column early termination and do not record Alpha on the network.
+	Filter ppr.Filter
+}
+
+// engine resolves the default driver.
+func (r DiffusionRequest) engine() diffuse.Engine {
+	if r.Engine == 0 {
+		return diffuse.EngineParallel
+	}
+	return r.Engine
+}
+
+// params converts the request to engine parameters.
+func (r DiffusionRequest) params() diffuse.Params {
+	return diffuse.Params{Alpha: r.Alpha, Tol: r.Tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers}
+}
+
+// filterStats maps filter iteration statistics onto the engine Stats shape
+// (a synchronous filter iteration is one sweep per iteration).
+func filterStats(st ppr.Stats) diffuse.Stats {
+	return diffuse.Stats{Sweeps: st.Iterations, Residual: st.Residual, Converged: st.Converged}
+}
+
+// EngineFilter adapts a DiffusionRequest to the ppr.Filter interface, so
+// engine-backed diffusion can be handed to any code that composes graph
+// filters. The adapter direction lives here (not in ppr) because ppr must
+// not import diffuse.
+func EngineFilter(req DiffusionRequest) ppr.Filter {
+	return ppr.FilterFunc(func(tr *graph.Transition, e0 *vecmath.Matrix) (*vecmath.Matrix, ppr.Stats, error) {
+		out, st, err := diffuse.Run(req.engine(), tr, e0, req.params(), req.Seed)
+		return out, ppr.Stats{Iterations: st.Sweeps, Residual: st.Residual, Converged: st.Converged}, err
+	})
+}
+
+// Run executes one embedding diffusion described by req and stores the
+// diffused embeddings: the network's E0 personalization matrix is smoothed
+// by the selected engine (or req.Filter) and subsequent NodeScores /
+// RunQuery calls read the result. Alpha is recorded for fast scoring
+// unless a Filter ran.
+func (n *Network) Run(req DiffusionRequest) (diffuse.Stats, error) {
+	if n.perso == nil {
+		return diffuse.Stats{}, ErrNoPersonalization
+	}
+	if req.Filter != nil {
+		emb, pst, err := req.Filter.Apply(n.tr, n.perso)
+		if err != nil {
+			return filterStats(pst), err
+		}
+		n.emb = emb
+		return filterStats(pst), nil
+	}
+	emb, st, err := diffuse.Run(req.engine(), n.tr, n.perso, req.params(), req.Seed)
+	if err != nil {
+		return st, err
+	}
+	n.emb = emb
+	n.alpha = req.Alpha
+	return st, nil
+}
+
+// ScoreBatch scores every node for a batch of B queries in one diffusion:
+// it projects the personalization matrix onto each query (x_j[v] = e_qj ·
+// E0[v], the linearity trick of FastNodeScores), assembles the n×B
+// relevance Signal, diffuses it column-blocked on the selected engine
+// (default Parallel), and returns one per-node score slice per query.
+// Compared to B independent FastNodeScores calls this streams each CSR row
+// once per node per batch instead of once per query, and early-terminated
+// columns (see Stats.ColumnSweeps) stop costing work while slower ones
+// finish.
+//
+// Requires the DotProduct scorer and computed personalization. Tol 0
+// selects DefaultScoreTol on every engine.
+func (n *Network) ScoreBatch(queries [][]float64, req DiffusionRequest) ([][]float64, diffuse.Stats, error) {
+	if n.perso == nil {
+		return nil, diffuse.Stats{}, ErrNoPersonalization
+	}
+	if n.scorer != retrieval.DotProduct {
+		return nil, diffuse.Stats{}, fmt.Errorf("core: fast scoring requires the dot-product scorer, have %v", n.scorer)
+	}
+	dim := n.vocab.Dim()
+	for j, q := range queries {
+		if len(q) != dim {
+			return nil, diffuse.Stats{}, fmt.Errorf("core: query %d has %d dims, vocabulary has %d", j, len(q), dim)
+		}
+	}
+	nn := n.g.NumNodes()
+	b := len(queries)
+	x := vecmath.NewMatrix(nn, b)
+	for u := 0; u < nn; u++ {
+		vecmath.DotColumns(x.Row(u), queries, n.perso.Row(u))
+	}
+	if req.Tol <= 0 {
+		req.Tol = DefaultScoreTol
+	}
+	var (
+		out *vecmath.Matrix
+		st  diffuse.Stats
+		err error
+	)
+	if req.Filter != nil {
+		var pst ppr.Stats
+		out, pst, err = req.Filter.Apply(n.tr, x)
+		st = filterStats(pst)
+	} else {
+		var sig *diffuse.Signal
+		sig, st, err = diffuse.RunSignal(req.engine(), n.tr, diffuse.NewSignal(x), req.params(), req.Seed)
+		if sig != nil {
+			out = sig.Matrix()
+		}
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	scores := make([][]float64, b)
+	for j := range scores {
+		scores[j] = make([]float64, nn)
+	}
+	for u := 0; u < nn; u++ {
+		row := out.Row(u)
+		for j, v := range row {
+			scores[j][u] = v
+		}
+	}
+	return scores, st, nil
+}

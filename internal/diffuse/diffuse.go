@@ -38,13 +38,21 @@ var ErrNoConvergence = errors.New("diffuse: diffusion did not converge")
 
 // Stats describes one diffusion run. Messages counts embedding transfers
 // between distinct nodes (the bandwidth proxy: each message carries one
-// dim-sized vector).
+// row-sized vector — the full embedding in matrix mode, one value per
+// batched column in Signal mode).
 type Stats struct {
 	Updates   int64 // local recomputations performed
 	Messages  int64 // embedding vectors sent across edges
-	Sweeps    int   // full passes (Asynchronous) or frontier rounds (Parallel)
+	Sweeps    int   // full passes (Asynchronous/Sync) or frontier rounds (Parallel)
 	Residual  float64
 	Converged bool
+
+	// ColumnSweeps, set only by the column-blocked Signal kernels
+	// (RunSignal), records per original column how many sweeps/rounds the
+	// column stayed in the active block before its per-column residual
+	// dropped below the engine's retirement threshold. Early-terminated
+	// columns show smaller counts than Sweeps.
+	ColumnSweeps []int
 }
 
 // Params configure a diffusion run.

@@ -19,6 +19,11 @@ const (
 	// EngineParallel is the residual-driven frontier engine on a fixed
 	// worker pool — the fast path for large graphs and live serving.
 	EngineParallel
+	// EngineSync is the synchronous fixed-point iteration of eq. 7 (every
+	// node per sweep, one global barrier). It is bit-for-bit compatible
+	// with the historical ppr.PPRFilter path and keeps that path's tighter
+	// default tolerance, so it is the scoring-grade reference engine.
+	EngineSync
 )
 
 // String implements fmt.Stringer.
@@ -28,6 +33,8 @@ func (e Engine) String() string {
 		return "async"
 	case EngineParallel:
 		return "parallel"
+	case EngineSync:
+		return "sync"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -35,7 +42,7 @@ func (e Engine) String() string {
 
 // Valid reports whether e is a known engine.
 func (e Engine) Valid() bool {
-	return e == EngineAsynchronous || e == EngineParallel
+	return e == EngineAsynchronous || e == EngineParallel || e == EngineSync
 }
 
 // ParseEngine maps a command-line name to an Engine.
@@ -45,19 +52,44 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineAsynchronous, nil
 	case "parallel":
 		return EngineParallel, nil
+	case "sync", "synchronous":
+		return EngineSync, nil
 	}
-	return 0, fmt.Errorf("diffuse: unknown engine %q (want async|parallel)", s)
+	return 0, fmt.Errorf("diffuse: unknown engine %q (want async|parallel|sync)", s)
 }
 
 // Run dispatches one diffusion to the selected engine. seed feeds the
-// Asynchronous engine's update schedule and is ignored by Parallel (whose
-// result is schedule-independent).
+// Asynchronous engine's update schedule and is ignored by the
+// schedule-independent Parallel and Sync engines.
 func Run(e Engine, tr *graph.Transition, e0 *vecmath.Matrix, p Params, seed uint64) (*vecmath.Matrix, Stats, error) {
 	switch e {
 	case EngineAsynchronous:
 		return Asynchronous(tr, e0, p, randx.Derive(seed, "diffuse", "async"))
 	case EngineParallel:
 		return Parallel(tr, e0, p)
+	case EngineSync:
+		return Synchronous(tr, e0, p)
+	}
+	return nil, Stats{}, fmt.Errorf("diffuse: unknown engine %d", int(e))
+}
+
+// RunSignal dispatches one column-blocked diffusion of a Signal to the
+// selected engine. Unlike Run, the engines track residuals per column and
+// retire columns from the working block as soon as they individually
+// converge (see Signal). seed feeds the Asynchronous engine's update
+// schedule exactly as in Run. Batch results are bit-identical to diffusing
+// each column as its own single-column Signal on the sync and async
+// engines; EngineSync is additionally bit-identical to Run (the async and
+// parallel column kernels use the fused-teleport batch kernel, whose
+// rounding differs from the matrix path's Zero+ApplyRow+AXPY sequence).
+func RunSignal(e Engine, tr *graph.Transition, sig *Signal, p Params, seed uint64) (*Signal, Stats, error) {
+	switch e {
+	case EngineAsynchronous:
+		return AsynchronousColumns(tr, sig, p, randx.Derive(seed, "diffuse", "async"))
+	case EngineParallel:
+		return ParallelColumns(tr, sig, p)
+	case EngineSync:
+		return SynchronousColumns(tr, sig, p)
 	}
 	return nil, Stats{}, fmt.Errorf("diffuse: unknown engine %d", int(e))
 }

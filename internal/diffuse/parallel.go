@@ -114,54 +114,14 @@ func Parallel(tr *graph.Transition, e0 *vecmath.Matrix, p Params) (*vecmath.Matr
 		// When the frontier covers every node the row copies are replaced by
 		// one buffer swap after the phase.
 		fullRound := len(frontier) == n
+		commit := commitCtx{
+			tr: tr, frontier: frontier, fullRound: fullRound,
+			cur: cur, next: next, resid: resid,
+			edgeOff: edgeOff, edgeThr: edgeThr, edgeStale: edgeStale,
+			queued: queued, cursor: &cursor,
+		}
 		cursor.Store(0)
-		pool.run(func(w int) {
-			sh := &shards[w]
-			for {
-				hi := int(cursor.Add(frontierChunk))
-				lo := hi - frontierChunk
-				if lo >= len(frontier) {
-					return
-				}
-				if hi > len(frontier) {
-					hi = len(frontier)
-				}
-				for _, u := range frontier[lo:hi] {
-					if !fullRound {
-						copy(cur.Row(u), next.Row(u))
-					}
-					r := resid[u]
-					if r > sh.maxResid {
-						sh.maxResid = r
-					}
-					if r == 0 {
-						continue
-					}
-					// Push per edge on the change accumulated since that
-					// edge's last send, against a receiver-aware threshold —
-					// a flat per-sender cutoff would let many senders each
-					// drift just under it and leave a shared hub arbitrarily
-					// stale, while broadcasting every change spams receivers
-					// that are insensitive to this sender.
-					base := edgeOff[u]
-					for i, v := range g.Neighbors(u) {
-						es := edgeStale[base+i] + r
-						if es <= edgeThr[base+i] {
-							edgeStale[base+i] = es
-							continue
-						}
-						edgeStale[base+i] = 0
-						sh.messages++
-						// Test-and-test-and-set: on dense frontiers most
-						// neighbours are already queued, and the plain load
-						// dodges the expensive CAS for them.
-						if !queued[v].Load() && queued[v].CompareAndSwap(false, true) {
-							sh.next = append(sh.next, v)
-						}
-					}
-				}
-			}
-		})
+		pool.run(func(w int) { commit.work(&shards[w]) })
 		if fullRound {
 			cur, next = next, cur
 		}
@@ -189,17 +149,89 @@ func Parallel(tr *graph.Transition, e0 *vecmath.Matrix, p Params) (*vecmath.Matr
 			st.Converged = true
 			return cur, st, nil
 		}
-		frontier = frontier[:0]
-		for w := range shards {
-			sh := &shards[w]
-			for _, v := range sh.next {
-				queued[v].Store(false)
-				frontier = append(frontier, v)
-			}
-			sh.next = sh.next[:0]
-		}
+		frontier = rebuildFrontier(shards, queued, frontier)
 	}
 	return cur, st, fmt.Errorf("%w after %d rounds (residual %g)", ErrNoConvergence, maxRounds, st.Residual)
+}
+
+// commitCtx bundles the shared inputs of one commit phase so the scalar
+// (Parallel) and column-blocked (ParallelColumns) engines run the identical
+// publish-and-requeue logic.
+type commitCtx struct {
+	tr        *graph.Transition
+	frontier  []graph.NodeID
+	fullRound bool
+	cur, next *vecmath.Matrix
+	resid     []float64
+	edgeOff   []int
+	edgeThr   []float64
+	edgeStale []float64
+	queued    []atomic.Bool
+	cursor    *atomic.Int64
+}
+
+// work runs one worker's share of the commit phase into sh.
+func (c *commitCtx) work(sh *parShard) {
+	g := c.tr.Graph()
+	for {
+		hi := int(c.cursor.Add(frontierChunk))
+		lo := hi - frontierChunk
+		if lo >= len(c.frontier) {
+			return
+		}
+		if hi > len(c.frontier) {
+			hi = len(c.frontier)
+		}
+		for _, u := range c.frontier[lo:hi] {
+			if !c.fullRound {
+				copy(c.cur.Row(u), c.next.Row(u))
+			}
+			r := c.resid[u]
+			if r > sh.maxResid {
+				sh.maxResid = r
+			}
+			if r == 0 {
+				continue
+			}
+			// Push per edge on the change accumulated since that
+			// edge's last send, against a receiver-aware threshold —
+			// a flat per-sender cutoff would let many senders each
+			// drift just under it and leave a shared hub arbitrarily
+			// stale, while broadcasting every change spams receivers
+			// that are insensitive to this sender.
+			base := c.edgeOff[u]
+			for i, v := range g.Neighbors(u) {
+				es := c.edgeStale[base+i] + r
+				if es <= c.edgeThr[base+i] {
+					c.edgeStale[base+i] = es
+					continue
+				}
+				c.edgeStale[base+i] = 0
+				sh.messages++
+				// Test-and-test-and-set: on dense frontiers most
+				// neighbours are already queued, and the plain load
+				// dodges the expensive CAS for them.
+				if !c.queued[v].Load() && c.queued[v].CompareAndSwap(false, true) {
+					sh.next = append(sh.next, v)
+				}
+			}
+		}
+	}
+}
+
+// rebuildFrontier drains the per-shard next-frontier lists into frontier
+// (reusing its backing array) and clears the membership marks.
+func rebuildFrontier(shards []parShard, queued []atomic.Bool, frontier []graph.NodeID) []graph.NodeID {
+	frontier = frontier[:0]
+	for w := range shards {
+		sh := &shards[w]
+		for _, v := range sh.next {
+			queued[v].Store(false)
+			frontier = append(frontier, v)
+		}
+		sh.next = sh.next[:0]
+	}
+	return frontier
 }
 
 // pushState precomputes the CSR-aligned per-edge push thresholds (plus the
@@ -239,15 +271,18 @@ func pushState(tr *graph.Transition, pushTol, alpha float64) (off []int, thr, st
 
 // parShard is the per-worker scratch state: a private slice of next-round
 // frontier members plus round counters, merged by the coordinator between
-// rounds so workers never contend on shared accumulators.
+// rounds so workers never contend on shared accumulators. colRes (per
+// compact column slot maxima) is allocated only by the column-blocked
+// engine; the scalar engine leaves it nil.
 type parShard struct {
 	next     []graph.NodeID
+	colRes   []float64
 	updates  int64
 	messages int64
 	maxResid float64
 	// Pad to 128 bytes (two cache lines) so adjacent shards in the slice
 	// never share a line however the allocator aligns it.
-	_ [128 - 48]byte
+	_ [128 - 72]byte
 }
 
 // workerPool is a fixed set of goroutines executing one function per phase.

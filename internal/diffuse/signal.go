@@ -1,0 +1,410 @@
+package diffuse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+// Signal is an n×B column block of B independent scalar node signals
+// diffused together — the batch-query payload of the unified request API.
+// Column j holds one signal over the graph (for content search: the
+// per-node query relevances x_j[v] = e_qj · E0[v] of one query), and all
+// engines diffuse the block column-blocked: one fused Transition.ApplyRow
+// pass per node streams the CSR row once and advances every column, so the
+// per-edge cost is amortized across the batch instead of paid per query.
+//
+// Because the PPR filter is linear and columns never mix, each column
+// converges on its own trajectory. The column kernels therefore track
+// residuals per column and retire a column from the active working block
+// as soon as it individually converges (per-column early termination);
+// retired columns stop costing compute while slower columns finish. The
+// sweep at which each column retired is reported in Stats.ColumnSweeps.
+type Signal struct {
+	mat *vecmath.Matrix
+}
+
+// NewSignal wraps an n×B matrix (one node per row, one signal per column)
+// as a diffusion signal. The matrix is not copied; the engines treat it as
+// read-only input.
+func NewSignal(m *vecmath.Matrix) *Signal {
+	if m == nil {
+		panic("diffuse: nil signal matrix")
+	}
+	return &Signal{mat: m}
+}
+
+// Matrix returns the underlying n×B matrix. It aliases Signal storage.
+func (s *Signal) Matrix() *vecmath.Matrix { return s.mat }
+
+// Nodes returns n, the per-column signal length.
+func (s *Signal) Nodes() int { return s.mat.Rows() }
+
+// Columns returns B, the batch width.
+func (s *Signal) Columns() int { return s.mat.Cols() }
+
+// Column returns an owned copy of column j — one per-node score slice.
+func (s *Signal) Column(j int) []float64 { return s.mat.Column(j) }
+
+// colBlock tracks the active compact column block of one column-blocked
+// run: which original column each compact slot maps to, the finalized
+// output, and the per-column sweep counts.
+type colBlock struct {
+	act    []int           // compact slot -> original column
+	out    *vecmath.Matrix // n×B finalized values
+	sweeps []int           // per original column: sweeps spent active
+}
+
+func newColBlock(n, cols int) *colBlock {
+	act := make([]int, cols)
+	for j := range act {
+		act[j] = j
+	}
+	return &colBlock{act: act, out: vecmath.NewMatrix(n, cols), sweeps: make([]int, cols)}
+}
+
+// retire finalizes every compact slot marked in frozen: the slot's column
+// of cur becomes the output value and its sweep count is recorded. It
+// returns the compact indices that stay active (for repacking via
+// vecmath.SelectColumns) and shrinks the slot→column map accordingly.
+func (cb *colBlock) retire(frozen []bool, sweep int, cur *vecmath.Matrix) (keep []int) {
+	keep = make([]int, 0, len(cb.act))
+	kept := make([]int, 0, len(cb.act))
+	for k, orig := range cb.act {
+		if frozen[k] {
+			cb.out.SetColumn(orig, cur.Column(k))
+			cb.sweeps[orig] = sweep
+		} else {
+			keep = append(keep, k)
+			kept = append(kept, orig)
+		}
+	}
+	cb.act = kept
+	return keep
+}
+
+// retireAll finalizes every still-active column at the given sweep.
+func (cb *colBlock) retireAll(sweep int, cur *vecmath.Matrix) {
+	frozen := make([]bool, len(cb.act))
+	for k := range frozen {
+		frozen[k] = true
+	}
+	cb.retire(frozen, sweep, cur)
+}
+
+// retireSweep is the shared per-sweep retirement step of every column
+// kernel: it retires each active slot whose residual in cr dropped to
+// thresh. It returns the still-active compact indices for repacking via
+// vecmath.SelectColumns — nil when nothing retired (callers skip the
+// repack) — and whether the whole block is now done.
+func (cb *colBlock) retireSweep(cr []float64, thresh float64, sweep int, cur *vecmath.Matrix) (keep []int, done bool) {
+	frozen := make([]bool, len(cr))
+	any := false
+	for j, v := range cr {
+		frozen[j] = v <= thresh
+		any = any || frozen[j]
+	}
+	if !any {
+		return nil, false
+	}
+	keep = cb.retire(frozen, sweep, cur)
+	return keep, len(keep) == 0
+}
+
+func (cb *colBlock) signal(st *Stats) *Signal {
+	st.ColumnSweeps = cb.sweeps
+	return &Signal{mat: cb.out}
+}
+
+// checkSignal validates the common engine preconditions.
+func checkSignal(tr *graph.Transition, sig *Signal, p Params) (n, cols int, err error) {
+	if err := p.validate(); err != nil {
+		return 0, 0, err
+	}
+	n = tr.Graph().NumNodes()
+	if sig.mat.Rows() != n {
+		return 0, 0, fmt.Errorf("diffuse: signal has %d rows, graph has %d nodes", sig.mat.Rows(), n)
+	}
+	return n, sig.mat.Cols(), nil
+}
+
+// SynchronousColumns diffuses a column block with the synchronous engine:
+// full eq. 7 sweeps over every node, per-column residuals, and columns
+// retired the sweep their residual first drops to tol. A single-column
+// Signal is bit-for-bit identical to Synchronous (and therefore to the
+// historical ppr.PPRFilter path) on the same input.
+func SynchronousColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, Stats, error) {
+	n, cols, err := checkSignal(tr, sig, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	tol, maxSweeps := p.syncControls()
+	cb := newColBlock(n, cols)
+	var st Stats
+	if n == 0 || cols == 0 {
+		st.Converged = true
+		return cb.signal(&st), st, nil
+	}
+	g := tr.Graph()
+	cur := sig.mat.Clone()
+	e0c := sig.mat.Clone()
+	next := vecmath.NewMatrix(n, cols)
+	colRes := make([]float64, cols)
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		w := len(cb.act)
+		cr := colRes[:w]
+		vecmath.Zero(cr)
+		for u := 0; u < n; u++ {
+			row := next.Row(u)
+			vecmath.Zero(row)
+			tr.ApplyRow(row, u, 1-p.Alpha, cur)
+			vecmath.AXPY(row, p.Alpha, e0c.Row(u))
+			old := cur.Row(u)
+			for j, v := range row {
+				if d := math.Abs(old[j] - v); d > cr[j] {
+					cr[j] = d
+				}
+			}
+		}
+		cur, next = next, cur
+		st.Sweeps = sweep
+		st.Updates += int64(n)
+		st.Messages += 2 * int64(g.NumEdges())
+		st.Residual = maxOf(cr)
+		keep, done := cb.retireSweep(cr, tol, sweep, cur)
+		if done {
+			st.Converged = true
+			return cb.signal(&st), st, nil
+		}
+		if keep != nil {
+			cur = vecmath.SelectColumns(cur, keep)
+			e0c = vecmath.SelectColumns(e0c, keep)
+			next = vecmath.NewMatrix(n, len(keep))
+		}
+	}
+	cb.retireAll(maxSweeps, cur)
+	return cb.signal(&st), st, fmt.Errorf("%w after %d sweeps (residual %g)", ErrNoConvergence, maxSweeps, st.Residual)
+}
+
+// AsynchronousColumns diffuses a column block with the asynchronous engine:
+// seeded randomized single-node Gauss–Seidel updates, per-column sweep
+// residuals, and columns retired the sweep their residual first drops to
+// tol. The per-sweep node permutations are drawn exactly as in
+// Asynchronous, so each column's trajectory — and its retirement sweep —
+// is bit-identical to diffusing that column alone.
+func AsynchronousColumns(tr *graph.Transition, sig *Signal, p Params, r *randx.Rand) (*Signal, Stats, error) {
+	n, cols, err := checkSignal(tr, sig, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	tol, maxSweeps := p.controls()
+	cb := newColBlock(n, cols)
+	var st Stats
+	if n == 0 || cols == 0 {
+		st.Converged = true
+		return cb.signal(&st), st, nil
+	}
+	g := tr.Graph()
+	cur := sig.mat.Clone()
+	e0c := sig.mat.Clone()
+	scratch := make([]float64, cols)
+	colRes := make([]float64, cols)
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		w := len(cb.act)
+		cr := colRes[:w]
+		vecmath.Zero(cr)
+		sc := scratch[:w]
+		for _, u := range r.Perm(n) {
+			tr.ApplyRowAffine(sc, u, 1-p.Alpha, cur, p.Alpha, e0c.Row(u))
+			row := cur.Row(u)
+			for j, v := range sc {
+				if d := math.Abs(row[j] - v); d > cr[j] {
+					cr[j] = d
+				}
+			}
+			copy(row, sc)
+			st.Updates++
+			st.Messages += int64(g.Degree(u))
+		}
+		st.Sweeps = sweep
+		st.Residual = maxOf(cr)
+		keep, done := cb.retireSweep(cr, tol, sweep, cur)
+		if done {
+			st.Converged = true
+			return cb.signal(&st), st, nil
+		}
+		if keep != nil {
+			cur = vecmath.SelectColumns(cur, keep)
+			e0c = vecmath.SelectColumns(e0c, keep)
+		}
+	}
+	cb.retireAll(maxSweeps, cur)
+	return cb.signal(&st), st, fmt.Errorf("%w after %d sweeps (residual %g)", ErrNoConvergence, maxSweeps, st.Residual)
+}
+
+// ParallelColumns diffuses a column block with the residual-driven frontier
+// engine. Scheduling is shared across the block: a frontier node's residual
+// is its largest per-column change, and one per-edge staleness accumulator
+// gates sends for the whole block (a send carries every active column, so
+// firing an edge resets the staleness of all columns at once — each
+// column's individual unseen influence per receiver therefore stays within
+// the same tol/4 budget the scalar engine guarantees).
+//
+// Per-column early termination: a column whose largest change over the
+// round's frontier falls to the push threshold pushTol = tol/4 is retired —
+// below that granularity its remaining dynamics are inside the engine's
+// own quiescence budget. Global quiescence (no node re-queued) retires
+// every remaining column.
+func ParallelColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, Stats, error) {
+	n, cols, err := checkSignal(tr, sig, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	tol, maxRounds := p.controls()
+	pushTol := tol / 4
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+	cb := newColBlock(n, cols)
+	var st Stats
+	if n == 0 || cols == 0 {
+		st.Converged = true
+		return cb.signal(&st), st, nil
+	}
+	g := tr.Graph()
+	cur := sig.mat.Clone()
+	e0c := sig.mat.Clone()
+	next := vecmath.NewMatrix(n, cols)
+	resid := make([]float64, n)
+	queued := make([]atomic.Bool, n)
+	frontier := make([]graph.NodeID, n)
+	for u := range frontier {
+		frontier[u] = u
+	}
+	edgeOff, edgeThr, edgeStale := pushState(tr, pushTol, p.Alpha)
+
+	shards := make([]parShard, workers)
+	for w := range shards {
+		shards[w].colRes = make([]float64, cols)
+	}
+	pool := newWorkerPool(workers)
+	defer pool.close()
+	var cursor atomic.Int64
+	colRound := make([]float64, cols)
+
+	st.Messages = 2 * int64(g.NumEdges()) // bootstrap announcement, as in Parallel
+
+	for round := 1; round <= maxRounds; round++ {
+		w := len(cb.act)
+		// Compute phase: per frontier node, one fused CSR pass advances all
+		// active columns; per-column maxima feed the retirement decision and
+		// the per-node max feeds the shared push scheduling.
+		cursor.Store(0)
+		pool.run(func(id int) {
+			sh := &shards[id]
+			cr := sh.colRes[:w]
+			for {
+				hi := int(cursor.Add(frontierChunk))
+				lo := hi - frontierChunk
+				if lo >= len(frontier) {
+					return
+				}
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				for _, u := range frontier[lo:hi] {
+					row := next.Row(u)
+					tr.ApplyRowAffine(row, u, 1-p.Alpha, cur, p.Alpha, e0c.Row(u))
+					old := cur.Row(u)
+					var nodeRes float64
+					for j, v := range row {
+						d := math.Abs(old[j] - v)
+						if d > cr[j] {
+							cr[j] = d
+						}
+						if d > nodeRes {
+							nodeRes = d
+						}
+					}
+					resid[u] = nodeRes
+					sh.updates++
+				}
+			}
+		})
+		fullRound := len(frontier) == n
+		commit := commitCtx{
+			tr: tr, frontier: frontier, fullRound: fullRound,
+			cur: cur, next: next, resid: resid,
+			edgeOff: edgeOff, edgeThr: edgeThr, edgeStale: edgeStale,
+			queued: queued, cursor: &cursor,
+		}
+		cursor.Store(0)
+		pool.run(func(id int) { commit.work(&shards[id]) })
+		if fullRound {
+			cur, next = next, cur
+		}
+		st.Sweeps = round
+		var roundResid float64
+		total := 0
+		cr := colRound[:w]
+		vecmath.Zero(cr)
+		for id := range shards {
+			sh := &shards[id]
+			st.Updates += sh.updates
+			st.Messages += sh.messages
+			if sh.maxResid > roundResid {
+				roundResid = sh.maxResid
+			}
+			for j, v := range sh.colRes[:w] {
+				if v > cr[j] {
+					cr[j] = v
+				}
+			}
+			vecmath.Zero(sh.colRes[:w])
+			sh.updates, sh.messages, sh.maxResid = 0, 0, 0
+			total += len(sh.next)
+		}
+		st.Residual = roundResid
+		if total == 0 {
+			// Global quiescence: every receiver's pending incoming influence
+			// is below tol/4 for every column (per-column staleness never
+			// exceeds the shared accumulator). All remaining columns retire.
+			cb.retireAll(round, cur)
+			st.Converged = true
+			return cb.signal(&st), st, nil
+		}
+		frontier = rebuildFrontier(shards, queued, frontier)
+		keep, done := cb.retireSweep(cr, pushTol, round, cur)
+		if done {
+			st.Converged = true
+			return cb.signal(&st), st, nil
+		}
+		if keep != nil {
+			cur = vecmath.SelectColumns(cur, keep)
+			e0c = vecmath.SelectColumns(e0c, keep)
+			next = vecmath.NewMatrix(n, len(keep))
+		}
+	}
+	cb.retireAll(maxRounds, cur)
+	return cb.signal(&st), st, fmt.Errorf("%w after %d rounds (residual %g)", ErrNoConvergence, maxRounds, st.Residual)
+}
+
+// maxOf returns the largest value of v (0 for an empty slice).
+func maxOf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,70 @@
+package diffuse
+
+import (
+	"errors"
+	"fmt"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/ppr"
+	"diffusearch/internal/vecmath"
+)
+
+// Synchronous-engine convergence controls. The synchronous iteration is the
+// scoring-grade reference (eq. 7 applied to every node per sweep), so its
+// defaults alias the authoritative ppr.PPRFilter controls rather than the
+// looser gossip-engine defaults: callers that relied on
+// ppr.PPRFilter{Tol: 0} keep bit-identical behaviour through EngineSync.
+const (
+	DefaultSyncTol       = ppr.DefaultTol
+	DefaultSyncMaxSweeps = ppr.DefaultMaxIter
+)
+
+// syncControls resolves the zero-value defaults for the synchronous engine.
+func (p Params) syncControls() (tol float64, maxSweeps int) {
+	tol, maxSweeps = p.Tol, p.MaxSweeps
+	if tol <= 0 {
+		tol = DefaultSyncTol
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = DefaultSyncMaxSweeps
+	}
+	return tol, maxSweeps
+}
+
+// Synchronous runs the synchronous fixed-point iteration of eq. 7:
+// E(t) = (1−a)·A·E(t−1) + a·E0, every node updated from the previous
+// sweep's values until the max-norm update drops below tol. This is the
+// centralized reference schedule (one global barrier per sweep). It
+// delegates to ppr.PPRFilter — the historical implementation — so results
+// are bit-for-bit identical to that path by construction; only the stats
+// shape and error wrapping are adapted to the engine contract (one sweep
+// updates every node and pulls one value per directed edge).
+//
+// The returned matrix holds one diffused row per node. The input e0 is not
+// modified.
+func Synchronous(tr *graph.Transition, e0 *vecmath.Matrix, p Params) (*vecmath.Matrix, Stats, error) {
+	if err := p.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	g := tr.Graph()
+	n := g.NumNodes()
+	if e0.Rows() != n {
+		return nil, Stats{}, fmt.Errorf("diffuse: signal has %d rows, graph has %d nodes", e0.Rows(), n)
+	}
+	tol, maxSweeps := p.syncControls()
+	out, pst, err := (ppr.PPRFilter{Alpha: p.Alpha, Tol: tol, MaxIter: maxSweeps}).Apply(tr, e0)
+	st := Stats{
+		Sweeps:    pst.Iterations,
+		Updates:   int64(pst.Iterations) * int64(n),
+		Messages:  int64(pst.Iterations) * 2 * int64(g.NumEdges()),
+		Residual:  pst.Residual,
+		Converged: pst.Converged,
+	}
+	if err != nil {
+		if errors.Is(err, ppr.ErrNoConvergence) {
+			return out, st, fmt.Errorf("%w after %d sweeps (residual %g)", ErrNoConvergence, st.Sweeps, st.Residual)
+		}
+		return nil, Stats{}, err
+	}
+	return out, st, nil
+}

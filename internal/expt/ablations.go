@@ -94,7 +94,7 @@ func ComparePolicies(env *Environment, cfg CompareConfig) ([]CompareRow, error) 
 		if err := net.ComputePersonalization(); err != nil {
 			return nil, err
 		}
-		scores, err := net.FastNodeScores(query, cfg.Alpha, 0)
+		scores, err := sharedScores(net, query, cfg.Alpha)
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +232,7 @@ func RecallAtK(env *Environment, cfg RecallConfig) ([]RecallRow, error) {
 		if err := net.ComputePersonalization(); err != nil {
 			return nil, err
 		}
-		scores, err := net.FastNodeScores(query, cfg.Alpha, 0)
+		scores, err := sharedScores(net, query, cfg.Alpha)
 		if err != nil {
 			return nil, err
 		}

@@ -118,7 +118,7 @@ func AccuracyByDistance(env *Environment, cfg AccuracyConfig) (AccuracyResult, e
 		groups := env.Graph.NodesAtDistance(goldHost, cfg.MaxDistance)
 
 		for si, alpha := range cfg.Alphas {
-			scores, err := net.FastNodeScores(query, alpha, 0)
+			scores, err := sharedScores(net, query, alpha)
 			if err != nil {
 				return AccuracyResult{}, err
 			}

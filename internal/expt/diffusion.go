@@ -42,7 +42,9 @@ func (c DiffusionConfig) withDefaults(env *Environment) DiffusionConfig {
 
 // DiffusionRow reports one engine's run: cost model (updates, messages,
 // sweeps), wall-clock time, and fidelity against the synchronous fixed
-// point of eq. 7.
+// point of eq. 7. ColumnSweeps is set only for the column-blocked signal
+// rows, where per-column early termination makes sweep counts vary across
+// the embedding dimensions.
 type DiffusionRow struct {
 	Engine        string
 	Wall          time.Duration
@@ -52,6 +54,7 @@ type DiffusionRow struct {
 	Residual      float64
 	MaxDiffVsSync float64
 	Converged     bool
+	ColumnSweeps  []int
 }
 
 // CompareDiffusionEngines places one realistic document set, computes E0,
@@ -76,7 +79,7 @@ func CompareDiffusionEngines(env *Environment, cfg DiffusionConfig) ([]Diffusion
 	if err != nil {
 		return nil, fmt.Errorf("expt: synchronous reference: %w", err)
 	}
-	rows := make([]DiffusionRow, 0, len(cfg.Engines))
+	rows := make([]DiffusionRow, 0, 2*len(cfg.Engines))
 	for _, eng := range cfg.Engines {
 		start := time.Now()
 		out, st, err := diffuse.Run(eng, tr, e0, diffuse.Params{
@@ -96,13 +99,51 @@ func CompareDiffusionEngines(env *Environment, cfg DiffusionConfig) ([]Diffusion
 			Converged:     st.Converged,
 		})
 	}
+	// Column-blocked rows: the same engines diffusing E0's dimensions as an
+	// n×dim Signal with per-column residual tracking. The per-column sweep
+	// counts make the batch kernels' early-terminated columns visible next
+	// to the coupled matrix runs above.
+	for _, eng := range cfg.Engines {
+		start := time.Now()
+		sig, st, err := diffuse.RunSignal(eng, tr, diffuse.NewSignal(e0), diffuse.Params{
+			Alpha: cfg.Alpha, Tol: cfg.Tol, Workers: cfg.Workers,
+		}, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("expt: engine %v (cols): %w", eng, err)
+		}
+		rows = append(rows, DiffusionRow{
+			Engine:        eng.String() + "(cols)",
+			Wall:          time.Since(start),
+			Sweeps:        st.Sweeps,
+			Updates:       st.Updates,
+			Messages:      st.Messages,
+			Residual:      st.Residual,
+			MaxDiffVsSync: vecmath.MaxAbsDiffMatrix(sig.Matrix(), ref),
+			Converged:     st.Converged,
+			ColumnSweeps:  st.ColumnSweeps,
+		})
+	}
 	return rows, nil
 }
 
+// SummarizeColumnSweeps renders per-column sweep counts as "min/med/max"
+// ("-" when the row had no column tracking).
+func SummarizeColumnSweeps(cols []int) string {
+	if len(cols) == 0 {
+		return "-"
+	}
+	vals := make([]float64, len(cols))
+	for i, c := range cols {
+		vals[i] = float64(c)
+	}
+	return fmt.Sprintf("%d/%d/%d", int(stats.Min(vals)), int(stats.Median(vals)), int(stats.Max(vals)))
+}
+
 // FormatDiffusion renders CompareDiffusionEngines rows; speedup is
-// wall-clock relative to the first row.
+// wall-clock relative to the first row, and col-sweeps summarizes the
+// per-column sweep counts (min/med/max) of the column-blocked rows.
 func FormatDiffusion(rows []DiffusionRow) *stats.Table {
-	t := &stats.Table{Header: []string{"engine", "wall", "speedup", "sweeps", "updates", "messages", "max|Δ| vs sync"}}
+	t := &stats.Table{Header: []string{"engine", "wall", "speedup", "sweeps", "col-sweeps", "updates", "messages", "max|Δ| vs sync"}}
 	for _, r := range rows {
 		speedup := "n/a"
 		if r.Wall > 0 {
@@ -113,6 +154,7 @@ func FormatDiffusion(rows []DiffusionRow) *stats.Table {
 			r.Wall.Round(time.Microsecond).String(),
 			speedup,
 			fmt.Sprintf("%d", r.Sweeps),
+			SummarizeColumnSweeps(r.ColumnSweeps),
 			fmt.Sprintf("%d", r.Updates),
 			fmt.Sprintf("%d", r.Messages),
 			fmt.Sprintf("%.2g", r.MaxDiffVsSync),

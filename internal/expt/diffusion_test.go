@@ -13,7 +13,10 @@ func TestCompareDiffusionEngines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 || rows[0].Engine != "async" || rows[1].Engine != "parallel" {
+	// Matrix rows per engine plus the column-blocked signal rows that
+	// expose per-column sweep counts.
+	if len(rows) != 4 || rows[0].Engine != "async" || rows[1].Engine != "parallel" ||
+		rows[2].Engine != "async(cols)" || rows[3].Engine != "parallel(cols)" {
 		t.Fatalf("unexpected rows: %+v", rows)
 	}
 	for _, r := range rows {
@@ -28,6 +31,17 @@ func TestCompareDiffusionEngines(t *testing.T) {
 		if r.MaxDiffVsSync > 1e-4 {
 			t.Fatalf("%s off fixed point by %g", r.Engine, r.MaxDiffVsSync)
 		}
+	}
+	for _, r := range rows[2:] {
+		if len(r.ColumnSweeps) == 0 {
+			t.Fatalf("%s must report per-column sweeps", r.Engine)
+		}
+		if SummarizeColumnSweeps(r.ColumnSweeps) == "-" {
+			t.Fatalf("%s column-sweep summary empty", r.Engine)
+		}
+	}
+	if SummarizeColumnSweeps(nil) != "-" {
+		t.Fatal("matrix rows must render '-' for col-sweeps")
 	}
 	// The frontier's bandwidth win over the sweeping reference only shows
 	// once diffusion localizes (asserted at quarter scale in the top-level
@@ -50,7 +64,39 @@ func TestCompareDiffusionEnginesCustomEngineList(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 1 || rows[0].Engine != "parallel" {
+	if len(rows) != 2 || rows[0].Engine != "parallel" || rows[1].Engine != "parallel(cols)" {
 		t.Fatalf("unexpected rows: %+v", rows)
+	}
+}
+
+func TestBatchScaling(t *testing.T) {
+	env := scaledEnv(t)
+	rows, err := BatchScaling(env, BatchConfig{M: 50, Seed: 5, Sizes: []int{1, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].B != 1 || rows[1].B != 8 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.NsPerQuery <= 0 || r.MessagesPerQuery <= 0 || r.Sweeps == 0 {
+			t.Fatalf("B=%d stats not populated: %+v", r.B, r)
+		}
+		if len(r.ColumnSweeps) != r.B {
+			t.Fatalf("B=%d: %d column sweep counts", r.B, len(r.ColumnSweeps))
+		}
+	}
+	// The whole point of batching: one B-wide diffusion costs far fewer
+	// messages per query than per-query diffusions.
+	if rows[1].MessagesPerQuery >= rows[0].MessagesPerQuery {
+		t.Fatalf("batch messages/query %f not below sequential %f",
+			rows[1].MessagesPerQuery, rows[0].MessagesPerQuery)
+	}
+	table := FormatBatch(rows)
+	if !strings.Contains(table.String(), "speedup/query") {
+		t.Fatal("formatted table must include the speedup column")
+	}
+	if _, err := BatchScaling(env, BatchConfig{Sizes: []int{0}}); err == nil {
+		t.Fatal("invalid batch width must error")
 	}
 }

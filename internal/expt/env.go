@@ -6,6 +6,8 @@ package expt
 import (
 	"fmt"
 
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
 	"diffusearch/internal/embed"
 	"diffusearch/internal/gengraph"
 	"diffusearch/internal/graph"
@@ -119,3 +121,18 @@ func meanCircleFor(nodes int) float64 {
 // MaxPoolDocs returns the largest M supported by the mined pool (one gold
 // plus M−1 irrelevant documents must fit).
 func (e *Environment) MaxPoolDocs() int { return len(e.Bench.Pool) + 1 }
+
+// sharedScores computes the per-node relevance scores one experiment
+// iteration shares across its walks: a single-query ScoreBatch on the
+// synchronous engine, which keeps every harness table bit-identical to the
+// historical FastNodeScores path while routing through the unified request
+// API.
+func sharedScores(net *core.Network, query []float64, alpha float64) ([]float64, error) {
+	batch, _, err := net.ScoreBatch([][]float64{query}, core.DiffusionRequest{
+		Engine: diffuse.EngineSync, Alpha: alpha,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return batch[0], nil
+}

@@ -78,7 +78,7 @@ func HopCount(env *Environment, cfg HopCountConfig) ([]HopCountRow, error) {
 			if err := net.ComputePersonalization(); err != nil {
 				return nil, err
 			}
-			scores, err := net.FastNodeScores(query, cfg.Alpha, 0)
+			scores, err := sharedScores(net, query, cfg.Alpha)
 			if err != nil {
 				return nil, err
 			}

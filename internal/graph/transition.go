@@ -144,8 +144,51 @@ func (t *Transition) ApplyRow(dst []float64, u NodeID, coeff float64, src *vecma
 	for i := start; i < end; i++ {
 		w := coeff * t.weights[i]
 		row := src.Row(t.g.neighbors[i])
+		// Reslicing dst to the row length lets the compiler prove d[j] in
+		// bounds and drop the per-element check in the hot loop.
+		d := dst[:len(row)]
 		for j, x := range row {
-			dst[j] += w * x
+			d[j] += w * x
+		}
+	}
+}
+
+// ApplyRowAffine computes dst = tele·e0row + coeff · Σ_{v∈N(u)} A[u][v] ·
+// src[v] in one fused pass: the teleport term seeds dst (replacing the
+// separate Zero + AXPY passes of the eq. 7 kernels) and the CSR row
+// accumulates on top, two edges at a time so each dst element is
+// loaded/stored once per edge pair. The batch scoring engines use it on
+// their hot path; note the addition order differs from Zero+ApplyRow+AXPY,
+// so results are equal only up to rounding — callers needing
+// bit-compatibility with the historical synchronous filter must keep the
+// unfused sequence.
+func (t *Transition) ApplyRowAffine(dst []float64, u NodeID, coeff float64, src *vecmath.Matrix, tele float64, e0row []float64) {
+	if len(dst) != src.Cols() || len(e0row) != len(dst) {
+		panic(fmt.Sprintf("graph: ApplyRowAffine width mismatch dst=%d e0=%d src=%d", len(dst), len(e0row), src.Cols()))
+	}
+	e := e0row[:len(dst)]
+	for j := range dst {
+		dst[j] = tele * e[j]
+	}
+	start, end := t.g.offsets[u], t.g.offsets[u+1]
+	i := start
+	for ; i+1 < end; i += 2 {
+		w1 := coeff * t.weights[i]
+		w2 := coeff * t.weights[i+1]
+		r1 := src.Row(t.g.neighbors[i])
+		r2 := src.Row(t.g.neighbors[i+1])
+		d := dst[:len(r1)]
+		r2 = r2[:len(r1)]
+		for j, x := range r1 {
+			d[j] += w1*x + w2*r2[j]
+		}
+	}
+	if i < end {
+		w := coeff * t.weights[i]
+		row := src.Row(t.g.neighbors[i])
+		d := dst[:len(row)]
+		for j, x := range row {
+			d[j] += w * x
 		}
 	}
 }

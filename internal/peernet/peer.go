@@ -3,6 +3,7 @@ package peernet
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -30,6 +31,15 @@ type PeerConfig struct {
 	// moved by more than PushTol since the last announcement. This bounds
 	// message volume regardless of inbound traffic patterns. 0 means 2ms.
 	GossipInterval time.Duration
+
+	// ScoreQuery, when set, supplies global per-node relevance scores for
+	// a query embedding (cmd/peerd wires it to a DiffusionRequest-driven
+	// core.Network.ScoreBatch over the mirrored topology, so the live TCP
+	// runtime serves queries through the same request API as the
+	// simulation). Forwarding then ranks candidate neighbours by
+	// scores[neighbour] instead of gossip-cached embeddings; on error the
+	// peer falls back to gossip scoring (best effort, like the transport).
+	ScoreQuery func(query []float64) ([]float64, error)
 }
 
 // Peer is a running protocol participant: it gossips embeddings until the
@@ -45,13 +55,21 @@ type Peer struct {
 	own        []float64                          // current diffused embedding
 	lastPushed []float64                          // embedding as of the last gossip
 	cache      map[graph.NodeID][]float64         // last received neighbour embeddings
-	queries    map[string]*peerQueryState         // per-query protocol memory
+	queries    map[string]*peerQueryState         // per-query protocol memory (bounded, see maxQueryStates)
+	queryOrder []string                           // insertion order for FIFO eviction of queries
 	waiters    map[string]chan []retrieval.Result // origin-side response collectors
 	updates    atomic.Int64
 	messages   atomic.Int64
 
-	quit chan struct{}
-	done chan struct{}
+	// queryCh feeds the dedicated query goroutine: query handling may run
+	// a ScoreQuery oracle (a whole-graph diffusion on a cold cache), which
+	// must never stall the gossip event loop. One consumer keeps all
+	// per-query protocol state single-threaded, as the main loop used to.
+	queryCh chan Envelope
+
+	quit  chan struct{}
+	done  chan struct{}
+	qdone chan struct{}
 }
 
 type peerQueryState struct {
@@ -109,8 +127,10 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 		cache:   make(map[graph.NodeID][]float64, len(neighbors)),
 		queries: make(map[string]*peerQueryState),
 		waiters: make(map[string]chan []retrieval.Result),
+		queryCh: make(chan Envelope, 256),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
+		qdone:   make(chan struct{}),
 	}
 	p.own = vecmath.Clone(p.e0)
 	p.lastPushed = vecmath.Clone(p.e0)
@@ -120,18 +140,20 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 // ID returns the peer id.
 func (p *Peer) ID() graph.NodeID { return p.cfg.ID }
 
-// Start launches the event loop and announces the personalization vector
-// to all neighbours (diffusion bootstrap).
+// Start launches the event loops (gossip and query handling) and announces
+// the personalization vector to all neighbours (diffusion bootstrap).
 func (p *Peer) Start() {
 	go p.loop()
+	go p.queryLoop()
 	p.gossip(p.Embedding())
 }
 
-// Stop terminates the event loop and waits for it to exit. The transport is
-// not closed; the owner closes it (it may be shared fabric state).
+// Stop terminates the event loops and waits for them to exit. The transport
+// is not closed; the owner closes it (it may be shared fabric state).
 func (p *Peer) Stop() {
 	close(p.quit)
 	<-p.done
+	<-p.qdone
 }
 
 // Embedding returns a copy of the current diffused embedding.
@@ -233,7 +255,8 @@ func (p *Peer) maybeGossip() {
 
 // absorb processes one envelope: embed messages only update the neighbour
 // cache (recomputation is coalesced by the caller); queries and responses
-// are handled immediately. It reports whether the embedding cache changed.
+// are handed to the query goroutine so a slow scoring oracle never blocks
+// gossip. It reports whether the embedding cache changed.
 func (p *Peer) absorb(env Envelope) bool {
 	switch env.Type {
 	case MsgEmbed:
@@ -243,17 +266,40 @@ func (p *Peer) absorb(env Envelope) bool {
 		}
 		return p.cacheEmbed(env.From, pl.Embedding)
 	case MsgQuery:
-		var pl queryPayload
-		if json.Unmarshal(env.Data, &pl) == nil {
-			p.handleQuery(env.From, pl)
+		select {
+		case p.queryCh <- env:
+		default:
+			// Bounded mailbox: shed fresh work under overload, like the
+			// transport. Queries are timeout-guarded at their origin.
 		}
 	case MsgResponse:
+		// Responses carry completed work and are cheap to relay (no
+		// scoring), so they are handled inline and never shed.
 		var pl responsePayload
 		if json.Unmarshal(env.Data, &pl) == nil {
 			p.handleResponse(pl)
 		}
 	}
 	return false
+}
+
+// queryLoop runs query handling on its own goroutine: candidate scoring
+// may hit a ScoreQuery oracle (a whole-graph diffusion on a cold cache),
+// which must never stall the gossip loop. Per-query protocol state it
+// shares with the response path is guarded by p.mu.
+func (p *Peer) queryLoop() {
+	defer close(p.qdone)
+	for {
+		select {
+		case <-p.quit:
+			return
+		case env := <-p.queryCh:
+			var pl queryPayload
+			if json.Unmarshal(env.Data, &pl) == nil {
+				p.handleQuery(env.From, pl)
+			}
+		}
+	}
 }
 
 func (p *Peer) cacheEmbed(from graph.NodeID, emb []float64) bool {
@@ -291,21 +337,28 @@ func (p *Peer) recomputeEmbedding() {
 	p.updates.Add(1)
 }
 
-// handleQuery implements Fig. 1 at this peer.
+// handleQuery implements Fig. 1 at this peer. It runs on the query
+// goroutine; per-query state shared with the inline response path is
+// mutated under p.mu.
 func (p *Peer) handleQuery(from graph.NodeID, pl queryPayload) {
 	st := p.queryState(pl.QueryID)
+	p.mu.Lock()
 	if from >= 0 {
 		st.receivedFrom[from] = struct{}{}
 		if st.parent < 0 {
 			st.parent = from
 		}
 	}
-	// Step 2: local search into the carried tracker.
+	p.mu.Unlock()
+	// Step 2: local search into the carried tracker (the index is shared
+	// with runtime AddDocuments calls).
 	tracker := retrieval.NewTopK(max(pl.K, 1))
 	for _, r := range pl.Results {
 		tracker.Offer(r.Doc, r.Score)
 	}
+	p.mu.Lock()
 	p.index.SearchInto(tracker, pl.Embedding, p.cfg.Scorer)
+	p.mu.Unlock()
 	pl.Results = tracker.Results()
 
 	// Step 3/4b: TTL bookkeeping.
@@ -316,6 +369,7 @@ func (p *Peer) handleQuery(from graph.NodeID, pl queryPayload) {
 	}
 
 	// Step 4a: candidate selection (node-memory visited avoidance).
+	p.mu.Lock()
 	candidates := make([]graph.NodeID, 0, len(p.cfg.Neighbors))
 	for _, v := range p.cfg.Neighbors {
 		if _, r := st.receivedFrom[v]; r {
@@ -326,6 +380,7 @@ func (p *Peer) handleQuery(from graph.NodeID, pl queryPayload) {
 		}
 		candidates = append(candidates, v)
 	}
+	p.mu.Unlock()
 	if len(candidates) == 0 { // footnote 9
 		candidates = p.cfg.Neighbors
 	}
@@ -333,14 +388,33 @@ func (p *Peer) handleQuery(from graph.NodeID, pl queryPayload) {
 		p.respond(pl.QueryID, pl.Results)
 		return
 	}
-	// Greedy single-walk forwarding: best diffused neighbour embedding.
-	best, bestScore := candidates[0], p.scoreNeighbor(candidates[0], pl.Embedding)
+	// Greedy single-walk forwarding: best candidate under the request-API
+	// scores when a ScoreQuery oracle is configured, else the best
+	// gossip-diffused neighbour embedding. Scoring runs outside p.mu — the
+	// oracle may diffuse the whole graph on a cold cache.
+	scoreOf := func(v graph.NodeID) float64 { return p.scoreNeighbor(v, pl.Embedding) }
+	if p.cfg.ScoreQuery != nil {
+		if scores, err := p.cfg.ScoreQuery(pl.Embedding); err == nil {
+			scoreOf = func(v graph.NodeID) float64 {
+				if v >= 0 && v < len(scores) {
+					return scores[v]
+				}
+				// A neighbour the oracle does not cover (e.g. joined after
+				// the topology mirror was built) must lose to every scored
+				// candidate — 0 would outrank legitimately negative scores.
+				return math.Inf(-1)
+			}
+		}
+	}
+	best, bestScore := candidates[0], scoreOf(candidates[0])
 	for _, v := range candidates[1:] {
-		if s := p.scoreNeighbor(v, pl.Embedding); s > bestScore {
+		if s := scoreOf(v); s > bestScore {
 			best, bestScore = v, s
 		}
 	}
+	p.mu.Lock()
 	st.sentTo[best] = struct{}{}
+	p.mu.Unlock()
 	p.send(best, MsgQuery, pl)
 }
 
@@ -407,17 +481,29 @@ func (p *Peer) scoreNeighbor(v graph.NodeID, query []float64) float64 {
 	return p.cfg.Scorer.Score(query, e)
 }
 
+// maxQueryStates bounds the per-query protocol memory: query ids arrive
+// over the wire, so an unbounded map would grow with every query a
+// long-running peer ever relays. FIFO eviction drops the oldest (long
+// finished, TTL-bound) states while keeping every plausibly active one.
+const maxQueryStates = 1024
+
 func (p *Peer) queryState(id string) *peerQueryState {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st, ok := p.queries[id]
 	if !ok {
+		for len(p.queryOrder) >= maxQueryStates {
+			oldest := p.queryOrder[0]
+			p.queryOrder = p.queryOrder[1:]
+			delete(p.queries, oldest)
+		}
 		st = &peerQueryState{
 			parent:       -1,
 			receivedFrom: make(map[graph.NodeID]struct{}),
 			sentTo:       make(map[graph.NodeID]struct{}),
 		}
 		p.queries[id] = st
+		p.queryOrder = append(p.queryOrder, id)
 	}
 	return st
 }

@@ -1,6 +1,7 @@
 package peernet
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -239,5 +240,66 @@ func TestMsgTypeString(t *testing.T) {
 	if MsgEmbed.String() != "embed" || MsgQuery.String() != "query" ||
 		MsgResponse.String() != "response" || MsgType(9).String() != "MsgType(9)" {
 		t.Fatal("MsgType names")
+	}
+}
+
+func TestPeerScoreQueryOracleGuidesForwarding(t *testing.T) {
+	// With a ScoreQuery oracle (the request-API path cmd/peerd wires up),
+	// forwarding follows the supplied per-node scores instead of
+	// gossip-cached embeddings — so a walk reaches a gold host it is
+	// steered toward even before any gossip converges.
+	vocab := testVocab(t)
+	bench, err := embed.MineBenchmark(vocab, 10, 0.6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := bench.Pairs[0]
+	g := gengraph.RingLattice(12, 2) // plain ring: exactly one non-backtracking path each way
+	const goldHost = 4
+	dist := g.BFSDistances(goldHost)
+	fabric := NewChannelFabric(g.NumNodes(), 0)
+	peers := make([]*Peer, g.NumNodes())
+	var oracleCalls int64
+	var mu sync.Mutex
+	for u := 0; u < g.NumNodes(); u++ {
+		var docs []retrieval.DocID
+		if u == goldHost {
+			docs = []retrieval.DocID{pair.Gold}
+		}
+		p, err := NewPeer(PeerConfig{
+			ID: u, Neighbors: g.Neighbors(u), Vocab: vocab, Docs: docs, Alpha: 0.5,
+			ScoreQuery: func(query []float64) ([]float64, error) {
+				mu.Lock()
+				oracleCalls++
+				mu.Unlock()
+				scores := make([]float64, g.NumNodes())
+				for v := range scores {
+					scores[v] = -float64(dist[v]) // steer straight toward the gold host
+				}
+				return scores, nil
+			},
+		}, fabric.Transport(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[u] = p
+	}
+	for _, p := range peers {
+		p.Start()
+	}
+	defer stopPeers(peers, fabric)
+
+	res, err := peers[0].Query(vocab.Vector(pair.Query), 4, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Doc != pair.Gold {
+		t.Fatalf("oracle-guided walk missed the gold: %v", res)
+	}
+	mu.Lock()
+	calls := oracleCalls
+	mu.Unlock()
+	if calls == 0 {
+		t.Fatal("ScoreQuery oracle was never consulted")
 	}
 }

@@ -1,0 +1,19 @@
+package ppr
+
+import (
+	"diffusearch/internal/graph"
+	"diffusearch/internal/vecmath"
+)
+
+// FilterFunc adapts a plain diffusion function to the Filter interface, so
+// callers can hand any smoothing operator — including one of the diffuse
+// package's engines, wrapped by the caller to avoid an import cycle — to
+// code that composes Filters (e.g. core.DiffusionRequest.Filter).
+type FilterFunc func(tr *graph.Transition, e0 *vecmath.Matrix) (*vecmath.Matrix, Stats, error)
+
+var _ Filter = FilterFunc(nil)
+
+// Apply implements Filter by calling f.
+func (f FilterFunc) Apply(tr *graph.Transition, e0 *vecmath.Matrix) (*vecmath.Matrix, Stats, error) {
+	return f(tr, e0)
+}

@@ -343,3 +343,29 @@ func TestDenseClosedFormOnDisconnectedGraph(t *testing.T) {
 		t.Fatal("iterative and closed form disagree on disconnected graph")
 	}
 }
+
+func TestFilterFuncAdapter(t *testing.T) {
+	// FilterFunc lets arbitrary diffusion functions (e.g. engine-backed
+	// ones wired up in core) satisfy the Filter interface.
+	tr := testGraph(graph.ColumnStochastic)
+	e0 := vecmath.NewMatrix(tr.Graph().NumNodes(), 2)
+	e0.Set(0, 0, 1)
+	e0.Set(1, 1, 1)
+	inner := PPRFilter{Alpha: 0.5, Tol: 1e-10}
+	var called bool
+	f := FilterFunc(func(tr *graph.Transition, m *vecmath.Matrix) (*vecmath.Matrix, Stats, error) {
+		called = true
+		return inner.Apply(tr, m)
+	})
+	got, st, err := f.Apply(tr, e0)
+	if err != nil || !called || !st.Converged {
+		t.Fatalf("adapter apply: %v called=%v st=%+v", err, called, st)
+	}
+	want, _, err := inner.Apply(tr, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.MaxAbsDiffMatrix(got, want) != 0 {
+		t.Fatal("adapter must pass results through unchanged")
+	}
+}

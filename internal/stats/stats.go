@@ -42,6 +42,34 @@ func Median(xs []float64) float64 {
 	return Percentile(xs, 50)
 }
 
+// Min returns the smallest value of xs (0 for an empty slice).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value of xs (0 for an empty slice).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
 // Percentile returns the p-th percentile of xs (nearest-rank on the sorted
 // copy; p clamped to [0,100]). Returns 0 for an empty slice.
 func Percentile(xs []float64, p float64) float64 {

@@ -144,3 +144,13 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("csv %q want %q", csv, want)
 	}
 }
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min %v max %v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty slices must yield 0")
+	}
+}

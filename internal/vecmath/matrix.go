@@ -74,3 +74,43 @@ func MaxAbsDiffMatrix(a, b *Matrix) float64 {
 // Data exposes the backing slice for tests and serialization. The slice
 // aliases matrix storage.
 func (m *Matrix) Data() []float64 { return m.data }
+
+// Column returns an owned copy of column j. Row-major storage means a
+// column is strided; callers needing repeated column access should keep the
+// copy rather than re-extracting.
+func (m *Matrix) Column(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("vecmath: column %d out of %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetColumn copies v into column j. v must have Rows() length.
+func (m *Matrix) SetColumn(j int, v []float64) {
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("vecmath: SetColumn height %d != %d", len(v), m.rows))
+	}
+	for i, x := range v {
+		m.data[i*m.cols+j] = x
+	}
+}
+
+// SelectColumns gathers the given columns of m into a fresh compact matrix
+// (out column k holds m column cols[k]). Used by the column-blocked
+// diffusion kernels to repack still-active signal columns after some
+// columns terminate early.
+func SelectColumns(m *Matrix, cols []int) *Matrix {
+	out := NewMatrix(m.rows, len(cols))
+	for i := 0; i < m.rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for k, j := range cols {
+			dst[k] = src[j]
+		}
+	}
+	return out
+}

@@ -84,3 +84,45 @@ func TestSetRowWidthMismatchPanics(t *testing.T) {
 	}()
 	NewMatrix(1, 2).SetRow(0, []float64{1})
 }
+
+func TestMatrixColumnOps(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetColumn(1, []float64{1, 2, 3})
+	col := m.Column(1)
+	if len(col) != 3 || col[0] != 1 || col[2] != 3 {
+		t.Fatalf("column %v", col)
+	}
+	col[0] = 99
+	if m.At(0, 1) != 1 {
+		t.Fatal("Column must return an owned copy")
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("SetColumn leaked into another column")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range column must panic")
+		}
+	}()
+	m.Column(2)
+}
+
+func TestSelectColumns(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	out := SelectColumns(m, []int{2, 0})
+	if out.Rows() != 2 || out.Cols() != 2 {
+		t.Fatalf("shape %dx%d", out.Rows(), out.Cols())
+	}
+	if out.At(0, 0) != 2 || out.At(0, 1) != 0 || out.At(1, 0) != 12 || out.At(1, 1) != 10 {
+		t.Fatalf("gather wrong: %v", out.Data())
+	}
+	out.Set(0, 0, 99)
+	if m.At(0, 2) != 2 {
+		t.Fatal("SelectColumns must copy, not alias")
+	}
+}

@@ -125,6 +125,38 @@ func AXPY(dst []float64, alpha float64, x []float64) {
 	}
 }
 
+// DotColumns fills dst[j] = Dot(qs[j], p) for every query vector in qs.
+// Each per-query accumulation runs in the exact element order of Dot, so
+// results are bit-identical to j independent Dot calls; four queries are
+// interleaved per pass purely to overlap the addition latency chains that
+// make back-to-back Dot calls throughput-bound. This is the batch-scoring
+// projection kernel (one personalization row against a whole query block).
+func DotColumns(dst []float64, qs [][]float64, p []float64) {
+	if len(dst) != len(qs) {
+		panic(fmt.Sprintf("vecmath: DotColumns length mismatch %d != %d", len(dst), len(qs)))
+	}
+	j := 0
+	for ; j+3 < len(qs); j += 4 {
+		q0, q1, q2, q3 := qs[j], qs[j+1], qs[j+2], qs[j+3]
+		if len(q0) != len(p) || len(q1) != len(p) || len(q2) != len(p) || len(q3) != len(p) {
+			panic("vecmath: DotColumns query length mismatch")
+		}
+		q1, q2, q3 = q1[:len(q0)], q2[:len(q0)], q3[:len(q0)]
+		pp := p[:len(q0)]
+		var s0, s1, s2, s3 float64
+		for i, x := range pp {
+			s0 += q0[i] * x
+			s1 += q1[i] * x
+			s2 += q2[i] * x
+			s3 += q3[i] * x
+		}
+		dst[j], dst[j+1], dst[j+2], dst[j+3] = s0, s1, s2, s3
+	}
+	for ; j < len(qs); j++ {
+		dst[j] = Dot(qs[j], p)
+	}
+}
+
 // Lerp stores (1-t)*a + t*b into dst and returns dst.
 func Lerp(dst, a, b []float64, t float64) []float64 {
 	checkLen3(dst, a, b)

@@ -222,3 +222,31 @@ func TestL1Diff(t *testing.T) {
 		t.Fatalf("L1Diff = %v", got)
 	}
 }
+
+func TestDotColumnsBitIdenticalToDot(t *testing.T) {
+	// DotColumns interleaves four accumulations for throughput but must
+	// keep the exact per-query element order of Dot — the batch scoring
+	// projection relies on this for bit-compatibility with the legacy
+	// single-query path.
+	r := randx.New(5)
+	p := RandomGaussian(r, 33, 1)
+	for _, b := range []int{0, 1, 3, 4, 7, 8} {
+		qs := make([][]float64, b)
+		for j := range qs {
+			qs[j] = RandomGaussian(r, 33, 1)
+		}
+		dst := make([]float64, b)
+		DotColumns(dst, qs, p)
+		for j := range qs {
+			if want := Dot(qs[j], p); dst[j] != want {
+				t.Fatalf("b=%d query %d: %g != Dot %g (must be bit-identical)", b, j, dst[j], want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	DotColumns(make([]float64, 1), [][]float64{{1, 2}}, p)
+}
