@@ -17,9 +17,21 @@
 // sequential baseline of B independent FastNodeScores calls; the batch=64
 // row is the ScoreBatch amortization acceptance number.
 //
+// Serve rows measure the internal/serve admission-controlled scheduler
+// under closed-loop load at 1/8/64 concurrent clients: offered load grows
+// with concurrency, the scheduler coalesces the concurrent callers into
+// multi-column diffusions, and each row records throughput against the
+// per-query (B=1) path plus the realized batch width and cache hit rate.
+//
+// The apply_row_affine rows re-run the kernel-unrolling comparison behind
+// graph.Transition.ApplyRowAffine (shipped 4-edge-unrolled; the historical
+// 2-edge kernel is kept as ApplyRowAffine2) so the snapshot records why the
+// shipped kernel was chosen on the recording hardware.
+//
 // With -baseline, the freshly measured snapshot is gated against a
-// committed one and the command exits non-zero when a Parallel-engine row
-// regressed more than -max-regress (CI's bench-regression step).
+// committed one and the command exits non-zero when a Parallel-engine,
+// ScoreBatch, or serve row regressed more than -max-regress (CI's
+// bench-regression step).
 //
 // Usage:
 //
@@ -42,6 +54,7 @@ import (
 	"diffusearch/internal/expt"
 	"diffusearch/internal/randx"
 	"diffusearch/internal/retrieval"
+	"diffusearch/internal/vecmath"
 )
 
 type engineResult struct {
@@ -70,6 +83,31 @@ type batchResult struct {
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
 }
 
+// serveResult records one closed-loop concurrency level: the coalescing
+// scheduler's throughput and latency against the per-query (B=1) path on
+// the same workload, plus the realized batch width, cache hit rate, and
+// aggregated sweeps/query.
+type serveResult struct {
+	Clients           int     `json:"clients"`
+	QPS               float64 `json:"qps"`
+	PerQueryQPS       float64 `json:"per_query_qps"`
+	SpeedupVsPerQuery float64 `json:"speedup_vs_per_query"`
+	P50Ns             int64   `json:"p50_ns"`
+	P99Ns             int64   `json:"p99_ns"`
+	PerQueryP99Ns     int64   `json:"per_query_p99_ns"`
+	MeanBatch         float64 `json:"mean_batch"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	SweepsPerQuery    float64 `json:"sweeps_per_query"`
+}
+
+// kernelResult records one ApplyRowAffine unrolling variant at one batch
+// width: ns for a full pass over every CSR row of the snapshot graph.
+type kernelResult struct {
+	Kernel  string `json:"kernel"` // "unroll2" (historical) or "unroll4" (shipped)
+	Batch   int    `json:"batch"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
 type snapshot struct {
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
@@ -84,6 +122,11 @@ type snapshot struct {
 	Seed       uint64         `json:"seed"`
 	Engines    []engineResult `json:"engines"`
 	ScoreBatch []batchResult  `json:"score_batch"`
+	Serve      []serveResult  `json:"serve"`
+	// ApplyRowAffine records the kernel-unrolling evaluation; Kernel
+	// "unroll4" is the shipped ApplyRowAffine, "unroll2" the historical
+	// variant kept as ApplyRowAffine2.
+	ApplyRowAffine []kernelResult `json:"apply_row_affine"`
 }
 
 func main() {
@@ -265,6 +308,76 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 		snap.ScoreBatch = append(snap.ScoreBatch, br)
 	}
 
+	// ApplyRowAffine kernel evaluation (the ROADMAP profile-guided-kernel
+	// item): one full pass over every CSR row at each serving batch width,
+	// for the shipped 4-edge unroll and the historical 2-edge kernel it
+	// replaced. The snapshot keeps justifying the shipped choice on the
+	// recording hardware.
+	for _, bw := range []int{1, 8, 64} {
+		src := vecmath.NewMatrix(env.Graph.NumNodes(), bw)
+		for u := 0; u < env.Graph.NumNodes(); u++ {
+			row := src.Row(u)
+			for j := range row {
+				row[j] = r.Float64()
+			}
+		}
+		e0row := make([]float64, bw)
+		dst := make([]float64, bw)
+		kernels := []struct {
+			name string
+			fn   func(dst []float64, u int, coeff float64, src *vecmath.Matrix, tele float64, e0row []float64)
+		}{
+			{"unroll2", tr.ApplyRowAffine2},
+			{"unroll4", tr.ApplyRowAffine},
+		}
+		for _, k := range kernels {
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for u := 0; u < env.Graph.NumNodes(); u++ {
+						k.fn(dst, u, 1-alpha, src, alpha, e0row)
+					}
+				}
+			})
+			kr := kernelResult{Kernel: k.name, Batch: bw, NsPerOp: res.NsPerOp()}
+			fmt.Printf("affine-%s-%-4d %12d ns/op (full CSR pass)\n", k.name, bw, kr.NsPerOp)
+			snap.ApplyRowAffine = append(snap.ApplyRowAffine, kr)
+		}
+	}
+
+	// Serve rows: the admission-controlled coalescing scheduler under
+	// closed-loop load, against the per-query (B=1) path on the identical
+	// workload. Distinct is sized above the smaller levels' demand so the
+	// speedup at low concurrency is batching-only, while the 64-client
+	// level also exercises the LRU cache through repeats.
+	serveRows, err := expt.ServeLoadSweep(env, expt.ServeConfig{
+		M: numDocs, Alpha: alpha, Tol: tol, Workers: workers, Seed: seed,
+		Clients: []int{1, 8, 64}, QueriesPerClient: 12, Distinct: 512,
+	})
+	if err != nil {
+		return fmt.Errorf("serve sweep: %w", err)
+	}
+	for i := 0; i+1 < len(serveRows); i += 2 {
+		direct, sched := serveRows[i], serveRows[i+1]
+		sr := serveResult{
+			Clients:        sched.Clients,
+			QPS:            sched.QPS,
+			PerQueryQPS:    direct.QPS,
+			P50Ns:          sched.P50.Nanoseconds(),
+			P99Ns:          sched.P99.Nanoseconds(),
+			PerQueryP99Ns:  direct.P99.Nanoseconds(),
+			MeanBatch:      sched.MeanBatch,
+			CacheHitRate:   sched.CacheHitRate,
+			SweepsPerQuery: sched.SweepsPerQuery,
+		}
+		if direct.QPS > 0 {
+			sr.SpeedupVsPerQuery = sched.QPS / direct.QPS
+		}
+		fmt.Printf("serve-%-5d %10.0f qps (per-query %.0f, speedup %.2fx) p99=%dms mean_batch=%.1f cache_hit=%.2f\n",
+			sr.Clients, sr.QPS, sr.PerQueryQPS, sr.SpeedupVsPerQuery,
+			sr.P99Ns/1e6, sr.MeanBatch, sr.CacheHitRate)
+		snap.Serve = append(snap.Serve, sr)
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -357,8 +470,29 @@ func checkRegression(baselinePath string, fresh snapshot, maxRegress float64) er
 				br.Batch, br.NsPerQuery, b.NsPerQuery))
 		}
 	}
+	// Serve rows gate on the coalescing speedup over the per-query path
+	// only: it is a within-run ratio (both sides measured back-to-back on
+	// the same machine) and stable across runs, whereas the recorded p99
+	// is the tail of ~10² closed-loop samples — run-to-run noise exceeds
+	// any sensible gate even on identical hardware, so latency quantiles
+	// are informational. Rows absent from the baseline (first snapshot
+	// after the scheduler landed) are skipped.
+	baseServe := make(map[int]serveResult, len(base.Serve))
+	for _, sr := range base.Serve {
+		baseServe[sr.Clients] = sr
+	}
+	for _, sr := range fresh.Serve {
+		b, ok := baseServe[sr.Clients]
+		if !ok {
+			continue
+		}
+		if b.SpeedupVsPerQuery > 0 && sr.SpeedupVsPerQuery < b.SpeedupVsPerQuery*(1-maxRegress) {
+			problems = append(problems, fmt.Sprintf("serve clients=%d: speedup vs per-query %.2fx vs baseline %.2fx",
+				sr.Clients, sr.SpeedupVsPerQuery, b.SpeedupVsPerQuery))
+		}
+	}
 	if len(problems) > 0 {
-		return fmt.Errorf("parallel-engine perf regressed beyond %.0f%% of %s:\n  %s",
+		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / serve) regressed beyond %.0f%% of %s:\n  %s",
 			maxRegress*100, baselinePath, strings.Join(problems, "\n  "))
 	}
 	mode := "ratio checks only — baseline hardware differs"

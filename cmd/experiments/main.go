@@ -6,7 +6,7 @@
 //	experiments -exp fig3                 # Fig. 3a–d (accuracy vs distance)
 //	experiments -exp table1               # Table I (hop counts)
 //	experiments -exp all                  # everything below
-//	experiments -exp parallel|topk|placement|summary|visited|baselines|norm
+//	experiments -exp parallel|topk|placement|summary|visited|baselines|norm|serve
 //	experiments -quick                    # scaled-down environment & iterations
 //	experiments -seed 7 -iters 200 -csv   # tuning & CSV output
 package main
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|batch|all")
+		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|batch|serve|all")
 		seed  = flag.Uint64("seed", 42, "master seed (all results are deterministic in it)")
 		quick = flag.Bool("quick", false, "scaled-down environment and iteration counts")
 		iters = flag.Int("iters", 0, "override iteration count (0 = experiment default)")
@@ -75,9 +75,10 @@ func run(exp string, seed uint64, quick bool, iters int, csv bool) error {
 		"norm":      r.norm,
 		"diffusion": r.diffusion,
 		"batch":     r.batch,
+		"serve":     r.serve,
 	}
 	if exp == "all" {
-		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch"} {
+		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch", "serve"} {
 			if err := known[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -271,6 +272,20 @@ func (r *runner) batch() error {
 	}
 	r.emit(fmt.Sprintf("batch — ScoreBatch amortization on the Parallel engine (M=1000, α=0.5, %v)",
 		time.Since(start).Round(time.Millisecond)), expt.FormatBatch(rows))
+	return nil
+}
+
+func (r *runner) serve() error {
+	start := time.Now()
+	rows, err := expt.ServeLoadSweep(r.env, expt.ServeConfig{
+		M: 1000, Alpha: 0.5, Seed: r.seed,
+		QueriesPerClient: r.itersOr(25, 8),
+	})
+	if err != nil {
+		return err
+	}
+	r.emit(fmt.Sprintf("serve — coalescing scheduler vs per-query scoring under closed-loop load (M=1000, α=0.5, %v)",
+		time.Since(start).Round(time.Millisecond)), expt.FormatServe(rows))
 	return nil
 }
 

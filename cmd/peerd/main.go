@@ -34,13 +34,25 @@
 // and -batch amortizes all of its queries into a single multi-column
 // ScoreBatch call before the walks start. Without -engine the peer keeps
 // gossip-cache scoring for everything, -batch included.
+//
+// Request-API scoring runs behind an admission-controlled serve.Scheduler:
+// concurrently arriving queries coalesce into one multi-column diffusion
+// under the -maxwait latency budget (batch width capped at -maxbatch, B
+// grows with load), and an LRU cache of -cache score columns lets repeated
+// queries skip diffusion entirely. The scheduler's batch-width histogram,
+// wait quantiles, and cache hit rate are printed at shutdown.
+//
+// A long-running peer follows topology changes without restarting: SIGHUP
+// reloads the -topology file, patches the scorer's mirror Network (joined
+// and departed peers), invalidates the serve cache, refreshes the
+// transport directory, and rewires this peer's own neighbour set.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"os/signal"
 	"strconv"
@@ -55,6 +67,7 @@ import (
 	"diffusearch/internal/graph"
 	"diffusearch/internal/peernet"
 	"diffusearch/internal/retrieval"
+	"diffusearch/internal/serve"
 )
 
 func main() {
@@ -69,6 +82,9 @@ func main() {
 		batch    = flag.String("batch", "", "issue a batch of comma-separated words (e.g. w12,w7) and exit; with -engine, the batch is scored in one diffusion first")
 		engine   = flag.String("engine", "", "serve queries through the request API on this engine (async|parallel|sync); empty keeps gossip-cache scoring")
 		workers  = flag.Int("workers", 0, "parallel engine pool size (0 = GOMAXPROCS)")
+		maxWait  = flag.Duration("maxwait", 2*time.Millisecond, "scheduler coalescing budget: how long a query may wait for batch co-riders (0 = zero-wait)")
+		maxBatch = flag.Int("maxbatch", 64, "scheduler batch-width cap for coalesced diffusions")
+		cache    = flag.Int("cache", 512, "scheduler LRU score-cache entries (0 disables)")
 		ttl      = flag.Int("ttl", 20, "query hop budget")
 		k        = flag.Int("k", 3, "tracked results")
 		wait     = flag.Duration("wait", 2*time.Second, "diffusion settling time before -query/-batch")
@@ -78,6 +94,7 @@ func main() {
 		topoPath: *topoPath, id: *id, alpha: *alpha, seed: *seed,
 		words: *words, dim: *dim, query: *query, batch: *batch,
 		engine: *engine, workers: *workers, ttl: *ttl, k: *k, wait: *wait,
+		maxWait: *maxWait, maxBatch: *maxBatch, cache: *cache,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peerd:", err)
@@ -99,6 +116,9 @@ type runConfig struct {
 	ttl      int
 	k        int
 	wait     time.Duration
+	maxWait  time.Duration
+	maxBatch int
+	cache    int
 }
 
 type peerSpec struct {
@@ -107,38 +127,69 @@ type peerSpec struct {
 	docs      []retrieval.DocID
 }
 
-// scorerCacheCap bounds the score memo: query embeddings arrive over the
-// wire from other peers, so an unbounded map would grow with every
-// distinct (or adversarial) query a long-running peer forwards. FIFO
-// eviction keeps the common case (a hot working set of repeated queries)
-// cached while capping memory at cap × n float64s.
-const scorerCacheCap = 512
-
-// queryScorer serves per-node relevance scores through the unified request
-// API over a mirror of the deployment: peerd peers share the topology file
-// and the seeded corpus, so any peer can reconstruct the same Network the
-// simulation uses and score queries with ScoreBatch instead of its own
-// diffusion call. Scores are memoized per query embedding (bounded, FIFO
-// eviction); Prewarm fills the memo for a whole batch with one
-// multi-column diffusion.
+// queryScorer serves per-node relevance scores through the admission-
+// controlled serve.Scheduler over a mirror of the deployment: peerd peers
+// share the topology file and the seeded corpus, so any peer can
+// reconstruct the same Network the simulation uses and score queries with
+// ScoreBatch instead of its own diffusion call. Concurrent queries
+// coalesce into one multi-column diffusion (the Scheduler replaces the
+// per-query Score path and the FIFO memo peerd carried before PR 3), and
+// Prewarm fills the scheduler's LRU cache for a whole batch with one
+// diffusion.
+//
+// The mirror Network is swappable: Patch rebuilds it from reloaded
+// topology specs (peers joining or leaving) and invalidates the score
+// cache, so a long-running peer keeps scoring against the live overlay
+// without a restart.
 type queryScorer struct {
-	net *core.Network
-	req core.DiffusionRequest
+	req   core.DiffusionRequest
+	vocab *embed.Vocabulary
+	sched *serve.Scheduler
 
-	mu    sync.Mutex
-	cache map[string][]float64
-	order []string // insertion order for FIFO eviction
+	mu  sync.RWMutex
+	net *core.Network // topology mirror; swapped whole on Patch
+}
+
+// scorerConfig carries the scheduler and request knobs into newQueryScorer.
+type scorerConfig struct {
+	engine   string
+	alpha    float64
+	workers  int
+	seed     uint64
+	maxWait  time.Duration
+	maxBatch int
+	cache    int
 }
 
 // newQueryScorer mirrors the topology and document placement into a
-// Network and resolves the engine flag into the DiffusionRequest that
-// every Score/Prewarm call dispatches through.
-func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary,
-	engineName string, alpha float64, workers int, seed uint64) (*queryScorer, error) {
-	eng, err := diffuse.ParseEngine(engineName)
+// Network, resolves the engine flag into the DiffusionRequest every
+// dispatched batch uses, and starts the coalescing scheduler over it.
+func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary, cfg scorerConfig) (*queryScorer, error) {
+	eng, err := diffuse.ParseEngine(cfg.engine)
 	if err != nil {
 		return nil, err
 	}
+	net, err := buildMirror(specs, vocab)
+	if err != nil {
+		return nil, err
+	}
+	s := &queryScorer{
+		req:   core.DiffusionRequest{Engine: eng, Alpha: cfg.alpha, Workers: cfg.workers, Seed: cfg.seed},
+		vocab: vocab,
+		net:   net,
+	}
+	if s.sched, err = serve.New(s, serve.Config{
+		Request: s.req, MaxWait: cfg.maxWait, MaxBatch: cfg.maxBatch, Cache: cfg.cache,
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildMirror reconstructs the deployment Network from topology specs: the
+// overlay graph, the shared-seed document placement, and the summarized
+// personalization vectors.
+func buildMirror(specs map[int]peerSpec, vocab *embed.Vocabulary) (*core.Network, error) {
 	n := 0
 	for id := range specs {
 		if id >= n {
@@ -167,75 +218,58 @@ func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary,
 	if err := net.ComputePersonalization(); err != nil {
 		return nil, err
 	}
-	return &queryScorer{
-		net:   net,
-		req:   core.DiffusionRequest{Engine: eng, Alpha: alpha, Workers: workers, Seed: seed},
-		cache: make(map[string][]float64),
-	}, nil
+	return net, nil
 }
 
-// Score returns the per-node relevance scores for one query embedding,
-// diffusing through the scorer's request unless memoized.
+// ScoreBatch implements serve.Backend over the current mirror, so batches
+// dispatched after a Patch score against the fresh topology.
+func (s *queryScorer) ScoreBatch(queries [][]float64, req core.DiffusionRequest) ([][]float64, diffuse.Stats, error) {
+	s.mu.RLock()
+	net := s.net
+	s.mu.RUnlock()
+	return net.ScoreBatch(queries, req)
+}
+
+// scoreTimeout bounds how long a forwarded query may wait in the
+// scheduler; queries are additionally timeout-guarded at their origin.
+const scoreTimeout = 30 * time.Second
+
+// Score returns the per-node relevance scores for one query embedding
+// through the coalescing scheduler (cache hit, coalesced batch column, or
+// fresh diffusion).
 func (s *queryScorer) Score(query []float64) ([]float64, error) {
-	key := scoreKey(query)
-	s.mu.Lock()
-	cached, ok := s.cache[key]
-	s.mu.Unlock()
-	if ok {
-		return cached, nil
-	}
-	batch, _, err := s.net.ScoreBatch([][]float64{query}, s.req)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.insert(key, batch[0])
-	s.mu.Unlock()
-	return batch[0], nil
-}
-
-// insert memoizes one score column, evicting the oldest entry at capacity.
-// Callers must hold s.mu.
-func (s *queryScorer) insert(key string, scores []float64) {
-	if _, dup := s.cache[key]; !dup {
-		for len(s.order) >= scorerCacheCap {
-			oldest := s.order[0]
-			s.order = s.order[1:]
-			delete(s.cache, oldest)
-		}
-		s.order = append(s.order, key)
-	}
-	s.cache[key] = scores
+	ctx, cancel := context.WithTimeout(context.Background(), scoreTimeout)
+	defer cancel()
+	return s.sched.Submit(ctx, query)
 }
 
 // Prewarm scores a whole query batch in one multi-column diffusion and
-// memoizes the per-query columns, so the subsequent live walks pay no
-// further diffusion cost.
+// fills the scheduler's cache, so the subsequent live walks pay no further
+// diffusion cost.
 func (s *queryScorer) Prewarm(queries [][]float64) (diffuse.Stats, error) {
-	batch, st, err := s.net.ScoreBatch(queries, s.req)
-	if err != nil {
-		return st, err
-	}
-	s.mu.Lock()
-	for j, q := range queries {
-		s.insert(scoreKey(q), batch[j])
-	}
-	s.mu.Unlock()
-	return st, nil
+	return s.sched.Warm(queries)
 }
 
-// scoreKey fingerprints a query embedding for the memo.
-func scoreKey(query []float64) string {
-	var b strings.Builder
-	b.Grow(len(query) * 8)
-	for _, x := range query {
-		v := math.Float64bits(x)
-		for i := 0; i < 64; i += 8 {
-			b.WriteByte(byte(v >> i))
-		}
+// Patch swaps the topology mirror for one rebuilt from reloaded specs and
+// invalidates the serve cache (stale score columns would otherwise outlive
+// the topology they were diffused on).
+func (s *queryScorer) Patch(specs map[int]peerSpec) error {
+	net, err := buildMirror(specs, s.vocab)
+	if err != nil {
+		return err
 	}
-	return b.String()
+	s.mu.Lock()
+	s.net = net
+	s.mu.Unlock()
+	s.sched.InvalidateCache()
+	return nil
 }
+
+// Stats snapshots the scheduler counters.
+func (s *queryScorer) Stats() serve.Stats { return s.sched.Stats() }
+
+// Close drains and stops the scheduler.
+func (s *queryScorer) Close() { s.sched.Close() }
 
 func run(cfg runConfig) error {
 	if cfg.topoPath == "" || cfg.id < 0 {
@@ -263,9 +297,13 @@ func run(cfg runConfig) error {
 	// that never opted into the request API.
 	var scorer *queryScorer
 	if cfg.engine != "" {
-		if scorer, err = newQueryScorer(specs, vocab, cfg.engine, cfg.alpha, cfg.workers, cfg.seed); err != nil {
+		if scorer, err = newQueryScorer(specs, vocab, scorerConfig{
+			engine: cfg.engine, alpha: cfg.alpha, workers: cfg.workers, seed: cfg.seed,
+			maxWait: cfg.maxWait, maxBatch: cfg.maxBatch, cache: cfg.cache,
+		}); err != nil {
 			return err
 		}
+		defer scorer.Close()
 	}
 
 	tr, err := peernet.ListenTCP(cfg.id, spec.addr)
@@ -348,12 +386,57 @@ func run(cfg runConfig) error {
 		return issue(w)
 	}
 
-	// Serve until interrupted.
+	// Serve until interrupted; SIGHUP reloads the topology file so a
+	// long-running peer follows joins/leaves without restarting.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for got := range sig {
+		if got != syscall.SIGHUP {
+			break
+		}
+		if err := reloadTopology(cfg, peer, tr, scorer); err != nil {
+			fmt.Printf("topology reload failed (keeping previous topology): %v\n", err)
+		}
+	}
 	updates, messages := peer.Stats()
 	fmt.Printf("\npeer %d shutting down: %d diffusion updates, %d messages sent\n", cfg.id, updates, messages)
+	if scorer != nil {
+		fmt.Printf("scheduler: %v\n", scorer.Stats())
+	}
+	return nil
+}
+
+// reloadTopology re-reads the topology file and applies the delta to the
+// running peer: the transport directory learns new addresses, the peer's
+// own neighbour set is rewired, and the request-API scorer (when enabled)
+// rebuilds its mirror Network and drops its now-stale score cache.
+func reloadTopology(cfg runConfig, peer *peernet.Peer, tr *peernet.TCPTransport, scorer *queryScorer) error {
+	specs, err := loadTopology(cfg.topoPath)
+	if err != nil {
+		return err
+	}
+	spec, ok := specs[cfg.id]
+	if !ok {
+		return fmt.Errorf("id %d no longer present in %s", cfg.id, cfg.topoPath)
+	}
+	// Patch the scorer first: it is the step that validates the specs
+	// (unknown neighbours, bad placement), so a broken file fails here
+	// before the transport directory or our neighbour set have moved — the
+	// caller's "keeping previous topology" message stays true.
+	if scorer != nil {
+		if err := scorer.Patch(specs); err != nil {
+			return err
+		}
+	}
+	dir := make(map[graph.NodeID]string, len(specs))
+	for pid, s := range specs {
+		dir[pid] = s.addr
+	}
+	tr.SetDirectory(dir)
+	peer.UpdateNeighbors(spec.neighbors)
+	fmt.Printf("topology reloaded: %d peers, %d neighbours of peer %d%s\n",
+		len(specs), len(spec.neighbors), cfg.id,
+		map[bool]string{true: ", scorer mirror patched + cache invalidated", false: ""}[scorer != nil])
 	return nil
 }
 

@@ -102,19 +102,28 @@ func testSpecs() map[int]peerSpec {
 	}
 }
 
+func testScorer(t *testing.T, specs map[int]peerSpec, engine string, workers int) *queryScorer {
+	t.Helper()
+	scorer, err := newQueryScorer(specs, testVocab(t), scorerConfig{
+		engine: engine, alpha: 0.5, workers: workers, seed: 42,
+		maxBatch: 8, cache: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(scorer.Close)
+	return scorer
+}
+
 func TestEngineFlagReachesRequestDispatcher(t *testing.T) {
 	// The -engine value must land in the DiffusionRequest behind every
 	// score the live runtime serves.
-	vocab := testVocab(t)
 	for name, want := range map[string]diffuse.Engine{
 		"async":    diffuse.EngineAsynchronous,
 		"parallel": diffuse.EngineParallel,
 		"sync":     diffuse.EngineSync,
 	} {
-		scorer, err := newQueryScorer(testSpecs(), vocab, name, 0.5, 2, 42)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
+		scorer := testScorer(t, testSpecs(), name, 2)
 		if scorer.req.Engine != want {
 			t.Fatalf("-engine %s dispatched to %v, want %v", name, scorer.req.Engine, want)
 		}
@@ -122,17 +131,14 @@ func TestEngineFlagReachesRequestDispatcher(t *testing.T) {
 			t.Fatalf("-engine %s request knobs lost: %+v", name, scorer.req)
 		}
 	}
-	if _, err := newQueryScorer(testSpecs(), vocab, "mailboxes", 0.5, 0, 1); err == nil {
+	if _, err := newQueryScorer(testSpecs(), testVocab(t), scorerConfig{engine: "mailboxes", alpha: 0.5}); err == nil {
 		t.Fatal("unknown engine name must error")
 	}
 }
 
 func TestQueryScorerScoresAndPrewarms(t *testing.T) {
 	vocab := testVocab(t)
-	scorer, err := newQueryScorer(testSpecs(), vocab, "parallel", 0.5, 1, 42)
-	if err != nil {
-		t.Fatal(err)
-	}
+	scorer := testScorer(t, testSpecs(), "parallel", 1)
 	q := vocab.Vector(3)
 	scores, err := scorer.Score(q)
 	if err != nil {
@@ -145,7 +151,7 @@ func TestQueryScorerScoresAndPrewarms(t *testing.T) {
 	if scores[0] <= scores[1] {
 		t.Fatalf("host score %g not above empty peer %g", scores[0], scores[1])
 	}
-	// Prewarm must memoize each batched column so live queries reuse it.
+	// Prewarm must fill the scheduler cache so live queries skip diffusion.
 	queries := [][]float64{vocab.Vector(3), vocab.Vector(7)}
 	st, err := scorer.Prewarm(queries)
 	if err != nil {
@@ -154,23 +160,73 @@ func TestQueryScorerScoresAndPrewarms(t *testing.T) {
 	if len(st.ColumnSweeps) != 2 {
 		t.Fatalf("prewarm stats %+v", st)
 	}
-	if len(scorer.cache) != 2 {
-		t.Fatalf("memo holds %d entries, want 2", len(scorer.cache))
-	}
-	again, err := scorer.Score(vocab.Vector(7))
-	if err != nil {
+	before := scorer.Stats()
+	if _, err := scorer.Score(vocab.Vector(7)); err != nil {
 		t.Fatal(err)
 	}
-	if &again[0] != &scorer.cache[scoreKey(vocab.Vector(7))][0] {
-		t.Fatal("Score after Prewarm must serve the memoized slice")
+	after := scorer.Stats()
+	if after.CacheHits != before.CacheHits+1 || after.Batches != before.Batches {
+		t.Fatalf("prewarmed query missed the cache: before %v after %v", before, after)
 	}
 }
 
 func TestNewQueryScorerRejectsUnknownNeighbour(t *testing.T) {
 	specs := testSpecs()
 	specs[9] = peerSpec{addr: "a:9", neighbors: []graph.NodeID{77}}
-	if _, err := newQueryScorer(specs, testVocab(t), "parallel", 0.5, 0, 1); err == nil {
+	if _, err := newQueryScorer(specs, testVocab(t), scorerConfig{engine: "parallel", alpha: 0.5}); err == nil {
 		t.Fatal("neighbour outside the topology must error")
+	}
+}
+
+func TestQueryScorerPatchFollowsTopologyAndInvalidatesCache(t *testing.T) {
+	// The incremental-mirror path: a topology reload with a joined peer
+	// must change the scorer's answers without a restart, and cached score
+	// columns from the old overlay must not survive.
+	vocab := testVocab(t)
+	scorer := testScorer(t, testSpecs(), "parallel", 1)
+	q := vocab.Vector(3)
+	before, err := scorer.Score(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 3 {
+		t.Fatalf("scores for %d nodes, want 3", len(before))
+	}
+
+	// Peer 3 joins holding doc 12, attached to peer 2 (and 2 gains the
+	// back-edge), as a reloaded topology file would describe.
+	specs := testSpecs()
+	specs[2] = peerSpec{addr: "a:3", neighbors: []graph.NodeID{1, 3}, docs: []retrieval.DocID{7}}
+	specs[3] = peerSpec{addr: "a:4", neighbors: []graph.NodeID{2}, docs: []retrieval.DocID{12}}
+	if err := scorer.Patch(specs); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := scorer.Score(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 4 {
+		t.Fatalf("patched scorer covers %d nodes, want 4", len(after))
+	}
+	st := scorer.Stats()
+	// The repeat of q after Patch must have been re-diffused, not served
+	// from the invalidated cache.
+	if st.CacheHits != 0 {
+		t.Fatalf("stale cache served a post-patch query: %v", st)
+	}
+	if st.Batches < 2 {
+		t.Fatalf("patch did not force a fresh diffusion: %v", st)
+	}
+
+	// A broken reload (unknown neighbour) must leave the mirror usable.
+	bad := testSpecs()
+	bad[5] = peerSpec{addr: "a:6", neighbors: []graph.NodeID{99}}
+	if err := scorer.Patch(bad); err == nil {
+		t.Fatal("invalid specs must fail the patch")
+	}
+	if again, err := scorer.Score(q); err != nil || len(again) != 4 {
+		t.Fatalf("scorer unusable after failed patch: %v %d", err, len(again))
 	}
 }
 

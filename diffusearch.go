@@ -30,6 +30,16 @@
 //	out, _ = net.RunQuery(0, queries[0], pair.Gold,
 //		diffusearch.QueryConfig{TTL: 50, Scores: scores[0]})
 //
+//	// Serving under concurrent load: a Scheduler coalesces concurrent
+//	// Submit calls into batched diffusions under a latency budget, with
+//	// an LRU score cache for repeated queries (see NewScheduler).
+//	sched, _ := diffusearch.NewScheduler(net, diffusearch.ServeConfig{
+//		Request: diffusearch.DiffusionRequest{Alpha: 0.5},
+//		MaxWait: 2 * time.Millisecond,
+//	})
+//	defer sched.Close()
+//	nodeScores, _ := sched.Submit(ctx, queries[0])
+//
 // The historical DiffuseSync / DiffuseAsync / DiffuseParallel /
 // DiffuseWithFilter / FastNodeScores entry points remain as deprecated
 // shims over Run and ScoreBatch.
@@ -47,6 +57,7 @@ import (
 	"diffusearch/internal/graph"
 	"diffusearch/internal/randx"
 	"diffusearch/internal/retrieval"
+	"diffusearch/internal/serve"
 )
 
 // Re-exported identifier types.
@@ -107,6 +118,20 @@ type (
 	// DiffusionSignal is an n×B column block of scalar node signals the
 	// engines diffuse column-blocked with per-column early termination.
 	DiffusionSignal = diffuse.Signal
+	// Scheduler is the admission-controlled serving loop: concurrent
+	// Submit calls coalesce into batched ScoreBatch diffusions under a
+	// latency budget, with bounded-queue backpressure and an LRU score
+	// cache. Construct with NewScheduler.
+	Scheduler = serve.Scheduler
+	// ServeConfig parameterizes a Scheduler (request, MaxWait latency
+	// budget, MaxBatch width cap, queue bound, cache size).
+	ServeConfig = serve.Config
+	// ServeStats is a Scheduler counters snapshot: batch-width histogram,
+	// wait quantiles, cache hit rate, and aggregated sweeps/query.
+	ServeStats = serve.Stats
+	// ServeBackend scores query batches for a Scheduler; *Network
+	// satisfies it.
+	ServeBackend = serve.Backend
 )
 
 // Diffusion engines (§IV-B). EngineAsynchronous is the deterministic
@@ -153,6 +178,9 @@ var (
 	RunDiffusionSignal = diffuse.RunSignal
 	// NewDiffusionSignal wraps an n×B matrix as a diffusion signal.
 	NewDiffusionSignal = diffuse.NewSignal
+	// NewScheduler starts an admission-controlled coalescing scheduler
+	// over a scoring backend (typically a *Network).
+	NewScheduler = serve.New
 )
 
 // NewPaperEnvironment builds the full-scale evaluation setting of §V: a

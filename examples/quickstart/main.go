@@ -6,8 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"diffusearch"
 )
@@ -89,4 +92,32 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("batch-scored walk found gold: %v\n", shared.Found)
+
+	// 6. Serving under load: a Scheduler assembles batches from live
+	//    traffic — concurrent Submit calls coalesce into one diffusion
+	//    under the MaxWait latency budget, and repeats hit the LRU cache.
+	//    (Here three goroutines stand in for three concurrent clients.)
+	sched, err := diffusearch.NewScheduler(net, diffusearch.ServeConfig{
+		Request: diffusearch.DiffusionRequest{Alpha: 0.5},
+		MaxWait: 2 * time.Millisecond,
+		Cache:   64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sched.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sched.Submit(context.Background(), query); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+	sst := sched.Stats()
+	fmt.Printf("scheduler: %d queries served by %d diffusion(s), cache hit rate %.2f\n",
+		sst.Completed+sst.CacheHits, sst.Batches, sst.CacheHitRate())
 }

@@ -1,0 +1,244 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/serve"
+	"diffusearch/internal/stats"
+)
+
+// ServeConfig parameterizes ServeLoadSweep: one realistic placement, then a
+// closed-loop client sweep driving the same query workload through the
+// per-query path and through a serve.Scheduler.
+type ServeConfig struct {
+	M       int     // documents to place; 0 means min(1000, pool)
+	Alpha   float64 // teleport probability; 0 means 0.5
+	Tol     float64 // per-column tolerance; 0 means core.DefaultScoreTol
+	Workers int     // Parallel pool size; 0 means GOMAXPROCS
+	Seed    uint64
+	Engine  diffuse.Engine // 0 means Parallel (the ScoreBatch default)
+
+	// Scheduler knobs (see serve.Config).
+	MaxWait  time.Duration // 0 means zero-wait coalescing
+	MaxBatch int           // 0 means 64
+	Cache    int           // LRU entries; 0 means 256
+
+	// Load shape: for each Clients level, that many closed-loop clients
+	// each issue QueriesPerClient queries back-to-back (offered load grows
+	// with concurrency, the scheduler's adaptive-width regime). Queries
+	// are drawn uniformly from a pool of Distinct embeddings, so repeats —
+	// and therefore cache hits — appear once the total exceeds the pool.
+	Clients          []int // nil means {1, 8, 64}
+	QueriesPerClient int   // 0 means 25
+	Distinct         int   // 0 means 256
+}
+
+func (c ServeConfig) withDefaults(env *Environment) ServeConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.M <= 0 {
+		c.M = 1000
+	}
+	if c.M > env.MaxPoolDocs() {
+		c.M = env.MaxPoolDocs()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Cache <= 0 {
+		c.Cache = 256
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 8, 64}
+	}
+	if c.QueriesPerClient <= 0 {
+		c.QueriesPerClient = 25
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 256
+	}
+	return c
+}
+
+// ServeRow reports one (concurrency level, serving mode) cell of the sweep.
+type ServeRow struct {
+	Clients int
+	Mode    string // "per-query" or "scheduler"
+
+	Queries int           // completed queries
+	Wall    time.Duration // whole closed loop
+	QPS     float64
+	P50     time.Duration // per-query latency quantiles
+	P99     time.Duration
+
+	MeanBatch      float64 // realized diffusion width (1.0 for per-query)
+	CacheHitRate   float64 // scheduler only
+	SweepsPerQuery float64 // aggregated per-column sweeps / queries
+	Batches        uint64  // diffusions dispatched
+}
+
+// ServeLoadSweep measures what admission control buys under concurrent
+// load: for each concurrency level it runs the identical closed-loop
+// workload twice — every client calling the per-query path (a direct B=1
+// ScoreBatch, the PR 2 serving status quo) and every client submitting to
+// one shared serve.Scheduler — and reports throughput, latency quantiles,
+// realized batch width, cache hit rate, and honest sweeps/query. Under
+// high offered load the scheduler coalesces the concurrent callers into
+// wide diffusions, so its QPS rises while the per-query path's cost stays
+// per-call.
+func ServeLoadSweep(env *Environment, cfg ServeConfig) ([]ServeRow, error) {
+	cfg = cfg.withDefaults(env)
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.Derive(cfg.Seed, "serve-sweep")
+	pair := env.Bench.SamplePair(r)
+	docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, cfg.M-1)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		return nil, err
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		return nil, err
+	}
+	pool := make([][]float64, cfg.Distinct)
+	for i := range pool {
+		pool[i] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
+	}
+	req := core.DiffusionRequest{
+		Engine: cfg.Engine, Alpha: cfg.Alpha, Tol: cfg.Tol,
+		Workers: cfg.Workers, Seed: cfg.Seed,
+	}
+
+	rows := make([]ServeRow, 0, 2*len(cfg.Clients))
+	for _, clients := range cfg.Clients {
+		// Per-query baseline: every client diffuses its own B=1 signal.
+		var sweeps atomic.Uint64
+		var batches atomic.Uint64
+		direct, err := closedLoop(clients, cfg.QueriesPerClient, pool, cfg.Seed, func(q []float64) error {
+			_, st, err := net.ScoreBatch([][]float64{q}, req)
+			if err == nil {
+				batches.Add(1)
+				for _, cs := range st.ColumnSweeps {
+					sweeps.Add(uint64(cs))
+				}
+			}
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expt: per-query clients=%d: %w", clients, err)
+		}
+		direct.Clients, direct.Mode = clients, "per-query"
+		direct.MeanBatch = 1
+		direct.Batches = batches.Load()
+		direct.SweepsPerQuery = float64(sweeps.Load()) / float64(direct.Queries)
+		rows = append(rows, direct)
+
+		// Scheduler: the same clients share one coalescing scheduler.
+		sched, err := serve.New(net, serve.Config{
+			Request: req, MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, Cache: cfg.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		coalesced, err := closedLoop(clients, cfg.QueriesPerClient, pool, cfg.Seed, func(q []float64) error {
+			_, err := sched.Submit(context.Background(), q)
+			return err
+		})
+		st := sched.Stats()
+		sched.Close()
+		if err != nil {
+			return nil, fmt.Errorf("expt: scheduler clients=%d: %w", clients, err)
+		}
+		coalesced.Clients, coalesced.Mode = clients, "scheduler"
+		coalesced.MeanBatch = st.MeanBatch()
+		coalesced.CacheHitRate = st.CacheHitRate()
+		coalesced.SweepsPerQuery = st.SweepsPerQuery()
+		coalesced.Batches = st.Batches
+		rows = append(rows, coalesced)
+	}
+	return rows, nil
+}
+
+// closedLoop runs clients×perClient queries back-to-back (each client
+// issues its next query the moment the previous one resolves) and measures
+// wall clock plus per-query latencies. Every client draws its own
+// deterministic stream from the shared pool.
+func closedLoop(clients, perClient int, pool [][]float64, seed uint64, do func([]float64) error) (ServeRow, error) {
+	lats := make([]float64, clients*perClient) // microseconds, for stats.Percentile
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := randx.DeriveN(seed, "serve-client", c)
+			for i := 0; i < perClient; i++ {
+				q := pool[r.IntN(len(pool))]
+				t0 := time.Now()
+				if err := do(q); err != nil {
+					errs[c] = err
+					return
+				}
+				lats[c*perClient+i] = float64(time.Since(t0).Microseconds())
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServeRow{}, err
+		}
+	}
+	row := ServeRow{
+		Queries: clients * perClient,
+		Wall:    wall,
+		P50:     time.Duration(stats.Percentile(lats, 50)) * time.Microsecond,
+		P99:     time.Duration(stats.Percentile(lats, 99)) * time.Microsecond,
+	}
+	if wall > 0 {
+		row.QPS = float64(row.Queries) / wall.Seconds()
+	}
+	return row, nil
+}
+
+// FormatServe renders ServeLoadSweep rows; speedup is each scheduler row's
+// QPS over the per-query row at the same concurrency.
+func FormatServe(rows []ServeRow) *stats.Table {
+	baseline := make(map[int]float64, len(rows))
+	for _, r := range rows {
+		if r.Mode == "per-query" {
+			baseline[r.Clients] = r.QPS
+		}
+	}
+	t := &stats.Table{Header: []string{
+		"clients", "mode", "QPS", "speedup", "p50", "p99", "mean-B", "cache-hit", "sweeps/query", "diffusions",
+	}}
+	for _, r := range rows {
+		speedup := "1.00x"
+		if base := baseline[r.Clients]; r.Mode == "scheduler" && base > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.QPS/base)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", r.Clients),
+			r.Mode,
+			fmt.Sprintf("%.0f", r.QPS),
+			speedup,
+			r.P50.Round(time.Microsecond).String(),
+			r.P99.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1f", r.MeanBatch),
+			fmt.Sprintf("%.2f", r.CacheHitRate),
+			fmt.Sprintf("%.1f", r.SweepsPerQuery),
+			fmt.Sprintf("%d", r.Batches),
+		)
+	}
+	return t
+}

@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServeLoadSweepShape(t *testing.T) {
+	env := scaledEnv(t)
+	rows, err := ServeLoadSweep(env, ServeConfig{
+		M: 50, Alpha: 0.5, Seed: 3,
+		Clients: []int{1, 4}, QueriesPerClient: 3, Distinct: 4, Cache: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One per-query row and one scheduler row per concurrency level, in
+	// sweep order.
+	if len(rows) != 4 {
+		t.Fatalf("rows %d, want 4", len(rows))
+	}
+	wantClients := []int{1, 1, 4, 4}
+	wantModes := []string{"per-query", "scheduler", "per-query", "scheduler"}
+	for i, r := range rows {
+		if r.Clients != wantClients[i] || r.Mode != wantModes[i] {
+			t.Fatalf("row %d = (%d, %s), want (%d, %s)", i, r.Clients, r.Mode, wantClients[i], wantModes[i])
+		}
+		if r.Queries != r.Clients*3 {
+			t.Fatalf("row %d completed %d queries, want %d", i, r.Queries, r.Clients*3)
+		}
+		if r.QPS <= 0 || r.Wall <= 0 {
+			t.Fatalf("row %d throughput not measured: %+v", i, r)
+		}
+		if r.P99 < r.P50 {
+			t.Fatalf("row %d quantiles inverted: %+v", i, r)
+		}
+		if r.Batches == 0 || r.SweepsPerQuery <= 0 {
+			t.Fatalf("row %d diffusion accounting empty: %+v", i, r)
+		}
+	}
+	// The per-query path diffuses once per non-failed query; the scheduler
+	// must never dispatch more diffusions than that (cache + coalescing
+	// only remove work).
+	for i := 0; i < len(rows); i += 2 {
+		if rows[i+1].Batches > rows[i].Batches {
+			t.Fatalf("scheduler dispatched %d diffusions vs %d per-query calls",
+				rows[i+1].Batches, rows[i].Batches)
+		}
+		if rows[i+1].MeanBatch < 1 {
+			t.Fatalf("scheduler mean batch %v < 1", rows[i+1].MeanBatch)
+		}
+	}
+	// With 12 draws from 4 distinct queries at level 4, repeats must hit
+	// the cache.
+	if rows[3].CacheHitRate <= 0 {
+		t.Fatalf("no cache hits despite repeated queries: %+v", rows[3])
+	}
+
+	table := FormatServe(rows).String()
+	for _, col := range []string{"clients", "speedup", "mean-B", "cache-hit", "sweeps/query"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("rendered table missing %q:\n%s", col, table)
+		}
+	}
+}
+
+func TestServeLoadSweepDefaults(t *testing.T) {
+	env := scaledEnv(t)
+	cfg := ServeConfig{}.withDefaults(env)
+	if cfg.Alpha != 0.5 || cfg.MaxBatch != 64 || cfg.Cache != 256 ||
+		cfg.QueriesPerClient != 25 || cfg.Distinct != 256 {
+		t.Fatalf("defaults %+v", cfg)
+	}
+	if len(cfg.Clients) != 3 {
+		t.Fatalf("default clients %v", cfg.Clients)
+	}
+	if cfg.M > env.MaxPoolDocs() {
+		t.Fatalf("M %d exceeds pool %d", cfg.M, env.MaxPoolDocs())
+	}
+}

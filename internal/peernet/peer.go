@@ -174,15 +174,7 @@ func (p *Peer) AddDocuments(docs ...retrieval.DocID) {
 	p.e0 = p.index.PersonalizationVector()
 	// Refresh our own embedding immediately so local answers and the next
 	// announcement reflect the new collection.
-	next := make([]float64, p.cfg.Vocab.Dim())
-	w := (1 - p.cfg.Alpha) / float64(max(len(p.cfg.Neighbors), 1))
-	for _, v := range p.cfg.Neighbors {
-		if e, ok := p.cache[v]; ok {
-			vecmath.AXPY(next, w, e)
-		}
-	}
-	vecmath.AXPY(next, p.cfg.Alpha, p.e0)
-	copy(p.own, next)
+	p.recomputeEmbeddingLocked()
 	p.mu.Unlock()
 	p.updates.Add(1)
 }
@@ -324,8 +316,15 @@ func (p *Peer) cacheEmbed(from graph.NodeID, emb []float64) bool {
 // ticker (maybeGossip).
 func (p *Peer) recomputeEmbedding() {
 	p.mu.Lock()
+	p.recomputeEmbeddingLocked()
+	p.mu.Unlock()
+	p.updates.Add(1)
+}
+
+// recomputeEmbeddingLocked is the update body; callers hold p.mu.
+func (p *Peer) recomputeEmbeddingLocked() {
 	next := make([]float64, p.cfg.Vocab.Dim())
-	w := (1 - p.cfg.Alpha) / float64(len(p.cfg.Neighbors))
+	w := (1 - p.cfg.Alpha) / float64(max(len(p.cfg.Neighbors), 1))
 	for _, v := range p.cfg.Neighbors {
 		if e, ok := p.cache[v]; ok {
 			vecmath.AXPY(next, w, e)
@@ -333,8 +332,34 @@ func (p *Peer) recomputeEmbedding() {
 	}
 	vecmath.AXPY(next, p.cfg.Alpha, p.e0)
 	copy(p.own, next)
+}
+
+// UpdateNeighbors replaces the peer's neighbour set at runtime — the
+// incremental topology path for long-running deployments (cmd/peerd applies
+// it when a reloaded topology file shows peers joining or leaving, instead
+// of restarting the peer). Gossip state of departed neighbours is dropped,
+// the local embedding is recomputed under the new degree, and the next
+// gossip ticks announce to the new set. The caller is responsible for
+// refreshing any scoring oracle that mirrors the topology.
+func (p *Peer) UpdateNeighbors(neighbors []graph.NodeID) {
+	next := make([]graph.NodeID, len(neighbors))
+	copy(next, neighbors)
+	sort.Ints(next)
+	p.mu.Lock()
+	p.cfg.Neighbors = next
+	for v := range p.cache {
+		if !p.isNeighborLocked(v) {
+			delete(p.cache, v)
+		}
+	}
+	p.recomputeEmbeddingLocked()
 	p.mu.Unlock()
 	p.updates.Add(1)
+}
+
+// Neighbors returns a copy of the current neighbour set.
+func (p *Peer) Neighbors() []graph.NodeID {
+	return p.neighborSnapshot()
 }
 
 // handleQuery implements Fig. 1 at this peer. It runs on the query
@@ -380,10 +405,10 @@ func (p *Peer) handleQuery(from graph.NodeID, pl queryPayload) {
 		}
 		candidates = append(candidates, v)
 	}
-	p.mu.Unlock()
 	if len(candidates) == 0 { // footnote 9
-		candidates = p.cfg.Neighbors
+		candidates = append(candidates, p.cfg.Neighbors...)
 	}
+	p.mu.Unlock()
 	if len(candidates) == 0 { // isolated peer
 		p.respond(pl.QueryID, pl.Results)
 		return
@@ -526,9 +551,18 @@ func (p *Peer) respond(id string, results []retrieval.Result) {
 }
 
 func (p *Peer) gossip(embedding []float64) {
-	for _, v := range p.cfg.Neighbors {
+	for _, v := range p.neighborSnapshot() {
 		p.send(v, MsgEmbed, embedPayload{Embedding: embedding})
 	}
+}
+
+// neighborSnapshot copies the neighbour set under the lock: the set is
+// swappable at runtime (UpdateNeighbors), so lock-free iteration over
+// p.cfg.Neighbors is only safe while holding p.mu.
+func (p *Peer) neighborSnapshot() []graph.NodeID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]graph.NodeID(nil), p.cfg.Neighbors...)
 }
 
 func (p *Peer) send(to graph.NodeID, t MsgType, payload any) {
@@ -547,6 +581,13 @@ func (p *Peer) sendTo(to graph.NodeID, t MsgType, payload any) error {
 }
 
 func (p *Peer) isNeighbor(v graph.NodeID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.isNeighborLocked(v)
+}
+
+// isNeighborLocked is the lookup body; callers hold p.mu.
+func (p *Peer) isNeighborLocked(v graph.NodeID) bool {
 	i := sort.SearchInts(p.cfg.Neighbors, v)
 	return i < len(p.cfg.Neighbors) && p.cfg.Neighbors[i] == v
 }

@@ -303,3 +303,53 @@ func TestPeerScoreQueryOracleGuidesForwarding(t *testing.T) {
 		t.Fatal("ScoreQuery oracle was never consulted")
 	}
 }
+
+func TestUpdateNeighborsRewiresGossipAndPrunesCache(t *testing.T) {
+	// A line 0–1–2 rewired so peer 0's only neighbour becomes 2: embedding
+	// gossip must start flowing 0↔2, and peer 0 must drop its cached state
+	// for the departed neighbour 1.
+	g := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}})
+	vocab := testVocab(t)
+	peers, fabric := launchPeers(t, g, vocab,
+		map[graph.NodeID][]retrieval.DocID{0: {3}, 2: {7}}, 0.5)
+	defer stopPeers(peers, fabric)
+	waitQuiescent(t, peers, 5*time.Second)
+
+	if got := peers[0].Neighbors(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("initial neighbours %v", got)
+	}
+	peers[0].mu.Lock()
+	_, hadCache := peers[0].cache[1]
+	peers[0].mu.Unlock()
+	if !hadCache {
+		t.Fatal("peer 0 never cached neighbour 1's embedding")
+	}
+
+	// Rewire both endpoints of the new edge (and drop 0 from 1), as a
+	// topology reload would.
+	peers[0].UpdateNeighbors([]graph.NodeID{2})
+	peers[1].UpdateNeighbors([]graph.NodeID{2})
+	peers[2].UpdateNeighbors([]graph.NodeID{0, 1})
+
+	peers[0].mu.Lock()
+	_, stale := peers[0].cache[1]
+	peers[0].mu.Unlock()
+	if stale {
+		t.Fatal("departed neighbour's cached embedding survived the update")
+	}
+	if got := peers[0].Neighbors(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("updated neighbours %v", got)
+	}
+
+	// Force divergence so the anti-entropy tick re-gossips: new documents
+	// change peer 0's personalization, and the announcement must now reach
+	// peer 2 (cacheEmbed accepts it because 0 is a neighbour again).
+	peers[0].AddDocuments(11)
+	waitQuiescent(t, peers, 5*time.Second)
+	peers[2].mu.Lock()
+	_, cached := peers[2].cache[0]
+	peers[2].mu.Unlock()
+	if !cached {
+		t.Fatal("peer 2 never received gossip from its new neighbour 0")
+	}
+}

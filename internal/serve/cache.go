@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"sync"
+)
+
+// Key fingerprints a query embedding exactly: the raw IEEE-754 bit pattern
+// of every component, little-endian, as a string. Two queries share a key
+// iff they are bitwise identical, so cache lookups and in-batch dedup can
+// never alias distinct queries (unlike a fixed-width hash). The peerd memo
+// used the same encoding before the scheduler replaced it.
+func Key(query []float64) string {
+	b := make([]byte, 0, len(query)*8)
+	for _, x := range query {
+		v := math.Float64bits(x)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+// lru is a bounded least-recently-used score cache. A zero or negative
+// capacity disables it (every get misses, every put is dropped), which
+// keeps the scheduler's fast path branch-free at the call sites.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key    string
+	scores []float64
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, items: make(map[string]*list.Element), order: list.New()}
+}
+
+// get returns the cached score column for the key, promoting it to most
+// recently used.
+func (c *lru) get(key string) ([]float64, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).scores, true
+}
+
+// put inserts or refreshes a score column, evicting the least recently used
+// entry at capacity.
+func (c *lru) put(key string, scores []float64) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).scores = scores
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.items) >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, scores: scores})
+}
+
+// clear drops every entry (topology invalidation).
+func (c *lru) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[string]*list.Element)
+	c.order.Init()
+}
+
+// len returns the live entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKeyIsExact(t *testing.T) {
+	a := []float64{1.0, 2.0}
+	b := []float64{1.0, 2.0}
+	if Key(a) != Key(b) {
+		t.Fatal("identical queries must share a key")
+	}
+	// One ULP apart must not collide — keys are the exact bit pattern.
+	c := []float64{1.0, math.Nextafter(2.0, 3.0)}
+	if Key(a) == Key(c) {
+		t.Fatal("distinct queries collided")
+	}
+	if Key(nil) != Key([]float64{}) {
+		t.Fatal("empty queries must share the empty key")
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []float64{1})
+	c.put("b", []float64{2})
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []float64{3}) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if sc, ok := c.get("a"); !ok || sc[0] != 1 {
+		t.Fatalf("a lost: %v %v", sc, ok)
+	}
+	if sc, ok := c.get("c"); !ok || sc[0] != 3 {
+		t.Fatalf("c lost: %v %v", sc, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d", c.len())
+	}
+}
+
+func TestLRURefreshKeepsSingleEntry(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []float64{1})
+	c.put("a", []float64{9})
+	if sc, _ := c.get("a"); sc[0] != 9 {
+		t.Fatalf("refresh lost: %v", sc)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len %d", c.len())
+	}
+}
+
+func TestLRUClear(t *testing.T) {
+	c := newLRU(4)
+	c.put("a", []float64{1})
+	c.clear()
+	if _, ok := c.get("a"); ok || c.len() != 0 {
+		t.Fatal("clear left entries")
+	}
+	c.put("b", []float64{2}) // still usable after clear
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("cache unusable after clear")
+	}
+}
+
+func TestZeroCapacityDisablesCache(t *testing.T) {
+	c := newLRU(0)
+	c.put("a", []float64{1})
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache served an entry")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len %d", c.len())
+	}
+}
+
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 64: 6, 65: 7, 1 << 20: histBuckets - 1}
+	for width, want := range cases {
+		if got := histBucket(width); got != want {
+			t.Fatalf("histBucket(%d) = %d, want %d", width, got, want)
+		}
+	}
+}

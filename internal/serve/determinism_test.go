@@ -1,0 +1,87 @@
+package serve_test
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/expt"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/serve"
+)
+
+// TestSchedulerMatchesDirectScoreBatch is the determinism acceptance bar:
+// whatever batches the scheduler happens to form, every caller's scores
+// must match a direct ScoreBatch of its query within 1e-9 (the PR 2
+// batch==sequential property bound).
+func TestSchedulerMatchesDirectScoreBatch(t *testing.T) {
+	env, err := expt.NewEnvironment(expt.ScaledParams(11, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.Derive(11, "serve-test")
+	docs := append([]retrieval.DocID{env.Bench.SamplePair(r).Gold}, env.Bench.SamplePool(r, 59)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		t.Fatal(err)
+	}
+	// At this tight tolerance every batch grouping lands on the same fixed
+	// point to well below the 1e-9 bar (the PR 2 property-test convention).
+	req := core.DiffusionRequest{Alpha: 0.5, Tol: 1e-12, Seed: 11}
+	queries := make([][]float64, 12)
+	for j := range queries {
+		queries[j] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
+	}
+	direct := make([][]float64, len(queries))
+	for j := range queries {
+		one, _, err := net.ScoreBatch([][]float64{queries[j]}, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct[j] = one[0]
+	}
+
+	s := func() *serve.Scheduler {
+		sched, err := serve.New(net, serve.Config{Request: req, MaxBatch: 8, Cache: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(sched.Close)
+		return sched
+	}()
+	got := make([][]float64, len(queries))
+	var wg sync.WaitGroup
+	for j := range queries {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			scores, err := s.Submit(context.Background(), queries[j])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[j] = scores
+		}(j)
+	}
+	wg.Wait()
+	for j := range queries {
+		if got[j] == nil {
+			t.Fatalf("query %d unresolved", j)
+		}
+		for u := range got[j] {
+			if d := math.Abs(got[j][u] - direct[j][u]); d > 1e-9 {
+				t.Fatalf("query %d node %d: scheduler %g vs direct %g (|Δ|=%g)",
+					j, u, got[j][u], direct[j][u], d)
+			}
+		}
+	}
+	if st := s.Stats(); st.Completed+st.CacheHits != uint64(len(queries)) {
+		t.Fatalf("stats %v", st)
+	}
+}

@@ -1,0 +1,339 @@
+// Package serve turns the batch scoring engine into a serving system: an
+// admission-controlled scheduler that coalesces concurrently arriving
+// queries into multi-column ScoreBatch diffusions under a latency budget.
+//
+// PR 2 showed that scoring B=64 queries in one diffusion costs ~0.23× the
+// ns/query of sequential calls — but that amortization only exists if
+// something assembles batches from live traffic. The Scheduler is that
+// something: callers Submit one query each and block on a per-caller
+// future; a collector goroutine packs waiting queries into one n×B signal
+// diffusion and fans the per-column scores back.
+//
+// Batch sizing is adaptive. A query that arrives while the system is idle
+// dispatches immediately (no co-riders means waiting buys nothing, so the
+// idle-path latency equals the direct ScoreBatch latency). When queries
+// are already waiting — because the arrival rate is high or a diffusion is
+// in flight — the collector drains everything queued, optionally holds the
+// batch open up to MaxWait from the oldest member's arrival, and dispatches
+// at MaxBatch width. Under closed-loop load the realized width therefore
+// grows with the number of concurrent callers, which is exactly when the
+// amortization pays.
+//
+// Backpressure is a bounded submission queue: when it is full, Submit
+// blocks until space frees or the caller's context cancels. A caller that
+// gives up mid-coalesce is dropped from the batch before dispatch — its
+// column is never scored. Identical queries coalesce into one column
+// (exact-key dedup), and a bounded LRU cache keyed by the query's exact
+// bit pattern lets repeated queries skip diffusion entirely; invalidate it
+// when the underlying topology changes (InvalidateCache).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: scheduler closed")
+
+// Backend scores query batches. *core.Network satisfies it; cmd/peerd wraps
+// it with a swappable topology mirror.
+type Backend interface {
+	ScoreBatch(queries [][]float64, req core.DiffusionRequest) ([][]float64, diffuse.Stats, error)
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Request is the DiffusionRequest dispatched for every coalesced batch
+	// (engine, alpha, tolerance, workers, seed).
+	Request core.DiffusionRequest
+	// MaxBatch caps the coalesced batch width; 0 means 64 (the width at
+	// which ScoreBatch amortization has flattened on the paper graph).
+	MaxBatch int
+	// MaxWait is the latency budget a queued query may spend waiting for
+	// co-riders, measured from its arrival. 0 means zero-wait: the
+	// collector never holds a batch open (it still coalesces whatever is
+	// already queued, so width grows under load even at zero wait).
+	MaxWait time.Duration
+	// Queue bounds the submission queue (backpressure): when it is full,
+	// Submit blocks until space frees or the caller cancels. 0 means
+	// 4×MaxBatch.
+	Queue int
+	// Cache sizes the LRU score cache (entries); 0 disables caching.
+	Cache int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// result is the value a pending future resolves to. cached marks a late
+// cache hit resolved at dispatch time, so Submit counts the query as a
+// cache hit rather than a completion (each query increments exactly one
+// counter).
+type result struct {
+	scores []float64
+	err    error
+	cached bool
+}
+
+// pending is one submitted query waiting to be coalesced.
+type pending struct {
+	query []float64
+	key   string
+	ctx   context.Context
+	enq   time.Time
+	done  chan result // buffered 1: dispatch never blocks on a waiter
+}
+
+// Scheduler coalesces concurrent Submit calls into batched diffusions.
+// Construct with New; all methods are safe for concurrent use.
+type Scheduler struct {
+	backend Backend
+	cfg     Config
+	cache   *lru
+
+	submit   chan *pending
+	mu       sync.Mutex // guards closed and admits wg.Add
+	closed   bool
+	inflight sync.WaitGroup
+	loopDone chan struct{}
+
+	m metrics
+}
+
+// New starts a scheduler over backend. Close releases its collector
+// goroutine.
+func New(backend Backend, cfg Config) (*Scheduler, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("serve: nil backend")
+	}
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		backend:  backend,
+		cfg:      cfg,
+		cache:    newLRU(cfg.Cache),
+		submit:   make(chan *pending, cfg.Queue),
+		loopDone: make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Submit scores one query through the coalescing pipeline and blocks until
+// the scores arrive, the context cancels, or the scheduler closes. The
+// returned slice holds one relevance score per node and is shared with the
+// cache and any co-submitted duplicates — callers must not mutate it.
+func (s *Scheduler) Submit(ctx context.Context, query []float64) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		// Checked before the cache so a closed scheduler honours its
+		// contract even for queries it could answer from cache.
+		return nil, ErrClosed
+	}
+	key := Key(query)
+	if scores, ok := s.cache.get(key); ok {
+		s.m.cacheHit()
+		return scores, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	p := &pending{query: query, key: key, ctx: ctx, enq: time.Now(), done: make(chan result, 1)}
+	select {
+	case s.submit <- p:
+	case <-ctx.Done():
+		// Bounded-queue backpressure: the queue stayed full for the
+		// caller's whole patience.
+		s.m.rejected()
+		return nil, ctx.Err()
+	}
+	s.m.submitted()
+	select {
+	case r := <-p.done:
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.cached {
+			s.m.cacheHit()
+		} else {
+			s.m.completed()
+		}
+		return r.scores, nil
+	case <-ctx.Done():
+		// The collector drops p before dispatch (see dispatch); the
+		// buffered done channel absorbs a result that raced the cancel.
+		return nil, ctx.Err()
+	}
+}
+
+// Warm scores a whole query batch in one diffusion through the scheduler's
+// request and fills the cache, so subsequent Submits for these queries are
+// cache hits. It bypasses coalescing (ScoreBatch is safe to run alongside
+// the collector) but is counted in the scheduler's dispatch statistics.
+func (s *Scheduler) Warm(queries [][]float64) (diffuse.Stats, error) {
+	scores, st, err := s.backend.ScoreBatch(queries, s.cfg.Request)
+	if err != nil {
+		return st, err
+	}
+	for j, q := range queries {
+		s.cache.put(Key(q), scores[j])
+	}
+	s.m.dispatched(len(queries), st)
+	return st, nil
+}
+
+// InvalidateCache drops every cached score column. Call it whenever the
+// backend's answers may have changed — e.g. after a topology patch or a
+// document placement change.
+func (s *Scheduler) InvalidateCache() { s.cache.clear() }
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats { return s.m.snapshot() }
+
+// Close stops admission, waits for every in-flight Submit to resolve
+// (queued queries are still scored), and releases the collector.
+// Subsequent Submits return ErrClosed. Close is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.loopDone
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	close(s.submit)
+	<-s.loopDone
+}
+
+// loop is the collector: it blocks for one arrival, coalesces co-riders,
+// and dispatches — scoring runs on this goroutine, so arrivals during a
+// diffusion pile up in the queue and widen the next batch (the load-adaptive
+// behaviour).
+func (s *Scheduler) loop() {
+	defer close(s.loopDone)
+	for {
+		first, ok := <-s.submit
+		if !ok {
+			return
+		}
+		s.dispatch(s.collect(first))
+	}
+}
+
+// collect packs a batch starting from first: drain everything already
+// queued, then — only when co-riders exist, a wait budget is configured,
+// and the batch is not yet full — hold the batch open until MaxWait from
+// the first member's arrival. A lone query on an idle scheduler returns
+// immediately: with no co-riders, waiting buys no amortization.
+func (s *Scheduler) collect(first *pending) []*pending {
+	batch := append(make([]*pending, 0, s.cfg.MaxBatch), first)
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p, ok := <-s.submit:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, p)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) == 1 || len(batch) >= s.cfg.MaxBatch || s.cfg.MaxWait <= 0 {
+		return batch
+	}
+	timer := time.NewTimer(time.Until(first.enq.Add(s.cfg.MaxWait)))
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p, ok := <-s.submit:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// dispatch prunes cancelled callers, serves late cache hits, dedups exact
+// duplicates into one column, scores the remaining unique queries in one
+// ScoreBatch, and resolves every waiter's future.
+func (s *Scheduler) dispatch(batch []*pending) {
+	start := time.Now()
+	groups := make(map[string][]*pending, len(batch))
+	uniq := make([]*pending, 0, len(batch)) // arrival-ordered representatives
+	for _, p := range batch {
+		if p.ctx.Err() != nil {
+			// The caller gave up mid-coalesce: drop it before dispatch so
+			// its column is never scored.
+			s.m.cancelled()
+			continue
+		}
+		s.m.waited(start.Sub(p.enq))
+		if scores, ok := s.cache.get(p.key); ok {
+			// Scored while queued (a Warm or an earlier batch landed it);
+			// the waiter's Submit counts the cache hit when it resolves.
+			p.done <- result{scores: scores, cached: true}
+			continue
+		}
+		if g, ok := groups[p.key]; ok {
+			groups[p.key] = append(g, p)
+			continue
+		}
+		groups[p.key] = []*pending{p}
+		uniq = append(uniq, p)
+	}
+	if len(uniq) == 0 {
+		return
+	}
+	queries := make([][]float64, len(uniq))
+	for i, p := range uniq {
+		queries[i] = p.query
+	}
+	scores, st, err := s.backend.ScoreBatch(queries, s.cfg.Request)
+	if err != nil {
+		s.m.failed(len(uniq))
+		for _, p := range uniq {
+			for _, w := range groups[p.key] {
+				w.done <- result{err: err}
+			}
+		}
+		return
+	}
+	s.m.dispatched(len(uniq), st)
+	for i, p := range uniq {
+		s.cache.put(p.key, scores[i])
+		for _, w := range groups[p.key] {
+			w.done <- result{scores: scores[i]}
+		}
+	}
+}

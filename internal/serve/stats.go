@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"diffusearch/internal/diffuse"
+)
+
+// waitWindow bounds the wait-time sample ring the quantiles are computed
+// over: large enough to smooth a load sweep level, small enough that a
+// long-running scheduler reports recent behaviour, not its whole life.
+const waitWindow = 4096
+
+// histBuckets is the number of power-of-two batch-width buckets tracked:
+// bucket i counts batches of width in (2^(i-1), 2^i], so bucket 0 is
+// exactly width 1 and bucket 11 reaches width 2048 — beyond any plausible
+// MaxBatch.
+const histBuckets = 12
+
+// Stats is a snapshot of a Scheduler's counters. All counters are
+// cumulative since construction except the wait quantiles, which cover a
+// sliding window of the last waitWindow coalesced queries.
+type Stats struct {
+	Submitted uint64 // queries admitted to the queue
+	Completed uint64 // queries resolved with scores
+	Cancelled uint64 // dropped from a batch before dispatch (caller gave up)
+	Rejected  uint64 // gave up while the bounded queue was full (backpressure)
+	Errors    uint64 // queries resolved with a backend error
+	CacheHits uint64 // served from the LRU cache (fast path or while queued)
+
+	Batches       uint64 // diffusions dispatched (including Warm)
+	QueriesScored uint64 // columns diffused, after cancellation/cache/dedup
+
+	// BatchHist is the realized batch-width histogram in power-of-two
+	// buckets: BatchHist[i] counts dispatches of width in (2^(i-1), 2^i]
+	// (bucket 0 is exactly width 1).
+	BatchHist [histBuckets]uint64
+
+	// Wait quantiles of the coalescing delay (arrival → dispatch start)
+	// over the sliding sample window. The scoring time itself is excluded:
+	// these measure what MaxWait bounds.
+	WaitP50, WaitP90, WaitP99, WaitMax time.Duration
+
+	// SweepsTotal sums Stats.Sweeps over dispatched batches (whole-batch
+	// diffusion rounds). ColumnSweepsTotal sums the per-column sweep counts
+	// instead, so SweepsPerQuery() reports what each query actually cost —
+	// a batch's Sweeps is its slowest column, which would overstate the
+	// per-query cost of every early-terminated column.
+	SweepsTotal       uint64
+	ColumnSweepsTotal uint64
+}
+
+// MeanBatch returns the mean realized batch width (scored columns per
+// dispatched diffusion), or 0 before any dispatch.
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.QueriesScored) / float64(s.Batches)
+}
+
+// CacheHitRate returns the fraction of resolved queries served from the
+// cache.
+func (s Stats) CacheHitRate() float64 {
+	den := s.CacheHits + s.Completed
+	if den == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(den)
+}
+
+// SweepsPerQuery returns the aggregated per-column diffusion sweeps per
+// scored query (the honest amortized cost; see SweepsTotal).
+func (s Stats) SweepsPerQuery() float64 {
+	if s.QueriesScored == 0 {
+		return 0
+	}
+	return float64(s.ColumnSweepsTotal) / float64(s.QueriesScored)
+}
+
+// String renders a one-line summary for logs and shutdown banners.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"submitted=%d completed=%d cancelled=%d rejected=%d errors=%d cache_hits=%d (rate %.2f) batches=%d scored=%d mean_batch=%.1f sweeps/query=%.1f wait p50=%v p99=%v hist=%s",
+		s.Submitted, s.Completed, s.Cancelled, s.Rejected, s.Errors,
+		s.CacheHits, s.CacheHitRate(), s.Batches, s.QueriesScored,
+		s.MeanBatch(), s.SweepsPerQuery(), s.WaitP50, s.WaitP99, s.HistString())
+}
+
+// HistString renders the non-empty histogram buckets as "≤w:count" pairs.
+func (s Stats) HistString() string {
+	var parts []string
+	for i, c := range s.BatchHist {
+		if c == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("≤%d:%d", 1<<i, c))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// histBucket maps a batch width to its histogram bucket.
+func histBucket(width int) int {
+	if width <= 1 {
+		return 0
+	}
+	b := bits.Len(uint(width - 1))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// metrics is the scheduler-internal mutable counterpart of Stats: one
+// mutex-guarded counter block plus the wait-sample ring.
+type metrics struct {
+	mu sync.Mutex
+	s  Stats // wait-quantile fields unused; filled by snapshot
+
+	waits     [waitWindow]time.Duration
+	waitIdx   int
+	waitCount int
+}
+
+func (m *metrics) submitted() { m.mu.Lock(); m.s.Submitted++; m.mu.Unlock() }
+func (m *metrics) completed() { m.mu.Lock(); m.s.Completed++; m.mu.Unlock() }
+func (m *metrics) cancelled() { m.mu.Lock(); m.s.Cancelled++; m.mu.Unlock() }
+func (m *metrics) rejected()  { m.mu.Lock(); m.s.Rejected++; m.mu.Unlock() }
+func (m *metrics) cacheHit()  { m.mu.Lock(); m.s.CacheHits++; m.mu.Unlock() }
+
+// failed records a batch whose backend call errored: every scored-for
+// caller sees the error.
+func (m *metrics) failed(width int) {
+	m.mu.Lock()
+	m.s.Errors += uint64(width)
+	m.mu.Unlock()
+}
+
+func (m *metrics) waited(d time.Duration) {
+	m.mu.Lock()
+	m.waits[m.waitIdx] = d
+	m.waitIdx = (m.waitIdx + 1) % waitWindow
+	if m.waitCount < waitWindow {
+		m.waitCount++
+	}
+	m.mu.Unlock()
+}
+
+// dispatched records one scored batch: its realized width, its whole-batch
+// sweep count, and the aggregated per-column sweeps — a per-request
+// Stats.ColumnSweeps only describes one diffusion, so the scheduler sums
+// them across batches to report honest sweeps/query.
+func (m *metrics) dispatched(width int, st diffuse.Stats) {
+	m.mu.Lock()
+	m.s.Batches++
+	m.s.QueriesScored += uint64(width)
+	m.s.BatchHist[histBucket(width)]++
+	m.s.SweepsTotal += uint64(st.Sweeps)
+	if len(st.ColumnSweeps) > 0 {
+		for _, cs := range st.ColumnSweeps {
+			m.s.ColumnSweepsTotal += uint64(cs)
+		}
+	} else {
+		// A backend that does not report per-column sweeps (e.g. a filter
+		// run) costs its batch sweep count on every column.
+		m.s.ColumnSweepsTotal += uint64(st.Sweeps) * uint64(width)
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.s
+	if m.waitCount > 0 {
+		sample := make([]time.Duration, m.waitCount)
+		copy(sample, m.waits[:m.waitCount])
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		q := func(p float64) time.Duration {
+			return sample[int(p*float64(len(sample)-1))]
+		}
+		st.WaitP50, st.WaitP90, st.WaitP99 = q(0.50), q(0.90), q(0.99)
+		st.WaitMax = sample[len(sample)-1]
+	}
+	return st
+}
