@@ -40,12 +40,22 @@
 // under the -maxwait latency budget (batch width capped at -maxbatch, B
 // grows with load), and an LRU cache of -cache score columns lets repeated
 // queries skip diffusion entirely. The scheduler's batch-width histogram,
-// wait quantiles, and cache hit rate are printed at shutdown.
+// wait quantiles, queue depth, and cache hit rate are printed at shutdown.
+//
+// With -shards N the mirror's diffusions run over N partitioned Transition
+// shards diffusing concurrently (-part selects range or degree-balanced
+// greedy partitioning; scores match the single CSR within 1e-9). With
+// -tenants name=topo.txt,... the same process additionally serves other
+// tenant graphs, each behind its own coalescing scheduler, all shards
+// diffusing on one shared worker pool — per-tenant scheduler stats are
+// printed at shutdown.
 //
 // A long-running peer follows topology changes without restarting: SIGHUP
 // reloads the -topology file, patches the scorer's mirror Network (joined
-// and departed peers), invalidates the serve cache, refreshes the
-// transport directory, and rewires this peer's own neighbour set.
+// and departed peers), invalidates the serve cache — targeted when the
+// patch is small (only cached score columns whose diffusion touched the
+// patched neighbourhood are dropped), whole-cache otherwise — refreshes
+// the transport directory, and rewires this peer's own neighbour set.
 package main
 
 import (
@@ -55,6 +65,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"slices"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -68,6 +80,7 @@ import (
 	"diffusearch/internal/peernet"
 	"diffusearch/internal/retrieval"
 	"diffusearch/internal/serve"
+	"diffusearch/internal/shard"
 )
 
 func main() {
@@ -82,6 +95,9 @@ func main() {
 		batch    = flag.String("batch", "", "issue a batch of comma-separated words (e.g. w12,w7) and exit; with -engine, the batch is scored in one diffusion first")
 		engine   = flag.String("engine", "", "serve queries through the request API on this engine (async|parallel|sync); empty keeps gossip-cache scoring")
 		workers  = flag.Int("workers", 0, "parallel engine pool size (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "partition the scorer mirror into this many Transition shards diffusing concurrently (0 = single CSR; needs -engine)")
+		part     = flag.String("part", "range", "shard partitioner: range (contiguous ids) or greedy (degree-balanced)")
+		tenants  = flag.String("tenants", "", "extra tenant graphs served by this process: comma-separated name=topology.txt pairs, each scored through its own scheduler over the shared worker pool (needs -engine)")
 		maxWait  = flag.Duration("maxwait", 2*time.Millisecond, "scheduler coalescing budget: how long a query may wait for batch co-riders (0 = zero-wait)")
 		maxBatch = flag.Int("maxbatch", 64, "scheduler batch-width cap for coalesced diffusions")
 		cache    = flag.Int("cache", 512, "scheduler LRU score-cache entries (0 disables)")
@@ -95,6 +111,7 @@ func main() {
 		words: *words, dim: *dim, query: *query, batch: *batch,
 		engine: *engine, workers: *workers, ttl: *ttl, k: *k, wait: *wait,
 		maxWait: *maxWait, maxBatch: *maxBatch, cache: *cache,
+		shards: *shards, part: *part, tenants: *tenants,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peerd:", err)
@@ -119,6 +136,9 @@ type runConfig struct {
 	maxWait  time.Duration
 	maxBatch int
 	cache    int
+	shards   int
+	part     string
+	tenants  string
 }
 
 type peerSpec struct {
@@ -128,7 +148,7 @@ type peerSpec struct {
 }
 
 // queryScorer serves per-node relevance scores through the admission-
-// controlled serve.Scheduler over a mirror of the deployment: peerd peers
+// controlled serve layer over a mirror of the deployment: peerd peers
 // share the topology file and the seeded corpus, so any peer can
 // reconstruct the same Network the simulation uses and score queries with
 // ScoreBatch instead of its own diffusion call. Concurrent queries
@@ -137,53 +157,115 @@ type peerSpec struct {
 // Prewarm fills the scheduler's LRU cache for a whole batch with one
 // diffusion.
 //
-// The mirror Network is swappable: Patch rebuilds it from reloaded
+// With -shards the mirror's diffusions run over partitioned Transition
+// shards, and with -tenants the same process hosts additional tenant
+// graphs: every tenant gets its own coalescing scheduler (registered in
+// one serve.Multi) while all tenants' shards diffuse on one shared
+// diffuse.Pool — the sharded multi-graph serving arrangement.
+//
+// The local mirror Network is swappable: Patch rebuilds it from reloaded
 // topology specs (peers joining or leaving) and invalidates the score
-// cache, so a long-running peer keeps scoring against the live overlay
-// without a restart.
+// cache — targeted when the patch is small (only cached columns whose
+// scores touch the patched neighbourhood are dropped), whole-cache
+// otherwise.
 type queryScorer struct {
 	req   core.DiffusionRequest
 	vocab *embed.Vocabulary
-	sched *serve.Scheduler
+	multi *serve.Multi
+	local *serve.Scheduler // the localTenant scheduler (hot path)
+	pool  *diffuse.Pool    // shared across tenants; nil when unsharded
+	cfg   scorerConfig
 
-	mu  sync.RWMutex
-	net *core.Network // topology mirror; swapped whole on Patch
+	mu    sync.RWMutex
+	net   *core.Network    // local topology mirror; swapped whole on Patch
+	specs map[int]peerSpec // specs the mirror was built from (patch diffs)
 }
+
+// localTenant names this peer's own overlay in the tenant registry.
+const localTenant = "local"
 
 // scorerConfig carries the scheduler and request knobs into newQueryScorer.
 type scorerConfig struct {
-	engine   string
-	alpha    float64
-	workers  int
-	seed     uint64
-	maxWait  time.Duration
-	maxBatch int
-	cache    int
+	engine      string
+	alpha       float64
+	workers     int
+	seed        uint64
+	maxWait     time.Duration
+	maxBatch    int
+	cache       int
+	shards      int
+	partitioner graph.Partitioner
 }
 
 // newQueryScorer mirrors the topology and document placement into a
 // Network, resolves the engine flag into the DiffusionRequest every
-// dispatched batch uses, and starts the coalescing scheduler over it.
-func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary, cfg scorerConfig) (*queryScorer, error) {
+// dispatched batch uses, and starts one coalescing scheduler per tenant
+// (the local overlay plus any -tenants extras) over a shared worker pool.
+func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary, cfg scorerConfig,
+	tenantSpecs map[string]map[int]peerSpec) (*queryScorer, error) {
 	eng, err := diffuse.ParseEngine(cfg.engine)
-	if err != nil {
-		return nil, err
-	}
-	net, err := buildMirror(specs, vocab)
 	if err != nil {
 		return nil, err
 	}
 	s := &queryScorer{
 		req:   core.DiffusionRequest{Engine: eng, Alpha: cfg.alpha, Workers: cfg.workers, Seed: cfg.seed},
 		vocab: vocab,
-		net:   net,
+		multi: serve.NewMulti(),
+		cfg:   cfg,
+		specs: specs,
 	}
-	if s.sched, err = serve.New(s, serve.Config{
-		Request: s.req, MaxWait: cfg.maxWait, MaxBatch: cfg.maxBatch, Cache: cfg.cache,
-	}); err != nil {
+	// The shared pool exists whenever anything can diffuse concurrently:
+	// sharded mirrors, or several tenants behind one process. -tenants
+	// without -shards still bounds the workers by attaching single-shard
+	// backends over the pool (bit-identical scores, shared goroutine set).
+	if cfg.shards > 0 || len(tenantSpecs) > 0 {
+		s.pool = diffuse.NewPool(cfg.workers)
+	}
+	// The pool workers and any already-registered schedulers are live
+	// goroutines; release them when a later tenant fails to build.
+	fail := func(err error) (*queryScorer, error) {
+		s.Close()
 		return nil, err
 	}
+	if s.net, err = s.buildTenantMirror(specs); err != nil {
+		return fail(err)
+	}
+	schedCfg := serve.Config{
+		Request: s.req, MaxWait: cfg.maxWait, MaxBatch: cfg.maxBatch, Cache: cfg.cache,
+	}
+	if s.local, err = s.multi.Register(localTenant, s, schedCfg); err != nil {
+		return fail(err)
+	}
+	for name, tspecs := range tenantSpecs {
+		tnet, err := s.buildTenantMirror(tspecs)
+		if err != nil {
+			return fail(fmt.Errorf("tenant %s: %w", name, err))
+		}
+		if _, err := s.multi.Register(name, tnet, schedCfg); err != nil {
+			return fail(err)
+		}
+	}
 	return s, nil
+}
+
+// buildTenantMirror builds one tenant's mirror Network and, whenever a
+// shared pool exists, attaches the sharded scoring backend over it (shard
+// count 1 when only multi-tenancy, not partitioning, was requested).
+func (s *queryScorer) buildTenantMirror(specs map[int]peerSpec) (*core.Network, error) {
+	net, err := buildMirror(specs, s.vocab)
+	if err != nil {
+		return nil, err
+	}
+	if s.pool != nil {
+		shards := s.cfg.shards
+		if shards <= 0 {
+			shards = 1
+		}
+		shard.Attach(net, shard.Config{
+			Shards: shards, Partitioner: s.cfg.partitioner, Pool: s.pool,
+		})
+	}
+	return net, nil
 }
 
 // buildMirror reconstructs the deployment Network from topology specs: the
@@ -235,41 +317,137 @@ func (s *queryScorer) ScoreBatch(queries [][]float64, req core.DiffusionRequest)
 const scoreTimeout = 30 * time.Second
 
 // Score returns the per-node relevance scores for one query embedding
-// through the coalescing scheduler (cache hit, coalesced batch column, or
-// fresh diffusion).
+// through the local tenant's coalescing scheduler (cache hit, coalesced
+// batch column, or fresh diffusion).
 func (s *queryScorer) Score(query []float64) ([]float64, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), scoreTimeout)
 	defer cancel()
-	return s.sched.Submit(ctx, query)
+	return s.local.Submit(ctx, query)
 }
 
 // Prewarm scores a whole query batch in one multi-column diffusion and
 // fills the scheduler's cache, so the subsequent live walks pay no further
 // diffusion cost.
 func (s *queryScorer) Prewarm(queries [][]float64) (diffuse.Stats, error) {
-	return s.sched.Warm(queries)
+	return s.local.Warm(queries)
 }
 
-// Patch swaps the topology mirror for one rebuilt from reloaded specs and
-// invalidates the serve cache (stale score columns would otherwise outlive
-// the topology they were diffused on).
-func (s *queryScorer) Patch(specs map[int]peerSpec) error {
-	net, err := buildMirror(specs, s.vocab)
+// smallPatchFrac bounds the targeted-invalidation path: a patch whose
+// closed neighbourhood covers more than this fraction of the overlay
+// invalidates the whole cache (scanning the cache per column buys nothing
+// once most columns plausibly touch the patch).
+const smallPatchFrac = 0.25
+
+// Patch swaps the local topology mirror for one rebuilt from reloaded
+// specs and invalidates the serve cache. Small pure-rewire patches
+// invalidate targeted: only cached columns whose scores touch the patch's
+// closed neighbourhood (changed peers plus their old and new neighbours)
+// are dropped, so a one-peer rewire keeps the rest of the cache serving.
+// Patches that change relevance sources — document placements, or peers
+// joining/leaving with content — always drop the whole cache: targeted
+// invalidation inspects where cached mass already is and cannot see mass
+// a new document creates (see serve.Scheduler.InvalidateNodes). The
+// returned summary is for the reload log line.
+func (s *queryScorer) Patch(specs map[int]peerSpec) (string, error) {
+	net, err := s.buildTenantMirror(specs)
 	if err != nil {
-		return err
+		return "", err
 	}
 	s.mu.Lock()
+	old := s.specs
 	s.net = net
+	s.specs = specs
 	s.mu.Unlock()
-	s.sched.InvalidateCache()
-	return nil
+	changed, docsChanged := changedClosure(old, specs)
+	total := len(specs)
+	if len(changed) == 0 {
+		return "cache untouched (no peer changed)", nil
+	}
+	if docsChanged {
+		s.local.InvalidateCache()
+		return "whole cache invalidated (document placement changed)", nil
+	}
+	if float64(len(changed)) <= smallPatchFrac*float64(total) {
+		dropped := s.local.InvalidateNodes(changed)
+		return fmt.Sprintf("targeted invalidation: %d nodes in patch neighbourhood, %d cached columns dropped",
+			len(changed), dropped), nil
+	}
+	s.local.InvalidateCache()
+	return fmt.Sprintf("whole cache invalidated (%d/%d nodes in patch neighbourhood)", len(changed), total), nil
 }
 
-// Stats snapshots the scheduler counters.
-func (s *queryScorer) Stats() serve.Stats { return s.sched.Stats() }
+// changedClosure diffs two topology snapshots and returns the patch's
+// closed neighbourhood — every peer whose membership, neighbour set, or
+// document placement changed, plus that peer's neighbours in both the old
+// and the new topology (a rewiring redistributes diffusion mass across
+// exactly those nodes) — along with whether any relevance source moved
+// (document placements differ, or a peer joined/left holding documents),
+// which rules targeted invalidation out.
+func changedClosure(old, new map[int]peerSpec) (ids []int, docsChanged bool) {
+	changed := make(map[int]bool)
+	diff := func(id int) {
+		o, inOld := old[id]
+		n, inNew := new[id]
+		docsEq := equalInts(o.docs, n.docs) // a missing side reads as no docs
+		if !docsEq {
+			docsChanged = true
+		}
+		if !inOld || !inNew || !docsEq || !equalInts(o.neighbors, n.neighbors) {
+			changed[id] = true
+		}
+	}
+	for id := range old {
+		diff(id)
+	}
+	for id := range new {
+		if _, seen := old[id]; !seen {
+			diff(id)
+		}
+	}
+	closure := make(map[int]bool, len(changed))
+	for id := range changed {
+		closure[id] = true
+		for _, v := range old[id].neighbors {
+			closure[v] = true
+		}
+		for _, v := range new[id].neighbors {
+			closure[v] = true
+		}
+	}
+	ids = make([]int, 0, len(closure))
+	for id := range closure {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, docsChanged
+}
 
-// Close drains and stops the scheduler.
-func (s *queryScorer) Close() { s.sched.Close() }
+// equalInts reports set equality of two id lists (topology files may
+// reorder them without meaning a change).
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	slices.Sort(as)
+	slices.Sort(bs)
+	return slices.Equal(as, bs)
+}
+
+// Stats snapshots every tenant's scheduler counters.
+func (s *queryScorer) Stats() map[string]serve.Stats { return s.multi.Stats() }
+
+// Tenants lists the served tenant names.
+func (s *queryScorer) Tenants() []string { return s.multi.Tenants() }
+
+// Close drains and stops every tenant scheduler and the shared pool.
+func (s *queryScorer) Close() {
+	s.multi.Close()
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
 
 func run(cfg runConfig) error {
 	if cfg.topoPath == "" || cfg.id < 0 {
@@ -297,13 +475,24 @@ func run(cfg runConfig) error {
 	// that never opted into the request API.
 	var scorer *queryScorer
 	if cfg.engine != "" {
+		pt, err := graph.ParsePartitioner(cfg.part)
+		if err != nil {
+			return err
+		}
+		tenantSpecs, err := loadTenants(cfg.tenants)
+		if err != nil {
+			return err
+		}
 		if scorer, err = newQueryScorer(specs, vocab, scorerConfig{
 			engine: cfg.engine, alpha: cfg.alpha, workers: cfg.workers, seed: cfg.seed,
 			maxWait: cfg.maxWait, maxBatch: cfg.maxBatch, cache: cfg.cache,
-		}); err != nil {
+			shards: cfg.shards, partitioner: pt,
+		}, tenantSpecs); err != nil {
 			return err
 		}
 		defer scorer.Close()
+	} else if cfg.shards > 0 || cfg.tenants != "" {
+		return fmt.Errorf("-shards and -tenants need -engine (request-API scoring)")
 	}
 
 	tr, err := peernet.ListenTCP(cfg.id, spec.addr)
@@ -336,6 +525,12 @@ func run(cfg runConfig) error {
 	mode := "gossip-cache scoring"
 	if scorer != nil {
 		mode = fmt.Sprintf("request-API scoring (engine %v)", scorer.req.Engine)
+		if cfg.shards > 0 {
+			mode += fmt.Sprintf(", %d shards/%s", cfg.shards, cfg.part)
+		}
+		if names := scorer.Tenants(); len(names) > 1 {
+			mode += fmt.Sprintf(", tenants %s", strings.Join(names, ","))
+		}
 	}
 	fmt.Printf("peer %d listening on %s (%d neighbours, %d local docs, %s)\n",
 		cfg.id, tr.Addr(), len(spec.neighbors), len(spec.docs), mode)
@@ -401,9 +596,43 @@ func run(cfg runConfig) error {
 	updates, messages := peer.Stats()
 	fmt.Printf("\npeer %d shutting down: %d diffusion updates, %d messages sent\n", cfg.id, updates, messages)
 	if scorer != nil {
-		fmt.Printf("scheduler: %v\n", scorer.Stats())
+		stats := scorer.Stats()
+		for _, name := range scorer.Tenants() {
+			fmt.Printf("scheduler[%s]: %v\n", name, stats[name])
+		}
 	}
 	return nil
+}
+
+// loadTenants parses the -tenants flag ("name=topology.txt,...") and loads
+// each tenant's topology file.
+func loadTenants(arg string) (map[string]map[int]peerSpec, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	out := make(map[string]map[int]peerSpec)
+	for _, pair := range strings.Split(arg, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, path, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || path == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q (want name=topology.txt)", pair)
+		}
+		if name == localTenant {
+			return nil, fmt.Errorf("-tenants name %q is reserved for this peer's overlay", localTenant)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate -tenants name %q", name)
+		}
+		specs, err := loadTopology(path)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: %w", name, err)
+		}
+		out[name] = specs
+	}
+	return out, nil
 }
 
 // reloadTopology re-reads the topology file and applies the delta to the
@@ -423,10 +652,13 @@ func reloadTopology(cfg runConfig, peer *peernet.Peer, tr *peernet.TCPTransport,
 	// (unknown neighbours, bad placement), so a broken file fails here
 	// before the transport directory or our neighbour set have moved — the
 	// caller's "keeping previous topology" message stays true.
+	cacheNote := ""
 	if scorer != nil {
-		if err := scorer.Patch(specs); err != nil {
+		note, err := scorer.Patch(specs)
+		if err != nil {
 			return err
 		}
+		cacheNote = ", scorer mirror patched + " + note
 	}
 	dir := make(map[graph.NodeID]string, len(specs))
 	for pid, s := range specs {
@@ -435,8 +667,7 @@ func reloadTopology(cfg runConfig, peer *peernet.Peer, tr *peernet.TCPTransport,
 	tr.SetDirectory(dir)
 	peer.UpdateNeighbors(spec.neighbors)
 	fmt.Printf("topology reloaded: %d peers, %d neighbours of peer %d%s\n",
-		len(specs), len(spec.neighbors), cfg.id,
-		map[bool]string{true: ", scorer mirror patched + cache invalidated", false: ""}[scorer != nil])
+		len(specs), len(spec.neighbors), cfg.id, cacheNote)
 	return nil
 }
 

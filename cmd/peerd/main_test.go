@@ -5,10 +5,13 @@ import (
 	"path/filepath"
 	"testing"
 
+	"strings"
+
 	"diffusearch/internal/diffuse"
 	"diffusearch/internal/embed"
 	"diffusearch/internal/graph"
 	"diffusearch/internal/retrieval"
+	"diffusearch/internal/serve"
 )
 
 func writeTopo(t *testing.T, content string) string {
@@ -107,13 +110,16 @@ func testScorer(t *testing.T, specs map[int]peerSpec, engine string, workers int
 	scorer, err := newQueryScorer(specs, testVocab(t), scorerConfig{
 		engine: engine, alpha: 0.5, workers: workers, seed: 42,
 		maxBatch: 8, cache: 32,
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(scorer.Close)
 	return scorer
 }
+
+// localStats snapshots the local tenant's scheduler counters.
+func localStats(s *queryScorer) serve.Stats { return s.Stats()[localTenant] }
 
 func TestEngineFlagReachesRequestDispatcher(t *testing.T) {
 	// The -engine value must land in the DiffusionRequest behind every
@@ -131,7 +137,7 @@ func TestEngineFlagReachesRequestDispatcher(t *testing.T) {
 			t.Fatalf("-engine %s request knobs lost: %+v", name, scorer.req)
 		}
 	}
-	if _, err := newQueryScorer(testSpecs(), testVocab(t), scorerConfig{engine: "mailboxes", alpha: 0.5}); err == nil {
+	if _, err := newQueryScorer(testSpecs(), testVocab(t), scorerConfig{engine: "mailboxes", alpha: 0.5}, nil); err == nil {
 		t.Fatal("unknown engine name must error")
 	}
 }
@@ -160,11 +166,11 @@ func TestQueryScorerScoresAndPrewarms(t *testing.T) {
 	if len(st.ColumnSweeps) != 2 {
 		t.Fatalf("prewarm stats %+v", st)
 	}
-	before := scorer.Stats()
+	before := localStats(scorer)
 	if _, err := scorer.Score(vocab.Vector(7)); err != nil {
 		t.Fatal(err)
 	}
-	after := scorer.Stats()
+	after := localStats(scorer)
 	if after.CacheHits != before.CacheHits+1 || after.Batches != before.Batches {
 		t.Fatalf("prewarmed query missed the cache: before %v after %v", before, after)
 	}
@@ -173,7 +179,7 @@ func TestQueryScorerScoresAndPrewarms(t *testing.T) {
 func TestNewQueryScorerRejectsUnknownNeighbour(t *testing.T) {
 	specs := testSpecs()
 	specs[9] = peerSpec{addr: "a:9", neighbors: []graph.NodeID{77}}
-	if _, err := newQueryScorer(specs, testVocab(t), scorerConfig{engine: "parallel", alpha: 0.5}); err == nil {
+	if _, err := newQueryScorer(specs, testVocab(t), scorerConfig{engine: "parallel", alpha: 0.5}, nil); err == nil {
 		t.Fatal("neighbour outside the topology must error")
 	}
 }
@@ -198,7 +204,7 @@ func TestQueryScorerPatchFollowsTopologyAndInvalidatesCache(t *testing.T) {
 	specs := testSpecs()
 	specs[2] = peerSpec{addr: "a:3", neighbors: []graph.NodeID{1, 3}, docs: []retrieval.DocID{7}}
 	specs[3] = peerSpec{addr: "a:4", neighbors: []graph.NodeID{2}, docs: []retrieval.DocID{12}}
-	if err := scorer.Patch(specs); err != nil {
+	if _, err := scorer.Patch(specs); err != nil {
 		t.Fatal(err)
 	}
 
@@ -209,7 +215,7 @@ func TestQueryScorerPatchFollowsTopologyAndInvalidatesCache(t *testing.T) {
 	if len(after) != 4 {
 		t.Fatalf("patched scorer covers %d nodes, want 4", len(after))
 	}
-	st := scorer.Stats()
+	st := localStats(scorer)
 	// The repeat of q after Patch must have been re-diffused, not served
 	// from the invalidated cache.
 	if st.CacheHits != 0 {
@@ -222,11 +228,202 @@ func TestQueryScorerPatchFollowsTopologyAndInvalidatesCache(t *testing.T) {
 	// A broken reload (unknown neighbour) must leave the mirror usable.
 	bad := testSpecs()
 	bad[5] = peerSpec{addr: "a:6", neighbors: []graph.NodeID{99}}
-	if err := scorer.Patch(bad); err == nil {
+	if _, err := scorer.Patch(bad); err == nil {
 		t.Fatal("invalid specs must fail the patch")
 	}
 	if again, err := scorer.Score(q); err != nil || len(again) != 4 {
 		t.Fatalf("scorer unusable after failed patch: %v %d", err, len(again))
+	}
+}
+
+func TestShardedScorerMatchesSingleCSR(t *testing.T) {
+	// -shards changes where the mirror diffuses, not what it answers.
+	vocab := testVocab(t)
+	plain := testScorer(t, testSpecs(), "parallel", 1)
+	sharded, err := newQueryScorer(testSpecs(), vocab, scorerConfig{
+		engine: "parallel", alpha: 0.5, workers: 1, seed: 42,
+		maxBatch: 8, cache: 32, shards: 2, partitioner: graph.RangePartitioner{},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sharded.Close)
+	q := vocab.Vector(3)
+	a, err := plain.Score(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharded.Score(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sharded mirror differs at node %d: %g vs %g", i, b[i], a[i])
+		}
+	}
+}
+
+func TestMultiTenantScorer(t *testing.T) {
+	// Extra -tenants graphs serve through their own schedulers in the same
+	// process; the local overlay keeps its identity.
+	vocab := testVocab(t)
+	other := map[int]peerSpec{
+		0: {addr: "b:1", neighbors: []graph.NodeID{1}, docs: []retrieval.DocID{20}},
+		1: {addr: "b:2", neighbors: []graph.NodeID{0}},
+	}
+	scorer, err := newQueryScorer(testSpecs(), vocab, scorerConfig{
+		engine: "parallel", alpha: 0.5, workers: 1, seed: 42,
+		maxBatch: 8, cache: 32, shards: 2, partitioner: graph.RangePartitioner{},
+	}, map[string]map[int]peerSpec{"other": other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(scorer.Close)
+	names := scorer.Tenants()
+	if len(names) != 2 || names[0] != localTenant || names[1] != "other" {
+		t.Fatalf("tenants %v", names)
+	}
+	if _, err := scorer.Score(vocab.Vector(3)); err != nil {
+		t.Fatal(err)
+	}
+	stats := scorer.Stats()
+	if stats[localTenant].Completed != 1 || stats["other"].Completed != 0 {
+		t.Fatalf("per-tenant stats wrong: %+v", stats)
+	}
+}
+
+func TestPatchTargetedInvalidation(t *testing.T) {
+	// A one-peer rewire in a larger overlay takes the targeted path: only
+	// cached columns touching the patch neighbourhood drop.
+	vocab := testVocab(t)
+	// A 20-peer ring: patching one far edge leaves a local query's cached
+	// column untouched (at α=0.9 the per-hop decay is 0.1·(1/2), so the
+	// score mass 9 hops away is ~1e-12, far under the invalidation ε).
+	specs := make(map[int]peerSpec)
+	const n = 20
+	for i := 0; i < n; i++ {
+		specs[i] = peerSpec{
+			addr:      "a:1",
+			neighbors: []graph.NodeID{(i + n - 1) % n, (i + 1) % n},
+		}
+	}
+	s0 := specs[0]
+	s0.docs = []retrieval.DocID{3}
+	specs[0] = s0
+	scorer, err := newQueryScorer(specs, vocab, scorerConfig{
+		engine: "parallel", alpha: 0.9, workers: 1, seed: 42, maxBatch: 8, cache: 32,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(scorer.Close)
+	if _, err := scorer.Score(vocab.Vector(3)); err != nil {
+		t.Fatal(err)
+	}
+	// A pure rewire at the antipode — a chord between peers 10 and 12:
+	// closure {9,10,11,12,13}, exactly the small-patch bound of 5.
+	patched := make(map[int]peerSpec, n)
+	for k, v := range specs {
+		patched[k] = v
+	}
+	p10 := patched[10]
+	p10.neighbors = []graph.NodeID{9, 11, 12}
+	patched[10] = p10
+	p12 := patched[12]
+	p12.neighbors = []graph.NodeID{10, 11, 13}
+	patched[12] = p12
+	note, err := scorer.Patch(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(note, "targeted invalidation") {
+		t.Fatalf("small rewire took the whole-cache path: %q", note)
+	}
+	// At alpha 0.9 the diffusion is tight around peer 0's doc, so the
+	// cached column has no mass at 9..13 and must survive.
+	before := localStats(scorer)
+	if _, err := scorer.Score(vocab.Vector(3)); err != nil {
+		t.Fatal(err)
+	}
+	if after := localStats(scorer); after.CacheHits != before.CacheHits+1 {
+		t.Fatalf("surviving column not served from cache: before %+v after %+v", before, after)
+	}
+
+	// A doc-placement change, however far away, must take the whole-cache
+	// path: targeted invalidation cannot see mass a new document creates.
+	docPatch := make(map[int]peerSpec, n)
+	for k, v := range patched {
+		docPatch[k] = v
+	}
+	d10 := docPatch[10]
+	d10.docs = []retrieval.DocID{55}
+	docPatch[10] = d10
+	note, err = scorer.Patch(docPatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(note, "document placement changed") {
+		t.Fatalf("doc change took the targeted path: %q", note)
+	}
+}
+
+func TestChangedClosure(t *testing.T) {
+	old := testSpecs()
+	same := testSpecs()
+	if got, docs := changedClosure(old, same); len(got) != 0 || docs {
+		t.Fatalf("identical specs changed %v (docs %v)", got, docs)
+	}
+	// Reordered neighbour lists are not a change.
+	re := testSpecs()
+	s1 := re[1]
+	s1.neighbors = []graph.NodeID{2, 0}
+	re[1] = s1
+	if got, docs := changedClosure(old, re); len(got) != 0 || docs {
+		t.Fatalf("reordered neighbours changed %v (docs %v)", got, docs)
+	}
+	// A departed peer marks it and its neighbours — and it held a doc, so
+	// the relevance sources moved too.
+	gone := testSpecs()
+	delete(gone, 2)
+	got, docs := changedClosure(old, gone)
+	want := []int{1, 2}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("departure closure %v, want %v", got, want)
+	}
+	if !docs {
+		t.Fatal("departure of a doc-holding peer must flag docsChanged")
+	}
+	// A doc-less rewire does not flag docsChanged.
+	rewired := testSpecs()
+	s0 := rewired[0]
+	s0.neighbors = []graph.NodeID{1, 2}
+	rewired[0] = s0
+	s2 := rewired[2]
+	s2.neighbors = []graph.NodeID{0, 1}
+	rewired[2] = s2
+	if _, docs := changedClosure(old, rewired); docs {
+		t.Fatal("pure rewire flagged docsChanged")
+	}
+}
+
+func TestLoadTenants(t *testing.T) {
+	path := writeTopo(t, "0 a:1 1\n1 a:2 0\n")
+	got, err := loadTenants("beta=" + path)
+	if err != nil || len(got) != 1 || len(got["beta"]) != 2 {
+		t.Fatalf("loadTenants: %v %v", got, err)
+	}
+	if _, err := loadTenants("nope"); err == nil {
+		t.Fatal("missing = must error")
+	}
+	if _, err := loadTenants("local=" + path); err == nil {
+		t.Fatal("reserved name must error")
+	}
+	if _, err := loadTenants("a=" + path + ",a=" + path); err == nil {
+		t.Fatal("duplicate name must error")
+	}
+	if got, err := loadTenants(""); err != nil || got != nil {
+		t.Fatalf("empty flag: %v %v", got, err)
 	}
 }
 

@@ -40,6 +40,14 @@
 //	defer sched.Close()
 //	nodeScores, _ := sched.Submit(ctx, queries[0])
 //
+//	// Scale-out in one process: NewSharded partitions the overlay into
+//	// per-shard CSRs diffusing concurrently (same request API, results
+//	// within 1e-9 of the single CSR), and a MultiScheduler serves many
+//	// tenant graphs over one shared DiffusionPool (see NewMultiScheduler).
+//	pool := diffusearch.NewDiffusionPool(0)
+//	sharded := diffusearch.NewSharded(env.Graph, env.Bench.Vocabulary(),
+//		diffusearch.ShardConfig{Shards: 4, Pool: pool})
+//
 // The historical DiffuseSync / DiffuseAsync / DiffuseParallel /
 // DiffuseWithFilter / FastNodeScores entry points remain as deprecated
 // shims over Run and ScoreBatch.
@@ -58,6 +66,7 @@ import (
 	"diffusearch/internal/randx"
 	"diffusearch/internal/retrieval"
 	"diffusearch/internal/serve"
+	"diffusearch/internal/shard"
 )
 
 // Re-exported identifier types.
@@ -132,6 +141,29 @@ type (
 	// ServeBackend scores query batches for a Scheduler; *Network
 	// satisfies it.
 	ServeBackend = serve.Backend
+	// ShardedNetwork is a Network whose diffusions run over partitioned
+	// Transition shards diffusing concurrently with residual hand-off
+	// across boundary edges. Same request API; construct with NewSharded
+	// (or shard an existing Network with AttachShards).
+	ShardedNetwork = shard.ShardedNetwork
+	// ShardConfig parameterizes sharding: shard count, partitioner, and
+	// the shared worker pool multi-tenant deployments diffuse on.
+	ShardConfig = shard.Config
+	// Partitioner splits a graph's node set into shards.
+	Partitioner = graph.Partitioner
+	// RangePartitioner keeps contiguous node-id ranges together (the
+	// default edge-cut).
+	RangePartitioner = graph.RangePartitioner
+	// GreedyPartitioner balances per-shard edge volume on hub-heavy
+	// graphs (degree-balanced greedy assignment).
+	GreedyPartitioner = graph.GreedyPartitioner
+	// DiffusionPool is a shared fixed-size worker pool: several tenants'
+	// sharded diffusions run concurrently on one bounded goroutine set.
+	DiffusionPool = diffuse.Pool
+	// MultiScheduler is the multi-tenant serve layer: one coalescing
+	// Scheduler per registered tenant graph, so a single process serves
+	// many overlays. Construct with NewMultiScheduler.
+	MultiScheduler = serve.Multi
 )
 
 // Diffusion engines (§IV-B). EngineAsynchronous is the deterministic
@@ -181,6 +213,18 @@ var (
 	// NewScheduler starts an admission-controlled coalescing scheduler
 	// over a scoring backend (typically a *Network).
 	NewScheduler = serve.New
+	// NewSharded creates a search network whose diffusions run over
+	// partitioned Transition shards (see ShardConfig).
+	NewSharded = shard.NewSharded
+	// AttachShards installs sharded scoring on an existing Network in
+	// place and returns the ShardedNetwork wrapper.
+	AttachShards = shard.Attach
+	// NewDiffusionPool starts a shared diffusion worker pool (workers ≤ 0
+	// selects GOMAXPROCS); Close releases it.
+	NewDiffusionPool = diffuse.NewPool
+	// NewMultiScheduler returns an empty per-tenant scheduler registry;
+	// Register each tenant's backend, then Submit by tenant name.
+	NewMultiScheduler = serve.NewMulti
 )
 
 // NewPaperEnvironment builds the full-scale evaluation setting of §V: a

@@ -40,6 +40,7 @@ type Network struct {
 
 	scorer        retrieval.Scorer
 	summarization string
+	scoring       Scorer // diffusion backend; single-CSR unless SetScorer
 
 	docsAt []*retrieval.LocalIndex          // per-node collections D_u
 	hostOf map[retrieval.DocID]graph.NodeID // inverse of the placement
@@ -88,6 +89,9 @@ func NewNetwork(g *graph.Graph, vocab *embed.Vocabulary, opts ...Option) *Networ
 	for _, opt := range opts {
 		opt(n)
 	}
+	// The backend binds after the options so WithNormalization's transition
+	// swap is what the default single-CSR scorer diffuses.
+	n.scoring = &csrScorer{tr: n.tr}
 	return n
 }
 

@@ -42,7 +42,15 @@ type DiffusionRequest struct {
 	// Filter, when non-nil, overrides Engine with an arbitrary low-pass
 	// graph filter (§II-C; e.g. ppr.HeatKernelFilter). Filter runs have no
 	// per-column early termination and do not record Alpha on the network.
+	// Filters always run on the network's full CSR: they are defined over
+	// the whole operator, so a sharded scoring backend does not apply.
 	Filter ppr.Filter
+	// Tenant names the graph this request targets in a multi-tenant serve
+	// deployment. The diffusion engines ignore it; the serve layer's
+	// per-tenant scheduler registry (serve.Multi) stamps it on every
+	// dispatched request so stats and traces identify which tenant a batch
+	// belonged to.
+	Tenant string
 }
 
 // engine resolves the default driver.
@@ -92,7 +100,7 @@ func (n *Network) Run(req DiffusionRequest) (diffuse.Stats, error) {
 		n.emb = emb
 		return filterStats(pst), nil
 	}
-	emb, st, err := diffuse.Run(req.engine(), n.tr, n.perso, req.params(), req.Seed)
+	emb, st, err := n.scoring.Diffuse(n.perso, req.engine(), req.params(), req.Seed)
 	if err != nil {
 		return st, err
 	}
@@ -146,7 +154,7 @@ func (n *Network) ScoreBatch(queries [][]float64, req DiffusionRequest) ([][]flo
 		st = filterStats(pst)
 	} else {
 		var sig *diffuse.Signal
-		sig, st, err = diffuse.RunSignal(req.engine(), n.tr, diffuse.NewSignal(x), req.params(), req.Seed)
+		sig, st, err = n.scoring.DiffuseSignal(diffuse.NewSignal(x), req.engine(), req.params(), req.Seed)
 		if sig != nil {
 			out = sig.Matrix()
 		}

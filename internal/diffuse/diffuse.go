@@ -53,6 +53,12 @@ type Stats struct {
 	// dropped below the engine's retirement threshold. Early-terminated
 	// columns show smaller counts than Sweeps.
 	ColumnSweeps []int
+
+	// CrossMessages, set only by the sharded kernels (RunSharded), counts
+	// the subset of Messages whose sender and receiver live in different
+	// shards — the residual traffic a distributed deployment would put on
+	// the wire. Always ≤ Messages; 0 for single-shard or unsharded runs.
+	CrossMessages int64
 }
 
 // Params configure a diffusion run.

@@ -16,6 +16,41 @@ import (
 // atomic increment.
 const frontierChunk = 128
 
+// forEachClaimed drains chunked work items over the concatenation of the
+// per-shard lists sized by cum (cum[s]..cum[s+1] covers shard s) and calls
+// visit once per (shard, index-range-within-shard) run. Chunk claims go
+// through the shared atomic cursor; it is the single claim loop behind
+// every phase of the parallel engines — single-CSR phases pass a 2-entry
+// cum ({0, len(frontier)}) and concurrently diffusing tenants on one
+// shared pool balance within themselves without coordination between them.
+func forEachClaimed(cursor *atomic.Int64, cum []int, visit func(s, lo, hi int)) {
+	total := cum[len(cum)-1]
+	for {
+		hi := int(cursor.Add(frontierChunk))
+		lo := hi - frontierChunk
+		if lo >= total {
+			return
+		}
+		if hi > total {
+			hi = total
+		}
+		// Split [lo, hi) into runs that stay inside one shard.
+		s := 0
+		for cum[s+1] <= lo {
+			s++
+		}
+		for lo < hi {
+			end := hi
+			if cum[s+1] < end {
+				end = cum[s+1]
+			}
+			visit(s, lo-cum[s], end-cum[s])
+			lo = end
+			s++
+		}
+	}
+}
+
 // Parallel runs the residual-driven diffusion: instead of sweeping every
 // node, it maintains an active frontier of nodes with significant unseen
 // incoming change (the Gauss–Southwell selection rule, per the PowerWalk
@@ -82,22 +117,18 @@ func Parallel(tr *graph.Transition, e0 *vecmath.Matrix, p Params) (*vecmath.Matr
 	// the first round has inputs to read (Σ deg(u) = 2|E| messages).
 	st.Messages = 2 * int64(g.NumEdges())
 
+	// Hoisted claim range for forEachClaimed: the backing array escapes to
+	// the worker closures once, not once per round.
+	var cum [2]int
 	for round := 1; round <= maxRounds; round++ {
 		// Compute phase: new value for every frontier node from the previous
 		// round's embeddings. Writes touch only next rows and resid slots of
 		// frontier nodes, reads only cur — no write conflicts.
+		cum[1] = len(frontier)
 		cursor.Store(0)
 		pool.run(func(w int) {
 			sh := &shards[w]
-			for {
-				hi := int(cursor.Add(frontierChunk))
-				lo := hi - frontierChunk
-				if lo >= len(frontier) {
-					return
-				}
-				if hi > len(frontier) {
-					hi = len(frontier)
-				}
+			forEachClaimed(&cursor, cum[:], func(_, lo, hi int) {
 				for _, u := range frontier[lo:hi] {
 					row := next.Row(u)
 					vecmath.Zero(row)
@@ -106,7 +137,7 @@ func Parallel(tr *graph.Transition, e0 *vecmath.Matrix, p Params) (*vecmath.Matr
 					resid[u] = vecmath.MaxAbsDiff(cur.Row(u), row)
 					sh.updates++
 				}
-			}
+			})
 		})
 		// Commit phase: publish the new values and mark every neighbour of a
 		// significantly changed node for the next round. Marking races are
@@ -118,7 +149,7 @@ func Parallel(tr *graph.Transition, e0 *vecmath.Matrix, p Params) (*vecmath.Matr
 			tr: tr, frontier: frontier, fullRound: fullRound,
 			cur: cur, next: next, resid: resid,
 			edgeOff: edgeOff, edgeThr: edgeThr, edgeStale: edgeStale,
-			queued: queued, cursor: &cursor,
+			queued: queued, cursor: &cursor, cum: [2]int{0, len(frontier)},
 		}
 		cursor.Store(0)
 		pool.run(func(w int) { commit.work(&shards[w]) })
@@ -168,20 +199,13 @@ type commitCtx struct {
 	edgeStale []float64
 	queued    []atomic.Bool
 	cursor    *atomic.Int64
+	cum       [2]int // {0, len(frontier)}: claim range for forEachClaimed
 }
 
 // work runs one worker's share of the commit phase into sh.
 func (c *commitCtx) work(sh *parShard) {
 	g := c.tr.Graph()
-	for {
-		hi := int(c.cursor.Add(frontierChunk))
-		lo := hi - frontierChunk
-		if lo >= len(c.frontier) {
-			return
-		}
-		if hi > len(c.frontier) {
-			hi = len(c.frontier)
-		}
+	forEachClaimed(c.cursor, c.cum[:], func(_, lo, hi int) {
 		for _, u := range c.frontier[lo:hi] {
 			if !c.fullRound {
 				copy(c.cur.Row(u), c.next.Row(u))
@@ -216,7 +240,7 @@ func (c *commitCtx) work(sh *parShard) {
 				}
 			}
 		}
-	}
+	})
 }
 
 // rebuildFrontier drains the per-shard next-frontier lists into frontier

@@ -1,0 +1,81 @@
+package diffuse
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a shared fixed-size worker pool for sharded diffusions. Unlike
+// the per-run workerPool inside the Parallel engine (whose goroutines live
+// only for one diffusion), a Pool is long-lived and safe for concurrent
+// Run calls, so one process can diffuse many tenant graphs at once on a
+// single bounded set of goroutines — the serving regime of the multi-tenant
+// scheduler. Tasks from concurrent runs interleave freely; each Run tracks
+// its own completion through a private pending counter, so one tenant's
+// quiescence never waits on another's tasks beyond ordinary queueing.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool of the given size (≤ 0 selects GOMAXPROCS). Close
+// releases the goroutines.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(), workers),
+		quit:    make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.quit:
+					return
+				case fn := <-p.tasks:
+					fn()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(slot) for every slot in [0, slots) across the pool's
+// workers and returns when all have finished. Each slot runs on exactly one
+// goroutine, so slot-indexed scratch state needs no further synchronization.
+// Every slot — including a lone one — goes through the worker queue: running
+// it inline on the caller would let K concurrent Run callers (K tenant
+// schedulers dispatching at once) execute K diffusions outside the pool,
+// breaking the bounded-goroutine contract exactly on the smallest pools
+// where it is tightest. Run must not be called from inside a pool task — a
+// nested wait could starve the pool.
+func (p *Pool) Run(slots int, fn func(slot int)) {
+	var wg sync.WaitGroup
+	wg.Add(slots)
+	for i := 0; i < slots; i++ {
+		i := i
+		p.tasks <- func() {
+			defer wg.Done()
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// Close stops the workers. The pool must be idle: no Run in flight, none
+// issued afterwards.
+func (p *Pool) Close() {
+	close(p.quit)
+	p.wg.Wait()
+}

@@ -303,24 +303,19 @@ func ParallelColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, Stat
 
 	st.Messages = 2 * int64(g.NumEdges()) // bootstrap announcement, as in Parallel
 
+	// Hoisted claim range for forEachClaimed, as in Parallel.
+	var cum [2]int
 	for round := 1; round <= maxRounds; round++ {
 		w := len(cb.act)
 		// Compute phase: per frontier node, one fused CSR pass advances all
 		// active columns; per-column maxima feed the retirement decision and
 		// the per-node max feeds the shared push scheduling.
+		cum[1] = len(frontier)
 		cursor.Store(0)
 		pool.run(func(id int) {
 			sh := &shards[id]
 			cr := sh.colRes[:w]
-			for {
-				hi := int(cursor.Add(frontierChunk))
-				lo := hi - frontierChunk
-				if lo >= len(frontier) {
-					return
-				}
-				if hi > len(frontier) {
-					hi = len(frontier)
-				}
+			forEachClaimed(&cursor, cum[:], func(_, lo, hi int) {
 				for _, u := range frontier[lo:hi] {
 					row := next.Row(u)
 					tr.ApplyRowAffine(row, u, 1-p.Alpha, cur, p.Alpha, e0c.Row(u))
@@ -338,14 +333,14 @@ func ParallelColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, Stat
 					resid[u] = nodeRes
 					sh.updates++
 				}
-			}
+			})
 		})
 		fullRound := len(frontier) == n
 		commit := commitCtx{
 			tr: tr, frontier: frontier, fullRound: fullRound,
 			cur: cur, next: next, resid: resid,
 			edgeOff: edgeOff, edgeThr: edgeThr, edgeStale: edgeStale,
-			queued: queued, cursor: &cursor,
+			queued: queued, cursor: &cursor, cum: [2]int{0, len(frontier)},
 		}
 		cursor.Store(0)
 		pool.run(func(id int) { commit.work(&shards[id]) })

@@ -84,6 +84,12 @@ type ServeRow struct {
 	CacheHitRate   float64 // scheduler only
 	SweepsPerQuery float64 // aggregated per-column sweeps / queries
 	Batches        uint64  // diffusions dispatched
+
+	// Backpressure counters (scheduler only): the deepest submission-queue
+	// occupancy seen at a dispatch and the queries that gave up while the
+	// bounded queue was full — visible saturation before it shows in p99.
+	QueueMax int
+	Rejected uint64
 }
 
 // ServeLoadSweep measures what admission control buys under concurrent
@@ -161,6 +167,8 @@ func ServeLoadSweep(env *Environment, cfg ServeConfig) ([]ServeRow, error) {
 		coalesced.CacheHitRate = st.CacheHitRate()
 		coalesced.SweepsPerQuery = st.SweepsPerQuery()
 		coalesced.Batches = st.Batches
+		coalesced.QueueMax = st.QueueMax
+		coalesced.Rejected = st.Rejected
 		rows = append(rows, coalesced)
 	}
 	return rows, nil
@@ -220,7 +228,7 @@ func FormatServe(rows []ServeRow) *stats.Table {
 		}
 	}
 	t := &stats.Table{Header: []string{
-		"clients", "mode", "QPS", "speedup", "p50", "p99", "mean-B", "cache-hit", "sweeps/query", "diffusions",
+		"clients", "mode", "QPS", "speedup", "p50", "p99", "mean-B", "cache-hit", "sweeps/query", "diffusions", "queue-max", "rejected",
 	}}
 	for _, r := range rows {
 		speedup := "1.00x"
@@ -238,6 +246,8 @@ func FormatServe(rows []ServeRow) *stats.Table {
 			fmt.Sprintf("%.2f", r.CacheHitRate),
 			fmt.Sprintf("%.1f", r.SweepsPerQuery),
 			fmt.Sprintf("%d", r.Batches),
+			fmt.Sprintf("%d", r.QueueMax),
+			fmt.Sprintf("%d", r.Rejected),
 		)
 	}
 	return t

@@ -1,0 +1,345 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/serve"
+	"diffusearch/internal/shard"
+	"diffusearch/internal/stats"
+)
+
+// ShardConfig parameterizes ShardSweep: a shard count × tenant count grid,
+// each cell measuring the sharded multi-tenant path against the single-CSR
+// status quo on identical workloads.
+type ShardConfig struct {
+	M       int     // documents per tenant; 0 means min(500, pool)
+	Alpha   float64 // teleport probability; 0 means 0.5
+	Tol     float64 // per-column tolerance; 0 means core.DefaultScoreTol
+	Workers int     // shared diffusion pool size; 0 means GOMAXPROCS
+	Seed    uint64
+
+	Shards      []int             // nil means {1, 2, 4}
+	Tenants     []int             // nil means {1, 2, 4}
+	Partitioner graph.Partitioner // nil means graph.RangePartitioner
+
+	// Batch is each tenant's engine-path query batch width (one ScoreBatch
+	// per tenant per measurement); 0 means 32.
+	Batch int
+	// Clients/QueriesPerClient shape the serve measurement: per tenant,
+	// Clients concurrent callers each issue one query per wave, for
+	// QueriesPerClient waves (all callers of all tenants submit
+	// simultaneously, with a barrier between waves — the lock-step load
+	// shape makes the realized batch widths, and therefore the row,
+	// reproducible across runs even on a saturated box, where a free-running
+	// closed loop's coalescing degenerates into scheduling luck). 0 means 8
+	// and 10.
+	Clients          int
+	QueriesPerClient int
+	// MaxWait is each tenant scheduler's coalescing budget; 0 means 2ms
+	// (the peerd default — on a contended multi-tenant box a small hold
+	// lets co-riders board regardless of collector/submitter interleaving).
+	MaxWait time.Duration
+}
+
+func (c ShardConfig) withDefaults(env *Environment) ShardConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.M <= 0 {
+		c.M = 500
+	}
+	if c.M > env.MaxPoolDocs() {
+		c.M = env.MaxPoolDocs()
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4}
+	}
+	if len(c.Tenants) == 0 {
+		c.Tenants = []int{1, 2, 4}
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = graph.RangePartitioner{}
+	}
+	if c.Batch <= 0 {
+		c.Batch = 32
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.QueriesPerClient <= 0 {
+		c.QueriesPerClient = 10
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	return c
+}
+
+// ShardRow reports one (shard count, tenant count) cell.
+type ShardRow struct {
+	Shards      int
+	Tenants     int
+	Partitioner string
+
+	// Engine path: every tenant's query batch scored in one ScoreBatch —
+	// sequentially over single-CSR networks vs concurrently over sharded
+	// backends sharing one worker pool.
+	SeqNsPerQuery  int64
+	ConcNsPerQuery int64
+	EngineSpeedup  float64
+
+	// CrossFrac is the fraction of diffusion messages that crossed a shard
+	// boundary in the concurrent runs (the partition quality signal — what
+	// a distributed deployment would put on the wire).
+	CrossFrac float64
+
+	// Serve path: the same closed-loop workload through per-query
+	// single-CSR calls vs the multi-tenant scheduler registry over the
+	// sharded backends.
+	PerQueryQPS  float64
+	MultiQPS     float64
+	ServeSpeedup float64
+}
+
+// tenantEnv is one tenant's graph world: a network over the shared
+// topology with its own placement, plus its query pool.
+type tenantEnv struct {
+	name    string
+	net     *core.Network
+	queries [][]float64
+}
+
+// buildTenants constructs nTenants independent tenant networks (distinct
+// seeded placements over the environment graph, standing in for distinct
+// tenant graphs of equal scale) with per-tenant query pools.
+func buildTenants(env *Environment, nTenants int, cfg ShardConfig) ([]*tenantEnv, error) {
+	out := make([]*tenantEnv, nTenants)
+	for t := 0; t < nTenants; t++ {
+		r := randx.DeriveN(cfg.Seed, "shard-tenant", t)
+		net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+		pair := env.Bench.SamplePair(r)
+		docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, cfg.M-1)...)
+		if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+			return nil, err
+		}
+		if err := net.ComputePersonalization(); err != nil {
+			return nil, err
+		}
+		queries := make([][]float64, cfg.Batch)
+		for j := range queries {
+			queries[j] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
+		}
+		out[t] = &tenantEnv{name: fmt.Sprintf("tenant-%d", t), net: net, queries: queries}
+	}
+	return out, nil
+}
+
+// ShardSweep measures what sharded multi-graph environments buy: for each
+// (shard count, tenant count) cell it scores every tenant's workload two
+// ways on the engine path (sequential single-CSR ScoreBatch per tenant vs
+// all tenants' sharded diffusions running concurrently on one shared
+// worker pool) and two ways on the serve path (per-query single-CSR calls
+// vs the per-tenant scheduler registry coalescing each tenant's concurrent
+// callers). Cross-shard message fractions come from the concurrent runs'
+// diffusion stats.
+//
+// Note the baselines run before the tenants' networks are shard-attached,
+// so "single CSR" rows really exercise the unsharded code path on the
+// identical placement and queries.
+func ShardSweep(env *Environment, cfg ShardConfig) ([]ShardRow, error) {
+	cfg = cfg.withDefaults(env)
+	rows := make([]ShardRow, 0, len(cfg.Shards)*len(cfg.Tenants))
+	req := core.DiffusionRequest{
+		Alpha: cfg.Alpha, Tol: cfg.Tol, Workers: cfg.Workers, Seed: cfg.Seed,
+	}
+	for _, nTenants := range cfg.Tenants {
+		// The tenant networks and both single-CSR baselines are independent
+		// of the shard count, so they are built and measured once per tenant
+		// count — every shard cell in the row group then compares against
+		// the identical denominator.
+		tenants, err := buildTenants(env, nTenants, cfg)
+		if err != nil {
+			return nil, err
+		}
+		totalQ := nTenants * cfg.Batch
+
+		// Engine baseline: tenants scored one after another, single CSR.
+		seqStart := time.Now()
+		for _, te := range tenants {
+			if _, _, err := te.net.ScoreBatch(te.queries, req); err != nil {
+				return nil, fmt.Errorf("expt: sequential tenant: %w", err)
+			}
+		}
+		seqWall := time.Since(seqStart)
+
+		// Per-query serve baseline, still unsharded: every client calls
+		// the B=1 path directly.
+		perQuery, err := tenantWaveLoop(tenants, cfg, func(te *tenantEnv, q []float64) error {
+			_, _, err := te.net.ScoreBatch([][]float64{q}, req)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expt: per-query loop: %w", err)
+		}
+
+		for _, shards := range cfg.Shards {
+			// Shard every tenant over one shared pool (Attach replaces any
+			// previous cell's backend in place).
+			pool := diffuse.NewPool(cfg.Workers)
+			snets := make([]*shard.ShardedNetwork, nTenants)
+			for t, te := range tenants {
+				snets[t] = shard.Attach(te.net, shard.Config{
+					Shards: shards, Partitioner: cfg.Partitioner, Pool: pool,
+				})
+			}
+
+			// Engine concurrent: every tenant's diffusion in flight at once.
+			var (
+				mu        sync.Mutex
+				crossMsgs int64
+				totalMsgs int64
+				concErr   error
+				wg        sync.WaitGroup
+			)
+			concStart := time.Now()
+			for t := range snets {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					_, st, err := snets[t].ScoreBatch(tenants[t].queries, req)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil && concErr == nil {
+						concErr = err
+					}
+					crossMsgs += st.CrossMessages
+					totalMsgs += st.Messages
+				}(t)
+			}
+			wg.Wait()
+			concWall := time.Since(concStart)
+			if concErr != nil {
+				pool.Close()
+				return nil, fmt.Errorf("expt: concurrent tenant: %w", concErr)
+			}
+
+			// Serve path: per-tenant schedulers over the sharded backends.
+			multi := serve.NewMulti()
+			for t, te := range tenants {
+				if _, err := multi.Register(te.name, snets[t], serve.Config{
+					Request: req, MaxBatch: 64, MaxWait: cfg.MaxWait,
+				}); err != nil {
+					multi.Close()
+					pool.Close()
+					return nil, err
+				}
+			}
+			multiRow, err := tenantWaveLoop(tenants, cfg, func(te *tenantEnv, q []float64) error {
+				_, err := multi.Submit(context.Background(), te.name, q)
+				return err
+			})
+			multi.Close()
+			pool.Close()
+			if err != nil {
+				return nil, fmt.Errorf("expt: multi loop: %w", err)
+			}
+
+			row := ShardRow{
+				Shards:         shards,
+				Tenants:        nTenants,
+				Partitioner:    cfg.Partitioner.String(),
+				SeqNsPerQuery:  seqWall.Nanoseconds() / int64(totalQ),
+				ConcNsPerQuery: concWall.Nanoseconds() / int64(totalQ),
+				PerQueryQPS:    perQuery,
+				MultiQPS:       multiRow,
+			}
+			if row.ConcNsPerQuery > 0 {
+				row.EngineSpeedup = float64(row.SeqNsPerQuery) / float64(row.ConcNsPerQuery)
+			}
+			if totalMsgs > 0 {
+				row.CrossFrac = float64(crossMsgs) / float64(totalMsgs)
+			}
+			if perQuery > 0 {
+				row.ServeSpeedup = multiRow / perQuery
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// tenantWaveLoop drives cfg.Clients concurrent callers per tenant in
+// cfg.QueriesPerClient lock-step waves (every caller of every tenant
+// submits one query, then a barrier) and returns the aggregate QPS. The
+// wave shape pins the offered concurrency both serving paths see, so the
+// measured ratio reflects the serving architecture rather than how a
+// saturated scheduler happened to interleave free-running clients.
+func tenantWaveLoop(tenants []*tenantEnv, cfg ShardConfig, do func(*tenantEnv, []float64) error) (float64, error) {
+	errs := make([]error, len(tenants)*cfg.Clients)
+	rands := make([]*randx.Rand, len(tenants)*cfg.Clients)
+	for i := range rands {
+		rands[i] = randx.DeriveN(cfg.Seed, "shard-client", i)
+	}
+	start := time.Now()
+	for wave := 0; wave < cfg.QueriesPerClient; wave++ {
+		var wg sync.WaitGroup
+		for t, te := range tenants {
+			for c := 0; c < cfg.Clients; c++ {
+				idx := t*cfg.Clients + c
+				if errs[idx] != nil {
+					continue
+				}
+				q := te.queries[rands[idx].IntN(len(te.queries))]
+				wg.Add(1)
+				go func(te *tenantEnv, idx int, q []float64) {
+					defer wg.Done()
+					if err := do(te, q); err != nil {
+						errs[idx] = err
+					}
+				}(te, idx, q)
+			}
+		}
+		wg.Wait()
+	}
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	total := len(tenants) * cfg.Clients * cfg.QueriesPerClient
+	if wall <= 0 {
+		return 0, nil
+	}
+	return float64(total) / wall.Seconds(), nil
+}
+
+// FormatShard renders ShardSweep rows.
+func FormatShard(rows []ShardRow) *stats.Table {
+	t := &stats.Table{Header: []string{
+		"shards", "tenants", "part", "seq ns/q", "conc ns/q", "engine-speedup", "cross%", "per-q QPS", "multi QPS", "serve-speedup",
+	}}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Tenants),
+			r.Partitioner,
+			fmt.Sprintf("%d", r.SeqNsPerQuery),
+			fmt.Sprintf("%d", r.ConcNsPerQuery),
+			fmt.Sprintf("%.2fx", r.EngineSpeedup),
+			fmt.Sprintf("%.1f", 100*r.CrossFrac),
+			fmt.Sprintf("%.0f", r.PerQueryQPS),
+			fmt.Sprintf("%.0f", r.MultiQPS),
+			fmt.Sprintf("%.2fx", r.ServeSpeedup),
+		)
+	}
+	return t
+}

@@ -1,0 +1,45 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShardSweepShape(t *testing.T) {
+	env := scaledEnv(t)
+	rows, err := ShardSweep(env, ShardConfig{
+		M: 50, Alpha: 0.5, Seed: 3, Workers: 2,
+		Shards: []int{1, 2}, Tenants: []int{1, 2},
+		Batch: 4, Clients: 2, QueriesPerClient: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d, want 4", len(rows))
+	}
+	for i, r := range rows {
+		if r.SeqNsPerQuery <= 0 || r.ConcNsPerQuery <= 0 {
+			t.Fatalf("row %d engine path unmeasured: %+v", i, r)
+		}
+		if r.PerQueryQPS <= 0 || r.MultiQPS <= 0 {
+			t.Fatalf("row %d serve path unmeasured: %+v", i, r)
+		}
+		if r.Partitioner != "range" {
+			t.Fatalf("row %d partitioner %q", i, r.Partitioner)
+		}
+		// Cross traffic only exists with more than one shard.
+		if r.Shards == 1 && r.CrossFrac != 0 {
+			t.Fatalf("row %d: single shard with cross traffic %v", i, r.CrossFrac)
+		}
+		if r.Shards > 1 && (r.CrossFrac <= 0 || r.CrossFrac >= 1) {
+			t.Fatalf("row %d: cross fraction %v out of (0,1)", i, r.CrossFrac)
+		}
+	}
+	table := FormatShard(rows).String()
+	for _, col := range []string{"shards", "tenants", "cross%", "serve-speedup"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("table missing column %q:\n%s", col, table)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"diffusearch/internal/vecmath"
+)
+
+// ringWithHubs builds a connected n-node ring plus a few high-degree hubs
+// wired to every 3rd node — degree skew that a node-count split gets wrong.
+func ringWithHubs(n int, hubs []NodeID) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		b.AddEdge(u, (u+1)%n)
+	}
+	for _, h := range hubs {
+		for v := 0; v < n; v += 3 {
+			if v != h {
+				b.AddEdge(h, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func checkPartition(t *testing.T, g *Graph, p *Partition, k int) {
+	t.Helper()
+	if p.NumShards() != k {
+		t.Fatalf("got %d shards, want %d", p.NumShards(), k)
+	}
+	seen := 0
+	for s := 0; s < k; s++ {
+		nodes := p.Nodes(s)
+		if len(nodes) == 0 {
+			t.Fatalf("shard %d is empty", s)
+		}
+		for i, u := range nodes {
+			if i > 0 && nodes[i-1] >= u {
+				t.Fatalf("shard %d nodes not ascending at %d", s, i)
+			}
+			if p.ShardOf(u) != s || p.LocalOf(u) != i {
+				t.Fatalf("node %d: ShardOf=%d LocalOf=%d, want %d/%d", u, p.ShardOf(u), p.LocalOf(u), s, i)
+			}
+			seen++
+		}
+	}
+	if seen != g.NumNodes() {
+		t.Fatalf("%d nodes assigned, graph has %d", seen, g.NumNodes())
+	}
+}
+
+func TestPartitionersCoverEveryNode(t *testing.T) {
+	g := ringWithHubs(60, []NodeID{0, 29, 30, 59})
+	for _, pt := range []Partitioner{RangePartitioner{}, GreedyPartitioner{}} {
+		for _, k := range []int{1, 2, 4, 7, 60} {
+			checkPartition(t, g, pt.Partition(g, k), k)
+		}
+		// Clamping: k too large or too small.
+		checkPartition(t, g, pt.Partition(g, 0), 1)
+		small := FromEdges(3, [][2]NodeID{{0, 1}, {1, 2}})
+		checkPartition(t, small, pt.Partition(small, 8), 3)
+	}
+}
+
+func TestGreedyPartitionerBalancesDegree(t *testing.T) {
+	// One huge hub plus a ring: a contiguous range split strands the hub's
+	// volume in one shard; greedy must keep shard degree sums within 2× of
+	// each other (LPT bound is much tighter, this is a smoke check).
+	g := ringWithHubs(90, []NodeID{0})
+	const k = 3
+	loads := func(p *Partition) []int {
+		out := make([]int, k)
+		for s := 0; s < k; s++ {
+			for _, u := range p.Nodes(s) {
+				out[s] += g.Degree(u)
+			}
+		}
+		return out
+	}
+	gl := loads(GreedyPartitioner{}.Partition(g, k))
+	minL, maxL := gl[0], gl[0]
+	for _, l := range gl {
+		minL = min(minL, l)
+		maxL = max(maxL, l)
+	}
+	if maxL > 2*minL {
+		t.Fatalf("greedy shard degree sums unbalanced: %v", gl)
+	}
+}
+
+func TestShardSetRowsMatchFullCSR(t *testing.T) {
+	g := ringWithHubs(50, []NodeID{7, 25})
+	for _, norm := range []Normalization{ColumnStochastic, RowStochastic, Symmetric} {
+		tr := NewTransition(g, norm)
+		for _, k := range []int{1, 3, 5} {
+			ss := NewShardSet(tr, GreedyPartitioner{}, k)
+			if ss.NumShards() != k {
+				t.Fatalf("shard count %d, want %d", ss.NumShards(), k)
+			}
+			crossTotal := 0
+			for s := 0; s < k; s++ {
+				sh := ss.Shard(s)
+				cross := 0
+				for i := 0; i < sh.Len(); i++ {
+					u := sh.Node(i)
+					wantN, wantW := g.Neighbors(u), tr.Weights(u)
+					gotN, gotW := sh.Neighbors(i), sh.Weights(i)
+					if len(gotN) != len(wantN) {
+						t.Fatalf("shard %d row %d: %d neighbors, want %d", s, i, len(gotN), len(wantN))
+					}
+					for j := range wantN {
+						if gotN[j] != wantN[j] || gotW[j] != wantW[j] {
+							t.Fatalf("shard %d row %d entry %d: (%d,%g) want (%d,%g)",
+								s, i, j, gotN[j], gotW[j], wantN[j], wantW[j])
+						}
+						if ss.Partition().ShardOf(wantN[j]) != s {
+							cross++
+						}
+					}
+				}
+				if cross != sh.CrossEntries() {
+					t.Fatalf("shard %d: CrossEntries=%d, recount=%d", s, sh.CrossEntries(), cross)
+				}
+				crossTotal += cross
+			}
+			if crossTotal != ss.CrossEntries() {
+				t.Fatalf("CrossEntries=%d, recount=%d", ss.CrossEntries(), crossTotal)
+			}
+			if k == 1 && crossTotal != 0 {
+				t.Fatalf("single shard must have no boundary edges, got %d", crossTotal)
+			}
+		}
+	}
+}
+
+func TestShardKernelsBitIdenticalToTransition(t *testing.T) {
+	g := ringWithHubs(40, []NodeID{3})
+	tr := NewTransition(g, ColumnStochastic)
+	ss := NewShardSet(tr, RangePartitioner{}, 4)
+	const cols = 5
+	src := vecmath.NewMatrix(g.NumNodes(), cols)
+	for u := 0; u < g.NumNodes(); u++ {
+		row := src.Row(u)
+		for j := range row {
+			row[j] = math.Sin(float64(u*cols + j)) // deterministic, irregular
+		}
+	}
+	e0 := make([]float64, cols)
+	for j := range e0 {
+		e0[j] = float64(j) * 0.25
+	}
+	want := make([]float64, cols)
+	got := make([]float64, cols)
+	for s := 0; s < ss.NumShards(); s++ {
+		sh := ss.Shard(s)
+		for i := 0; i < sh.Len(); i++ {
+			u := sh.Node(i)
+			vecmath.Zero(want)
+			tr.ApplyRow(want, u, 0.5, src)
+			vecmath.Zero(got)
+			sh.ApplyRow(got, i, 0.5, src)
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("ApplyRow differs at node %d col %d: %g vs %g", u, j, got[j], want[j])
+				}
+			}
+			tr.ApplyRowAffine(want, u, 0.5, src, 0.5, e0)
+			sh.ApplyRowAffine(got, i, 0.5, src, 0.5, e0)
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("ApplyRowAffine differs at node %d col %d: %g vs %g", u, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestParsePartitioner(t *testing.T) {
+	if p, err := ParsePartitioner("range"); err != nil || p.String() != "range" {
+		t.Fatalf("range: %v %v", p, err)
+	}
+	if p, err := ParsePartitioner("greedy"); err != nil || p.String() != "greedy" {
+		t.Fatalf("greedy: %v %v", p, err)
+	}
+	if _, err := ParsePartitioner("metis"); err == nil {
+		t.Fatal("unknown partitioner must error")
+	}
+}

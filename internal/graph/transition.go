@@ -141,9 +141,17 @@ func (t *Transition) ApplyRow(dst []float64, u NodeID, coeff float64, src *vecma
 		panic(fmt.Sprintf("graph: ApplyRow width mismatch dst=%d src=%d", len(dst), src.Cols()))
 	}
 	start, end := t.g.offsets[u], t.g.offsets[u+1]
-	for i := start; i < end; i++ {
-		w := coeff * t.weights[i]
-		row := src.Row(t.g.neighbors[i])
+	applyRowKernel(dst, coeff, t.g.neighbors[start:end], t.weights[start:end], src)
+}
+
+// applyRowKernel is the shared accumulate loop behind Transition.ApplyRow
+// and TransitionShard.ApplyRow: the neighbor ids and weights of one CSR row
+// stream as parallel slices, so per-shard CSR copies produce bit-for-bit
+// the same sums as the full CSR (identical edge order, identical op order).
+func applyRowKernel(dst []float64, coeff float64, nbrs []NodeID, ws []float64, src *vecmath.Matrix) {
+	for i, v := range nbrs {
+		w := coeff * ws[i]
+		row := src.Row(v)
 		// Reslicing dst to the row length lets the compiler prove d[j] in
 		// bounds and drop the per-element check in the hot loop.
 		d := dst[:len(row)]
@@ -174,21 +182,29 @@ func (t *Transition) ApplyRowAffine(dst []float64, u NodeID, coeff float64, src 
 	if len(dst) != src.Cols() || len(e0row) != len(dst) {
 		panic(fmt.Sprintf("graph: ApplyRowAffine width mismatch dst=%d e0=%d src=%d", len(dst), len(e0row), src.Cols()))
 	}
+	start, end := t.g.offsets[u], t.g.offsets[u+1]
+	applyRowAffineKernel(dst, coeff, t.g.neighbors[start:end], t.weights[start:end], src, tele, e0row)
+}
+
+// applyRowAffineKernel is the shared 4-edge-unrolled body behind
+// Transition.ApplyRowAffine and TransitionShard.ApplyRowAffine (see
+// applyRowKernel for why the row slices are shared).
+func applyRowAffineKernel(dst []float64, coeff float64, nbrs []NodeID, ws []float64, src *vecmath.Matrix, tele float64, e0row []float64) {
 	e := e0row[:len(dst)]
 	for j := range dst {
 		dst[j] = tele * e[j]
 	}
-	start, end := t.g.offsets[u], t.g.offsets[u+1]
-	i := start
+	end := len(nbrs)
+	i := 0
 	for ; i+3 < end; i += 4 {
-		w1 := coeff * t.weights[i]
-		w2 := coeff * t.weights[i+1]
-		w3 := coeff * t.weights[i+2]
-		w4 := coeff * t.weights[i+3]
-		r1 := src.Row(t.g.neighbors[i])
-		r2 := src.Row(t.g.neighbors[i+1])
-		r3 := src.Row(t.g.neighbors[i+2])
-		r4 := src.Row(t.g.neighbors[i+3])
+		w1 := coeff * ws[i]
+		w2 := coeff * ws[i+1]
+		w3 := coeff * ws[i+2]
+		w4 := coeff * ws[i+3]
+		r1 := src.Row(nbrs[i])
+		r2 := src.Row(nbrs[i+1])
+		r3 := src.Row(nbrs[i+2])
+		r4 := src.Row(nbrs[i+3])
 		d := dst[:len(r1)]
 		r2 = r2[:len(r1)]
 		r3 = r3[:len(r1)]
@@ -198,8 +214,8 @@ func (t *Transition) ApplyRowAffine(dst []float64, u NodeID, coeff float64, src 
 		}
 	}
 	for ; i < end; i++ {
-		w := coeff * t.weights[i]
-		row := src.Row(t.g.neighbors[i])
+		w := coeff * ws[i]
+		row := src.Row(nbrs[i])
 		d := dst[:len(row)]
 		for j, x := range row {
 			d[j] += w * x

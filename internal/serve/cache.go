@@ -24,9 +24,16 @@ func Key(query []float64) string {
 // lru is a bounded least-recently-used score cache. A zero or negative
 // capacity disables it (every get misses, every put is dropped), which
 // keeps the scheduler's fast path branch-free at the call sites.
+//
+// The generation counter guards against a put racing an invalidation: a
+// scorer that started before a topology patch may finish after the cache
+// was invalidated, and its columns — computed on the old topology — must
+// not re-enter the cache. Writers capture gen() before scoring and insert
+// with putAt, which drops the entry if any invalidation intervened.
 type lru struct {
 	mu    sync.Mutex
 	cap   int
+	gen   uint64
 	items map[string]*list.Element
 	order *list.List // front = most recently used
 }
@@ -56,14 +63,26 @@ func (c *lru) get(key string) ([]float64, bool) {
 	return el.Value.(*lruEntry).scores, true
 }
 
-// put inserts or refreshes a score column, evicting the least recently used
-// entry at capacity.
-func (c *lru) put(key string, scores []float64) {
+// generation returns the current invalidation generation; pair with putAt.
+func (c *lru) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// putAt inserts or refreshes a score column, evicting the least recently
+// used entry at capacity. The entry is dropped instead when an
+// invalidation (clear or dropIf) ran after gen was captured — the scores
+// were computed against state the invalidation declared stale.
+func (c *lru) putAt(gen uint64, key string, scores []float64) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry).scores = scores
 		c.order.MoveToFront(el)
@@ -81,8 +100,33 @@ func (c *lru) put(key string, scores []float64) {
 func (c *lru) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	c.items = make(map[string]*list.Element)
 	c.order.Init()
+}
+
+// dropIf removes every entry whose score column satisfies pred and returns
+// how many were dropped (targeted topology invalidation: see
+// Scheduler.InvalidateNodes).
+func (c *lru) dropIf(pred func(scores []float64) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A targeted invalidation stales in-flight scorers just like clear: a
+	// batch diffused on the pre-patch topology may contain columns the
+	// predicate would have dropped had they been cached in time.
+	c.gen++
+	dropped := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*lruEntry)
+		if pred(e.scores) {
+			c.order.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
 }
 
 // len returns the live entry count.

@@ -23,12 +23,12 @@ func TestKeyIsExact(t *testing.T) {
 
 func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 	c := newLRU(2)
-	c.put("a", []float64{1})
-	c.put("b", []float64{2})
+	c.putAt(c.generation(), "a", []float64{1})
+	c.putAt(c.generation(), "b", []float64{2})
 	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.put("c", []float64{3}) // evicts b
+	c.putAt(c.generation(), "c", []float64{3}) // evicts b
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -45,8 +45,8 @@ func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 
 func TestLRURefreshKeepsSingleEntry(t *testing.T) {
 	c := newLRU(2)
-	c.put("a", []float64{1})
-	c.put("a", []float64{9})
+	c.putAt(c.generation(), "a", []float64{1})
+	c.putAt(c.generation(), "a", []float64{9})
 	if sc, _ := c.get("a"); sc[0] != 9 {
 		t.Fatalf("refresh lost: %v", sc)
 	}
@@ -57,12 +57,12 @@ func TestLRURefreshKeepsSingleEntry(t *testing.T) {
 
 func TestLRUClear(t *testing.T) {
 	c := newLRU(4)
-	c.put("a", []float64{1})
+	c.putAt(c.generation(), "a", []float64{1})
 	c.clear()
 	if _, ok := c.get("a"); ok || c.len() != 0 {
 		t.Fatal("clear left entries")
 	}
-	c.put("b", []float64{2}) // still usable after clear
+	c.putAt(c.generation(), "b", []float64{2}) // still usable after clear
 	if _, ok := c.get("b"); !ok {
 		t.Fatal("cache unusable after clear")
 	}
@@ -70,7 +70,7 @@ func TestLRUClear(t *testing.T) {
 
 func TestZeroCapacityDisablesCache(t *testing.T) {
 	c := newLRU(0)
-	c.put("a", []float64{1})
+	c.putAt(c.generation(), "a", []float64{1})
 	if _, ok := c.get("a"); ok {
 		t.Fatal("disabled cache served an entry")
 	}
@@ -85,5 +85,27 @@ func TestHistBucketBoundaries(t *testing.T) {
 		if got := histBucket(width); got != want {
 			t.Fatalf("histBucket(%d) = %d, want %d", width, got, want)
 		}
+	}
+}
+
+func TestPutAtDropsStaleGenerations(t *testing.T) {
+	c := newLRU(4)
+	gen := c.generation()
+	c.clear() // an invalidation lands while a scorer is in flight
+	c.putAt(gen, "stale", []float64{1})
+	if _, ok := c.get("stale"); ok {
+		t.Fatal("column scored before an invalidation re-entered the cache")
+	}
+	c.putAt(c.generation(), "fresh", []float64{2})
+	if _, ok := c.get("fresh"); !ok {
+		t.Fatal("current-generation put rejected")
+	}
+	// dropIf bumps the generation too: an in-flight batch may hold columns
+	// the predicate would have dropped.
+	gen = c.generation()
+	c.dropIf(func([]float64) bool { return false })
+	c.putAt(gen, "stale2", []float64{3})
+	if _, ok := c.get("stale2"); ok {
+		t.Fatal("column scored before a targeted invalidation re-entered the cache")
 	}
 }

@@ -15,9 +15,12 @@
 // are already waiting — because the arrival rate is high or a diffusion is
 // in flight — the collector drains everything queued, optionally holds the
 // batch open up to MaxWait from the oldest member's arrival, and dispatches
-// at MaxBatch width. Under closed-loop load the realized width therefore
-// grows with the number of concurrent callers, which is exactly when the
-// amortization pays.
+// at MaxBatch width. "Idle" means no other caller is mid-Submit (a live
+// admission count, plus one scheduling yield so a burst's co-submitters
+// reach the queue on a saturated box), not merely an empty queue — see
+// collect. Under closed-loop load the realized width therefore grows with
+// the number of concurrent callers, which is exactly when the amortization
+// pays.
 //
 // Backpressure is a bounded submission queue: when it is full, Submit
 // blocks until space frees or the caller's context cancels. A caller that
@@ -32,7 +35,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diffusearch/internal/core"
@@ -109,6 +114,7 @@ type Scheduler struct {
 	mu       sync.Mutex // guards closed and admits wg.Add
 	closed   bool
 	inflight sync.WaitGroup
+	live     atomic.Int64 // callers between admission and enqueue
 	loopDone chan struct{}
 
 	m metrics
@@ -161,13 +167,23 @@ func (s *Scheduler) Submit(ctx context.Context, query []float64) ([]float64, err
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer s.inflight.Done()
+	// The live count is the collector's load signal: it counts callers
+	// between admission and enqueue — co-riders on their way to the queue
+	// that a queue-emptiness test alone cannot see (which can lock a
+	// loaded scheduler into width-1 dispatches when submitters and the
+	// collector interleave on a contended CPU). Once the pending is in the
+	// queue the collector sees it directly, so the decrement happens at
+	// enqueue, not at return — a resolved waiter must not read as load.
+	s.live.Add(1)
 
 	p := &pending{query: query, key: key, ctx: ctx, enq: time.Now(), done: make(chan result, 1)}
 	select {
 	case s.submit <- p:
+		s.live.Add(-1)
 	case <-ctx.Done():
 		// Bounded-queue backpressure: the queue stayed full for the
 		// caller's whole patience.
+		s.live.Add(-1)
 		s.m.rejected()
 		return nil, ctx.Err()
 	}
@@ -195,12 +211,13 @@ func (s *Scheduler) Submit(ctx context.Context, query []float64) ([]float64, err
 // cache hits. It bypasses coalescing (ScoreBatch is safe to run alongside
 // the collector) but is counted in the scheduler's dispatch statistics.
 func (s *Scheduler) Warm(queries [][]float64) (diffuse.Stats, error) {
+	gen := s.cache.generation()
 	scores, st, err := s.backend.ScoreBatch(queries, s.cfg.Request)
 	if err != nil {
 		return st, err
 	}
 	for j, q := range queries {
-		s.cache.put(Key(q), scores[j])
+		s.cache.putAt(gen, Key(q), scores[j])
 	}
 	s.m.dispatched(len(queries), st)
 	return st, nil
@@ -211,8 +228,64 @@ func (s *Scheduler) Warm(queries [][]float64) (diffuse.Stats, error) {
 // document placement change.
 func (s *Scheduler) InvalidateCache() { s.cache.clear() }
 
-// Stats returns a snapshot of the scheduler's counters.
-func (s *Scheduler) Stats() Stats { return s.m.snapshot() }
+// invalidateEps is the score mass below which a cached column is treated
+// as untouched by a node: diffusion placed no more relevance there than
+// the scoring tolerance itself resolves, so a local topology patch at that
+// node cannot move the column's top scores. Aligned with
+// core.DefaultScoreTol (the per-column convergence tolerance).
+const invalidateEps = 1e-8
+
+// InvalidateNodes drops only the cached score columns whose diffusion
+// placed non-negligible mass on any of the given nodes, and returns how
+// many were dropped. It is the targeted counterpart of InvalidateCache for
+// small topology patches: columns that never reached the patched region
+// keep serving from cache.
+//
+// Callers must pass the patch's closed neighbourhood — the changed nodes
+// plus their neighbours in both the old and new topology — because a
+// column's mass at a node's neighbours is what a re-wiring redistributes;
+// cmd/peerd's SIGHUP path computes exactly that set. Scores decay
+// geometrically away from their query's relevance region, so this keeps a
+// stale column's error at the same sub-tolerance scale the cache already
+// accepts, while a whole-cache drop would re-diffuse every column for a
+// one-node patch.
+//
+// The test is only sound for pure topology rewires: it inspects where the
+// cached column's mass already is, so it cannot see mass a patch newly
+// CREATES. A patch that changes relevance sources — documents placed or
+// removed, a joining peer arriving with content — can raise scores in a
+// region where every cached column is ~0, and no inspection of the old
+// columns detects that. For such patches call InvalidateCache instead
+// (cmd/peerd does).
+func (s *Scheduler) InvalidateNodes(ids []int) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	return s.cache.dropIf(func(scores []float64) bool {
+		for _, id := range ids {
+			if id < 0 {
+				continue
+			}
+			if id >= len(scores) {
+				// The patch references a node the cached column never saw
+				// (a join grew the graph): the column cannot rank it.
+				return true
+			}
+			if scores[id] > invalidateEps || scores[id] < -invalidateEps {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Stats returns a snapshot of the scheduler's counters. QueueDepth is the
+// live submission-queue occupancy at the moment of the call.
+func (s *Scheduler) Stats() Stats {
+	st := s.m.snapshot()
+	st.QueueDepth = len(s.submit)
+	return st
+}
 
 // Close stops admission, waits for every in-flight Submit to resolve
 // (queued queries are still scored), and releases the collector.
@@ -242,17 +315,62 @@ func (s *Scheduler) loop() {
 		if !ok {
 			return
 		}
+		// The occupancy at wake-up (the taken element plus what piled up
+		// behind it) is the backpressure signal QueueMax tracks.
+		s.m.queueDepth(len(s.submit) + 1)
 		s.dispatch(s.collect(first))
 	}
 }
 
 // collect packs a batch starting from first: drain everything already
-// queued, then — only when co-riders exist, a wait budget is configured,
-// and the batch is not yet full — hold the batch open until MaxWait from
-// the first member's arrival. A lone query on an idle scheduler returns
-// immediately: with no co-riders, waiting buys no amortization.
+// queued, then — only when co-riders are still en route to the queue, a
+// wait budget is configured, and the batch is not yet full — hold the
+// batch open until MaxWait from the first member's arrival. A lone query
+// on an idle scheduler returns immediately (with no co-riders, waiting
+// buys no amortization), and the hold ends early once nobody is en route
+// any more: the signal is the live admission-to-enqueue count, not queue
+// occupancy, because on a contended CPU admitted co-riders may not have
+// reached the queue yet when the collector wakes.
 func (s *Scheduler) collect(first *pending) []*pending {
-	batch := append(make([]*pending, 0, s.cfg.MaxBatch), first)
+	batch := s.drain(append(make([]*pending, 0, s.cfg.MaxBatch), first))
+	if len(batch) >= s.cfg.MaxBatch || s.cfg.MaxWait <= 0 {
+		return batch
+	}
+	if s.live.Load() == 0 {
+		// Nobody is en route to the queue — but on a saturated box the
+		// burst's other submitters may simply not have been scheduled yet
+		// (the channel send gives this collector wake-up priority over
+		// them). Yield once so runnable submitters reach the queue, then
+		// re-drain; a truly idle scheduler pays one Gosched and still
+		// dispatches a lone query immediately.
+		runtime.Gosched()
+		batch = s.drain(batch)
+		if s.live.Load() == 0 {
+			return batch
+		}
+	}
+	timer := time.NewTimer(time.Until(first.enq.Add(s.cfg.MaxWait)))
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p, ok := <-s.submit:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, p)
+			if s.live.Load() == 0 {
+				return batch
+			}
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain appends everything already queued to batch, non-blocking, up to
+// MaxBatch.
+func (s *Scheduler) drain(batch []*pending) []*pending {
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case p, ok := <-s.submit:
@@ -264,22 +382,6 @@ func (s *Scheduler) collect(first *pending) []*pending {
 		default:
 		}
 		break
-	}
-	if len(batch) == 1 || len(batch) >= s.cfg.MaxBatch || s.cfg.MaxWait <= 0 {
-		return batch
-	}
-	timer := time.NewTimer(time.Until(first.enq.Add(s.cfg.MaxWait)))
-	defer timer.Stop()
-	for len(batch) < s.cfg.MaxBatch {
-		select {
-		case p, ok := <-s.submit:
-			if !ok {
-				return batch
-			}
-			batch = append(batch, p)
-		case <-timer.C:
-			return batch
-		}
 	}
 	return batch
 }
@@ -319,6 +421,12 @@ func (s *Scheduler) dispatch(batch []*pending) {
 	for i, p := range uniq {
 		queries[i] = p.query
 	}
+	// Capture the cache generation before scoring: an invalidation that
+	// lands while the backend diffuses (e.g. a topology patch swapping the
+	// backend's mirror) makes these columns stale, and putAt then drops
+	// them instead of re-caching pre-patch answers (waiters still get the
+	// scores — their query raced the patch, either ordering is valid).
+	gen := s.cache.generation()
 	scores, st, err := s.backend.ScoreBatch(queries, s.cfg.Request)
 	if err != nil {
 		s.m.failed(len(uniq))
@@ -331,7 +439,7 @@ func (s *Scheduler) dispatch(batch []*pending) {
 	}
 	s.m.dispatched(len(uniq), st)
 	for i, p := range uniq {
-		s.cache.put(p.key, scores[i])
+		s.cache.putAt(gen, p.key, scores[i])
 		for _, w := range groups[p.key] {
 			w.done <- result{scores: scores[i]}
 		}

@@ -36,6 +36,15 @@ type Stats struct {
 	Batches       uint64 // diffusions dispatched (including Warm)
 	QueriesScored uint64 // columns diffused, after cancellation/cache/dedup
 
+	// QueueDepth is the submission-queue occupancy at snapshot time and
+	// QueueMax the deepest occupancy observed at any dispatch since
+	// construction. Together with Rejected they make backpressure visible
+	// before it becomes p99: a QueueMax hugging the queue bound means
+	// submitters are about to block, and Rejected counts the ones whose
+	// patience ran out while blocked.
+	QueueDepth int
+	QueueMax   int
+
 	// BatchHist is the realized batch-width histogram in power-of-two
 	// buckets: BatchHist[i] counts dispatches of width in (2^(i-1), 2^i]
 	// (bucket 0 is exactly width 1).
@@ -86,10 +95,10 @@ func (s Stats) SweepsPerQuery() float64 {
 // String renders a one-line summary for logs and shutdown banners.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"submitted=%d completed=%d cancelled=%d rejected=%d errors=%d cache_hits=%d (rate %.2f) batches=%d scored=%d mean_batch=%.1f sweeps/query=%.1f wait p50=%v p99=%v hist=%s",
+		"submitted=%d completed=%d cancelled=%d rejected=%d errors=%d cache_hits=%d (rate %.2f) batches=%d scored=%d mean_batch=%.1f sweeps/query=%.1f queue_max=%d wait p50=%v p99=%v hist=%s",
 		s.Submitted, s.Completed, s.Cancelled, s.Rejected, s.Errors,
 		s.CacheHits, s.CacheHitRate(), s.Batches, s.QueriesScored,
-		s.MeanBatch(), s.SweepsPerQuery(), s.WaitP50, s.WaitP99, s.HistString())
+		s.MeanBatch(), s.SweepsPerQuery(), s.QueueMax, s.WaitP50, s.WaitP99, s.HistString())
 }
 
 // HistString renders the non-empty histogram buckets as "≤w:count" pairs.
@@ -141,6 +150,16 @@ func (m *metrics) cacheHit()  { m.mu.Lock(); m.s.CacheHits++; m.mu.Unlock() }
 func (m *metrics) failed(width int) {
 	m.mu.Lock()
 	m.s.Errors += uint64(width)
+	m.mu.Unlock()
+}
+
+// queueDepth records the submission-queue occupancy seen at a dispatch,
+// keeping the high-water mark.
+func (m *metrics) queueDepth(depth int) {
+	m.mu.Lock()
+	if depth > m.s.QueueMax {
+		m.s.QueueMax = depth
+	}
 	m.mu.Unlock()
 }
 

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Multi is the multi-tenant serve layer: a registry of per-tenant
+// Schedulers, so one process coalesces queries for many graphs. Each
+// tenant keeps its own collector, cache, and admission queue (one tenant's
+// overload never blocks another's Submit path), while the expensive
+// resource — diffusion workers — is shared by registering backends that
+// were built over one diffuse.Pool (the internal/shard arrangement). The
+// dispatched DiffusionRequests carry the tenant name in their Tenant
+// field, so per-batch stats and traces identify which graph they belong
+// to.
+type Multi struct {
+	mu      sync.RWMutex
+	tenants map[string]*Scheduler
+	closed  bool
+}
+
+// ErrUnknownTenant is wrapped by Submit and InvalidateNodes for tenants
+// never registered.
+var ErrUnknownTenant = fmt.Errorf("serve: unknown tenant")
+
+// NewMulti returns an empty tenant registry.
+func NewMulti() *Multi {
+	return &Multi{tenants: make(map[string]*Scheduler)}
+}
+
+// Register starts a Scheduler for the tenant over backend (duplicates and
+// registration after Close are errors). cfg is the tenant's scheduler
+// configuration; its Request is stamped with the tenant name.
+func (m *Multi) Register(tenant string, backend Backend, cfg Config) (*Scheduler, error) {
+	cfg.Request.Tenant = tenant
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := m.tenants[tenant]; dup {
+		return nil, fmt.Errorf("serve: tenant %q already registered", tenant)
+	}
+	s, err := New(backend, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.tenants[tenant] = s
+	return s, nil
+}
+
+// Scheduler returns the tenant's scheduler, if registered.
+func (m *Multi) Scheduler(tenant string) (*Scheduler, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.tenants[tenant]
+	return s, ok
+}
+
+// Tenants returns the registered tenant names, sorted.
+func (m *Multi) Tenants() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Submit routes one query to the tenant's scheduler (see
+// Scheduler.Submit).
+func (m *Multi) Submit(ctx context.Context, tenant string, query []float64) ([]float64, error) {
+	s, ok := m.Scheduler(tenant)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownTenant, tenant)
+	}
+	return s.Submit(ctx, query)
+}
+
+// InvalidateNodes applies targeted cache invalidation to one tenant (see
+// Scheduler.InvalidateNodes) and returns how many columns were dropped.
+func (m *Multi) InvalidateNodes(tenant string, ids []int) (int, error) {
+	s, ok := m.Scheduler(tenant)
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownTenant, tenant)
+	}
+	return s.InvalidateNodes(ids), nil
+}
+
+// Stats snapshots every tenant's counters, keyed by tenant name.
+func (m *Multi) Stats() map[string]Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]Stats, len(m.tenants))
+	for name, s := range m.tenants {
+		out[name] = s.Stats()
+	}
+	return out
+}
+
+// Close closes every tenant scheduler (draining their queues) and rejects
+// further registrations. Idempotent.
+func (m *Multi) Close() {
+	m.mu.Lock()
+	m.closed = true
+	scheds := make([]*Scheduler, 0, len(m.tenants))
+	for _, s := range m.tenants {
+		scheds = append(scheds, s)
+	}
+	m.mu.Unlock()
+	for _, s := range scheds {
+		s.Close()
+	}
+}

@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+)
+
+// constBackend scores every query with a fixed column (scaled by a tenant
+// tag so tests can tell tenants' answers apart).
+type constBackend struct {
+	tag float64
+	n   int
+}
+
+func (b constBackend) ScoreBatch(queries [][]float64, req core.DiffusionRequest) ([][]float64, diffuse.Stats, error) {
+	out := make([][]float64, len(queries))
+	for j := range out {
+		col := make([]float64, b.n)
+		for i := range col {
+			col[i] = b.tag * float64(i+1)
+		}
+		out[j] = col
+	}
+	return out, diffuse.Stats{Sweeps: 1, Converged: true}, nil
+}
+
+func TestMultiRoutesPerTenant(t *testing.T) {
+	m := NewMulti()
+	defer m.Close()
+	for i, name := range []string{"alpha", "beta"} {
+		if _, err := m.Register(name, constBackend{tag: float64(i + 1), n: 4}, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Register("alpha", constBackend{tag: 9, n: 4}, Config{}); err == nil {
+		t.Fatal("duplicate tenant must error")
+	}
+	q := []float64{1, 2}
+	a, err := m.Submit(context.Background(), "alpha", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Submit(context.Background(), "beta", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 1 || b[0] != 2 {
+		t.Fatalf("tenant answers mixed up: alpha[0]=%g beta[0]=%g", a[0], b[0])
+	}
+	if _, err := m.Submit(context.Background(), "gamma", q); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("want ErrUnknownTenant, got %v", err)
+	}
+	names := m.Tenants()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("tenants %v", names)
+	}
+	stats := m.Stats()
+	if stats["alpha"].Completed != 1 || stats["beta"].Completed != 1 {
+		t.Fatalf("per-tenant stats wrong: %+v", stats)
+	}
+	// The dispatched request carries the tenant tag.
+	s, _ := m.Scheduler("alpha")
+	if s.cfg.Request.Tenant != "alpha" {
+		t.Fatalf("request tenant %q", s.cfg.Request.Tenant)
+	}
+}
+
+func TestMultiCloseRejectsEverything(t *testing.T) {
+	m := NewMulti()
+	if _, err := m.Register("a", constBackend{tag: 1, n: 2}, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close() // idempotent
+	if _, err := m.Submit(context.Background(), "a", []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := m.Register("b", constBackend{tag: 1, n: 2}, Config{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close: want ErrClosed, got %v", err)
+	}
+}
+
+func TestMultiConcurrentTenantsRace(t *testing.T) {
+	m := NewMulti()
+	defer m.Close()
+	const tenants = 4
+	names := []string{"t0", "t1", "t2", "t3"}
+	for i, name := range names {
+		if _, err := m.Register(name, constBackend{tag: float64(i + 1), n: 8}, Config{Cache: 16}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := names[c%tenants]
+			want := float64(c%tenants + 1)
+			for i := 0; i < 20; i++ {
+				q := []float64{float64(i % 3)}
+				scores, err := m.Submit(context.Background(), name, q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if scores[0] != want {
+					t.Errorf("tenant %s got column of tenant tag %g", name, scores[0])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestInvalidateNodesDropsOnlyTouchingColumns(t *testing.T) {
+	s, err := New(constBackend{tag: 1, n: 4}, Config{Cache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Hand-plant columns with controlled support.
+	touchesNode2 := []float64{0, 0, 0.5, 0}
+	missesNode2 := []float64{0.7, 0, 0, 0}
+	subEps := []float64{0, 0, invalidateEps / 2, 0}
+	s.cache.putAt(s.cache.generation(), "a", touchesNode2)
+	s.cache.putAt(s.cache.generation(), "b", missesNode2)
+	s.cache.putAt(s.cache.generation(), "c", subEps)
+	if got := s.InvalidateNodes(nil); got != 0 {
+		t.Fatalf("empty id set dropped %d", got)
+	}
+	if got := s.InvalidateNodes([]int{2}); got != 1 {
+		t.Fatalf("dropped %d columns, want 1", got)
+	}
+	if _, ok := s.cache.get("a"); ok {
+		t.Fatal("column touching node 2 survived")
+	}
+	if _, ok := s.cache.get("b"); !ok {
+		t.Fatal("column missing node 2 was dropped")
+	}
+	if _, ok := s.cache.get("c"); !ok {
+		t.Fatal("sub-tolerance column was dropped")
+	}
+	// A patch that grew the graph beyond a column's length invalidates it.
+	if got := s.InvalidateNodes([]int{10}); got != 2 {
+		t.Fatalf("out-of-range patch dropped %d columns, want 2", got)
+	}
+}
+
+func TestInvalidateNodesThroughMulti(t *testing.T) {
+	m := NewMulti()
+	defer m.Close()
+	s, err := m.Register("a", constBackend{tag: 1, n: 3}, Config{Cache: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.cache.putAt(s.cache.generation(), "k", []float64{0, 1, 0})
+	if n, err := m.InvalidateNodes("a", []int{1}); err != nil || n != 1 {
+		t.Fatalf("dropped %d, err %v", n, err)
+	}
+	if _, err := m.InvalidateNodes("nope", []int{1}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("want ErrUnknownTenant, got %v", err)
+	}
+}
+
+func TestQueueDepthStats(t *testing.T) {
+	// A slow backend lets submissions pile up so the dispatch-time
+	// occupancy (QueueMax) must exceed 1.
+	block := make(chan struct{})
+	slow := blockingBackend{release: block, n: 2}
+	s, err := New(slow, Config{MaxBatch: 2, Queue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), []float64{float64(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	// Let the first dispatch start and the rest pile up, then release.
+	for len(s.submit) < 3 {
+		runtime.Gosched()
+	}
+	close(block)
+	wg.Wait()
+	st := s.Stats()
+	s.Close()
+	if st.QueueMax < 2 {
+		t.Fatalf("QueueMax %d, want ≥ 2 (piled-up queue unobserved)", st.QueueMax)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("QueueDepth %d after drain", st.QueueDepth)
+	}
+}
+
+// blockingBackend blocks every ScoreBatch until release closes.
+type blockingBackend struct {
+	release chan struct{}
+	n       int
+}
+
+func (b blockingBackend) ScoreBatch(queries [][]float64, req core.DiffusionRequest) ([][]float64, diffuse.Stats, error) {
+	<-b.release
+	out := make([][]float64, len(queries))
+	for j := range out {
+		out[j] = make([]float64, b.n)
+	}
+	return out, diffuse.Stats{Sweeps: 1, Converged: true}, nil
+}
+
+// TestCollectCoalescesConcurrentWaves pins the collector's idle test: with
+// a wait budget configured, waves of concurrent submitters must coalesce
+// into multi-column dispatches even when the collector wakes before the
+// whole wave has reached the queue. GOMAXPROCS is pinned to 1 with an
+// instant backend to force exactly that interleaving (the channel send
+// gives the collector wake-up priority over the wave's other submitters);
+// the pre-fix queue-emptiness idle test dispatched width-1 batches here
+// (observed mean width ~1.1 under multi-tenant load), so this asserts
+// substantially fewer dispatches than queries.
+func TestCollectCoalescesConcurrentWaves(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	s, err := New(constBackend{tag: 1, n: 2}, Config{
+		MaxBatch: 16, MaxWait: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const waves, clients = 4, 8
+	for w := 0; w < waves; w++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				// Distinct queries: dedup must not be what narrows widths.
+				if _, err := s.Submit(context.Background(), []float64{float64(w*clients + c)}); err != nil {
+					t.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	st := s.Stats()
+	total := uint64(waves * clients)
+	if st.QueriesScored != total {
+		t.Fatalf("scored %d queries, want %d", st.QueriesScored, total)
+	}
+	if st.Batches > total/2 {
+		t.Fatalf("concurrent waves fragmented: %d dispatches for %d queries (mean width %.1f, hist %s)",
+			st.Batches, total, st.MeanBatch(), st.HistString())
+	}
+}
