@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|batch|serve|shard|all")
+		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|batch|serve|shard|priority|all")
 		seed  = flag.Uint64("seed", 42, "master seed (all results are deterministic in it)")
 		quick = flag.Bool("quick", false, "scaled-down environment and iteration counts")
 		iters = flag.Int("iters", 0, "override iteration count (0 = experiment default)")
@@ -77,9 +77,10 @@ func run(exp string, seed uint64, quick bool, iters int, csv bool) error {
 		"batch":     r.batch,
 		"serve":     r.serve,
 		"shard":     r.shard,
+		"priority":  r.priority,
 	}
 	if exp == "all" {
-		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch", "serve", "shard"} {
+		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch", "serve", "shard", "priority"} {
 			if err := known[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -306,6 +307,24 @@ func (r *runner) shard() error {
 	}
 	r.emit(fmt.Sprintf("shard — sharded multi-tenant environments vs single CSR (M=500, α=0.5, %v)",
 		time.Since(start).Round(time.Millisecond)), expt.FormatShard(rows))
+	return nil
+}
+
+func (r *runner) priority() error {
+	start := time.Now()
+	cfg := expt.PriorityConfig{
+		M: 1000, Alpha: 0.5, Seed: r.seed,
+		QueriesPerClient: r.itersOr(24, 8),
+	}
+	if r.quick {
+		cfg.Clients = []int{10}
+	}
+	rows, err := expt.PrioritySweep(r.env, cfg)
+	if err != nil {
+		return err
+	}
+	r.emit(fmt.Sprintf("priority — deadline-aware classes vs FIFO coalescing under mixed 90/10 load (M=1000, α=0.5, %v)",
+		time.Since(start).Round(time.Millisecond)), expt.FormatPriority(rows))
 	return nil
 }
 

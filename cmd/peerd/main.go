@@ -42,6 +42,12 @@
 // queries skip diffusion entirely. The scheduler's batch-width histogram,
 // wait quantiles, queue depth, and cache hit rate are printed at shutdown.
 //
+// Scheduling is class- and deadline-aware: -class tags this peer's
+// submissions interactive (the default — urgent, jumps the coalesce
+// window) or bulk (prewarm/analytics traffic that waits to widen batches),
+// and -deadline attaches a dispatch deadline to every submission — a query
+// the scheduler cannot dispatch in time is shed, never scored.
+//
 // With -shards N the mirror's diffusions run over N partitioned Transition
 // shards diffusing concurrently (-part selects range or degree-balanced
 // greedy partitioning; scores match the single CSR within 1e-9). With
@@ -101,6 +107,8 @@ func main() {
 		maxWait  = flag.Duration("maxwait", 2*time.Millisecond, "scheduler coalescing budget: how long a query may wait for batch co-riders (0 = zero-wait)")
 		maxBatch = flag.Int("maxbatch", 64, "scheduler batch-width cap for coalesced diffusions")
 		cache    = flag.Int("cache", 512, "scheduler LRU score-cache entries (0 disables)")
+		class    = flag.String("class", "interactive", "scheduling class for this peer's request-API submissions: interactive (jump the coalesce window) or bulk (wait up to 4×maxwait to widen batches)")
+		deadline = flag.Duration("deadline", 0, "per-query dispatch deadline for request-API submissions; queries not dispatched in time are shed, never scored (0 = none)")
 		ttl      = flag.Int("ttl", 20, "query hop budget")
 		k        = flag.Int("k", 3, "tracked results")
 		wait     = flag.Duration("wait", 2*time.Second, "diffusion settling time before -query/-batch")
@@ -112,6 +120,7 @@ func main() {
 		engine: *engine, workers: *workers, ttl: *ttl, k: *k, wait: *wait,
 		maxWait: *maxWait, maxBatch: *maxBatch, cache: *cache,
 		shards: *shards, part: *part, tenants: *tenants,
+		class: *class, deadline: *deadline,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peerd:", err)
@@ -139,6 +148,8 @@ type runConfig struct {
 	shards   int
 	part     string
 	tenants  string
+	class    string
+	deadline time.Duration
 }
 
 type peerSpec struct {
@@ -195,6 +206,11 @@ type scorerConfig struct {
 	cache       int
 	shards      int
 	partitioner graph.Partitioner
+	// class and deadline are this connection's submission defaults: every
+	// Score call is tagged with the class, and given a dispatch deadline of
+	// now+deadline when non-zero (see serve.SubmitOpts).
+	class    serve.Class
+	deadline time.Duration
 }
 
 // newQueryScorer mirrors the topology and document placement into a
@@ -318,11 +334,18 @@ const scoreTimeout = 30 * time.Second
 
 // Score returns the per-node relevance scores for one query embedding
 // through the local tenant's coalescing scheduler (cache hit, coalesced
-// batch column, or fresh diffusion).
+// batch column, or fresh diffusion), tagged with this peer's configured
+// scheduling class and deadline.
 func (s *queryScorer) Score(query []float64) ([]float64, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), scoreTimeout)
 	defer cancel()
-	return s.local.Submit(ctx, query)
+	opts := serve.SubmitOpts{Class: s.cfg.class}
+	if s.cfg.deadline != 0 {
+		// 0 means no deadline; anything else (including a negative budget,
+		// which sheds on arrival) becomes an absolute dispatch deadline.
+		opts.Deadline = time.Now().Add(s.cfg.deadline)
+	}
+	return s.local.SubmitWith(ctx, query, opts)
 }
 
 // Prewarm scores a whole query batch in one multi-column diffusion and
@@ -479,6 +502,10 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
+		cl, err := serve.ParseClass(cfg.class)
+		if err != nil {
+			return err
+		}
 		tenantSpecs, err := loadTenants(cfg.tenants)
 		if err != nil {
 			return err
@@ -487,6 +514,7 @@ func run(cfg runConfig) error {
 			engine: cfg.engine, alpha: cfg.alpha, workers: cfg.workers, seed: cfg.seed,
 			maxWait: cfg.maxWait, maxBatch: cfg.maxBatch, cache: cfg.cache,
 			shards: cfg.shards, partitioner: pt,
+			class: cl, deadline: cfg.deadline,
 		}, tenantSpecs); err != nil {
 			return err
 		}

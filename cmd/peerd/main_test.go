@@ -1,9 +1,11 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"strings"
 
@@ -173,6 +175,48 @@ func TestQueryScorerScoresAndPrewarms(t *testing.T) {
 	after := localStats(scorer)
 	if after.CacheHits != before.CacheHits+1 || after.Batches != before.Batches {
 		t.Fatalf("prewarmed query missed the cache: before %v after %v", before, after)
+	}
+}
+
+func TestClassAndDeadlineFlagsReachSubmissions(t *testing.T) {
+	// -class bulk and -deadline are per-connection defaults on every Score
+	// call: bulk submissions must still resolve (and be accounted as bulk
+	// columns), and an already-hopeless deadline must shed, not score.
+	vocab := testVocab(t)
+	scorer, err := newQueryScorer(testSpecs(), vocab, scorerConfig{
+		engine: "parallel", alpha: 0.5, workers: 1, seed: 42,
+		maxBatch: 8, cache: 32, class: serve.Bulk, deadline: time.Minute,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(scorer.Close)
+	if _, err := scorer.Score(vocab.Vector(3)); err != nil {
+		t.Fatal(err)
+	}
+	st := localStats(scorer)
+	var bulkCols uint64
+	for _, c := range st.ClassHist[serve.Bulk] {
+		bulkCols += c
+	}
+	if bulkCols == 0 {
+		t.Fatalf("-class bulk never reached the scheduler: %+v", st.ClassHist)
+	}
+	// A negative deadline budget puts every submission past its deadline
+	// on arrival; the serve layer must shed it.
+	hopeless, err := newQueryScorer(testSpecs(), vocab, scorerConfig{
+		engine: "parallel", alpha: 0.5, workers: 1, seed: 42,
+		maxBatch: 8, deadline: -time.Second,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hopeless.Close)
+	if _, err := hopeless.Score(vocab.Vector(3)); !errors.Is(err, serve.ErrDeadlineMissed) {
+		t.Fatalf("hopeless deadline returned %v, want ErrDeadlineMissed", err)
+	}
+	if st := localStats(hopeless); st.DeadlineMissed != 1 {
+		t.Fatalf("miss not counted: %+v", st)
 	}
 }
 

@@ -40,6 +40,13 @@
 //	defer sched.Close()
 //	nodeScores, _ := sched.Submit(ctx, queries[0])
 //
+//	// Priority classes and deadlines: interactive queries jump the
+//	// coalesce window (shed with ErrDeadlineMissed when not dispatched
+//	// in time), bulk prewarms wait to widen batches (see SubmitOpts).
+//	nodeScores, _ = sched.SubmitWith(ctx, queries[0], diffusearch.SubmitOpts{
+//		Deadline: time.Now().Add(20 * time.Millisecond),
+//	})
+//
 //	// Scale-out in one process: NewSharded partitions the overlay into
 //	// per-shard CSRs diffusing concurrently (same request API, results
 //	// within 1e-9 of the single CSR), and a MultiScheduler serves many
@@ -130,14 +137,31 @@ type (
 	// Scheduler is the admission-controlled serving loop: concurrent
 	// Submit calls coalesce into batched ScoreBatch diffusions under a
 	// latency budget, with bounded-queue backpressure and an LRU score
-	// cache. Construct with NewScheduler.
+	// cache. Construct with NewScheduler. SubmitWith adds deadline-aware
+	// priority scheduling (see SubmitOpts).
 	Scheduler = serve.Scheduler
 	// ServeConfig parameterizes a Scheduler (request, MaxWait latency
-	// budget, MaxBatch width cap, queue bound, cache size).
+	// budget, MaxBatch width cap, queue bound, cache size, and the Bulk
+	// class's BulkMaxWait widening budget and BulkEvery starvation bound).
 	ServeConfig = serve.Config
 	// ServeStats is a Scheduler counters snapshot: batch-width histogram,
-	// wait quantiles, cache hit rate, and aggregated sweeps/query.
+	// wait quantiles (aggregate and per scheduling class), cache hit rate,
+	// aggregated sweeps/query, and deadline-miss/promotion counters.
 	ServeStats = serve.Stats
+	// SubmitOpts tags one Scheduler.SubmitWith call with a scheduling
+	// class (ClassInteractive or ClassBulk) and an optional deadline. The
+	// zero value reproduces plain Submit exactly.
+	SubmitOpts = serve.SubmitOpts
+	// ServeClass is a scheduling class (carried on DiffusionRequest.Class
+	// for dispatched batches).
+	ServeClass = core.ServeClass
+	// ServeFairness configures a fair MultiScheduler's weighted
+	// deficit-round-robin dispatch arbiter (see NewMultiSchedulerFair).
+	ServeFairness = serve.Fairness
+	// ServeFairStats is one tenant's dispatch-arbiter grant snapshot.
+	ServeFairStats = serve.FairStats
+	// WaitQuantiles are per-class coalescing-wait quantiles in ServeStats.
+	WaitQuantiles = serve.WaitQuantiles
 	// ServeBackend scores query batches for a Scheduler; *Network
 	// satisfies it.
 	ServeBackend = serve.Backend
@@ -184,6 +208,19 @@ const (
 	VisitedNone       = core.VisitedNone
 )
 
+// Scheduling classes for SubmitOpts: Interactive is the zero value
+// (latency-sensitive, jumps the coalesce window); Bulk trades latency for
+// batch width (prewarms, analytics) under the BulkMaxWait budget.
+const (
+	ClassInteractive = core.ClassInteractive
+	ClassBulk        = core.ClassBulk
+)
+
+// ErrDeadlineMissed is returned by Scheduler.SubmitWith when a query's
+// deadline expires before dispatch: the query is shed, never scored, and
+// counted in ServeStats.DeadlineMissed.
+var ErrDeadlineMissed = serve.ErrDeadlineMissed
+
 // Re-exported constructors and options.
 var (
 	// NewNetwork creates a search network over a topology and vocabulary.
@@ -225,6 +262,14 @@ var (
 	// NewMultiScheduler returns an empty per-tenant scheduler registry;
 	// Register each tenant's backend, then Submit by tenant name.
 	NewMultiScheduler = serve.NewMulti
+	// NewMultiSchedulerFair returns a per-tenant scheduler registry whose
+	// dispatches onto the shared DiffusionPool pass a weighted
+	// deficit-round-robin arbiter, so one hot tenant cannot starve the
+	// rest (see ServeFairness).
+	NewMultiSchedulerFair = serve.NewMultiFair
+	// ParseServeClass maps a command-line name (interactive|bulk) to a
+	// scheduling class.
+	ParseServeClass = serve.ParseClass
 )
 
 // NewPaperEnvironment builds the full-scale evaluation setting of §V: a

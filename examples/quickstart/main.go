@@ -170,4 +170,37 @@ func main() {
 		fmt.Printf("tenant %s: %d served, %d diffusion(s), queue max %d\n",
 			name, st.Completed+st.CacheHits, st.Batches, st.QueueMax)
 	}
+
+	// 8. Priority classes: one Bulk prewarm rides along with Interactive
+	//    queries. The Bulk submission volunteers to wait (it wants width,
+	//    not latency); the Interactive queries jump the coalesce window —
+	//    with a deadline, a query the scheduler cannot dispatch in time is
+	//    shed (ErrDeadlineMissed), never scored late.
+	prewarm := env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := sched.SubmitWith(context.Background(), prewarm,
+			diffusearch.SubmitOpts{Class: diffusearch.ClassBulk}); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := sched.SubmitWith(context.Background(), query, diffusearch.SubmitOpts{
+				Class:    diffusearch.ClassInteractive,
+				Deadline: time.Now().Add(5 * time.Second),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+	pst := sched.Stats()
+	fmt.Printf("priority: interactive wait p99 %v, bulk wait p99 %v, %d deadline miss(es)\n",
+		pst.ClassWait[diffusearch.ClassInteractive].P99,
+		pst.ClassWait[diffusearch.ClassBulk].P99, pst.DeadlineMissed)
 }

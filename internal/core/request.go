@@ -17,6 +17,34 @@ import (
 // relevances silently.
 const DefaultScoreTol = ppr.DefaultTol
 
+// ServeClass is the scheduling class a serving-layer request belongs to.
+// Interactive queries want low tail latency (they jump into the next
+// dispatching batch); Bulk queries — prewarms, re-embedding sweeps,
+// analytics — trade latency for batch width. The diffusion engines ignore
+// the class; the serve layer stamps it on every dispatched request so
+// stats and traces identify what a batch was dispatched for.
+type ServeClass uint8
+
+const (
+	// ClassInteractive is the zero value: latency-sensitive traffic.
+	ClassInteractive ServeClass = iota
+	// ClassBulk marks width-filling background traffic.
+	ClassBulk
+	// NumServeClasses bounds per-class arrays (histograms, quantiles).
+	NumServeClasses = iota
+)
+
+// String renders the class for logs and flags.
+func (c ServeClass) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassBulk:
+		return "bulk"
+	}
+	return fmt.Sprintf("ServeClass(%d)", uint8(c))
+}
+
 // DiffusionRequest is the single dispatch struct behind every diffusion on
 // a Network: embedding diffusion (Run) and batch query scoring
 // (ScoreBatch). It replaces the historical DiffuseSync / DiffuseAsync /
@@ -51,6 +79,11 @@ type DiffusionRequest struct {
 	// dispatched request so stats and traces identify which tenant a batch
 	// belonged to.
 	Tenant string
+	// Class tags the scheduling class of a serving-layer dispatch: the
+	// serve.Scheduler stamps ClassBulk on batches whose every column is
+	// width-filling background work (prewarms, analytics) and
+	// ClassInteractive otherwise. The engines ignore it, like Tenant.
+	Class ServeClass
 }
 
 // engine resolves the default driver.

@@ -1,0 +1,331 @@
+package expt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/serve"
+	"diffusearch/internal/stats"
+)
+
+// PriorityConfig parameterizes PrioritySweep: a mixed interactive/bulk
+// closed-loop workload driven through one serve.Scheduler twice — once
+// with every SubmitOpts zero-valued (the FIFO coalescing baseline) and
+// once with classes tagged (the priority scheduler) — reporting per-class
+// latency quantiles and total throughput for each.
+type PriorityConfig struct {
+	M       int     // documents to place; 0 means min(1000, pool)
+	Alpha   float64 // teleport probability; 0 means 0.5
+	Tol     float64 // per-column tolerance; 0 means core.DefaultScoreTol
+	Workers int     // Parallel pool size; 0 means GOMAXPROCS
+	Seed    uint64
+	Engine  diffuse.Engine // 0 means Parallel
+
+	// Scheduler knobs. MaxBatch defaults to 16 — wide enough that the
+	// interactive side alone rarely overflows the coalesce window, while a
+	// bulk burst (BulkBurst defaults to 4×MaxBatch) always takes several
+	// dispatches to drain: exactly the head-of-line regime priority
+	// ordering exists for. BulkMaxWait defaults to 25ms.
+	MaxBatch    int
+	MaxWait     time.Duration
+	BulkMaxWait time.Duration
+	Cache       int // LRU entries; 0 disables (latencies stay diffusion-honest)
+
+	// Load shape: for each Clients level, 10% of the clients (at least
+	// one) are bulk analytics — each fires BulkQueries queries in
+	// concurrent bursts of BulkBurst (a prewarm sweep waits for its whole
+	// burst, then fires the next) — and the rest are interactive,
+	// closed-loop, one query at a time, QueriesPerClient each. Queries are
+	// drawn from Distinct embeddings.
+	Clients          []int // nil means {10, 20}
+	QueriesPerClient int   // 0 means 24
+	BulkBurst        int   // 0 means 4×MaxBatch
+	BulkQueries      int   // per bulk client; 0 means 2×BulkBurst
+	Distinct         int   // 0 means 1024
+
+	// Deadline, when non-zero, is attached to interactive queries in
+	// priority mode (now+Deadline at submission); expired queries are shed
+	// and counted, not treated as errors.
+	Deadline time.Duration
+}
+
+func (c PriorityConfig) withDefaults(env *Environment) PriorityConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.M <= 0 {
+		c.M = 1000
+	}
+	if c.M > env.MaxPoolDocs() {
+		c.M = env.MaxPoolDocs()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.BulkMaxWait <= 0 {
+		c.BulkMaxWait = 25 * time.Millisecond
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{10, 20}
+	}
+	if c.QueriesPerClient <= 0 {
+		c.QueriesPerClient = 24
+	}
+	if c.BulkBurst <= 0 {
+		c.BulkBurst = 4 * c.MaxBatch
+	}
+	if c.BulkQueries <= 0 {
+		c.BulkQueries = 2 * c.BulkBurst
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 1024
+	}
+	return c
+}
+
+// PriorityRow reports one (concurrency level, scheduling mode) cell.
+type PriorityRow struct {
+	Clients int
+	Mode    string // "fifo" (zero-valued SubmitOpts) or "priority"
+
+	Interactive int // interactive queries completed
+	Bulk        int // bulk queries completed
+
+	Wall time.Duration
+	QPS  float64 // total completed queries / wall
+
+	IntP50, IntP99   time.Duration // interactive per-query latency quantiles
+	BulkP50, BulkP99 time.Duration // bulk per-query latency quantiles
+
+	MeanBatch      float64
+	DeadlineMissed uint64
+	BulkPromoted   uint64
+}
+
+// PrioritySweep measures what class- and deadline-aware admission buys
+// under mixed load: for each concurrency level the identical 90/10
+// interactive/bulk workload runs twice through a fresh scheduler — FIFO
+// (every SubmitOpts zero-valued, the PR 3 coalescer) and priority
+// (interactive tagged Interactive, bulk sweeps tagged Bulk). Interactive
+// queries jumping queued bulk bursts is the whole effect: interactive p99
+// drops by the bursts' queueing delay while total throughput stays put,
+// because the displaced bulk queries fill the same batches a few
+// dispatches later.
+func PrioritySweep(env *Environment, cfg PriorityConfig) ([]PriorityRow, error) {
+	cfg = cfg.withDefaults(env)
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.Derive(cfg.Seed, "priority-sweep")
+	pair := env.Bench.SamplePair(r)
+	docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, cfg.M-1)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		return nil, err
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		return nil, err
+	}
+	pool := make([][]float64, cfg.Distinct)
+	for i := range pool {
+		pool[i] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
+	}
+	req := core.DiffusionRequest{
+		Engine: cfg.Engine, Alpha: cfg.Alpha, Tol: cfg.Tol,
+		Workers: cfg.Workers, Seed: cfg.Seed,
+	}
+
+	rows := make([]PriorityRow, 0, 2*len(cfg.Clients))
+	for _, clients := range cfg.Clients {
+		for _, mode := range []string{"fifo", "priority"} {
+			sched, err := serve.New(net, serve.Config{
+				Request: req, MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait,
+				BulkMaxWait: cfg.BulkMaxWait, Cache: cfg.Cache,
+				Queue: 4 * (cfg.MaxBatch + cfg.BulkBurst),
+			})
+			if err != nil {
+				return nil, err
+			}
+			row, err := runMixedLoad(sched, cfg, pool, clients, mode == "priority")
+			st := sched.Stats()
+			sched.Close()
+			if err != nil {
+				return nil, fmt.Errorf("expt: priority %s clients=%d: %w", mode, clients, err)
+			}
+			row.Clients, row.Mode = clients, mode
+			row.MeanBatch = st.MeanBatch()
+			row.DeadlineMissed = st.DeadlineMissed
+			row.BulkPromoted = st.BulkPromoted
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runMixedLoad drives one mixed 90/10 closed-loop level: interactive
+// clients issue one query at a time, bulk clients fire concurrent bursts
+// of BulkBurst (a prewarm sweep waits for the whole burst before the
+// next). tagged selects priority mode (classes and deadlines on) versus
+// the zero-valued FIFO baseline.
+func runMixedLoad(sched *serve.Scheduler, cfg PriorityConfig, pool [][]float64, clients int, tagged bool) (PriorityRow, error) {
+	bulkClients := clients / 10
+	if bulkClients == 0 {
+		bulkClients = 1
+	}
+	intClients := clients - bulkClients
+
+	var (
+		mu       sync.Mutex
+		intLats  []float64 // microseconds
+		bulkLats []float64
+		firstErr error
+	)
+	record := func(lats *[]float64, us float64) {
+		mu.Lock()
+		*lats = append(*lats, us)
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	submit := func(q []float64, opts serve.SubmitOpts, lats *[]float64) {
+		t0 := time.Now()
+		_, err := sched.SubmitWith(context.Background(), q, opts)
+		switch {
+		case err == nil:
+			record(lats, float64(time.Since(t0).Microseconds()))
+		case errors.Is(err, serve.ErrDeadlineMissed):
+			// Shed by design; counted via Stats.DeadlineMissed.
+		default:
+			fail(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < intClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := randx.DeriveN(cfg.Seed, "priority-int", c)
+			opts := serve.SubmitOpts{}
+			for i := 0; i < cfg.QueriesPerClient; i++ {
+				if tagged && cfg.Deadline > 0 {
+					opts.Deadline = time.Now().Add(cfg.Deadline)
+				}
+				submit(pool[r.IntN(len(pool))], opts, &intLats)
+			}
+		}(c)
+	}
+	for c := 0; c < bulkClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := randx.DeriveN(cfg.Seed, "priority-bulk", c)
+			opts := serve.SubmitOpts{}
+			if tagged {
+				opts.Class = serve.Bulk
+			}
+			for issued := 0; issued < cfg.BulkQueries; {
+				burst := cfg.BulkBurst
+				if rem := cfg.BulkQueries - issued; burst > rem {
+					burst = rem
+				}
+				// Draw the burst's queries before fanning out: the PRNG is
+				// not safe for the burst goroutines to share.
+				queries := make([][]float64, burst)
+				for j := range queries {
+					queries[j] = pool[r.IntN(len(pool))]
+				}
+				var bwg sync.WaitGroup
+				for j := 0; j < burst; j++ {
+					bwg.Add(1)
+					go func(j int) {
+						defer bwg.Done()
+						submit(queries[j], opts, &bulkLats)
+					}(j)
+				}
+				bwg.Wait()
+				issued += burst
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return PriorityRow{}, firstErr
+	}
+
+	row := PriorityRow{
+		Interactive: len(intLats),
+		Bulk:        len(bulkLats),
+		Wall:        wall,
+	}
+	if wall > 0 {
+		row.QPS = float64(row.Interactive+row.Bulk) / wall.Seconds()
+	}
+	if len(intLats) > 0 {
+		row.IntP50 = time.Duration(stats.Percentile(intLats, 50)) * time.Microsecond
+		row.IntP99 = time.Duration(stats.Percentile(intLats, 99)) * time.Microsecond
+	}
+	if len(bulkLats) > 0 {
+		row.BulkP50 = time.Duration(stats.Percentile(bulkLats, 50)) * time.Microsecond
+		row.BulkP99 = time.Duration(stats.Percentile(bulkLats, 99)) * time.Microsecond
+	}
+	return row, nil
+}
+
+// FormatPriority renders PrioritySweep rows; int-p99-gain is each priority
+// row's interactive p99 improvement over the FIFO row at the same
+// concurrency, qps-ratio its throughput relative to the same baseline.
+func FormatPriority(rows []PriorityRow) *stats.Table {
+	type base struct {
+		p99 time.Duration
+		qps float64
+	}
+	baselines := make(map[int]base, len(rows))
+	for _, r := range rows {
+		if r.Mode == "fifo" {
+			baselines[r.Clients] = base{r.IntP99, r.QPS}
+		}
+	}
+	t := &stats.Table{Header: []string{
+		"clients", "mode", "int", "bulk", "QPS", "qps-ratio", "int-p50", "int-p99", "int-p99-gain", "bulk-p50", "bulk-p99", "mean-B", "missed", "promoted",
+	}}
+	for _, r := range rows {
+		gain, ratio := "-", "-"
+		if b, ok := baselines[r.Clients]; ok && r.Mode == "priority" {
+			if r.IntP99 > 0 {
+				gain = fmt.Sprintf("%.2fx", float64(b.p99)/float64(r.IntP99))
+			}
+			if b.qps > 0 {
+				ratio = fmt.Sprintf("%.2f", r.QPS/b.qps)
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", r.Clients),
+			r.Mode,
+			fmt.Sprintf("%d", r.Interactive),
+			fmt.Sprintf("%d", r.Bulk),
+			fmt.Sprintf("%.0f", r.QPS),
+			ratio,
+			r.IntP50.Round(time.Microsecond).String(),
+			r.IntP99.Round(time.Microsecond).String(),
+			gain,
+			r.BulkP50.Round(time.Microsecond).String(),
+			r.BulkP99.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1f", r.MeanBatch),
+			fmt.Sprintf("%d", r.DeadlineMissed),
+			fmt.Sprintf("%d", r.BulkPromoted),
+		)
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrioritySweepShape(t *testing.T) {
+	env := scaledEnv(t)
+	rows, err := PrioritySweep(env, PriorityConfig{
+		M: 50, Alpha: 0.5, Seed: 3,
+		Clients: []int{5}, QueriesPerClient: 4, BulkBurst: 4, BulkQueries: 4, Distinct: 16,
+		MaxBatch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One fifo row and one priority row per concurrency level, in order.
+	if len(rows) != 2 {
+		t.Fatalf("rows %d, want 2", len(rows))
+	}
+	wantModes := []string{"fifo", "priority"}
+	for i, r := range rows {
+		if r.Clients != 5 || r.Mode != wantModes[i] {
+			t.Fatalf("row %d = (%d, %s), want (5, %s)", i, r.Clients, r.Mode, wantModes[i])
+		}
+		// 5 clients → 1 bulk + 4 interactive, 4 queries each, none shed
+		// (no deadlines configured).
+		if r.Interactive != 16 || r.Bulk != 4 {
+			t.Fatalf("row %d completed %d interactive + %d bulk, want 16 + 4", i, r.Interactive, r.Bulk)
+		}
+		if r.QPS <= 0 || r.Wall <= 0 {
+			t.Fatalf("row %d throughput not measured: %+v", i, r)
+		}
+		if r.IntP99 < r.IntP50 || r.BulkP99 < r.BulkP50 {
+			t.Fatalf("row %d quantiles inverted: %+v", i, r)
+		}
+		if r.MeanBatch < 1 {
+			t.Fatalf("row %d mean batch %v < 1", i, r.MeanBatch)
+		}
+		if r.DeadlineMissed != 0 {
+			t.Fatalf("row %d shed %d queries without deadlines configured", i, r.DeadlineMissed)
+		}
+	}
+	table := FormatPriority(rows).String()
+	for _, col := range []string{"clients", "mode", "int-p99-gain", "qps-ratio", "missed", "promoted"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("rendered table missing %q:\n%s", col, table)
+		}
+	}
+}
+
+func TestPriorityConfigDefaults(t *testing.T) {
+	env := scaledEnv(t)
+	cfg := PriorityConfig{}.withDefaults(env)
+	if cfg.Alpha != 0.5 || cfg.MaxBatch != 16 || cfg.BulkBurst != 64 ||
+		cfg.BulkQueries != 128 || cfg.QueriesPerClient != 24 || cfg.Distinct != 1024 {
+		t.Fatalf("defaults %+v", cfg)
+	}
+	if cfg.BulkMaxWait <= 0 {
+		t.Fatalf("bulk wait default missing: %+v", cfg)
+	}
+	if len(cfg.Clients) != 2 {
+		t.Fatalf("default clients %v", cfg.Clients)
+	}
+}

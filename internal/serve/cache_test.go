@@ -1,8 +1,14 @@
 package serve
 
 import (
+	"context"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
 )
 
 func TestKeyIsExact(t *testing.T) {
@@ -84,6 +90,140 @@ func TestHistBucketBoundaries(t *testing.T) {
 	for width, want := range cases {
 		if got := histBucket(width); got != want {
 			t.Fatalf("histBucket(%d) = %d, want %d", width, got, want)
+		}
+	}
+}
+
+// versionedBackend scores every query with its current version number (a
+// stand-in for a topology patch swapping the mirror: bump the version,
+// invalidate, and any column scored against the old version is stale).
+// When gated, ScoreBatch blocks between capturing the version and
+// returning, so tests can land an invalidation exactly inside a dispatch.
+type versionedBackend struct {
+	version atomic.Int64
+	gate    chan struct{} // nil: ungated
+	entered chan struct{} // signalled on entry when non-nil
+}
+
+func (b *versionedBackend) ScoreBatch(qs [][]float64, _ core.DiffusionRequest) ([][]float64, diffuse.Stats, error) {
+	v := float64(b.version.Load())
+	if b.entered != nil {
+		b.entered <- struct{}{}
+	}
+	if b.gate != nil {
+		<-b.gate
+	}
+	out := make([][]float64, len(qs))
+	for j := range out {
+		out[j] = []float64{v, 1} // index 1 carries mass so InvalidateNodes([]{1}) hits
+	}
+	return out, diffuse.Stats{Sweeps: 1, Converged: true}, nil
+}
+
+// TestInvalidateNodesDropsColumnScoredBeforeInvalidation pins the PR 4
+// generation guard on its race path (only the happy path was tested): a
+// targeted invalidation landing while a batch is inside the backend must
+// keep that batch's columns out of the cache — they were scored against
+// the pre-patch state.
+func TestInvalidateNodesDropsColumnScoredBeforeInvalidation(t *testing.T) {
+	b := &versionedBackend{gate: make(chan struct{}), entered: make(chan struct{}, 4)}
+	s, err := New(b, Config{Cache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), []float64{7})
+		done <- err
+	}()
+	<-b.entered // the dispatch captured its cache generation and is scoring
+
+	// The "patch": the backend's answers change and the targeted
+	// invalidation runs — while the old-version batch is still in flight.
+	b.version.Store(1)
+	s.InvalidateNodes([]int{1})
+
+	b.gate <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The in-flight column must not have re-entered the cache: a repeat
+	// Submit has to trigger a second dispatch and see the new version.
+	go func() { b.gate <- struct{}{} }() // release the second dispatch
+	scores, err := s.Submit(context.Background(), []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 1 {
+		t.Fatalf("served version %g after invalidation, want 1 (stale column re-cached)", scores[0])
+	}
+	if st := s.Stats(); st.Batches != 2 || st.CacheHits != 0 {
+		t.Fatalf("stale column served from cache: %v", st)
+	}
+}
+
+// TestInvalidateNodesConcurrentWithSubmitAndPatch hammers the generation
+// guard from three sides at once — Submits, targeted invalidations, and
+// version patches — and then checks the only invariant that must survive
+// arbitrary interleaving: after the last patch and invalidation, nothing
+// pre-patch is served. Run in CI's race step (this package).
+func TestInvalidateNodesConcurrentWithSubmitAndPatch(t *testing.T) {
+	b := &versionedBackend{}
+	s, err := New(b, Config{Cache: 32, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const (
+		submitters = 4
+		rounds     = 50
+	)
+	queries := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < submitters; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Submit(context.Background(), queries[(c+i)%len(queries)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < rounds; i++ {
+		b.version.Add(1)
+		if i%3 == 0 {
+			s.InvalidateCache()
+		} else {
+			s.InvalidateNodes([]int{1})
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: one final patch + targeted invalidation, then every cached
+	// answer must carry the final version.
+	b.version.Add(1)
+	final := float64(b.version.Load())
+	s.InvalidateNodes([]int{1})
+	for _, q := range queries {
+		scores, err := s.Submit(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scores[0] != final {
+			t.Fatalf("query %v served version %g after final invalidation, want %g", q, scores[0], final)
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"sync"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+)
+
+// Fairness configures Multi's per-tenant dispatch arbiter: a weighted
+// deficit-round-robin gate between the tenant schedulers and the shared
+// diffusion workers (the diffuse.Pool the tenants' backends were built
+// over). Without it, a hot tenant dispatching back-to-back wide batches
+// can monopolize the pool — every other tenant's collector blocks inside
+// ScoreBatch behind it. With it, each tenant's dispatches queue at the
+// arbiter and are granted in DRR order by column count, so over any
+// contended interval tenant t receives ≥ Weight[t]/ΣWeight of the granted
+// columns (minus one batch of slop): the per-tenant fairness bound.
+type Fairness struct {
+	// Concurrent is the number of simultaneously granted batches — size it
+	// like the shared pool (one grant per worker keeps the pool busy
+	// without letting a hot tenant queue ahead of everyone). ≤0 disables
+	// the arbiter entirely (the pre-fairness free-for-all).
+	Concurrent int
+	// Quantum is the column credit a tenant's deficit earns per round-robin
+	// visit, scaled by its weight; 0 means 64 (the default MaxBatch, so a
+	// weight-1 tenant earns a full-width batch per round).
+	Quantum int
+	// Weights maps tenant name to its DRR weight; missing or non-positive
+	// entries count as 1.
+	Weights map[string]int
+}
+
+// FairStats is one tenant's arbiter snapshot.
+type FairStats struct {
+	GrantedBatches uint64 // dispatches granted through the arbiter
+	GrantedColumns uint64 // columns those dispatches carried (the DRR cost)
+	Waiting        int    // dispatches queued at the arbiter right now
+}
+
+// fairTicket is one dispatch waiting for a grant.
+type fairTicket struct {
+	cost  int
+	ready chan struct{}
+}
+
+// fairTenant is one tenant's DRR queue.
+type fairTenant struct {
+	name    string
+	weight  int
+	deficit int
+	queue   []*fairTicket
+	granted FairStats
+}
+
+// fairArbiter is the weighted deficit-round-robin gate. All state is under
+// one mutex; grants are handed out by schedule, which every enqueue and
+// release calls.
+type fairArbiter struct {
+	mu      sync.Mutex
+	slots   int
+	quantum int
+	next    int // ring cursor over tenants
+	tenants []*fairTenant
+	byName  map[string]*fairTenant
+	weights map[string]int
+}
+
+func newFairArbiter(f Fairness) *fairArbiter {
+	if f.Quantum <= 0 {
+		f.Quantum = 64
+	}
+	return &fairArbiter{
+		slots:   f.Concurrent,
+		quantum: f.Quantum,
+		byName:  make(map[string]*fairTenant),
+		weights: f.Weights,
+	}
+}
+
+// tenant registers (or returns) the tenant's DRR queue.
+func (a *fairArbiter) tenant(name string) *fairTenant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t, ok := a.byName[name]; ok {
+		return t
+	}
+	w := a.weights[name]
+	if w <= 0 {
+		w = 1
+	}
+	t := &fairTenant{name: name, weight: w}
+	a.byName[name] = t
+	a.tenants = append(a.tenants, t)
+	return t
+}
+
+// acquire blocks until the tenant's dispatch of cost columns is granted.
+func (a *fairArbiter) acquire(t *fairTenant, cost int) {
+	if cost < 1 {
+		cost = 1
+	}
+	tk := &fairTicket{cost: cost, ready: make(chan struct{})}
+	a.mu.Lock()
+	t.queue = append(t.queue, tk)
+	a.schedule()
+	a.mu.Unlock()
+	<-tk.ready
+}
+
+// release returns a grant slot and hands it to the next tenant in DRR
+// order.
+func (a *fairArbiter) release() {
+	a.mu.Lock()
+	a.slots++
+	a.schedule()
+	a.mu.Unlock()
+}
+
+// schedule grants queued dispatches while slots remain, visiting tenants
+// round-robin and crediting quantum×weight per visit (classic DRR: a
+// tenant whose head dispatch costs more than its deficit waits for the
+// next visit; a tenant with nothing queued forfeits its credit). Called
+// with a.mu held.
+func (a *fairArbiter) schedule() {
+	for a.slots > 0 {
+		waiting := false
+		for _, t := range a.tenants {
+			if len(t.queue) > 0 {
+				waiting = true
+				break
+			}
+		}
+		if !waiting {
+			return
+		}
+		t := a.tenants[a.next%len(a.tenants)]
+		a.next++
+		if len(t.queue) == 0 {
+			t.deficit = 0
+			continue
+		}
+		t.deficit += a.quantum * t.weight
+		for a.slots > 0 && len(t.queue) > 0 && t.queue[0].cost <= t.deficit {
+			tk := t.queue[0]
+			t.queue = t.queue[1:]
+			t.deficit -= tk.cost
+			a.slots--
+			t.granted.GrantedBatches++
+			t.granted.GrantedColumns += uint64(tk.cost)
+			close(tk.ready)
+		}
+	}
+}
+
+// stats snapshots every tenant's grant counters.
+func (a *fairArbiter) stats() map[string]FairStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]FairStats, len(a.tenants))
+	for _, t := range a.tenants {
+		st := t.granted
+		st.Waiting = len(t.queue)
+		out[t.name] = st
+	}
+	return out
+}
+
+// fairBackend gates one tenant's backend dispatches through the arbiter.
+type fairBackend struct {
+	arb    *fairArbiter
+	tenant *fairTenant
+	inner  Backend
+}
+
+func (b *fairBackend) ScoreBatch(queries [][]float64, req core.DiffusionRequest) ([][]float64, diffuse.Stats, error) {
+	b.arb.acquire(b.tenant, len(queries))
+	defer b.arb.release()
+	return b.inner.ScoreBatch(queries, req)
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"diffusearch/internal/sim"
+)
+
+// These tests drive the scheduler's pure planning core (plan.go — the same
+// window/selectBatch/expired functions the live collector calls) on
+// internal/sim's discrete-event engine: arrivals and dispatches happen at
+// exact simulated instants, so batch compositions are asserted exactly,
+// with no sleeps and no flakes. The model collector reproduces the live
+// loop's structure: one diffusion in flight at a time (service time D),
+// everything arriving meanwhile joins the window, and the window closes
+// per plan.go — immediately when an Interactive member is present and
+// nobody is en route (in simulation arrivals are instantaneous events, so
+// "nobody en route" is always true), at window() otherwise.
+
+// simBase anchors simulated seconds onto the time.Time axis plan.go works
+// in.
+var simBase = time.Unix(1_000_000, 0)
+
+func simTime(sec float64) time.Time {
+	return simBase.Add(time.Duration(sec * float64(time.Second)))
+}
+
+// simCollector is the deterministic model of the collector loop.
+type simCollector struct {
+	sch *sim.Scheduler
+	cfg Config
+	d   float64 // diffusion service time, simulated seconds
+
+	buf  []*pending
+	busy bool
+
+	batches    [][]string // labels of scored queries, per dispatch
+	times      []float64  // dispatch instants
+	shed       []string   // labels shed on expired deadlines
+	promotions int
+}
+
+func newSimCollector(sch *sim.Scheduler, cfg Config, d float64) *simCollector {
+	return &simCollector{sch: sch, cfg: cfg.withDefaults(), d: d}
+}
+
+// arrive schedules one submission at simulated second at.
+func (c *simCollector) arrive(at float64, label string, opts SubmitOpts) {
+	c.sch.At(at, func() {
+		c.buf = append(c.buf, &pending{
+			key:      label,
+			enq:      simTime(c.sch.Now()),
+			class:    opts.Class,
+			deadline: opts.Deadline,
+		})
+		c.try()
+	})
+}
+
+// try is the model's gather: dispatch when the collector is free and the
+// window has closed (Interactive present, full, or timed out); an open
+// all-Bulk window re-arms a wake-up at its close instant.
+func (c *simCollector) try() {
+	if c.busy || len(c.buf) == 0 {
+		return
+	}
+	now := simTime(c.sch.Now())
+	closeAt, idleClose := window(c.buf, c.cfg)
+	if !idleClose && len(c.buf) < c.cfg.MaxBatch && closeAt.After(now) {
+		// All-Bulk hold: wake when the window would close. Arrivals
+		// in between call try again with the tighter window.
+		c.sch.At(c.sch.Now()+closeAt.Sub(now).Seconds(), func() { c.try() })
+		return
+	}
+	batch, rest, promoted := selectBatch(c.buf, c.cfg)
+	c.buf = rest
+	c.promotions += promoted
+	var scored []string
+	for _, p := range batch {
+		if expired(p, now) {
+			c.shed = append(c.shed, p.key)
+			continue
+		}
+		scored = append(scored, p.key)
+	}
+	if len(scored) == 0 {
+		// Everything shed: the collector immediately gathers again.
+		c.sch.After(0, func() { c.try() })
+		return
+	}
+	c.batches = append(c.batches, scored)
+	c.times = append(c.times, c.sch.Now())
+	c.busy = true
+	c.sch.After(c.d, func() {
+		c.busy = false
+		c.try()
+	})
+}
+
+func TestSimDeadlineJumpExactComposition(t *testing.T) {
+	// Bulk queries queue behind an in-flight diffusion; an urgent
+	// deadlined Interactive arriving last jumps into the next dispatching
+	// batch, bumping a Bulk query to the one after. Exact compositions:
+	//   t=0  i0 dispatches alone (idle window), diffusion takes 10
+	//   t=1,2,3  b1,b2,b3 (Bulk) queue
+	//   t=5  urgent (Interactive, deadline t=25) queues
+	//   t=10 window [b1,b2,b3,urgent] overflows MaxBatch 2 → [urgent,b1]
+	//   t=20 → [b2,b3]
+	var sch sim.Scheduler
+	c := newSimCollector(&sch, Config{MaxBatch: 2, MaxWait: time.Second, Cache: 0}, 10)
+	c.arrive(0, "i0", SubmitOpts{})
+	c.arrive(1, "b1", SubmitOpts{Class: Bulk})
+	c.arrive(2, "b2", SubmitOpts{Class: Bulk})
+	c.arrive(3, "b3", SubmitOpts{Class: Bulk})
+	c.arrive(5, "urgent", SubmitOpts{Deadline: simTime(25)})
+	sch.Run()
+	want := [][]string{{"i0"}, {"urgent", "b1"}, {"b2", "b3"}}
+	if !reflect.DeepEqual(c.batches, want) {
+		t.Fatalf("batches %v, want %v", c.batches, want)
+	}
+	if wantT := []float64{0, 10, 20}; !reflect.DeepEqual(c.times, wantT) {
+		t.Fatalf("dispatch times %v, want %v", c.times, wantT)
+	}
+	if len(c.shed) != 0 {
+		t.Fatalf("unexpected sheds %v", c.shed)
+	}
+}
+
+func TestSimDeadlineShedExactComposition(t *testing.T) {
+	// A query whose deadline (t=6) falls inside the in-flight diffusion
+	// (ends t=10) is shed at the next dispatch: never scored, while its
+	// co-rider dispatches normally.
+	var sch sim.Scheduler
+	c := newSimCollector(&sch, Config{MaxBatch: 4, Cache: 0}, 10)
+	c.arrive(0, "i0", SubmitOpts{})
+	c.arrive(1, "doomed", SubmitOpts{Deadline: simTime(6)})
+	c.arrive(2, "rider", SubmitOpts{})
+	sch.Run()
+	want := [][]string{{"i0"}, {"rider"}}
+	if !reflect.DeepEqual(c.batches, want) {
+		t.Fatalf("batches %v, want %v", c.batches, want)
+	}
+	if wantShed := []string{"doomed"}; !reflect.DeepEqual(c.shed, wantShed) {
+		t.Fatalf("shed %v, want %v", c.shed, wantShed)
+	}
+}
+
+func TestSimMixedClassWidthOutcomes(t *testing.T) {
+	// Bulk holds widen, Interactive closes: three Bulk arrivals trickle in
+	// and hold the window open until BulkMaxWait from the first (t=20),
+	// dispatching as one width-3 batch; after the diffusion, a Bulk + an
+	// Interactive arrival dispatch together the moment the Interactive
+	// lands (t=32), not at the Bulk budget (t=51).
+	var sch sim.Scheduler
+	c := newSimCollector(&sch, Config{
+		MaxBatch: 4, MaxWait: time.Second, BulkMaxWait: 20 * time.Second, Cache: 0,
+	}, 10)
+	c.arrive(0, "b1", SubmitOpts{Class: Bulk})
+	c.arrive(3, "b2", SubmitOpts{Class: Bulk})
+	c.arrive(6, "b3", SubmitOpts{Class: Bulk})
+	c.arrive(31, "b4", SubmitOpts{Class: Bulk})
+	c.arrive(32, "i1", SubmitOpts{})
+	sch.Run()
+	want := [][]string{{"b1", "b2", "b3"}, {"b4", "i1"}}
+	if !reflect.DeepEqual(c.batches, want) {
+		t.Fatalf("batches %v, want %v", c.batches, want)
+	}
+	if wantT := []float64{20, 32}; !reflect.DeepEqual(c.times, wantT) {
+		t.Fatalf("dispatch times %v, want %v (bulk hold until budget, interactive closes instantly)", c.times, wantT)
+	}
+}
+
+func TestSimStarvationPromotionBound(t *testing.T) {
+	// Under saturated Interactive load (two fresh Interactive queries per
+	// diffusion, MaxBatch 2), a Bulk query is passed over BulkEvery=2
+	// selections, promoted, and dispatches in the third — the fairness
+	// bound, event-exact.
+	var sch sim.Scheduler
+	c := newSimCollector(&sch, Config{MaxBatch: 2, BulkEvery: 2, Cache: 0}, 10)
+	c.arrive(0, "i0", SubmitOpts{})
+	c.arrive(1, "bulk", SubmitOpts{Class: Bulk})
+	label := 0
+	for t0 := 2.0; t0 < 42; t0 += 10 {
+		label++
+		c.arrive(t0, sprint("ia", label), SubmitOpts{})
+		c.arrive(t0+1, sprint("ib", label), SubmitOpts{})
+	}
+	sch.Run()
+	want := [][]string{
+		{"i0"},
+		{"ia1", "ib1"},  // bulk passed over (1)
+		{"ia2", "ib2"},  // bulk passed over (2) → promoted
+		{"bulk", "ia3"}, // promoted bulk leads the next batch
+		{"ib3", "ia4"},
+		{"ib4"},
+	}
+	if !reflect.DeepEqual(c.batches, want) {
+		t.Fatalf("batches %v, want %v", c.batches, want)
+	}
+	if c.promotions != 1 {
+		t.Fatalf("promotions %d, want 1", c.promotions)
+	}
+}
+
+func TestSimStarvationBoundHoldsAgainstDeadlinedLoad(t *testing.T) {
+	// The valve must beat even deadlined Interactive traffic: with every
+	// interactive query carrying a deadline (which normally outranks
+	// deadline-less queries), the elevated Bulk query still leads the
+	// batch — otherwise EDF ordering would re-starve Bulk forever under
+	// the exact load the deadline feature recommends.
+	var sch sim.Scheduler
+	c := newSimCollector(&sch, Config{MaxBatch: 2, BulkEvery: 2, Cache: 0}, 10)
+	c.arrive(0, "i0", SubmitOpts{})
+	c.arrive(1, "bulk", SubmitOpts{Class: Bulk})
+	label := 0
+	for t0 := 2.0; t0 < 42; t0 += 10 {
+		label++
+		c.arrive(t0, sprint("ia", label), SubmitOpts{Deadline: simTime(t0 + 500)})
+		c.arrive(t0+1, sprint("ib", label), SubmitOpts{Deadline: simTime(t0 + 500)})
+	}
+	sch.Run()
+	want := [][]string{
+		{"i0"},
+		{"ia1", "ib1"},  // bulk passed over (1)
+		{"ia2", "ib2"},  // bulk passed over (2) → valve-eligible
+		{"bulk", "ia3"}, // the valve outranks the deadlined queries
+		{"ib3", "ia4"},
+		{"ib4"},
+	}
+	if !reflect.DeepEqual(c.batches, want) {
+		t.Fatalf("batches %v, want %v", c.batches, want)
+	}
+	if c.promotions != 1 {
+		t.Fatalf("promotions %d, want 1", c.promotions)
+	}
+}
+
+func sprint(prefix string, n int) string {
+	return prefix + string(rune('0'+n))
+}

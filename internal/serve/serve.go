@@ -29,6 +29,20 @@
 // (exact-key dedup), and a bounded LRU cache keyed by the query's exact
 // bit pattern lets repeated queries skip diffusion entirely; invalidate it
 // when the underlying topology changes (InvalidateCache).
+//
+// Admission is priority-aware. SubmitWith tags a query with a scheduling
+// class and an optional deadline: Interactive (the zero value — exactly
+// the behaviour described above, bit-for-bit) wants low tail latency,
+// while Bulk (prewarms, re-embedding sweeps, analytics) volunteers to wait
+// up to BulkMaxWait so batches widen. Within the coalesce window queries
+// are ordered earliest-deadline-first, so an urgent query jumps into the
+// next dispatching batch while Bulk queries fill whatever width remains; a
+// query whose deadline expires before dispatch is shed — rejected with
+// ErrDeadlineMissed, never scored, counted in Stats.DeadlineMissed. A Bulk
+// query passed over BulkEvery times is promoted to Interactive rank, which
+// bounds starvation under sustained Interactive load. The per-tenant
+// fairness counterpart lives in Multi (weighted deficit round-robin over
+// tenant dispatches; see NewMultiFair).
 package serve
 
 import (
@@ -46,6 +60,52 @@ import (
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: scheduler closed")
+
+// ErrDeadlineMissed is returned by SubmitWith when the query's deadline
+// expired before its batch dispatched: the query was shed, never scored,
+// and counted in Stats.DeadlineMissed.
+var ErrDeadlineMissed = errors.New("serve: deadline missed before dispatch")
+
+// Class is the scheduling class of a submitted query (an alias of
+// core.ServeClass, so dispatched DiffusionRequests carry it natively).
+type Class = core.ServeClass
+
+// The scheduling classes: Interactive is the zero value and preserves the
+// FIFO coalescing behaviour exactly; Bulk trades latency for batch width.
+const (
+	Interactive = core.ClassInteractive
+	Bulk        = core.ClassBulk
+	// NumClasses bounds the per-class stats arrays.
+	NumClasses = core.NumServeClasses
+)
+
+// ParseClass maps a command-line name to a scheduling class.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "interactive":
+		return Interactive, nil
+	case "bulk":
+		return Bulk, nil
+	}
+	return Interactive, fmt.Errorf("serve: unknown class %q (want interactive|bulk)", s)
+}
+
+// SubmitOpts tags one submission for the priority-aware admission path.
+// The zero value (Interactive class, no deadline) reproduces the plain
+// Submit behaviour bit-for-bit: same batch compositions, same cache keys,
+// same stats except the new per-class fields.
+type SubmitOpts struct {
+	// Class selects the scheduling class; the zero value is Interactive.
+	Class Class
+	// Deadline, when non-zero, bounds how long the query may wait for
+	// dispatch: it tightens the coalesce window (the batch closes early so
+	// the query dispatches in time — the deadline-jump) and orders the
+	// window earliest-deadline-first; a query still undispatched at its
+	// deadline is shed with ErrDeadlineMissed, never scored. The deadline
+	// covers waiting only — a query that makes it into a dispatching batch
+	// is scored even if the diffusion finishes past the deadline.
+	Deadline time.Time
+}
 
 // Backend scores query batches. *core.Network satisfies it; cmd/peerd wraps
 // it with a swappable topology mirror.
@@ -72,6 +132,17 @@ type Config struct {
 	Queue int
 	// Cache sizes the LRU score cache (entries); 0 disables caching.
 	Cache int
+	// BulkMaxWait is the latency budget a Bulk-class query may spend
+	// waiting to widen batches — the width-filling counterpart of MaxWait.
+	// 0 means 4×MaxWait (so a zero-wait scheduler holds Bulk queries no
+	// longer than Interactive ones unless told to).
+	BulkMaxWait time.Duration
+	// BulkEvery bounds Bulk starvation: a Bulk query passed over this many
+	// selections becomes eligible for the starvation valve — each selection
+	// elevates the longest-waiting over-budget Bulk query to Interactive
+	// rank (one per selection; see selectBatch) — so sustained Interactive
+	// load cannot park Bulk work forever. 0 means 4.
+	BulkEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +151,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Queue <= 0 {
 		c.Queue = 4 * c.MaxBatch
+	}
+	if c.BulkMaxWait <= 0 {
+		c.BulkMaxWait = 4 * c.MaxWait
+	}
+	if c.BulkEvery <= 0 {
+		c.BulkEvery = 4
 	}
 	return c
 }
@@ -96,11 +173,14 @@ type result struct {
 
 // pending is one submitted query waiting to be coalesced.
 type pending struct {
-	query []float64
-	key   string
-	ctx   context.Context
-	enq   time.Time
-	done  chan result // buffered 1: dispatch never blocks on a waiter
+	query    []float64
+	key      string
+	ctx      context.Context
+	enq      time.Time
+	class    Class
+	deadline time.Time   // zero: none
+	passes   int         // selections this query was passed over (collector-owned)
+	done     chan result // buffered 1: dispatch never blocks on a waiter
 }
 
 // Scheduler coalesces concurrent Submit calls into batched diffusions.
@@ -114,7 +194,9 @@ type Scheduler struct {
 	mu       sync.Mutex // guards closed and admits wg.Add
 	closed   bool
 	inflight sync.WaitGroup
-	live     atomic.Int64 // callers between admission and enqueue
+	live     atomic.Int64  // callers between admission and enqueue
+	carried  atomic.Int64  // queries in the collector's carry-over window
+	stop     chan struct{} // closed at Close entry: cuts any open hold short
 	loopDone chan struct{}
 
 	m metrics
@@ -132,6 +214,7 @@ func New(backend Backend, cfg Config) (*Scheduler, error) {
 		cfg:      cfg,
 		cache:    newLRU(cfg.Cache),
 		submit:   make(chan *pending, cfg.Queue),
+		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
 	go s.loop()
@@ -142,7 +225,18 @@ func New(backend Backend, cfg Config) (*Scheduler, error) {
 // the scores arrive, the context cancels, or the scheduler closes. The
 // returned slice holds one relevance score per node and is shared with the
 // cache and any co-submitted duplicates — callers must not mutate it.
+// Submit is SubmitWith at the zero SubmitOpts: Interactive class, no
+// deadline, the exact pre-priority behaviour.
 func (s *Scheduler) Submit(ctx context.Context, query []float64) ([]float64, error) {
+	return s.SubmitWith(ctx, query, SubmitOpts{})
+}
+
+// SubmitWith is Submit with a scheduling class and an optional deadline
+// (see SubmitOpts). Interactive queries jump the coalesce window
+// earliest-deadline-first; Bulk queries wait up to BulkMaxWait to widen
+// batches; a query whose deadline passes before dispatch is shed with
+// ErrDeadlineMissed, never scored.
+func (s *Scheduler) SubmitWith(ctx context.Context, query []float64, opts SubmitOpts) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -156,8 +250,15 @@ func (s *Scheduler) Submit(ctx context.Context, query []float64) ([]float64, err
 	}
 	key := Key(query)
 	if scores, ok := s.cache.get(key); ok {
+		// A cache hit costs no diffusion, so it is served even right at the
+		// deadline — shedding only protects the scoring path.
 		s.m.cacheHit()
 		return scores, nil
+	}
+	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+		// Dead on arrival: never admitted, never scored.
+		s.m.deadlineMissed()
+		return nil, ErrDeadlineMissed
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -176,16 +277,39 @@ func (s *Scheduler) Submit(ctx context.Context, query []float64) ([]float64, err
 	// enqueue, not at return — a resolved waiter must not read as load.
 	s.live.Add(1)
 
-	p := &pending{query: query, key: key, ctx: ctx, enq: time.Now(), done: make(chan result, 1)}
+	p := &pending{
+		query: query, key: key, ctx: ctx, enq: time.Now(),
+		class: opts.Class, deadline: opts.Deadline,
+		done: make(chan result, 1),
+	}
 	select {
 	case s.submit <- p:
+		// Fast path: queue not full, no deadline timer ever allocated.
 		s.live.Add(-1)
-	case <-ctx.Done():
-		// Bounded-queue backpressure: the queue stayed full for the
-		// caller's whole patience.
-		s.live.Add(-1)
-		s.m.rejected()
-		return nil, ctx.Err()
+	default:
+		var expiry <-chan time.Time
+		if !p.deadline.IsZero() {
+			t := time.NewTimer(time.Until(p.deadline))
+			defer t.Stop()
+			expiry = t.C
+		}
+		select {
+		case s.submit <- p:
+			s.live.Add(-1)
+		case <-ctx.Done():
+			// Bounded-queue backpressure: the queue stayed full for the
+			// caller's whole patience.
+			s.live.Add(-1)
+			s.m.rejected()
+			return nil, ctx.Err()
+		case <-expiry:
+			// The queue stayed full past the deadline: shed at admission
+			// (the collector never saw this query, so it counts the miss
+			// here).
+			s.live.Add(-1)
+			s.m.deadlineMissed()
+			return nil, ErrDeadlineMissed
+		}
 	}
 	s.m.submitted()
 	select {
@@ -212,14 +336,18 @@ func (s *Scheduler) Submit(ctx context.Context, query []float64) ([]float64, err
 // the collector) but is counted in the scheduler's dispatch statistics.
 func (s *Scheduler) Warm(queries [][]float64) (diffuse.Stats, error) {
 	gen := s.cache.generation()
-	scores, st, err := s.backend.ScoreBatch(queries, s.cfg.Request)
+	// A Warm is bulk analytics by definition (a prewarm sweep), so the
+	// dispatched request and the per-class width histogram say so.
+	req := s.cfg.Request
+	req.Class = Bulk
+	scores, st, err := s.backend.ScoreBatch(queries, req)
 	if err != nil {
 		return st, err
 	}
 	for j, q := range queries {
 		s.cache.putAt(gen, Key(q), scores[j])
 	}
-	s.m.dispatched(len(queries), st)
+	s.m.dispatched(len(queries), 0, len(queries), st)
 	return st, nil
 }
 
@@ -280,10 +408,13 @@ func (s *Scheduler) InvalidateNodes(ids []int) int {
 }
 
 // Stats returns a snapshot of the scheduler's counters. QueueDepth is the
-// live submission-queue occupancy at the moment of the call.
+// live submission-queue occupancy at the moment of the call, including
+// queries the collector drained into its carry-over window but has not yet
+// dispatched (before the priority refactor those sat in the channel, so
+// the two-term sum keeps the reading comparable).
 func (s *Scheduler) Stats() Stats {
 	st := s.m.snapshot()
-	st.QueueDepth = len(s.submit)
+	st.QueueDepth = len(s.submit) + int(s.carried.Load())
 	return st
 }
 
@@ -299,44 +430,88 @@ func (s *Scheduler) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Cut any open coalesce hold short before waiting on submitters: an
+	// idle all-Bulk window may otherwise sit on its BulkMaxWait timer, and
+	// its submitter is part of the inflight count Close waits for. Queued
+	// and held queries still dispatch and score.
+	close(s.stop)
 	s.inflight.Wait()
 	close(s.submit)
 	<-s.loopDone
 }
 
-// loop is the collector: it blocks for one arrival, coalesces co-riders,
-// and dispatches — scoring runs on this goroutine, so arrivals during a
-// diffusion pile up in the queue and widen the next batch (the load-adaptive
-// behaviour).
+// loop is the collector: it gathers one coalesce window, dispatches the
+// selected batch, and carries the rest over — scoring runs on this
+// goroutine, so arrivals during a diffusion pile up in the queue and widen
+// the next batch (the load-adaptive behaviour). After Close the channel
+// drains and every carried query still dispatches before the loop exits.
 func (s *Scheduler) loop() {
 	defer close(s.loopDone)
+	var carry []*pending
 	for {
-		first, ok := <-s.submit
-		if !ok {
+		batch, ok := s.gather(&carry)
+		if len(batch) > 0 {
+			s.dispatch(batch)
+		}
+		if !ok && len(carry) == 0 {
 			return
+		}
+	}
+}
+
+// gather assembles the next coalesce window: block for work (unless the
+// previous selection carried queries over), drain everything queued,
+// optionally hold the window open (see hold), then split it into the
+// dispatching batch and the carry-over (see selectBatch). ok is false once
+// the submit channel has closed.
+func (s *Scheduler) gather(carry *[]*pending) (batch []*pending, ok bool) {
+	buf := *carry
+	*carry = nil
+	open := true
+	if len(buf) == 0 {
+		p, recvOK := <-s.submit
+		if !recvOK {
+			return nil, false
 		}
 		// The occupancy at wake-up (the taken element plus what piled up
 		// behind it) is the backpressure signal QueueMax tracks.
 		s.m.queueDepth(len(s.submit) + 1)
-		s.dispatch(s.collect(first))
+		buf = append(buf, p)
+		buf, open = s.drainAll(buf)
+	} else {
+		// Carried queries wake the collector without a channel receive;
+		// they are the occupancy signal here (they sat in the channel at
+		// this point before the priority refactor).
+		buf, open = s.drainAll(buf)
+		s.m.queueDepth(len(buf))
 	}
+	if open && len(buf) < s.cfg.MaxBatch {
+		buf, open = s.hold(buf)
+	}
+	batch, rest, promoted := selectBatch(buf, s.cfg)
+	*carry = rest
+	s.carried.Store(int64(len(rest)))
+	if promoted > 0 {
+		s.m.promoted(promoted)
+	}
+	return batch, open
 }
 
-// collect packs a batch starting from first: drain everything already
-// queued, then — only when co-riders are still en route to the queue, a
-// wait budget is configured, and the batch is not yet full — hold the
-// batch open until MaxWait from the first member's arrival. A lone query
-// on an idle scheduler returns immediately (with no co-riders, waiting
-// buys no amortization), and the hold ends early once nobody is en route
-// any more: the signal is the live admission-to-enqueue count, not queue
+// hold keeps the coalesce window open for co-riders until it closes (see
+// window): Interactive members bound the hold by MaxWait from their
+// arrival, Bulk members by BulkMaxWait, deadlines pull it shut early. A
+// window with Interactive members also closes as soon as nobody is en
+// route any more — with no co-riders coming, waiting buys no amortization
+// — while an all-Bulk window holds through idleness by design. The
+// en-route signal is the live admission-to-enqueue count, not queue
 // occupancy, because on a contended CPU admitted co-riders may not have
 // reached the queue yet when the collector wakes.
-func (s *Scheduler) collect(first *pending) []*pending {
-	batch := s.drain(append(make([]*pending, 0, s.cfg.MaxBatch), first))
-	if len(batch) >= s.cfg.MaxBatch || s.cfg.MaxWait <= 0 {
-		return batch
+func (s *Scheduler) hold(buf []*pending) ([]*pending, bool) {
+	closeAt, idleClose := window(buf, s.cfg)
+	if !closeAt.After(time.Now()) {
+		return buf, true
 	}
-	if s.live.Load() == 0 {
+	if idleClose && s.live.Load() == 0 {
 		// Nobody is en route to the queue — but on a saturated box the
 		// burst's other submitters may simply not have been scheduled yet
 		// (the channel send gives this collector wake-up priority over
@@ -344,51 +519,82 @@ func (s *Scheduler) collect(first *pending) []*pending {
 		// re-drain; a truly idle scheduler pays one Gosched and still
 		// dispatches a lone query immediately.
 		runtime.Gosched()
-		batch = s.drain(batch)
-		if s.live.Load() == 0 {
-			return batch
+		var open bool
+		buf, open = s.drainAll(buf)
+		if !open {
+			return buf, false
 		}
+		if s.live.Load() == 0 {
+			return buf, true
+		}
+		closeAt, idleClose = window(buf, s.cfg)
 	}
-	timer := time.NewTimer(time.Until(first.enq.Add(s.cfg.MaxWait)))
+	timer := time.NewTimer(time.Until(closeAt))
 	defer timer.Stop()
-	for len(batch) < s.cfg.MaxBatch {
+	for len(buf) < s.cfg.MaxBatch {
 		select {
 		case p, ok := <-s.submit:
 			if !ok {
-				return batch
+				return buf, false
 			}
-			batch = append(batch, p)
-			if s.live.Load() == 0 {
-				return batch
+			buf = append(buf, p)
+			// The newcomer can only tighten the window (an urgent deadline,
+			// an Interactive joining an all-Bulk hold) — recompute it.
+			newClose, newIdle := window(buf, s.cfg)
+			idleClose = newIdle
+			if newClose.Before(closeAt) {
+				closeAt = newClose
+				timer.Reset(time.Until(closeAt))
+			}
+			if idleClose && s.live.Load() == 0 {
+				return buf, true
+			}
+			if !closeAt.After(time.Now()) {
+				return buf, true
 			}
 		case <-timer.C:
-			return batch
+			return buf, true
+		case <-s.stop:
+			// Close is waiting on this window's submitters: dispatch what
+			// is held instead of sitting out the (Bulk) budget.
+			return buf, true
 		}
 	}
-	return batch
+	return buf, true
 }
 
-// drain appends everything already queued to batch, non-blocking, up to
-// MaxBatch.
-func (s *Scheduler) drain(batch []*pending) []*pending {
-	for len(batch) < s.cfg.MaxBatch {
+// drainAll appends everything already queued to buf, non-blocking, up to
+// the window bound. It drains past MaxBatch on purpose — selection needs
+// a whole window to order by class and deadline (the overflow carries to
+// the next batch) — but not past max(Queue, MaxBatch): an unbounded
+// window would let the collector keep absorbing the channel under
+// overload, silently retiring the Queue bound (standing work would grow
+// without limit and the full-queue backpressure path — Submit blocking,
+// then Rejected — would stop firing). With the cap, carry + channel stays
+// O(Queue) and admission control keeps its teeth.
+func (s *Scheduler) drainAll(buf []*pending) ([]*pending, bool) {
+	limit := s.cfg.Queue
+	if limit < s.cfg.MaxBatch {
+		limit = s.cfg.MaxBatch
+	}
+	for len(buf) < limit {
 		select {
 		case p, ok := <-s.submit:
 			if !ok {
-				return batch
+				return buf, false
 			}
-			batch = append(batch, p)
-			continue
+			buf = append(buf, p)
 		default:
+			return buf, true
 		}
-		break
 	}
-	return batch
+	return buf, true
 }
 
-// dispatch prunes cancelled callers, serves late cache hits, dedups exact
-// duplicates into one column, scores the remaining unique queries in one
-// ScoreBatch, and resolves every waiter's future.
+// dispatch prunes cancelled callers, sheds queries whose deadline expired
+// while queued, serves late cache hits, dedups exact duplicates into one
+// column, scores the remaining unique queries in one ScoreBatch, and
+// resolves every waiter's future.
 func (s *Scheduler) dispatch(batch []*pending) {
 	start := time.Now()
 	groups := make(map[string][]*pending, len(batch))
@@ -400,13 +606,24 @@ func (s *Scheduler) dispatch(batch []*pending) {
 			s.m.cancelled()
 			continue
 		}
-		s.m.waited(start.Sub(p.enq))
 		if scores, ok := s.cache.get(p.key); ok {
 			// Scored while queued (a Warm or an earlier batch landed it);
 			// the waiter's Submit counts the cache hit when it resolves.
+			// Checked before the deadline, like the admission fast path: a
+			// cache hit costs no diffusion, so it is served even at or past
+			// the deadline — shedding protects only the scoring path.
+			s.m.waited(start.Sub(p.enq), p.class)
 			p.done <- result{scores: scores, cached: true}
 			continue
 		}
+		if expired(p, start) {
+			// Deadline-miss shedding: the window could not dispatch this
+			// query in time, so it is rejected rather than scored late.
+			s.m.deadlineMissed()
+			p.done <- result{err: ErrDeadlineMissed}
+			continue
+		}
+		s.m.waited(start.Sub(p.enq), p.class)
 		if g, ok := groups[p.key]; ok {
 			groups[p.key] = append(g, p)
 			continue
@@ -418,8 +635,29 @@ func (s *Scheduler) dispatch(batch []*pending) {
 		return
 	}
 	queries := make([][]float64, len(uniq))
+	// A column's class is its most urgent waiter's (a duplicate submitted
+	// both ways is Interactive); the batch is tagged Bulk only when every
+	// column is.
+	nInteractive, nBulk := 0, 0
 	for i, p := range uniq {
 		queries[i] = p.query
+		class := Bulk
+		for _, w := range groups[p.key] {
+			if w.class == Interactive {
+				class = Interactive
+				break
+			}
+		}
+		if class == Interactive {
+			nInteractive++
+		} else {
+			nBulk++
+		}
+	}
+	req := s.cfg.Request
+	req.Class = Interactive
+	if nInteractive == 0 {
+		req.Class = Bulk
 	}
 	// Capture the cache generation before scoring: an invalidation that
 	// lands while the backend diffuses (e.g. a topology patch swapping the
@@ -427,7 +665,7 @@ func (s *Scheduler) dispatch(batch []*pending) {
 	// them instead of re-caching pre-patch answers (waiters still get the
 	// scores — their query raced the patch, either ordering is valid).
 	gen := s.cache.generation()
-	scores, st, err := s.backend.ScoreBatch(queries, s.cfg.Request)
+	scores, st, err := s.backend.ScoreBatch(queries, req)
 	if err != nil {
 		s.m.failed(len(uniq))
 		for _, p := range uniq {
@@ -437,7 +675,7 @@ func (s *Scheduler) dispatch(batch []*pending) {
 		}
 		return
 	}
-	s.m.dispatched(len(uniq), st)
+	s.m.dispatched(len(uniq), nInteractive, nBulk, st)
 	for i, p := range uniq {
 		s.cache.putAt(gen, p.key, scores[i])
 		for _, w := range groups[p.key] {

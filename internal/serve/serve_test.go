@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -234,7 +235,9 @@ func TestCancelledCallerDroppedBeforeDispatch(t *testing.T) {
 	}()
 	waitStats(t, s, func(st Stats) bool { return st.Submitted == 2 })
 	cancel()
-	if err := <-errCh; err != context.Canceled {
+	// errors.Is, not identity: a wrapped cancellation cause must not pass
+	// silently as "some other error".
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled Submit returned %v", err)
 	}
 
@@ -374,7 +377,7 @@ func TestBackpressureRejectsWhenQueueFull(t *testing.T) {
 	// Queue full: a caller with bounded patience must be turned away.
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := s.Submit(ctx, q(3)); err != context.DeadlineExceeded {
+	if _, err := s.Submit(ctx, q(3)); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("full-queue Submit returned %v", err)
 	}
 	if st := s.Stats(); st.Rejected != 1 {

@@ -33,6 +33,17 @@ type Stats struct {
 	Errors    uint64 // queries resolved with a backend error
 	CacheHits uint64 // served from the LRU cache (fast path or while queued)
 
+	// DeadlineMissed counts queries shed because their deadline expired
+	// before dispatch (at admission, while the queue was full, or while
+	// waiting in the coalesce window) — rejected with ErrDeadlineMissed,
+	// never scored.
+	DeadlineMissed uint64
+	// BulkPromoted counts selections where the starvation valve fired: a
+	// Bulk query passed over BulkEvery times was elevated to Interactive
+	// rank and dispatched (one per selection, so a whole over-budget burst
+	// drains at a bounded rate instead of flooding one batch).
+	BulkPromoted uint64
+
 	Batches       uint64 // diffusions dispatched (including Warm)
 	QueriesScored uint64 // columns diffused, after cancellation/cache/dedup
 
@@ -50,10 +61,21 @@ type Stats struct {
 	// (bucket 0 is exactly width 1).
 	BatchHist [histBuckets]uint64
 
+	// ClassHist are per-class realized width histograms: for every
+	// dispatched batch, the number of its scored columns of each class is
+	// bucketed like BatchHist (batches with zero columns of a class do not
+	// count toward that class's histogram). Index with Interactive / Bulk.
+	ClassHist [NumClasses][histBuckets]uint64
+
 	// Wait quantiles of the coalescing delay (arrival → dispatch start)
 	// over the sliding sample window. The scoring time itself is excluded:
 	// these measure what MaxWait bounds.
 	WaitP50, WaitP90, WaitP99, WaitMax time.Duration
+
+	// ClassWait are the same quantiles split by scheduling class, each over
+	// its own sliding window — the Interactive row is what the priority
+	// scheduler protects, the Bulk row what BulkMaxWait spends.
+	ClassWait [NumClasses]WaitQuantiles
 
 	// SweepsTotal sums Stats.Sweeps over dispatched batches (whole-batch
 	// diffusion rounds). ColumnSweepsTotal sums the per-column sweep counts
@@ -62,6 +84,12 @@ type Stats struct {
 	// per-query cost of every early-terminated column.
 	SweepsTotal       uint64
 	ColumnSweepsTotal uint64
+}
+
+// WaitQuantiles are coalescing-wait quantiles over one class's sliding
+// sample window.
+type WaitQuantiles struct {
+	P50, P90, P99, Max time.Duration
 }
 
 // MeanBatch returns the mean realized batch width (scored columns per
@@ -94,11 +122,15 @@ func (s Stats) SweepsPerQuery() float64 {
 
 // String renders a one-line summary for logs and shutdown banners.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"submitted=%d completed=%d cancelled=%d rejected=%d errors=%d cache_hits=%d (rate %.2f) batches=%d scored=%d mean_batch=%.1f sweeps/query=%.1f queue_max=%d wait p50=%v p99=%v hist=%s",
 		s.Submitted, s.Completed, s.Cancelled, s.Rejected, s.Errors,
 		s.CacheHits, s.CacheHitRate(), s.Batches, s.QueriesScored,
 		s.MeanBatch(), s.SweepsPerQuery(), s.QueueMax, s.WaitP50, s.WaitP99, s.HistString())
+	if s.DeadlineMissed > 0 || s.BulkPromoted > 0 {
+		line += fmt.Sprintf(" deadline_missed=%d bulk_promoted=%d", s.DeadlineMissed, s.BulkPromoted)
+	}
+	return line
 }
 
 // HistString renders the non-empty histogram buckets as "≤w:count" pairs.
@@ -128,15 +160,44 @@ func histBucket(width int) int {
 	return b
 }
 
+// waitRing is one sliding window of coalescing-wait samples.
+type waitRing struct {
+	waits [waitWindow]time.Duration
+	idx   int
+	count int
+}
+
+func (r *waitRing) add(d time.Duration) {
+	r.waits[r.idx] = d
+	r.idx = (r.idx + 1) % waitWindow
+	if r.count < waitWindow {
+		r.count++
+	}
+}
+
+// quantiles sorts a copy of the live window and reads the quantiles off it.
+func (r *waitRing) quantiles() WaitQuantiles {
+	if r.count == 0 {
+		return WaitQuantiles{}
+	}
+	sample := make([]time.Duration, r.count)
+	copy(sample, r.waits[:r.count])
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	q := func(p float64) time.Duration {
+		return sample[int(p*float64(len(sample)-1))]
+	}
+	return WaitQuantiles{P50: q(0.50), P90: q(0.90), P99: q(0.99), Max: sample[len(sample)-1]}
+}
+
 // metrics is the scheduler-internal mutable counterpart of Stats: one
-// mutex-guarded counter block plus the wait-sample ring.
+// mutex-guarded counter block plus the wait-sample rings (one aggregate,
+// one per class).
 type metrics struct {
 	mu sync.Mutex
 	s  Stats // wait-quantile fields unused; filled by snapshot
 
-	waits     [waitWindow]time.Duration
-	waitIdx   int
-	waitCount int
+	waits      waitRing
+	classWaits [NumClasses]waitRing
 }
 
 func (m *metrics) submitted() { m.mu.Lock(); m.s.Submitted++; m.mu.Unlock() }
@@ -144,6 +205,15 @@ func (m *metrics) completed() { m.mu.Lock(); m.s.Completed++; m.mu.Unlock() }
 func (m *metrics) cancelled() { m.mu.Lock(); m.s.Cancelled++; m.mu.Unlock() }
 func (m *metrics) rejected()  { m.mu.Lock(); m.s.Rejected++; m.mu.Unlock() }
 func (m *metrics) cacheHit()  { m.mu.Lock(); m.s.CacheHits++; m.mu.Unlock() }
+
+func (m *metrics) deadlineMissed() { m.mu.Lock(); m.s.DeadlineMissed++; m.mu.Unlock() }
+
+// promoted records Bulk queries crossing the starvation bound.
+func (m *metrics) promoted(n int) {
+	m.mu.Lock()
+	m.s.BulkPromoted += uint64(n)
+	m.mu.Unlock()
+}
 
 // failed records a batch whose backend call errored: every scored-for
 // caller sees the error.
@@ -163,25 +233,30 @@ func (m *metrics) queueDepth(depth int) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) waited(d time.Duration) {
+func (m *metrics) waited(d time.Duration, class Class) {
 	m.mu.Lock()
-	m.waits[m.waitIdx] = d
-	m.waitIdx = (m.waitIdx + 1) % waitWindow
-	if m.waitCount < waitWindow {
-		m.waitCount++
+	m.waits.add(d)
+	if int(class) < NumClasses {
+		m.classWaits[class].add(d)
 	}
 	m.mu.Unlock()
 }
 
-// dispatched records one scored batch: its realized width, its whole-batch
-// sweep count, and the aggregated per-column sweeps — a per-request
-// Stats.ColumnSweeps only describes one diffusion, so the scheduler sums
-// them across batches to report honest sweeps/query.
-func (m *metrics) dispatched(width int, st diffuse.Stats) {
+// dispatched records one scored batch: its realized width (split by column
+// class), its whole-batch sweep count, and the aggregated per-column
+// sweeps — a per-request Stats.ColumnSweeps only describes one diffusion,
+// so the scheduler sums them across batches to report honest sweeps/query.
+func (m *metrics) dispatched(width, nInteractive, nBulk int, st diffuse.Stats) {
 	m.mu.Lock()
 	m.s.Batches++
 	m.s.QueriesScored += uint64(width)
 	m.s.BatchHist[histBucket(width)]++
+	if nInteractive > 0 {
+		m.s.ClassHist[Interactive][histBucket(nInteractive)]++
+	}
+	if nBulk > 0 {
+		m.s.ClassHist[Bulk][histBucket(nBulk)]++
+	}
 	m.s.SweepsTotal += uint64(st.Sweeps)
 	if len(st.ColumnSweeps) > 0 {
 		for _, cs := range st.ColumnSweeps {
@@ -199,15 +274,10 @@ func (m *metrics) snapshot() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.s
-	if m.waitCount > 0 {
-		sample := make([]time.Duration, m.waitCount)
-		copy(sample, m.waits[:m.waitCount])
-		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-		q := func(p float64) time.Duration {
-			return sample[int(p*float64(len(sample)-1))]
-		}
-		st.WaitP50, st.WaitP90, st.WaitP99 = q(0.50), q(0.90), q(0.99)
-		st.WaitMax = sample[len(sample)-1]
+	agg := m.waits.quantiles()
+	st.WaitP50, st.WaitP90, st.WaitP99, st.WaitMax = agg.P50, agg.P90, agg.P99, agg.Max
+	for c := range m.classWaits {
+		st.ClassWait[c] = m.classWaits[c].quantiles()
 	}
 	return st
 }

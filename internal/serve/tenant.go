@@ -16,24 +16,45 @@ import (
 // dispatched DiffusionRequests carry the tenant name in their Tenant
 // field, so per-batch stats and traces identify which graph they belong
 // to.
+//
+// A Multi built with NewMultiFair additionally arbitrates the tenants'
+// dispatches onto the shared pool with weighted deficit round-robin (see
+// Fairness), so one hot tenant cannot starve the rest of diffusion
+// workers.
 type Multi struct {
 	mu      sync.RWMutex
 	tenants map[string]*Scheduler
 	closed  bool
+	arb     *fairArbiter // nil: no dispatch arbitration
 }
 
 // ErrUnknownTenant is wrapped by Submit and InvalidateNodes for tenants
 // never registered.
 var ErrUnknownTenant = fmt.Errorf("serve: unknown tenant")
 
-// NewMulti returns an empty tenant registry.
+// NewMulti returns an empty tenant registry without dispatch arbitration
+// (tenants contend freely for the shared pool).
 func NewMulti() *Multi {
 	return &Multi{tenants: make(map[string]*Scheduler)}
 }
 
+// NewMultiFair returns a tenant registry whose dispatches are gated by a
+// weighted deficit-round-robin arbiter: at most f.Concurrent batches run
+// on the shared pool at once, and contended grants are ordered so each
+// tenant receives its weighted share of scored columns. A non-positive
+// f.Concurrent disables the arbiter (same as NewMulti).
+func NewMultiFair(f Fairness) *Multi {
+	m := NewMulti()
+	if f.Concurrent > 0 {
+		m.arb = newFairArbiter(f)
+	}
+	return m
+}
+
 // Register starts a Scheduler for the tenant over backend (duplicates and
 // registration after Close are errors). cfg is the tenant's scheduler
-// configuration; its Request is stamped with the tenant name.
+// configuration; its Request is stamped with the tenant name. Under a
+// fair Multi the backend is wrapped so its dispatches pass the arbiter.
 func (m *Multi) Register(tenant string, backend Backend, cfg Config) (*Scheduler, error) {
 	cfg.Request.Tenant = tenant
 	m.mu.Lock()
@@ -43,6 +64,9 @@ func (m *Multi) Register(tenant string, backend Backend, cfg Config) (*Scheduler
 	}
 	if _, dup := m.tenants[tenant]; dup {
 		return nil, fmt.Errorf("serve: tenant %q already registered", tenant)
+	}
+	if m.arb != nil && backend != nil {
+		backend = &fairBackend{arb: m.arb, tenant: m.arb.tenant(tenant), inner: backend}
 	}
 	s, err := New(backend, cfg)
 	if err != nil {
@@ -75,11 +99,26 @@ func (m *Multi) Tenants() []string {
 // Submit routes one query to the tenant's scheduler (see
 // Scheduler.Submit).
 func (m *Multi) Submit(ctx context.Context, tenant string, query []float64) ([]float64, error) {
+	return m.SubmitWith(ctx, tenant, query, SubmitOpts{})
+}
+
+// SubmitWith routes one query with scheduling options to the tenant's
+// scheduler (see Scheduler.SubmitWith).
+func (m *Multi) SubmitWith(ctx context.Context, tenant string, query []float64, opts SubmitOpts) ([]float64, error) {
 	s, ok := m.Scheduler(tenant)
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrUnknownTenant, tenant)
 	}
-	return s.Submit(ctx, query)
+	return s.SubmitWith(ctx, query, opts)
+}
+
+// FairnessStats snapshots the dispatch arbiter's per-tenant grant
+// counters; nil when the Multi was built without fairness.
+func (m *Multi) FairnessStats() map[string]FairStats {
+	if m.arb == nil {
+		return nil
+	}
+	return m.arb.stats()
 }
 
 // InvalidateNodes applies targeted cache invalidation to one tenant (see
