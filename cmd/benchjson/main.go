@@ -36,6 +36,13 @@
 // p99 must improve ≥1.5× while total QPS stays within 10% (the ISSUE 5
 // acceptance bar, gated with -baseline).
 //
+// Walkindex rows measure the precomputed PPR segment store against the
+// cold CSR per-query path on the identical workload: offline build cost,
+// store bytes per node, and warm vs cold ns/query at a partial and a full
+// budget. The full-budget row carries the acceptance bar (warm ≤ 0.25×
+// cold, i.e. speedup ≥ 4×) and every row must stay within the request
+// tolerance of the exact backend.
+//
 // The apply_row_affine rows re-run the kernel-unrolling comparison behind
 // graph.Transition.ApplyRowAffine (shipped 4-edge-unrolled; the historical
 // 2-edge kernel is kept as ApplyRowAffine2) so the snapshot records why the
@@ -43,8 +50,8 @@
 //
 // With -baseline, the freshly measured snapshot is gated against a
 // committed one and the command exits non-zero when a Parallel-engine,
-// ScoreBatch, or serve row regressed more than -max-regress (CI's
-// bench-regression step).
+// ScoreBatch, serve, shard, priority, or walkindex row regressed more
+// than -max-regress (CI's bench-regression step).
 //
 // Usage:
 //
@@ -162,6 +169,23 @@ type shardResult struct {
 	SpeedupVsPerQuery float64 `json:"speedup_vs_per_query"`
 }
 
+// walkIndexResult records one walk-index store budget: what the
+// precomputed segments cost to build and hold, and the warm-vs-cold
+// per-query speedup they buy at that budget (expt.WalkIndexRow, frozen
+// for the snapshot).
+type walkIndexResult struct {
+	BudgetFrac     float64 `json:"budget_frac"`
+	BudgetBytes    int64   `json:"budget_bytes"` // 0 = unbounded
+	StoreBytes     int64   `json:"store_bytes"`
+	BytesPerNode   float64 `json:"bytes_per_node"`
+	Coverage       float64 `json:"coverage"`
+	BuildNs        int64   `json:"build_ns"`
+	ColdNsPerQuery int64   `json:"cold_ns_per_query"`
+	WarmNsPerQuery int64   `json:"warm_ns_per_query"`
+	Speedup        float64 `json:"speedup"`
+	MaxErrVsCSR    float64 `json:"max_err_vs_csr"`
+}
+
 type snapshot struct {
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
@@ -183,6 +207,10 @@ type snapshot struct {
 	// Priority records the deadline-aware scheduling rows; every row
 	// carries the ≥1.5× interactive-p99-vs-FIFO acceptance number.
 	Priority []priorityResult `json:"priority"`
+	// WalkIndex records the segment-store rows; the full-coverage row
+	// carries the ≥4× warm-vs-cold acceptance number, and every row's
+	// error vs the exact CSR backend must stay within Tol.
+	WalkIndex []walkIndexResult `json:"walkindex"`
 	// ApplyRowAffine records the kernel-unrolling evaluation; Kernel
 	// "unroll4" is the shipped ApplyRowAffine, "unroll2" the historical
 	// variant kept as ApplyRowAffine2.
@@ -520,6 +548,35 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 		snap.Priority = append(snap.Priority, pr)
 	}
 
+	// Walk-index rows: the segment store vs the cold CSR per-query path at
+	// a partial and a full budget. The full-budget speedup is the ISSUE-6
+	// acceptance number (warm ≤ 0.25× cold).
+	wiRows, err := expt.WalkIndexSweep(env, expt.WalkIndexConfig{
+		M: numDocs, Alpha: alpha, Tol: tol, Workers: workers, Seed: seed,
+		BudgetFracs: []float64{0.25, 1},
+	})
+	if err != nil {
+		return fmt.Errorf("walkindex sweep: %w", err)
+	}
+	for _, row := range wiRows {
+		wr := walkIndexResult{
+			BudgetFrac:     row.BudgetFrac,
+			BudgetBytes:    row.BudgetBytes,
+			StoreBytes:     row.StoreBytes,
+			BytesPerNode:   row.BytesPerNode,
+			Coverage:       row.Coverage,
+			BuildNs:        row.BuildNs,
+			ColdNsPerQuery: row.ColdNsPerQuery,
+			WarmNsPerQuery: row.WarmNsPerQuery,
+			Speedup:        row.Speedup,
+			MaxErrVsCSR:    row.MaxErr,
+		}
+		fmt.Printf("walkindex-%.2f %10d ns/query warm (cold %d, speedup %.2fx) coverage=%.2f %.0f B/node build=%dms err=%.1e\n",
+			wr.BudgetFrac, wr.WarmNsPerQuery, wr.ColdNsPerQuery, wr.Speedup,
+			wr.Coverage, wr.BytesPerNode, wr.BuildNs/1e6, wr.MaxErrVsCSR)
+		snap.WalkIndex = append(snap.WalkIndex, wr)
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -688,8 +745,36 @@ func checkRegression(baselinePath string, fresh snapshot, maxRegress float64) er
 				pr.Clients, pr.IntP99Gain, b.IntP99Gain))
 		}
 	}
+	// Walk-index rows carry two absolute bars on top of the regression
+	// comparison: the full-coverage row's warm-vs-cold speedup must reach
+	// 4× (warm ≤ 0.25× cold — a within-run ratio, both sides measured
+	// back-to-back, so it transfers across hardware), and every row's
+	// error vs the exact CSR backend must stay within the snapshot's
+	// request tolerance (the correctness half of the contract: budgets cost
+	// speed, never accuracy). Rows absent from the baseline (first
+	// snapshot after the index landed) still face the absolute bars.
+	const minWalkIndexSpeedup = 4.0
+	baseWalk := make(map[float64]walkIndexResult, len(base.WalkIndex))
+	for _, wr := range base.WalkIndex {
+		baseWalk[wr.BudgetFrac] = wr
+	}
+	for _, wr := range fresh.WalkIndex {
+		if wr.Coverage >= 1 && wr.Speedup < minWalkIndexSpeedup {
+			problems = append(problems, fmt.Sprintf("walkindex frac=%.2f: warm speedup %.2fx vs cold, want ≥ %.1fx at full coverage",
+				wr.BudgetFrac, wr.Speedup, minWalkIndexSpeedup))
+		}
+		if fresh.Tol > 0 && wr.MaxErrVsCSR > fresh.Tol {
+			problems = append(problems, fmt.Sprintf("walkindex frac=%.2f: max error %.1e vs CSR beyond tol %.1e",
+				wr.BudgetFrac, wr.MaxErrVsCSR, fresh.Tol))
+		}
+		if b, ok := baseWalk[wr.BudgetFrac]; ok && b.Speedup > 0 &&
+			wr.Coverage >= 1 && wr.Speedup < b.Speedup*(1-maxRegress) {
+			problems = append(problems, fmt.Sprintf("walkindex frac=%.2f: warm speedup %.2fx vs baseline %.2fx",
+				wr.BudgetFrac, wr.Speedup, b.Speedup))
+		}
+	}
 	if len(problems) > 0 {
-		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / serve / shard / priority) regressed beyond %.0f%% of %s:\n  %s",
+		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / serve / shard / priority / walkindex) regressed beyond %.0f%% of %s:\n  %s",
 			maxRegress*100, baselinePath, strings.Join(problems, "\n  "))
 	}
 	mode := "ratio checks only — baseline hardware differs"

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|batch|serve|shard|priority|all")
+		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|batch|serve|shard|priority|walkindex|all")
 		seed  = flag.Uint64("seed", 42, "master seed (all results are deterministic in it)")
 		quick = flag.Bool("quick", false, "scaled-down environment and iteration counts")
 		iters = flag.Int("iters", 0, "override iteration count (0 = experiment default)")
@@ -78,9 +78,10 @@ func run(exp string, seed uint64, quick bool, iters int, csv bool) error {
 		"serve":     r.serve,
 		"shard":     r.shard,
 		"priority":  r.priority,
+		"walkindex": r.walkindex,
 	}
 	if exp == "all" {
-		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch", "serve", "shard", "priority"} {
+		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch", "serve", "shard", "priority", "walkindex"} {
 			if err := known[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -325,6 +326,24 @@ func (r *runner) priority() error {
 	}
 	r.emit(fmt.Sprintf("priority — deadline-aware classes vs FIFO coalescing under mixed 90/10 load (M=1000, α=0.5, %v)",
 		time.Since(start).Round(time.Millisecond)), expt.FormatPriority(rows))
+	return nil
+}
+
+func (r *runner) walkindex() error {
+	start := time.Now()
+	cfg := expt.WalkIndexConfig{
+		M: 500, Alpha: 0.5, Seed: r.seed,
+		Queries: r.itersOr(16, 6),
+	}
+	if r.quick {
+		cfg.Iters = 2
+	}
+	rows, err := expt.WalkIndexSweep(r.env, cfg)
+	if err != nil {
+		return err
+	}
+	r.emit(fmt.Sprintf("walkindex — precomputed PPR segment store: budget vs speedup vs accuracy (M=500, α=0.5, %v)",
+		time.Since(start).Round(time.Millisecond)), expt.FormatWalkIndex(rows))
 	return nil
 }
 

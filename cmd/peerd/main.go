@@ -56,6 +56,16 @@
 // diffusing on one shared worker pool — per-tenant scheduler stats are
 // printed at shutdown.
 //
+// With -scorer walkindex the local mirror scores through a precomputed
+// walk index instead: the leading terms of each document host's PPR
+// column are built in the background (Bulk-class tasks riding the same
+// scheduler) and combined per query, with a small residual diffusion
+// finishing whatever the store cannot answer — scores match the plain
+// CSR backend within the request tolerance even while the index is
+// partial or stale. -index-budget bounds the store's bytes; on SIGHUP
+// only segments in the patch's closed neighbourhood are dropped and
+// rebuilt.
+//
 // A long-running peer follows topology changes without restarting: SIGHUP
 // reloads the -topology file, patches the scorer's mirror Network (joined
 // and departed peers), invalidates the serve cache — targeted when the
@@ -87,6 +97,7 @@ import (
 	"diffusearch/internal/retrieval"
 	"diffusearch/internal/serve"
 	"diffusearch/internal/shard"
+	"diffusearch/internal/walkindex"
 )
 
 func main() {
@@ -103,6 +114,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel engine pool size (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 0, "partition the scorer mirror into this many Transition shards diffusing concurrently (0 = single CSR; needs -engine)")
 		part     = flag.String("part", "range", "shard partitioner: range (contiguous ids) or greedy (degree-balanced)")
+		scorer   = flag.String("scorer", "", "scoring backend for the local mirror: csr, sharded, or walkindex (precomputed per-document PPR segments; needs -engine)")
+		indexBgt = flag.Int64("index-budget", 0, "walk-index store budget in bytes (0 = 64MiB default, negative = unbounded; needs -scorer walkindex)")
 		tenants  = flag.String("tenants", "", "extra tenant graphs served by this process: comma-separated name=topology.txt pairs, each scored through its own scheduler over the shared worker pool (needs -engine)")
 		maxWait  = flag.Duration("maxwait", 2*time.Millisecond, "scheduler coalescing budget: how long a query may wait for batch co-riders (0 = zero-wait)")
 		maxBatch = flag.Int("maxbatch", 64, "scheduler batch-width cap for coalesced diffusions")
@@ -120,6 +133,7 @@ func main() {
 		engine: *engine, workers: *workers, ttl: *ttl, k: *k, wait: *wait,
 		maxWait: *maxWait, maxBatch: *maxBatch, cache: *cache,
 		shards: *shards, part: *part, tenants: *tenants,
+		scorer: *scorer, indexBudget: *indexBgt,
 		class: *class, deadline: *deadline,
 	}
 	if err := run(cfg); err != nil {
@@ -129,27 +143,29 @@ func main() {
 }
 
 type runConfig struct {
-	topoPath string
-	id       int
-	alpha    float64
-	seed     uint64
-	words    int
-	dim      int
-	query    string
-	batch    string
-	engine   string
-	workers  int
-	ttl      int
-	k        int
-	wait     time.Duration
-	maxWait  time.Duration
-	maxBatch int
-	cache    int
-	shards   int
-	part     string
-	tenants  string
-	class    string
-	deadline time.Duration
+	topoPath    string
+	id          int
+	alpha       float64
+	seed        uint64
+	words       int
+	dim         int
+	query       string
+	batch       string
+	engine      string
+	workers     int
+	ttl         int
+	k           int
+	wait        time.Duration
+	maxWait     time.Duration
+	maxBatch    int
+	cache       int
+	shards      int
+	part        string
+	tenants     string
+	scorer      string
+	indexBudget int64
+	class       string
+	deadline    time.Duration
 }
 
 type peerSpec struct {
@@ -187,6 +203,13 @@ type queryScorer struct {
 	pool  *diffuse.Pool    // shared across tenants; nil when unsharded
 	cfg   scorerConfig
 
+	// wix and refresher exist only with -scorer walkindex: the local
+	// mirror's diffusions are then answered from precomputed per-document
+	// PPR segments (plus an exact residual finish), and the refresher
+	// rebuilds missing segments as Bulk tasks on the local scheduler.
+	wix       *walkindex.Backend
+	refresher *walkindex.Refresher
+
 	mu    sync.RWMutex
 	net   *core.Network    // local topology mirror; swapped whole on Patch
 	specs map[int]peerSpec // specs the mirror was built from (patch diffs)
@@ -206,6 +229,10 @@ type scorerConfig struct {
 	cache       int
 	shards      int
 	partitioner graph.Partitioner
+	// scorer picks the local mirror's backend; indexBudget bounds the
+	// walk-index segment store (see walkindex.Config.Budget).
+	scorer      core.ScorerKind
+	indexBudget int64
 	// class and deadline are this connection's submission defaults: every
 	// Score call is tagged with the class, and given a dispatch deadline of
 	// now+deadline when non-zero (see serve.SubmitOpts).
@@ -243,7 +270,7 @@ func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary, cfg scorerC
 		s.Close()
 		return nil, err
 	}
-	if s.net, err = s.buildTenantMirror(specs); err != nil {
+	if s.net, err = s.buildLocalMirror(specs); err != nil {
 		return fail(err)
 	}
 	schedCfg := serve.Config{
@@ -261,7 +288,39 @@ func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary, cfg scorerC
 			return fail(err)
 		}
 	}
+	// The walk index starts empty; the refresher fills it (and re-fills it
+	// after SIGHUP patches) as Bulk tasks riding the local scheduler, so
+	// index builds coalesce with live traffic instead of competing with it.
+	// Queries served before coverage completes are still exact — the
+	// backend finishes whatever the store cannot answer with a residual
+	// diffusion.
+	if s.wix != nil {
+		s.refresher = walkindex.NewRefresher(s.wix, s.local, walkindex.RefreshConfig{})
+		s.refresher.Start()
+	}
 	return s, nil
+}
+
+// buildLocalMirror builds the local tenant's mirror. Unlike plain tenant
+// mirrors it honours -scorer: walkindex attaches the segment-store backend
+// (whole-graph, so it excludes -shards) instead of the sharded one.
+func (s *queryScorer) buildLocalMirror(specs map[int]peerSpec) (*core.Network, error) {
+	if s.cfg.scorer != core.ScorerWalkIndex {
+		return s.buildTenantMirror(specs)
+	}
+	net, err := buildMirror(specs, s.vocab)
+	if err != nil {
+		return nil, err
+	}
+	in, err := walkindex.Attach(net, walkindex.Config{
+		Alpha: s.cfg.alpha, Budget: s.cfg.indexBudget,
+		Engine: s.req.Engine, Workers: s.cfg.workers, Seed: s.cfg.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.wix = in.Backend()
+	return net, nil
 }
 
 // buildTenantMirror builds one tenant's mirror Network and, whenever a
@@ -371,17 +430,37 @@ const smallPatchFrac = 0.25
 // invalidation inspects where cached mass already is and cannot see mass
 // a new document creates (see serve.Scheduler.InvalidateNodes). The
 // returned summary is for the reload log line.
+//
+// With -scorer walkindex the segment store survives the patch: segments
+// whose seeds sit in the patch's closed neighbourhood are dropped (their
+// PPR columns changed) and the rest keep serving the new mirror — stale
+// or missing segments cost finish sweeps, never accuracy — while the
+// background refresher rebuilds the dropped ones.
 func (s *queryScorer) Patch(specs map[int]peerSpec) (string, error) {
-	net, err := s.buildTenantMirror(specs)
-	if err != nil {
+	s.mu.RLock()
+	old := s.specs
+	s.mu.RUnlock()
+	changed, docsChanged := changedClosure(old, specs)
+
+	var net *core.Network
+	var err error
+	if s.wix != nil {
+		// Bare mirror: the existing walk-index backend is re-pointed at the
+		// new Transition (dropping patched segments) and re-attached, so
+		// surviving segments keep answering.
+		if net, err = buildMirror(specs, s.vocab); err != nil {
+			return "", err
+		}
+		s.wix.PatchTopology(net.Transition(), changed)
+		s.wix.SetSeeds(walkindex.DocSeeds(net))
+		net.SetScorer(s.wix)
+	} else if net, err = s.buildTenantMirror(specs); err != nil {
 		return "", err
 	}
 	s.mu.Lock()
-	old := s.specs
 	s.net = net
 	s.specs = specs
 	s.mu.Unlock()
-	changed, docsChanged := changedClosure(old, specs)
 	total := len(specs)
 	if len(changed) == 0 {
 		return "cache untouched (no peer changed)", nil
@@ -464,8 +543,13 @@ func (s *queryScorer) Stats() map[string]serve.Stats { return s.multi.Stats() }
 // Tenants lists the served tenant names.
 func (s *queryScorer) Tenants() []string { return s.multi.Tenants() }
 
-// Close drains and stops every tenant scheduler and the shared pool.
+// Close drains and stops every tenant scheduler and the shared pool. The
+// refresher stops first so no new index-build tasks chase the closing
+// schedulers.
 func (s *queryScorer) Close() {
+	if s.refresher != nil {
+		s.refresher.Stop()
+	}
 	s.multi.Close()
 	if s.pool != nil {
 		s.pool.Close()
@@ -506,6 +590,28 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
+		sk, err := core.ParseScorer(cfg.scorer)
+		if err != nil {
+			return err
+		}
+		shards := cfg.shards
+		switch sk {
+		case core.ScorerWalkIndex:
+			if shards > 0 {
+				return fmt.Errorf("-scorer walkindex excludes -shards (segments span the whole graph)")
+			}
+		case core.ScorerSharded:
+			if shards <= 0 {
+				shards = 1
+			}
+		default:
+			if shards > 0 {
+				sk = core.ScorerSharded // -shards alone keeps meaning sharded
+			}
+		}
+		if cfg.indexBudget != 0 && sk != core.ScorerWalkIndex {
+			return fmt.Errorf("-index-budget needs -scorer walkindex")
+		}
 		tenantSpecs, err := loadTenants(cfg.tenants)
 		if err != nil {
 			return err
@@ -513,14 +619,15 @@ func run(cfg runConfig) error {
 		if scorer, err = newQueryScorer(specs, vocab, scorerConfig{
 			engine: cfg.engine, alpha: cfg.alpha, workers: cfg.workers, seed: cfg.seed,
 			maxWait: cfg.maxWait, maxBatch: cfg.maxBatch, cache: cfg.cache,
-			shards: cfg.shards, partitioner: pt,
+			shards: shards, partitioner: pt,
+			scorer: sk, indexBudget: cfg.indexBudget,
 			class: cl, deadline: cfg.deadline,
 		}, tenantSpecs); err != nil {
 			return err
 		}
 		defer scorer.Close()
-	} else if cfg.shards > 0 || cfg.tenants != "" {
-		return fmt.Errorf("-shards and -tenants need -engine (request-API scoring)")
+	} else if cfg.shards > 0 || cfg.tenants != "" || cfg.scorer != "" {
+		return fmt.Errorf("-shards, -tenants, and -scorer need -engine (request-API scoring)")
 	}
 
 	tr, err := peernet.ListenTCP(cfg.id, spec.addr)
@@ -555,6 +662,9 @@ func run(cfg runConfig) error {
 		mode = fmt.Sprintf("request-API scoring (engine %v)", scorer.req.Engine)
 		if cfg.shards > 0 {
 			mode += fmt.Sprintf(", %d shards/%s", cfg.shards, cfg.part)
+		}
+		if scorer.wix != nil {
+			mode += fmt.Sprintf(", walk index over %d seeds", scorer.wix.SeedCount())
 		}
 		if names := scorer.Tenants(); len(names) > 1 {
 			mode += fmt.Sprintf(", tenants %s", strings.Join(names, ","))
@@ -627,6 +737,9 @@ func run(cfg runConfig) error {
 		stats := scorer.Stats()
 		for _, name := range scorer.Tenants() {
 			fmt.Printf("scheduler[%s]: %v\n", name, stats[name])
+		}
+		if scorer.wix != nil {
+			fmt.Printf("%v\n", scorer.wix)
 		}
 	}
 	return nil

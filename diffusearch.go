@@ -74,6 +74,7 @@ import (
 	"diffusearch/internal/retrieval"
 	"diffusearch/internal/serve"
 	"diffusearch/internal/shard"
+	"diffusearch/internal/walkindex"
 )
 
 // Re-exported identifier types.
@@ -188,6 +189,27 @@ type (
 	// Scheduler per registered tenant graph, so a single process serves
 	// many overlays. Construct with NewMultiScheduler.
 	MultiScheduler = serve.Multi
+	// WalkIndexedNetwork is a Network scoring through a memory-bounded
+	// store of precomputed PPR segments (leading terms of each document
+	// host's PPR column) with an exact residual finish — results match the
+	// plain CSR backend within the request tolerance even when the store
+	// is partial or stale. Construct with AttachWalkIndex.
+	WalkIndexedNetwork = walkindex.IndexedNetwork
+	// WalkIndexConfig parameterizes the walk index: teleport probability,
+	// truncation threshold, byte budget, build engine, and seed set.
+	WalkIndexConfig = walkindex.Config
+	// WalkIndexBackend is the segment store itself (build, patch, gauges).
+	WalkIndexBackend = walkindex.Backend
+	// WalkIndexRefresher rebuilds missing walk-index segments in the
+	// background as Bulk-class tasks riding a Scheduler. Construct with
+	// NewWalkIndexRefresher.
+	WalkIndexRefresher = walkindex.Refresher
+	// WalkIndexRefreshConfig paces a WalkIndexRefresher (poll interval and
+	// seeds per task).
+	WalkIndexRefreshConfig = walkindex.RefreshConfig
+	// ScorerKind names a scoring backend (csr, sharded, or walkindex);
+	// parse command-line values with ParseScorer.
+	ScorerKind = core.ScorerKind
 )
 
 // Diffusion engines (§IV-B). EngineAsynchronous is the deterministic
@@ -206,6 +228,13 @@ const (
 	VisitedNodeMemory = core.VisitedNodeMemory
 	VisitedInMessage  = core.VisitedInMessage
 	VisitedNone       = core.VisitedNone
+)
+
+// Scoring backends a Network can serve through (see ParseScorer).
+const (
+	ScorerCSR       = core.ScorerCSR
+	ScorerSharded   = core.ScorerSharded
+	ScorerWalkIndex = core.ScorerWalkIndex
 )
 
 // Scheduling classes for SubmitOpts: Interactive is the zero value
@@ -270,6 +299,19 @@ var (
 	// ParseServeClass maps a command-line name (interactive|bulk) to a
 	// scheduling class.
 	ParseServeClass = serve.ParseClass
+	// AttachWalkIndex installs the walk-index scoring backend on an
+	// existing Network in place (seeds default to the document hosts) and
+	// returns the WalkIndexedNetwork wrapper; Build fills the store.
+	AttachWalkIndex = walkindex.Attach
+	// NewWalkIndexRefresher pairs a walk-index backend with a Scheduler so
+	// missing segments rebuild as background Bulk tasks; Start launches it.
+	NewWalkIndexRefresher = walkindex.NewRefresher
+	// WalkIndexDocSeeds lists a network's document hosts, hottest first —
+	// the default seed set of AttachWalkIndex.
+	WalkIndexDocSeeds = walkindex.DocSeeds
+	// ParseScorer maps a command-line name (csr|sharded|walkindex) to a
+	// ScorerKind.
+	ParseScorer = core.ParseScorer
 )
 
 // NewPaperEnvironment builds the full-scale evaluation setting of §V: a

@@ -203,4 +203,31 @@ func main() {
 	fmt.Printf("priority: interactive wait p99 %v, bulk wait p99 %v, %d deadline miss(es)\n",
 		pst.ClassWait[diffusearch.ClassInteractive].P99,
 		pst.ClassWait[diffusearch.ClassBulk].P99, pst.DeadlineMissed)
+
+	// 9. Walk-index serving: attach a precomputed PPR segment store to the
+	//    network and build it offline — queries then assemble cached
+	//    segments and finish only the residual, with scores within the
+	//    request tolerance of the plain CSR backend (peerd: -scorer
+	//    walkindex). SetScorer(nil) would restore the CSR default.
+	indexed, err := diffusearch.AttachWalkIndex(net, diffusearch.WalkIndexConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := indexed.Backend().Build(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v (coverage %.2f)\n", indexed.Backend(), indexed.Backend().Coverage())
+	warm, _, err := net.ScoreBatch([][]float64{query}, diffusearch.DiffusionRequest{Alpha: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxDiff float64
+	for u, v := range warm[0] {
+		if d := v - scores[0][u]; d > maxDiff {
+			maxDiff = d
+		} else if -d > maxDiff {
+			maxDiff = -d
+		}
+	}
+	fmt.Printf("walk-index scores match CSR within %.1e\n", maxDiff)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"diffusearch/internal/diffuse"
 	"diffusearch/internal/graph"
 	"diffusearch/internal/vecmath"
@@ -54,3 +56,42 @@ func (n *Network) SetScorer(s Scorer) {
 
 // ScoringBackend returns the active diffusion backend.
 func (n *Network) ScoringBackend() Scorer { return n.scoring }
+
+// ScorerKind names a scoring backend for command-line selection
+// (peerd -scorer): the single-CSR default, the partitioned backend of
+// internal/shard, or the precomputed walk index of internal/walkindex.
+type ScorerKind int
+
+const (
+	ScorerCSR ScorerKind = iota + 1
+	ScorerSharded
+	ScorerWalkIndex
+)
+
+// String returns the flag spelling ParseScorer accepts.
+func (k ScorerKind) String() string {
+	switch k {
+	case ScorerCSR:
+		return "csr"
+	case ScorerSharded:
+		return "sharded"
+	case ScorerWalkIndex:
+		return "walkindex"
+	}
+	return fmt.Sprintf("ScorerKind(%d)", int(k))
+}
+
+// ParseScorer maps a command-line name to a backend kind. The empty
+// string selects the CSR default, and an unknown name's error lists the
+// accepted spellings (flag typos must not surface as bare errors).
+func ParseScorer(s string) (ScorerKind, error) {
+	switch s {
+	case "", "csr":
+		return ScorerCSR, nil
+	case "sharded":
+		return ScorerSharded, nil
+	case "walkindex":
+		return ScorerWalkIndex, nil
+	}
+	return 0, fmt.Errorf("core: unknown scorer %q (want csr|sharded|walkindex)", s)
+}

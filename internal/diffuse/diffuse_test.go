@@ -2,6 +2,7 @@ package diffuse
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"diffusearch/internal/gengraph"
@@ -188,5 +189,23 @@ func TestParseEngine(t *testing.T) {
 	}
 	if _, err := ParseEngine("mailboxes"); err == nil {
 		t.Fatal("unknown engine name must error")
+	}
+}
+
+// TestParseEngineRejectionListsNames: a flag typo's error must teach the
+// accepted spellings, not surface as a bare failure.
+func TestParseEngineRejectionListsNames(t *testing.T) {
+	_, err := ParseEngine("mailboxes")
+	if err == nil {
+		t.Fatal("unknown engine name must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "mailboxes") {
+		t.Fatalf("error %q does not echo the rejected value", msg)
+	}
+	for _, name := range []string{"async", "parallel", "sync"} {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list accepted name %q", msg, name)
+		}
 	}
 }

@@ -1,0 +1,204 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/stats"
+	"diffusearch/internal/vecmath"
+	"diffusearch/internal/walkindex"
+)
+
+// WalkIndexConfig parameterizes WalkIndexSweep: one placement, one query
+// pool, and a sweep over segment-store budgets expressed as fractions of
+// the full (unbounded) store.
+type WalkIndexConfig struct {
+	M       int     // documents placed; 0 means min(500, pool)
+	Alpha   float64 // teleport probability; 0 means 0.5
+	Tol     float64 // request tolerance; 0 means core.DefaultScoreTol
+	Workers int     // parallel engine pool size; 0 means GOMAXPROCS
+	Seed    uint64
+
+	// BudgetFracs are the store budgets to sweep, as fractions of the
+	// bytes an unbounded build settles at; nil means {0.1, 0.25, 0.5, 1}.
+	// A fraction ≥ 1 builds unbounded.
+	BudgetFracs []float64
+	// Queries is the distinct query count timed per cell; 0 means 16.
+	Queries int
+	// Iters repeats each timing loop; 0 means 3.
+	Iters int
+}
+
+func (c WalkIndexConfig) withDefaults(env *Environment) WalkIndexConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.M <= 0 {
+		c.M = 500
+	}
+	if c.M > env.MaxPoolDocs() {
+		c.M = env.MaxPoolDocs()
+	}
+	if len(c.BudgetFracs) == 0 {
+		c.BudgetFracs = []float64{0.1, 0.25, 0.5, 1}
+	}
+	if c.Queries <= 0 {
+		c.Queries = 16
+	}
+	if c.Iters <= 0 {
+		c.Iters = 3
+	}
+	return c
+}
+
+// WalkIndexRow reports one store-budget cell: what the cached segments
+// cost to build and hold, and what they buy per query against the cold
+// CSR path — with the accuracy check that the backend's residual-finish
+// contract promises (errors stay within the request tolerance at every
+// budget, including partial coverage).
+type WalkIndexRow struct {
+	BudgetFrac   float64 // requested fraction of the full store
+	BudgetBytes  int64   // resolved byte budget (0 = unbounded)
+	StoreBytes   int64   // bytes the store settled at
+	BytesPerNode float64 // StoreBytes / graph nodes
+	Coverage     float64 // built segments / wanted seeds
+	BuildNs      int64   // offline build wall clock
+
+	ColdNsPerQuery int64   // B=1 ScoreBatch on the plain CSR backend
+	WarmNsPerQuery int64   // B=1 ScoreBatch through the walk index
+	Speedup        float64 // cold / warm
+	MaxErr         float64 // max |walkindex − CSR| over all queries
+}
+
+// WalkIndexSweep measures the walk-index backend across store budgets on
+// the environment's workload: the cold baseline is the plain CSR backend
+// scoring each query alone (the per-query serving path the index
+// accelerates); each budget cell then attaches a fresh index, builds it
+// offline, and re-times the identical queries warm. The unbounded build
+// runs first so fractional budgets have a denominator.
+func WalkIndexSweep(env *Environment, cfg WalkIndexConfig) ([]WalkIndexRow, error) {
+	cfg = cfg.withDefaults(env)
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.Derive(cfg.Seed, "walkindex-expt")
+	pair := env.Bench.SamplePair(r)
+	docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, cfg.M-1)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		return nil, err
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		return nil, err
+	}
+	queries := make([][]float64, cfg.Queries)
+	for j := range queries {
+		queries[j] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
+	}
+	req := core.DiffusionRequest{
+		Engine: diffuse.EngineParallel, Alpha: cfg.Alpha, Tol: cfg.Tol,
+		Workers: cfg.Workers, Seed: cfg.Seed,
+	}
+
+	// Cold baseline on the untouched CSR path; the last pass's scores are
+	// the accuracy reference for every budget cell.
+	ref := make([][]float64, len(queries))
+	coldStart := time.Now()
+	for it := 0; it < cfg.Iters; it++ {
+		for j, q := range queries {
+			scores, _, err := net.ScoreBatch([][]float64{q}, req)
+			if err != nil {
+				return nil, fmt.Errorf("expt: cold query: %w", err)
+			}
+			ref[j] = scores[0]
+		}
+	}
+	coldNs := time.Since(coldStart).Nanoseconds() / int64(cfg.Iters*len(queries))
+
+	// Unbounded build first: fractional budgets are fractions of the bytes
+	// a full store settles at.
+	var fullBytes int64
+	measure := func(budget int64, frac float64) (WalkIndexRow, error) {
+		row := WalkIndexRow{BudgetFrac: frac, BudgetBytes: budget, ColdNsPerQuery: coldNs}
+		in, err := walkindex.Attach(net, walkindex.Config{
+			Alpha: cfg.Alpha, Budget: budget, Workers: cfg.Workers, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return row, err
+		}
+		defer net.SetScorer(nil)
+		b := in.Backend()
+		buildStart := time.Now()
+		if _, err := b.Build(); err != nil {
+			return row, fmt.Errorf("expt: index build: %w", err)
+		}
+		row.BuildNs = time.Since(buildStart).Nanoseconds()
+		row.StoreBytes = b.StoreBytes()
+		row.BytesPerNode = float64(row.StoreBytes) / float64(env.Graph.NumNodes())
+		row.Coverage = b.Coverage()
+
+		warmStart := time.Now()
+		for it := 0; it < cfg.Iters; it++ {
+			for j, q := range queries {
+				scores, _, err := net.ScoreBatch([][]float64{q}, req)
+				if err != nil {
+					return row, fmt.Errorf("expt: warm query: %w", err)
+				}
+				if d := vecmath.MaxAbsDiff(scores[0], ref[j]); d > row.MaxErr {
+					row.MaxErr = d
+				}
+			}
+		}
+		row.WarmNsPerQuery = time.Since(warmStart).Nanoseconds() / int64(cfg.Iters*len(queries))
+		if row.WarmNsPerQuery > 0 {
+			row.Speedup = float64(row.ColdNsPerQuery) / float64(row.WarmNsPerQuery)
+		}
+		return row, nil
+	}
+
+	full, err := measure(-1, 1)
+	if err != nil {
+		return nil, err
+	}
+	fullBytes = full.StoreBytes
+
+	rows := make([]WalkIndexRow, 0, len(cfg.BudgetFracs))
+	for _, frac := range cfg.BudgetFracs {
+		if frac >= 1 {
+			rows = append(rows, full)
+			continue
+		}
+		row, err := measure(int64(frac*float64(fullBytes)), frac)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatWalkIndex renders WalkIndexSweep rows.
+func FormatWalkIndex(rows []WalkIndexRow) *stats.Table {
+	t := &stats.Table{Header: []string{
+		"budget", "store KiB", "B/node", "coverage", "build ms", "cold ns/q", "warm ns/q", "speedup", "max err",
+	}}
+	for _, r := range rows {
+		budget := "unbounded"
+		if r.BudgetBytes > 0 {
+			budget = fmt.Sprintf("%.0f%%", 100*r.BudgetFrac)
+		}
+		t.AddRow(
+			budget,
+			fmt.Sprintf("%d", r.StoreBytes>>10),
+			fmt.Sprintf("%.0f", r.BytesPerNode),
+			fmt.Sprintf("%.2f", r.Coverage),
+			fmt.Sprintf("%.0f", float64(r.BuildNs)/1e6),
+			fmt.Sprintf("%d", r.ColdNsPerQuery),
+			fmt.Sprintf("%d", r.WarmNsPerQuery),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.1e", r.MaxErr),
+		)
+	}
+	return t
+}

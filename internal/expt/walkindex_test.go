@@ -1,0 +1,51 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWalkIndexSweepShape(t *testing.T) {
+	env := scaledEnv(t)
+	rows, err := WalkIndexSweep(env, WalkIndexConfig{
+		M: 50, Alpha: 0.5, Seed: 3, Workers: 2,
+		BudgetFracs: []float64{0.25, 1}, Queries: 4, Iters: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.ColdNsPerQuery <= 0 || r.WarmNsPerQuery <= 0 {
+			t.Fatalf("row %d unmeasured: %+v", i, r)
+		}
+		if r.StoreBytes <= 0 || r.BuildNs <= 0 {
+			t.Fatalf("row %d build unmeasured: %+v", i, r)
+		}
+		// The residual-finish contract: every budget serves exact scores.
+		if r.MaxErr > 1e-6 {
+			t.Fatalf("row %d error %g beyond tolerance", i, r.MaxErr)
+		}
+	}
+	partial, full := rows[0], rows[1]
+	if full.Coverage != 1 {
+		t.Fatalf("unbounded build coverage %v, want 1", full.Coverage)
+	}
+	if full.BudgetBytes > 0 {
+		t.Fatalf("frac 1 must build unbounded, got budget %d", full.BudgetBytes)
+	}
+	if partial.BudgetBytes <= 0 || partial.StoreBytes > partial.BudgetBytes {
+		t.Fatalf("partial cell overran its budget: %+v", partial)
+	}
+	if partial.StoreBytes >= full.StoreBytes {
+		t.Fatalf("partial store %d not smaller than full %d", partial.StoreBytes, full.StoreBytes)
+	}
+	table := FormatWalkIndex(rows).String()
+	for _, col := range []string{"budget", "coverage", "speedup", "max err"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("table missing column %q:\n%s", col, table)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"diffusearch/internal/vecmath"
@@ -185,5 +186,23 @@ func TestParsePartitioner(t *testing.T) {
 	}
 	if _, err := ParsePartitioner("metis"); err == nil {
 		t.Fatal("unknown partitioner must error")
+	}
+}
+
+// TestParsePartitionerRejectionListsNames: the rejection error must echo
+// the typo and list the accepted spellings.
+func TestParsePartitionerRejectionListsNames(t *testing.T) {
+	_, err := ParsePartitioner("metis")
+	if err == nil {
+		t.Fatal("unknown partitioner must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "metis") {
+		t.Fatalf("error %q does not echo the rejected value", msg)
+	}
+	for _, name := range []string{"range", "greedy"} {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list accepted name %q", msg, name)
+		}
 	}
 }

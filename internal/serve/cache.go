@@ -34,6 +34,7 @@ type lru struct {
 	mu    sync.Mutex
 	cap   int
 	gen   uint64
+	bytes int64 // payload accounting: Σ per entry len(key) + 8·len(scores)
 	items map[string]*list.Element
 	order *list.List // front = most recently used
 }
@@ -84,16 +85,30 @@ func (c *lru) putAt(gen uint64, key string, scores []float64) {
 		return
 	}
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).scores = scores
+		e := el.Value.(*lruEntry)
+		c.bytes += 8 * int64(len(scores)-len(e.scores))
+		e.scores = scores
 		c.order.MoveToFront(el)
 		return
 	}
 	for len(c.items) >= c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		e := oldest.Value.(*lruEntry)
+		c.bytes -= entryBytes(e)
+		delete(c.items, e.key)
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, scores: scores})
+	e := &lruEntry{key: key, scores: scores}
+	c.items[key] = c.order.PushFront(e)
+	c.bytes += entryBytes(e)
+}
+
+// entryBytes is one entry's payload: the key string plus its score
+// column (8 bytes per float64). Container overhead is deliberately not
+// modelled — the gauge tracks what the cached data itself costs, the
+// same contract as walkindex.StoreBytes.
+func entryBytes(e *lruEntry) int64 {
+	return int64(len(e.key)) + 8*int64(len(e.scores))
 }
 
 // clear drops every entry (topology invalidation).
@@ -101,6 +116,7 @@ func (c *lru) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
+	c.bytes = 0
 	c.items = make(map[string]*list.Element)
 	c.order.Init()
 }
@@ -121,6 +137,7 @@ func (c *lru) dropIf(pred func(scores []float64) bool) int {
 		e := el.Value.(*lruEntry)
 		if pred(e.scores) {
 			c.order.Remove(el)
+			c.bytes -= entryBytes(e)
 			delete(c.items, e.key)
 			dropped++
 		}
@@ -134,4 +151,12 @@ func (c *lru) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.items)
+}
+
+// sizeBytes returns the live payload bytes (see entryBytes) — the
+// Stats.CacheBytes gauge.
+func (c *lru) sizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -171,10 +171,12 @@ type result struct {
 	cached bool
 }
 
-// pending is one submitted query waiting to be coalesced.
+// pending is one submitted query waiting to be coalesced — or, when task
+// is non-nil, a SubmitTask closure riding the same priority plan.
 type pending struct {
 	query    []float64
 	key      string
+	task     func() // non-nil: a SubmitTask closure, never scored
 	ctx      context.Context
 	enq      time.Time
 	class    Class
@@ -330,6 +332,74 @@ func (s *Scheduler) SubmitWith(ctx context.Context, query []float64, opts Submit
 	}
 }
 
+// SubmitTask runs fn on the scheduler's collector goroutine under the
+// priority plan and blocks until it ran, the context cancelled, or the
+// scheduler closed. A task occupies one slot of a coalesced batch but is
+// never scored, cached, or deduplicated: it rides the window exactly as
+// a query of its class would — a Bulk task waits out BulkMaxWait, is
+// elevated by the starvation valve like any Bulk member, and is shed
+// past its deadline with ErrDeadlineMissed — and executes after the
+// batch's waiters resolve, so it never adds latency to the queries it
+// dispatched with. This is how background maintenance (the walk-index
+// refresher's segment rebuilds) shares the scheduler without displacing
+// Interactive traffic.
+func (s *Scheduler) SubmitTask(ctx context.Context, opts SubmitOpts, fn func()) error {
+	if fn == nil {
+		return fmt.Errorf("serve: nil task")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+		s.m.deadlineMissed()
+		return ErrDeadlineMissed
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	s.live.Add(1)
+
+	p := &pending{
+		task: fn, ctx: ctx, enq: time.Now(),
+		class: opts.Class, deadline: opts.Deadline,
+		done: make(chan result, 1),
+	}
+	select {
+	case s.submit <- p:
+		s.live.Add(-1)
+	default:
+		var expiry <-chan time.Time
+		if !p.deadline.IsZero() {
+			t := time.NewTimer(time.Until(p.deadline))
+			defer t.Stop()
+			expiry = t.C
+		}
+		select {
+		case s.submit <- p:
+			s.live.Add(-1)
+		case <-ctx.Done():
+			s.live.Add(-1)
+			s.m.rejected()
+			return ctx.Err()
+		case <-expiry:
+			s.live.Add(-1)
+			s.m.deadlineMissed()
+			return ErrDeadlineMissed
+		}
+	}
+	select {
+	case r := <-p.done:
+		return r.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Warm scores a whole query batch in one diffusion through the scheduler's
 // request and fills the cache, so subsequent Submits for these queries are
 // cache hits. It bypasses coalescing (ScoreBatch is safe to run alongside
@@ -399,7 +469,11 @@ func (s *Scheduler) InvalidateNodes(ids []int) int {
 				// (a join grew the graph): the column cannot rank it.
 				return true
 			}
-			if scores[id] > invalidateEps || scores[id] < -invalidateEps {
+			// ≥, not >: a column with mass exactly at the threshold is at
+			// the edge of what the tolerance resolves, and the contract is
+			// "below eps is negligible", so the boundary itself must drop
+			// (pinned by TestInvalidateNodesBoundary).
+			if scores[id] >= invalidateEps || scores[id] <= -invalidateEps {
 				return true
 			}
 		}
@@ -415,6 +489,7 @@ func (s *Scheduler) InvalidateNodes(ids []int) int {
 func (s *Scheduler) Stats() Stats {
 	st := s.m.snapshot()
 	st.QueueDepth = len(s.submit) + int(s.carried.Load())
+	st.CacheBytes = s.cache.sizeBytes()
 	return st
 }
 
@@ -599,11 +674,25 @@ func (s *Scheduler) dispatch(batch []*pending) {
 	start := time.Now()
 	groups := make(map[string][]*pending, len(batch))
 	uniq := make([]*pending, 0, len(batch)) // arrival-ordered representatives
+	var tasks []*pending
 	for _, p := range batch {
 		if p.ctx.Err() != nil {
 			// The caller gave up mid-coalesce: drop it before dispatch so
 			// its column is never scored.
 			s.m.cancelled()
+			continue
+		}
+		if p.task != nil {
+			// Tasks skip the cache and dedup (there is nothing to score)
+			// but honour deadline shedding like any batch member; they
+			// execute after the batch's waiters resolve.
+			if expired(p, start) {
+				s.m.deadlineMissed()
+				p.done <- result{err: ErrDeadlineMissed}
+				continue
+			}
+			s.m.waited(start.Sub(p.enq), p.class)
+			tasks = append(tasks, p)
 			continue
 		}
 		if scores, ok := s.cache.get(p.key); ok {
@@ -632,6 +721,9 @@ func (s *Scheduler) dispatch(batch []*pending) {
 		uniq = append(uniq, p)
 	}
 	if len(uniq) == 0 {
+		// A batch of only tasks (or only cache hits and tasks) still runs
+		// its tasks — no diffusion needed.
+		s.runTasks(tasks)
 		return
 	}
 	queries := make([][]float64, len(uniq))
@@ -673,6 +765,8 @@ func (s *Scheduler) dispatch(batch []*pending) {
 				w.done <- result{err: err}
 			}
 		}
+		// A scoring failure says nothing about the tasks: run them.
+		s.runTasks(tasks)
 		return
 	}
 	s.m.dispatched(len(uniq), nInteractive, nBulk, st)
@@ -681,5 +775,18 @@ func (s *Scheduler) dispatch(batch []*pending) {
 		for _, w := range groups[p.key] {
 			w.done <- result{scores: scores[i]}
 		}
+	}
+	s.runTasks(tasks)
+}
+
+// runTasks executes the batch's SubmitTask closures serially on the
+// collector goroutine, after every scored waiter has been resolved:
+// maintenance work (walk-index rebuilds) is pure tail latency for the
+// scheduler, never for the queries it coalesced with.
+func (s *Scheduler) runTasks(tasks []*pending) {
+	for _, p := range tasks {
+		p.task()
+		s.m.taskRan()
+		p.done <- result{}
 	}
 }

@@ -84,6 +84,16 @@ type Stats struct {
 	// per-query cost of every early-terminated column.
 	SweepsTotal       uint64
 	ColumnSweepsTotal uint64
+
+	// TasksRun counts SubmitTask closures executed on the collector
+	// (background maintenance such as walk-index segment rebuilds).
+	TasksRun uint64
+
+	// CacheBytes is the LRU score cache's live payload size at snapshot
+	// time (keys plus score columns) — the memory the Cache entry bound
+	// actually admitted, reported in bytes like walkindex.StoreBytes so
+	// capacity planning sees both memory-bounded structures in one unit.
+	CacheBytes int64
 }
 
 // WaitQuantiles are coalescing-wait quantiles over one class's sliding
@@ -129,6 +139,12 @@ func (s Stats) String() string {
 		s.MeanBatch(), s.SweepsPerQuery(), s.QueueMax, s.WaitP50, s.WaitP99, s.HistString())
 	if s.DeadlineMissed > 0 || s.BulkPromoted > 0 {
 		line += fmt.Sprintf(" deadline_missed=%d bulk_promoted=%d", s.DeadlineMissed, s.BulkPromoted)
+	}
+	if s.CacheBytes > 0 {
+		line += fmt.Sprintf(" cache_bytes=%d", s.CacheBytes)
+	}
+	if s.TasksRun > 0 {
+		line += fmt.Sprintf(" tasks_run=%d", s.TasksRun)
 	}
 	return line
 }
@@ -207,6 +223,9 @@ func (m *metrics) rejected()  { m.mu.Lock(); m.s.Rejected++; m.mu.Unlock() }
 func (m *metrics) cacheHit()  { m.mu.Lock(); m.s.CacheHits++; m.mu.Unlock() }
 
 func (m *metrics) deadlineMissed() { m.mu.Lock(); m.s.DeadlineMissed++; m.mu.Unlock() }
+
+// taskRan records one SubmitTask closure executed by the collector.
+func (m *metrics) taskRan() { m.mu.Lock(); m.s.TasksRun++; m.mu.Unlock() }
 
 // promoted records Bulk queries crossing the starvation bound.
 func (m *metrics) promoted(n int) {

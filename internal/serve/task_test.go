@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitTaskRunsOnCollector: a task submitted alongside queries runs
+// exactly once on the collector, after the batch's waiters resolve, and
+// is counted in TasksRun without polluting the query counters.
+func TestSubmitTaskRunsOnCollector(t *testing.T) {
+	b := &stubBackend{}
+	s, err := New(b, Config{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var ran atomic.Int64
+	if err := s.SubmitTask(context.Background(), SubmitOpts{Class: Bulk}, func() { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("task ran %d times, want 1", got)
+	}
+	// A task-only batch must not have touched the backend.
+	if w := b.batchWidths(); len(w) != 0 {
+		t.Fatalf("task-only batch hit the backend: widths %v", w)
+	}
+	st := s.Stats()
+	if st.TasksRun != 1 {
+		t.Fatalf("TasksRun = %d, want 1", st.TasksRun)
+	}
+	if st.Submitted != 0 || st.Completed != 0 || st.QueriesScored != 0 {
+		t.Fatalf("task polluted query counters: %+v", st)
+	}
+
+	// Tasks coexist with scored queries in one window.
+	if _, err := s.Submit(context.Background(), []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitTask(context.Background(), SubmitOpts{}, func() { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("task ran %d times total, want 2", got)
+	}
+	if st := s.Stats(); st.Completed != 1 || st.TasksRun != 2 {
+		t.Fatalf("mixed window counters wrong: %+v", st)
+	}
+}
+
+// TestSubmitTaskDeadlineShed: a task past its deadline is shed exactly
+// like a query — ErrDeadlineMissed, never run.
+func TestSubmitTaskDeadlineShed(t *testing.T) {
+	b := &stubBackend{}
+	s, err := New(b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var ran atomic.Int64
+	err = s.SubmitTask(context.Background(), SubmitOpts{Deadline: time.Now().Add(-time.Millisecond)},
+		func() { ran.Add(1) })
+	if !errors.Is(err, ErrDeadlineMissed) {
+		t.Fatalf("err = %v, want ErrDeadlineMissed", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("shed task still ran")
+	}
+	if st := s.Stats(); st.DeadlineMissed != 1 || st.TasksRun != 0 {
+		t.Fatalf("shed accounting wrong: %+v", st)
+	}
+}
+
+// TestSubmitTaskClosed: tasks queued before Close still run (the drain
+// contract queries have); tasks after Close get ErrClosed.
+func TestSubmitTaskClosed(t *testing.T) {
+	b := &stubBackend{}
+	s, err := New(b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	if err := s.SubmitTask(context.Background(), SubmitOpts{Class: Bulk}, func() { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if ran.Load() != 1 {
+		t.Fatal("pre-close task lost")
+	}
+	if err := s.SubmitTask(context.Background(), SubmitOpts{}, func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := s.SubmitTask(context.Background(), SubmitOpts{}, nil); err == nil {
+		t.Fatal("nil task accepted")
+	}
+}
+
+// TestCacheBytesGauge: Stats.CacheBytes tracks the LRU payload through
+// fills, evictions, and invalidation.
+func TestCacheBytesGauge(t *testing.T) {
+	b := &stubBackend{}
+	s, err := New(b, Config{Cache: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if st := s.Stats(); st.CacheBytes != 0 {
+		t.Fatalf("fresh cache reports %d bytes", st.CacheBytes)
+	}
+	// Each entry: 2-component query key (16 bytes) + 1 score (8 bytes).
+	const per = 16 + 8
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(context.Background(), []float64{float64(i), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 2: the third insert evicted the first.
+	if st := s.Stats(); st.CacheBytes != 2*per {
+		t.Fatalf("CacheBytes = %d, want %d", st.CacheBytes, 2*per)
+	}
+	s.InvalidateCache()
+	if st := s.Stats(); st.CacheBytes != 0 {
+		t.Fatalf("CacheBytes after clear = %d, want 0", st.CacheBytes)
+	}
+}
+
+// TestInvalidateNodesBoundary pins the ≥ contract: a cached column whose
+// mass at a patched node is EXACTLY invalidateEps must drop (the old
+// strict > kept it serving stale scores).
+func TestInvalidateNodesBoundary(t *testing.T) {
+	c := newLRU(4)
+	c.putAt(c.generation(), "at", []float64{0, invalidateEps, 0})
+	c.putAt(c.generation(), "below", []float64{0, invalidateEps / 2, 0})
+	c.putAt(c.generation(), "neg", []float64{0, -invalidateEps, 0})
+
+	s := &Scheduler{cache: c}
+	if dropped := s.InvalidateNodes([]int{1}); dropped != 2 {
+		t.Fatalf("dropped %d columns, want 2 (both ±eps boundaries)", dropped)
+	}
+	if _, ok := c.get("at"); ok {
+		t.Fatal("column with mass exactly at invalidateEps survived")
+	}
+	if _, ok := c.get("neg"); ok {
+		t.Fatal("column with mass exactly at -invalidateEps survived")
+	}
+	if _, ok := c.get("below"); !ok {
+		t.Fatal("column safely below the threshold was dropped")
+	}
+}
+
+// TestLRUByteAccounting exercises the lru gauge directly across refresh,
+// eviction, and dropIf — putAt refreshing an entry with a different
+// column length must adjust, not double-count.
+func TestLRUByteAccounting(t *testing.T) {
+	c := newLRU(2)
+	c.putAt(c.generation(), "a", []float64{1, 2})
+	c.putAt(c.generation(), "b", []float64{3})
+	want := int64(1+16) + int64(1+8)
+	if got := c.sizeBytes(); got != want {
+		t.Fatalf("sizeBytes = %d, want %d", got, want)
+	}
+	c.putAt(c.generation(), "a", []float64{1, 2, 3}) // refresh, longer
+	want += 8
+	if got := c.sizeBytes(); got != want {
+		t.Fatalf("after refresh: sizeBytes = %d, want %d", got, want)
+	}
+	c.putAt(c.generation(), "cc", []float64{4}) // evicts LRU ("b")
+	want = int64(1+24) + int64(2+8)
+	if got := c.sizeBytes(); got != want {
+		t.Fatalf("after eviction: sizeBytes = %d, want %d", got, want)
+	}
+	c.dropIf(func([]float64) bool { return true })
+	if got := c.sizeBytes(); got != 0 {
+		t.Fatalf("after dropIf all: sizeBytes = %d, want 0", got)
+	}
+}

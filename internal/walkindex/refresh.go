@@ -1,0 +1,115 @@
+package walkindex
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"diffusearch/internal/serve"
+)
+
+// TaskSubmitter is the slice of serve.Scheduler the Refresher needs: a
+// way to run a closure on the scheduler's collector goroutine under the
+// priority plan. *serve.Scheduler satisfies it.
+type TaskSubmitter interface {
+	SubmitTask(ctx context.Context, opts serve.SubmitOpts, fn func()) error
+}
+
+// RefreshConfig parameterizes a Refresher.
+type RefreshConfig struct {
+	// Interval is the poll cadence for missing segments (a lazy store
+	// only knows it has holes when asked). 0 means 100ms.
+	Interval time.Duration
+	// Block caps the seeds rebuilt per submitted task, bounding how long
+	// one Bulk slot occupies the collector. 0 means DefaultBuildBlock.
+	Block int
+}
+
+func (c RefreshConfig) withDefaults() RefreshConfig {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.Block <= 0 {
+		c.Block = DefaultBuildBlock
+	}
+	return c
+}
+
+// Refresher rebuilds missing walk-index segments in the background by
+// riding the serve scheduler's Bulk class: each rebuild block is
+// submitted as a Bulk task, so it waits out BulkMaxWait behind
+// Interactive traffic, is bounded by the starvation valve like any Bulk
+// query, and never displaces an interactive dispatch. Segments go
+// missing lazily — at startup, when the budget frees, and whenever
+// PatchTopology drops a patched neighbourhood.
+type Refresher struct {
+	b   *Backend
+	sub TaskSubmitter
+	cfg RefreshConfig
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRefresher creates a refresher for b submitting through sub (usually
+// the *serve.Scheduler serving b's network). Call Start to begin.
+func NewRefresher(b *Backend, sub TaskSubmitter, cfg RefreshConfig) *Refresher {
+	return &Refresher{
+		b: b, sub: sub, cfg: cfg.withDefaults(),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// Start launches the refresh loop. Stop it with Stop.
+func (r *Refresher) Start() { go r.loop() }
+
+// Stop halts the loop and waits for it to exit. Idempotent.
+func (r *Refresher) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+func (r *Refresher) loop() {
+	defer close(r.done)
+	tick := time.NewTicker(r.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		// Drain the missing set, one Bulk task per block: SubmitTask
+		// blocks until the collector ran the block, so a big backlog
+		// (a fresh store, a large patch) builds at exactly the pace the
+		// scheduler grants Bulk work.
+		for {
+			seeds := r.b.MissingSeeds(r.cfg.Block)
+			if len(seeds) == 0 {
+				break
+			}
+			before := r.b.Segments()
+			err := r.sub.SubmitTask(context.Background(), serve.SubmitOpts{Class: serve.Bulk}, func() {
+				// Build errors surface as still-missing seeds on the
+				// next pass; the loop must not die for one bad block.
+				_, _ = r.b.BuildSeeds(seeds)
+			})
+			if errors.Is(err, serve.ErrClosed) {
+				return
+			}
+			if err != nil || r.b.Segments() == before {
+				// An error, a budget that admits no further segment, or a
+				// patch staling the block: no progress is possible right
+				// now — retry after the next tick instead of spinning.
+				break
+			}
+			select {
+			case <-r.stop:
+				return
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package walkindex_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/serve"
+	"diffusearch/internal/vecmath"
+	"diffusearch/internal/walkindex"
+)
+
+// TestRefresherRebuildsThroughScheduler: a fresh (empty) walk index is
+// populated by the Refresher riding a live serve.Scheduler as Bulk
+// tasks, while the scheduler keeps answering queries; after coverage
+// completes, scheduled answers match a plain CSR network.
+func TestRefresherRebuildsThroughScheduler(t *testing.T) {
+	g := communityGraph(120, 4)
+	net, queries := buildPair(t, g, 21)
+	req := core.DiffusionRequest{Engine: diffuse.EngineParallel, Alpha: 0.5, Tol: 1e-9, Seed: 21}
+	want, _, err := net.ScoreBatch(queries, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wnet, wqueries := buildPair(t, g, 21)
+	in, err := walkindex.Attach(wnet, walkindex.Config{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := serve.New(wnet, serve.Config{Request: req, Cache: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+
+	r := walkindex.NewRefresher(in.Backend(), sched, walkindex.RefreshConfig{
+		Interval: time.Millisecond, Block: 16,
+	})
+	r.Start()
+	defer r.Stop()
+
+	// Queries served during the build are already exact (bypass or
+	// partial store plus residual finish).
+	early, err := sched.Submit(context.Background(), wqueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vecmath.MaxAbsDiff(early, want[0]); d > 1e-6 {
+		t.Fatalf("mid-build answer off by %g", d)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for in.Backend().Coverage() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("refresher never completed coverage: %v", in.Backend())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := sched.Stats(); st.TasksRun == 0 {
+		t.Fatalf("rebuilds did not ride the scheduler: %+v", st)
+	}
+
+	for j, q := range wqueries {
+		got, err := sched.Submit(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := vecmath.MaxAbsDiff(got, want[j]); d > 1e-6 {
+			t.Fatalf("query %d: warm answer off by %g", j, d)
+		}
+	}
+}
+
+// TestRefresherStopsOnClosedScheduler: the loop exits once the scheduler
+// is closed instead of spinning on ErrClosed.
+func TestRefresherStopsOnClosedScheduler(t *testing.T) {
+	g := communityGraph(90, 3)
+	net, _ := buildPair(t, g, 5)
+	in, err := walkindex.Attach(net, walkindex.Config{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := serve.New(net, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := walkindex.NewRefresher(in.Backend(), sched, walkindex.RefreshConfig{Interval: time.Millisecond})
+	r.Start()
+	sched.Close()
+	done := make(chan struct{})
+	go func() { r.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("refresher did not stop after scheduler close")
+	}
+}
+
+// TestRefresherRebuildsAfterPatch: PatchTopology drops segments; the
+// refresher restores coverage without any explicit Build call.
+func TestRefresherRebuildsAfterPatch(t *testing.T) {
+	g := communityGraph(120, 4)
+	net, _ := buildPair(t, g, 9)
+	in, err := walkindex.Attach(net, walkindex.Config{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Backend().Build(); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := serve.New(net, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	r := walkindex.NewRefresher(in.Backend(), sched, walkindex.RefreshConfig{Interval: time.Millisecond})
+	r.Start()
+	defer r.Stop()
+
+	seeds := walkindex.DocSeeds(net)
+	in.Backend().PatchTopology(graph.NewTransition(g, graph.ColumnStochastic), seeds[:len(seeds)/2])
+	deadline := time.Now().Add(10 * time.Second)
+	for in.Backend().Coverage() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("refresher never restored coverage after patch: %v", in.Backend())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
