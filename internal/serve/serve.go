@@ -343,6 +343,13 @@ func (s *Scheduler) SubmitWith(ctx context.Context, query []float64, opts Submit
 // dispatched with. This is how background maintenance (the walk-index
 // refresher's segment rebuilds) shares the scheduler without displacing
 // Interactive traffic.
+//
+// Cancellation is best-effort: the collector drops a cancelled task both
+// at batch assembly and again immediately before invoking fn, but a
+// cancel that lands once fn is already running cannot stop it — fn may
+// still execute (and complete) after SubmitTask has returned ctx.Err().
+// Closures must therefore not capture state the caller frees on
+// cancellation; make fn safe to run at any point after submission.
 func (s *Scheduler) SubmitTask(ctx context.Context, opts SubmitOpts, fn func()) error {
 	if fn == nil {
 		return fmt.Errorf("serve: nil task")
@@ -782,9 +789,18 @@ func (s *Scheduler) dispatch(batch []*pending) {
 // runTasks executes the batch's SubmitTask closures serially on the
 // collector goroutine, after every scored waiter has been resolved:
 // maintenance work (walk-index rebuilds) is pure tail latency for the
-// scheduler, never for the queries it coalesced with.
+// scheduler, never for the queries it coalesced with. Each closure
+// re-checks its caller's context first — dispatch pruned cancelled
+// members at batch assembly, but scoring ran in between, and a caller
+// whose SubmitTask already returned ctx.Err() may have moved on from
+// the state fn captures.
 func (s *Scheduler) runTasks(tasks []*pending) {
 	for _, p := range tasks {
+		if p.ctx.Err() != nil {
+			s.m.cancelled()
+			p.done <- result{err: p.ctx.Err()}
+			continue
+		}
 		p.task()
 		s.m.taskRan()
 		p.done <- result{}

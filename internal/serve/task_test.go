@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -97,6 +98,77 @@ func TestSubmitTaskClosed(t *testing.T) {
 	}
 	if err := s.SubmitTask(context.Background(), SubmitOpts{}, nil); err == nil {
 		t.Fatal("nil task accepted")
+	}
+}
+
+// TestSubmitTaskCancelledBeforeRun pins the runTasks context re-check:
+// a task whose caller cancels after dispatch selected it (so it survived
+// the batch-assembly prune) but before the batch's scoring finished must
+// NOT run — by then SubmitTask has returned ctx.Err() and the caller may
+// have moved on from the state the closure captures.
+func TestSubmitTaskCancelledBeforeRun(t *testing.T) {
+	b := &stubBackend{gate: make(chan struct{}, 4), entered: make(chan struct{}, 4)}
+	s, err := New(b, Config{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Occupy the collector: Q0 dispatches alone and blocks inside
+	// ScoreBatch until released.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(context.Background(), q(1)); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-b.entered
+
+	// While the collector is busy, queue Q1 and a cancellable task: they
+	// will share the next window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(context.Background(), q(2)); err != nil {
+			t.Error(err)
+		}
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	taskErr := make(chan error, 1)
+	go func() {
+		taskErr <- s.SubmitTask(ctx, SubmitOpts{}, func() { ran.Add(1) })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.submit) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("Q1 and the task never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Release Q0: the collector gathers {Q1, task}, prunes (the task is
+	// still live), and blocks scoring Q1 — the task now sits between the
+	// prune and runTasks.
+	b.release()
+	<-b.entered
+
+	// Cancel inside that gap, then let the batch finish.
+	cancel()
+	if err := <-taskErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitTask err = %v, want context.Canceled", err)
+	}
+	b.release()
+	wg.Wait()
+	waitStats(t, s, func(st Stats) bool { return st.Cancelled == 1 })
+	if ran.Load() != 0 {
+		t.Fatal("task ran after its SubmitTask returned ctx.Err()")
+	}
+	if st := s.Stats(); st.TasksRun != 0 {
+		t.Fatalf("TasksRun = %d, want 0", st.TasksRun)
 	}
 }
 

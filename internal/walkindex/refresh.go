@@ -16,13 +16,26 @@ type TaskSubmitter interface {
 	SubmitTask(ctx context.Context, opts serve.SubmitOpts, fn func()) error
 }
 
+// DefaultRefreshBlock is the default seeds-per-task for a Refresher.
+// Unlike an offline Build — where DefaultBuildBlock's wide blocks
+// maximize sweep amortization — a refresh task runs synchronously on
+// the serve collector goroutine, so its diffusion is head-of-line
+// latency for every query dispatched after it. Small blocks trade some
+// amortization for bounded collector occupancy: the backlog drains over
+// more Bulk slots, each short enough that Interactive traffic threads
+// between them.
+const DefaultRefreshBlock = 8
+
 // RefreshConfig parameterizes a Refresher.
 type RefreshConfig struct {
 	// Interval is the poll cadence for missing segments (a lazy store
 	// only knows it has holes when asked). 0 means 100ms.
 	Interval time.Duration
 	// Block caps the seeds rebuilt per submitted task, bounding how long
-	// one Bulk slot occupies the collector. 0 means DefaultBuildBlock.
+	// one Bulk slot occupies the collector (each task's diffusion runs on
+	// the collector goroutine and delays every later dispatch). 0 means
+	// DefaultRefreshBlock; raise it only when index build throughput
+	// matters more than interactive tail latency.
 	Block int
 }
 
@@ -31,7 +44,7 @@ func (c RefreshConfig) withDefaults() RefreshConfig {
 		c.Interval = 100 * time.Millisecond
 	}
 	if c.Block <= 0 {
-		c.Block = DefaultBuildBlock
+		c.Block = DefaultRefreshBlock
 	}
 	return c
 }

@@ -166,12 +166,26 @@ type Backend struct {
 
 	mu     sync.RWMutex
 	tr     *graph.Transition
-	segs   []*segment // len == NumNodes; nil = not built
+	segs   []*segment // len == NumNodes; nil = not built; COW — see below
 	wanted []bool     // seed membership, len == NumNodes
 	seeds  []graph.NodeID
 	gen    uint64 // bumped by PatchTopology/SetSeeds: stales in-flight builds
 	bytes  int64
 	built  int
+	// saturated is set when insert rejected a segment for the byte budget
+	// and cleared whenever budget frees or the store changes shape (gen
+	// bump, segment eviction). While set, MissingSeeds reports no work, so
+	// the Refresher does not re-diffuse blocks it can never land.
+	saturated bool
+}
+
+// mutableSegs returns a private clone of b.segs for callers (holding mu)
+// that are about to overwrite elements. DiffuseSignal snapshots b.segs
+// under RLock and keeps reading it after releasing the lock, so a
+// published slice's elements are immutable: every element write must go
+// through a clone that is then republished (copy-on-write).
+func (b *Backend) mutableSegs() []*segment {
+	return append([]*segment(nil), b.segs...)
 }
 
 // NewBackend creates a walk-index backend over tr. The store starts
@@ -212,12 +226,20 @@ func (b *Backend) setSeedsLocked(seeds []graph.NodeID) {
 		b.wanted[s] = true
 		b.seeds = append(b.seeds, s)
 	}
+	var segs []*segment // cloned lazily: most seed swaps drop nothing
 	for u, seg := range b.segs {
 		if seg != nil && !b.wanted[u] {
+			if segs == nil {
+				segs = b.mutableSegs()
+			}
 			b.bytes -= seg.bytes()
 			b.built--
-			b.segs[u] = nil
+			segs[u] = nil
 		}
+	}
+	if segs != nil {
+		b.segs = segs
+		b.saturated = false // eviction freed budget: there may be room again
 	}
 }
 
@@ -228,16 +250,20 @@ func (b *Backend) SetSeeds(seeds []graph.NodeID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.gen++
+	b.saturated = false
 	b.setSeedsLocked(seeds)
 }
 
 // MissingSeeds returns up to max wanted seeds that have no segment yet,
-// in build-priority order — or none when the byte budget is exhausted.
-// It is the Refresher's work queue.
+// in build-priority order — or none while the byte budget is saturated:
+// once insert rejects a segment for budget, re-diffusing the remaining
+// seeds would only discard the result again, so the work queue reads
+// empty until budget frees (a gen bump or a segment eviction clears the
+// flag). It is the Refresher's work queue.
 func (b *Backend) MissingSeeds(max int) []graph.NodeID {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	if b.cfg.Budget > 0 && b.bytes >= b.cfg.Budget {
+	if b.saturated || (b.cfg.Budget > 0 && b.bytes >= b.cfg.Budget) {
 		return nil
 	}
 	var out []graph.NodeID
@@ -375,24 +401,31 @@ func measureResiduals(tr *graph.Transition, seeds []graph.NodeID, segs []*segmen
 }
 
 // insert lands built segments in the store under the budget bound. ok is
-// false when insertion must stop: the budget filled, or gen shows a
-// patch/seed swap staled the build.
-func (b *Backend) insert(gen uint64, seeds []graph.NodeID, segs []*segment) (int, bool) {
+// false when insertion must stop: the budget filled (which also marks
+// the store saturated — see MissingSeeds), or gen shows a patch/seed
+// swap staled the build.
+func (b *Backend) insert(gen uint64, seeds []graph.NodeID, segs []*segment) (inserted int, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.gen != gen {
 		return 0, false
 	}
-	inserted := 0
+	next := b.mutableSegs()
+	defer func() {
+		if inserted > 0 {
+			b.segs = next
+		}
+	}()
 	for i, s := range seeds {
-		if b.segs[s] != nil || !b.wanted[s] {
+		if next[s] != nil || !b.wanted[s] {
 			continue
 		}
 		sb := segs[i].bytes()
 		if b.cfg.Budget > 0 && b.bytes+sb > b.cfg.Budget {
+			b.saturated = true
 			return inserted, false
 		}
-		b.segs[s] = segs[i]
+		next[s] = segs[i]
 		b.bytes += sb
 		b.built++
 		inserted++
@@ -435,6 +468,7 @@ func (b *Backend) PatchTopology(tr *graph.Transition, changed []graph.NodeID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.gen++
+	b.saturated = false
 	b.tr = tr
 	n := tr.Graph().NumNodes()
 	old := b.segs

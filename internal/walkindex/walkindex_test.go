@@ -1,6 +1,8 @@
 package walkindex_test
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"diffusearch/internal/core"
@@ -334,6 +336,144 @@ func TestWalkIndexRestoreDefault(t *testing.T) {
 	}
 	if d := maxDiff(got, want); d != 0 {
 		t.Fatalf("restored default differs by %g", d)
+	}
+}
+
+// TestWalkIndexConcurrentScoreAndBuild pins the copy-on-write contract:
+// DiffuseSignal snapshots (tr, segs) under RLock and keeps reading the
+// slice after releasing it, so build insertions and seed swaps must
+// republish a clone instead of mutating published elements in place.
+// This is the intended deployment shape — a Refresher building on the
+// collector while Scheduler.Warm/ScoreBatch score directly — and it is
+// what `go test -race` checks here.
+func TestWalkIndexConcurrentScoreAndBuild(t *testing.T) {
+	g := communityGraph(120, 4)
+	net, _ := buildPair(t, g, 21)
+	in, err := walkindex.Attach(net, walkindex.Config{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := in.Backend()
+	seeds := walkindex.DocSeeds(net)
+	if len(seeds) < 8 {
+		t.Fatalf("only %d doc seeds", len(seeds))
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	tr := net.Transition()
+	params := diffuse.Params{Alpha: 0.5, Tol: 1e-9}
+
+	// Every reader hammers a query supported on ALL seeds straight
+	// through DiffuseSignal, so each assembly pass reads every store
+	// element — the unlocked read window the COW contract protects spans
+	// segments mid-eviction and mid-rebuild alike.
+	const readers = 6
+	query := func() *diffuse.Signal {
+		x := vecmath.NewMatrix(n, 1)
+		for _, s := range seeds {
+			x.Set(s, 0, 1/float64(len(seeds)))
+		}
+		return diffuse.NewSignal(x)
+	}
+	refOut, _, err := diffuse.RunSignal(diffuse.EngineSync, tr, query(), params, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), refOut.Matrix().Data()...)
+
+	// The mutator keeps evicting half the store (SetSeeds) and rebuilding
+	// it in small chunks (BuildSeeds → insert bursts) until the readers
+	// have assembled enough times that write bursts and read windows
+	// genuinely overlap.
+	half := len(seeds) / 2
+	var scored atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for scored.Load() < readers*150 {
+			b.SetSeeds(seeds[:half])
+			b.SetSeeds(seeds)
+			for lo := half; lo < len(seeds); lo += 8 {
+				hi := lo + 8
+				if hi > len(seeds) {
+					hi = len(seeds)
+				}
+				if _, err := b.BuildSeeds(seeds[lo:hi]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for running := true; running; {
+				select {
+				case <-done:
+					running = false
+				default:
+				}
+				out, _, err := b.DiffuseSignal(query(), diffuse.EngineSync, params, 21)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				scored.Add(1)
+				// Any interleaving of store states is exact (the residual
+				// finish absorbs whatever the snapshot was missing).
+				if d := vecmath.MaxAbsDiff(out.Matrix().Data(), want); d > 1e-6 {
+					t.Errorf("mid-build scores diverge from the engine by %g (bar 1e-6)", d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+}
+
+func buildRefAt(t *testing.T, g *graph.Graph, seed uint64, req core.DiffusionRequest) ([][]float64, diffuse.Stats, error) {
+	t.Helper()
+	net, queries := buildPair(t, g, seed)
+	return net.ScoreBatch(queries, req)
+}
+
+// TestWalkIndexBudgetSaturation: once insert rejects a segment for the
+// byte budget, MissingSeeds must read empty even though unbuilt seeds
+// remain — otherwise the Refresher re-diffuses the same block every tick
+// and discards it forever. A seed swap (gen bump) reopens the queue.
+func TestWalkIndexBudgetSaturation(t *testing.T) {
+	g := communityGraph(120, 4)
+	net, _ := buildPair(t, g, 3)
+	in, err := walkindex.Attach(net, walkindex.Config{Alpha: 0.5, Budget: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := in.Backend()
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if c := b.Coverage(); c <= 0 || c >= 1 {
+		t.Fatalf("coverage %g, want a budget-starved partial store", c)
+	}
+	if miss := b.MissingSeeds(0); len(miss) != 0 {
+		t.Fatalf("saturated store still offers %d seeds to rebuild", len(miss))
+	}
+	// The store is saturated below the budget line (no remaining segment
+	// fits), so the saturation flag — not the bytes>=budget test — is what
+	// empties the queue.
+	if b.StoreBytes() >= 4<<10 {
+		t.Fatalf("store bytes %d at the budget line; the flag path went untested", b.StoreBytes())
+	}
+	// A seed swap changes what fits: the queue reopens.
+	b.SetSeeds(walkindex.DocSeeds(net))
+	if miss := b.MissingSeeds(0); len(miss) == 0 {
+		t.Fatal("seed swap did not reopen the rebuild queue")
 	}
 }
 
