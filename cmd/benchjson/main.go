@@ -43,6 +43,15 @@
 // cold, i.e. speedup ≥ 4×) and every row must stay within the request
 // tolerance of the exact backend.
 //
+// Topk rows measure the bidirectional certified top-k path against the
+// full-vector ScoreBatch baseline on the CSR backend at several k: the
+// reverse-push tables bound each candidate's final score, so the forward
+// diffusion stops at the first sweep whose k/(k+1) gap is certified. The
+// k=10 row carries the acceptance bar (certified top-10 ≥ 2× faster
+// ns/query than the full-vector path) and every row's returned set must
+// equal the full-vector top-k exactly (agreement 1.0 — the path is exact
+// by construction, certificate or fallback).
+//
 // The apply_row_affine rows re-run the kernel-unrolling comparison behind
 // graph.Transition.ApplyRowAffine (shipped 4-edge-unrolled; the historical
 // 2-edge kernel is kept as ApplyRowAffine2) so the snapshot records why the
@@ -50,8 +59,8 @@
 //
 // With -baseline, the freshly measured snapshot is gated against a
 // committed one and the command exits non-zero when a Parallel-engine,
-// ScoreBatch, serve, shard, priority, or walkindex row regressed more
-// than -max-regress (CI's bench-regression step).
+// ScoreBatch, serve, shard, priority, walkindex, or topk row regressed
+// more than -max-regress (CI's bench-regression step).
 //
 // Usage:
 //
@@ -186,6 +195,22 @@ type walkIndexResult struct {
 	MaxErrVsCSR    float64 `json:"max_err_vs_csr"`
 }
 
+// topKResult records one k of the bidirectional top-k sweep on the
+// Parallel engine: ns/query of the certified ranked path vs the
+// full-vector ScoreBatch baseline on the same queries, the certificate
+// hit rate, and the exactness check (expt.TopKRow, frozen for the
+// snapshot).
+type topKResult struct {
+	K              int     `json:"k"`
+	FullNsPerQuery int64   `json:"full_ns_per_query"`
+	TopKNsPerQuery int64   `json:"topk_ns_per_query"`
+	Speedup        float64 `json:"speedup"`
+	FullMsgsPerQ   float64 `json:"full_msgs_per_query"`
+	TopKMsgsPerQ   float64 `json:"topk_msgs_per_query"`
+	Certified      float64 `json:"certified"`
+	Agreement      float64 `json:"agreement"`
+}
+
 type snapshot struct {
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
@@ -211,6 +236,10 @@ type snapshot struct {
 	// carries the ≥4× warm-vs-cold acceptance number, and every row's
 	// error vs the exact CSR backend must stay within Tol.
 	WalkIndex []walkIndexResult `json:"walkindex"`
+	// TopK records the bidirectional certified top-k rows; the k=10 row
+	// carries the ≥2×-vs-full-vector acceptance number, and every row's
+	// agreement with the exact full-vector top-k must be 1.0.
+	TopK []topKResult `json:"topk"`
 	// ApplyRowAffine records the kernel-unrolling evaluation; Kernel
 	// "unroll4" is the shipped ApplyRowAffine, "unroll2" the historical
 	// variant kept as ApplyRowAffine2.
@@ -577,6 +606,35 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 		snap.WalkIndex = append(snap.WalkIndex, wr)
 	}
 
+	// Topk rows: the bidirectional certified ranked path vs the
+	// full-vector ScoreBatch baseline on the CSR backend. The k=10
+	// speedup is the ISSUE-7 acceptance number, and agreement must be
+	// exactly 1.0 on every row (the path is exact, certificate or not).
+	topkRows, err := expt.TopKSweep(env, expt.TopKConfig{
+		M: numDocs, Alpha: alpha, Tol: tol, Workers: workers, Seed: seed,
+		Engines: []diffuse.Engine{diffuse.EngineParallel},
+		Ks:      []int{1, 10, 25},
+	})
+	if err != nil {
+		return fmt.Errorf("topk sweep: %w", err)
+	}
+	for _, row := range topkRows {
+		tr := topKResult{
+			K:              row.K,
+			FullNsPerQuery: row.FullNsPerQuery,
+			TopKNsPerQuery: row.TopKNsPerQuery,
+			Speedup:        row.Speedup,
+			FullMsgsPerQ:   row.FullMsgsPerQ,
+			TopKMsgsPerQ:   row.TopKMsgsPerQ,
+			Certified:      row.Certified,
+			Agreement:      row.Agreement,
+		}
+		fmt.Printf("topk-%-5d %12d ns/query (full %d, speedup %.2fx) certified=%.2f agree=%.2f msgs/q %.0f vs %.0f\n",
+			tr.K, tr.TopKNsPerQuery, tr.FullNsPerQuery, tr.Speedup,
+			tr.Certified, tr.Agreement, tr.TopKMsgsPerQ, tr.FullMsgsPerQ)
+		snap.TopK = append(snap.TopK, tr)
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -773,8 +831,40 @@ func checkRegression(baselinePath string, fresh snapshot, maxRegress float64) er
 				wr.BudgetFrac, wr.Speedup, b.Speedup))
 		}
 	}
+	// Topk rows carry two absolute bars on top of the regression
+	// comparison: agreement with the exact full-vector top-k must be 1.0
+	// on every row (the ranked contract — certified early stop or
+	// full-convergence fallback, never an approximation), and the k=10
+	// row's certified path must run ≥2× faster per query than the
+	// full-vector baseline (a within-run ratio, both sides measured
+	// back-to-back, so it transfers across hardware). Rows absent from
+	// the baseline (first snapshot after the ranked path landed) still
+	// face the absolute bars.
+	const (
+		topKAcceptanceK  = 10
+		minTopKSpeedup   = 2.0
+		minTopKAgreement = 1.0
+	)
+	baseTopK := make(map[int]topKResult, len(base.TopK))
+	for _, tr := range base.TopK {
+		baseTopK[tr.K] = tr
+	}
+	for _, tr := range fresh.TopK {
+		if tr.Agreement < minTopKAgreement {
+			problems = append(problems, fmt.Sprintf("topk k=%d: agreement %.3f with the full-vector top-k, want exactly 1.0",
+				tr.K, tr.Agreement))
+		}
+		if tr.K == topKAcceptanceK && tr.Speedup < minTopKSpeedup {
+			problems = append(problems, fmt.Sprintf("topk k=%d: speedup %.2fx vs full-vector ScoreBatch, want ≥ %.1fx",
+				tr.K, tr.Speedup, minTopKSpeedup))
+		}
+		if b, ok := baseTopK[tr.K]; ok && b.Speedup > 0 && tr.Speedup < b.Speedup*(1-maxRegress) {
+			problems = append(problems, fmt.Sprintf("topk k=%d: speedup %.2fx vs baseline %.2fx",
+				tr.K, tr.Speedup, b.Speedup))
+		}
+	}
 	if len(problems) > 0 {
-		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / serve / shard / priority / walkindex) regressed beyond %.0f%% of %s:\n  %s",
+		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / serve / shard / priority / walkindex / topk) regressed beyond %.0f%% of %s:\n  %s",
 			maxRegress*100, baselinePath, strings.Join(problems, "\n  "))
 	}
 	mode := "ratio checks only — baseline hardware differs"

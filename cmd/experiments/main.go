@@ -6,7 +6,8 @@
 //	experiments -exp fig3                 # Fig. 3a–d (accuracy vs distance)
 //	experiments -exp table1               # Table I (hop counts)
 //	experiments -exp all                  # everything below
-//	experiments -exp parallel|topk|placement|summary|visited|baselines|norm|serve
+//	experiments -exp parallel|recall|placement|summary|visited|baselines|norm|serve
+//	experiments -exp topk                 # bidirectional certified top-k vs full vector
 //	experiments -quick                    # scaled-down environment & iterations
 //	experiments -seed 7 -iters 200 -csv   # tuning & CSV output
 package main
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|topk|placement|summary|visited|baselines|norm|diffusion|batch|serve|shard|priority|walkindex|all")
+		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|recall|placement|summary|visited|baselines|norm|diffusion|batch|serve|shard|priority|walkindex|topk|all")
 		seed  = flag.Uint64("seed", 42, "master seed (all results are deterministic in it)")
 		quick = flag.Bool("quick", false, "scaled-down environment and iteration counts")
 		iters = flag.Int("iters", 0, "override iteration count (0 = experiment default)")
@@ -67,6 +68,7 @@ func run(exp string, seed uint64, quick bool, iters int, csv bool) error {
 		"fig3":      r.fig3,
 		"table1":    r.table1,
 		"parallel":  r.parallel,
+		"recall":    r.recall,
 		"topk":      r.topk,
 		"placement": r.placement,
 		"summary":   r.summary,
@@ -81,7 +83,7 @@ func run(exp string, seed uint64, quick bool, iters int, csv bool) error {
 		"walkindex": r.walkindex,
 	}
 	if exp == "all" {
-		for _, name := range []string{"fig3", "table1", "parallel", "topk", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch", "serve", "shard", "priority", "walkindex"} {
+		for _, name := range []string{"fig3", "table1", "parallel", "recall", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch", "serve", "shard", "priority", "walkindex", "topk"} {
 			if err := known[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -191,7 +193,10 @@ func (r *runner) parallel() error {
 	return nil
 }
 
-func (r *runner) topk() error {
+// recall was named topk before the bidirectional scoring path took that
+// name: it measures the decentralized walk's recall against the
+// centralized engine, not the ranked serving path.
+func (r *runner) recall() error {
 	rows, err := expt.RecallAtK(r.env, expt.RecallConfig{
 		M: 1000, Alpha: 0.5, Ks: []int{1, 5, 10}, TTL: 50,
 		Iterations: r.itersOr(200, 40), Seed: r.seed,
@@ -199,7 +204,26 @@ func (r *runner) topk() error {
 	if err != nil {
 		return err
 	}
-	r.emit("abl-topk — top-k recall vs centralized engine (M=1000, α=0.5)", expt.FormatRecall(rows))
+	r.emit("abl-recall — top-k recall vs centralized engine (M=1000, α=0.5)", expt.FormatRecall(rows))
+	return nil
+}
+
+func (r *runner) topk() error {
+	start := time.Now()
+	cfg := expt.TopKConfig{
+		M: 1000, Alpha: 0.5, Seed: r.seed,
+		Queries: r.itersOr(16, 6),
+	}
+	if r.quick {
+		cfg.Iters = 2
+		cfg.Ks = []int{1, 10}
+	}
+	rows, err := expt.TopKSweep(r.env, cfg)
+	if err != nil {
+		return err
+	}
+	r.emit(fmt.Sprintf("topk — bidirectional certified top-k vs full-vector ScoreBatch (M=1000, α=0.5, %v)",
+		time.Since(start).Round(time.Millisecond)), expt.FormatTopK(rows))
 	return nil
 }
 

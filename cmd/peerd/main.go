@@ -66,6 +66,17 @@
 // only segments in the patch's closed neighbourhood are dropped and
 // rebuilt.
 //
+// With -topk N the local mirror additionally serves certified top-k
+// rankings through the bidirectional scoring path: reverse-push tables
+// from the document-host candidate set bound each candidate's final score
+// during the forward diffusion, so the ranking is certified (provably
+// equal to the full-vector top-k) as soon as the k/(k+1) gap exceeds the
+// remaining residual mass — usually sweeps before full convergence. The
+// -query/-batch paths then print the certified host ranking next to the
+// decentralized walk's results. Rankings stay exact across SIGHUP: the
+// reverse tables invalidate through the same changed-closure contract as
+// the walk index.
+//
 // A long-running peer follows topology changes without restarting: SIGHUP
 // reloads the -topology file, patches the scorer's mirror Network (joined
 // and departed peers), invalidates the serve cache — targeted when the
@@ -97,6 +108,7 @@ import (
 	"diffusearch/internal/retrieval"
 	"diffusearch/internal/serve"
 	"diffusearch/internal/shard"
+	"diffusearch/internal/topk"
 	"diffusearch/internal/walkindex"
 )
 
@@ -120,6 +132,7 @@ func main() {
 		maxWait  = flag.Duration("maxwait", 2*time.Millisecond, "scheduler coalescing budget: how long a query may wait for batch co-riders (0 = zero-wait)")
 		maxBatch = flag.Int("maxbatch", 64, "scheduler batch-width cap for coalesced diffusions")
 		cache    = flag.Int("cache", 512, "scheduler LRU score-cache entries (0 disables)")
+		topkN    = flag.Int("topk", 0, "serve certified top-k rankings through the bidirectional scoring path and print them for -query/-batch (0 disables; needs -engine)")
 		class    = flag.String("class", "interactive", "scheduling class for this peer's request-API submissions: interactive (jump the coalesce window) or bulk (wait up to 4×maxwait to widen batches)")
 		deadline = flag.Duration("deadline", 0, "per-query dispatch deadline for request-API submissions; queries not dispatched in time are shed, never scored (0 = none)")
 		ttl      = flag.Int("ttl", 20, "query hop budget")
@@ -134,7 +147,7 @@ func main() {
 		maxWait: *maxWait, maxBatch: *maxBatch, cache: *cache,
 		shards: *shards, part: *part, tenants: *tenants,
 		scorer: *scorer, indexBudget: *indexBgt,
-		class: *class, deadline: *deadline,
+		class: *class, deadline: *deadline, topk: *topkN,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peerd:", err)
@@ -166,6 +179,7 @@ type runConfig struct {
 	indexBudget int64
 	class       string
 	deadline    time.Duration
+	topk        int
 }
 
 type peerSpec struct {
@@ -210,6 +224,11 @@ type queryScorer struct {
 	wix       *walkindex.Backend
 	refresher *walkindex.Refresher
 
+	// tk exists only with -topk: the local mirror's ranker, answering
+	// SubmitRanked queries with certified top-k host rankings through the
+	// bidirectional (reverse-push + early-stopped forward) path.
+	tk *topk.Backend
+
 	mu    sync.RWMutex
 	net   *core.Network    // local topology mirror; swapped whole on Patch
 	specs map[int]peerSpec // specs the mirror was built from (patch diffs)
@@ -238,6 +257,9 @@ type scorerConfig struct {
 	// now+deadline when non-zero (see serve.SubmitOpts).
 	class    serve.Class
 	deadline time.Duration
+	// topk > 0 attaches the bidirectional ranker to the local mirror and
+	// prints certified top-k host rankings for issued queries.
+	topk int
 }
 
 // newQueryScorer mirrors the topology and document placement into a
@@ -302,24 +324,37 @@ func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary, cfg scorerC
 }
 
 // buildLocalMirror builds the local tenant's mirror. Unlike plain tenant
-// mirrors it honours -scorer: walkindex attaches the segment-store backend
-// (whole-graph, so it excludes -shards) instead of the sharded one.
+// mirrors it honours -scorer (walkindex attaches the segment-store
+// backend — whole-graph, so it excludes -shards — instead of the sharded
+// one) and -topk (the bidirectional ranker rides any scorer: rankings
+// always diffuse the full CSR forward, whatever backend answers
+// full-vector queries).
 func (s *queryScorer) buildLocalMirror(specs map[int]peerSpec) (*core.Network, error) {
+	var net *core.Network
+	var err error
 	if s.cfg.scorer != core.ScorerWalkIndex {
-		return s.buildTenantMirror(specs)
+		net, err = s.buildTenantMirror(specs)
+	} else if net, err = buildMirror(specs, s.vocab); err == nil {
+		var in *walkindex.IndexedNetwork
+		in, err = walkindex.Attach(net, walkindex.Config{
+			Alpha: s.cfg.alpha, Budget: s.cfg.indexBudget,
+			Engine: s.req.Engine, Workers: s.cfg.workers, Seed: s.cfg.seed,
+		})
+		if err == nil {
+			s.wix = in.Backend()
+		}
 	}
-	net, err := buildMirror(specs, s.vocab)
 	if err != nil {
 		return nil, err
 	}
-	in, err := walkindex.Attach(net, walkindex.Config{
-		Alpha: s.cfg.alpha, Budget: s.cfg.indexBudget,
-		Engine: s.req.Engine, Workers: s.cfg.workers, Seed: s.cfg.seed,
-	})
-	if err != nil {
-		return nil, err
+	if s.cfg.topk > 0 {
+		if s.tk, err = topk.Attach(net, topk.Config{
+			Alpha: s.cfg.alpha, Engine: s.req.Engine,
+			Workers: s.cfg.workers, Seed: s.cfg.seed,
+		}); err != nil {
+			return nil, err
+		}
 	}
-	s.wix = in.Backend()
 	return net, nil
 }
 
@@ -387,6 +422,17 @@ func (s *queryScorer) ScoreBatch(queries [][]float64, req core.DiffusionRequest)
 	return net.ScoreBatch(queries, req)
 }
 
+// ScoreBatchTopK implements serve.RankedBackend over the current mirror:
+// with -topk the attached bidirectional ranker answers (certified early
+// stop), without it the mirror's exact full-vector fallback does — either
+// way SubmitRanked resolves to the exact top-k.
+func (s *queryScorer) ScoreBatchTopK(queries [][]float64, req core.DiffusionRequest) ([]core.RankedResult, diffuse.Stats, error) {
+	s.mu.RLock()
+	net := s.net
+	s.mu.RUnlock()
+	return net.ScoreBatchTopK(queries, req)
+}
+
 // scoreTimeout bounds how long a forwarded query may wait in the
 // scheduler; queries are additionally timeout-guarded at their origin.
 const scoreTimeout = 30 * time.Second
@@ -405,6 +451,19 @@ func (s *queryScorer) Score(query []float64) ([]float64, error) {
 		opts.Deadline = time.Now().Add(s.cfg.deadline)
 	}
 	return s.local.SubmitWith(ctx, query, opts)
+}
+
+// RankQuery returns the certified top-k document-host ranking for one
+// query embedding through the scheduler's ranked path (same-k coalescing,
+// same class/deadline tagging as Score). Needs -topk.
+func (s *queryScorer) RankQuery(query []float64, k int) (core.RankedResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), scoreTimeout)
+	defer cancel()
+	opts := serve.SubmitOpts{Class: s.cfg.class}
+	if s.cfg.deadline != 0 {
+		opts.Deadline = time.Now().Add(s.cfg.deadline)
+	}
+	return s.local.SubmitRanked(ctx, query, k, opts)
 }
 
 // Prewarm scores a whole query batch in one multi-column diffusion and
@@ -456,6 +515,16 @@ func (s *queryScorer) Patch(specs map[int]peerSpec) (string, error) {
 		net.SetScorer(s.wix)
 	} else if net, err = s.buildTenantMirror(specs); err != nil {
 		return "", err
+	}
+	if s.tk != nil {
+		// Same staleness contract as the walk index: reverse tables whose
+		// candidates sit in the patch's closed neighbourhood drop, the rest
+		// survive with poisoned error bounds until lazily re-measured, and
+		// the candidate set follows the new document placement — rankings
+		// on the new topology stay exact either way.
+		s.tk.PatchTopology(net.Transition(), changed)
+		s.tk.SetCandidates(net.DocHosts())
+		net.SetRanker(s.tk)
 	}
 	s.mu.Lock()
 	s.net = net
@@ -621,13 +690,13 @@ func run(cfg runConfig) error {
 			maxWait: cfg.maxWait, maxBatch: cfg.maxBatch, cache: cfg.cache,
 			shards: shards, partitioner: pt,
 			scorer: sk, indexBudget: cfg.indexBudget,
-			class: cl, deadline: cfg.deadline,
+			class: cl, deadline: cfg.deadline, topk: cfg.topk,
 		}, tenantSpecs); err != nil {
 			return err
 		}
 		defer scorer.Close()
-	} else if cfg.shards > 0 || cfg.tenants != "" || cfg.scorer != "" {
-		return fmt.Errorf("-shards, -tenants, and -scorer need -engine (request-API scoring)")
+	} else if cfg.shards > 0 || cfg.tenants != "" || cfg.scorer != "" || cfg.topk > 0 {
+		return fmt.Errorf("-shards, -tenants, -scorer, and -topk need -engine (request-API scoring)")
 	}
 
 	tr, err := peernet.ListenTCP(cfg.id, spec.addr)
@@ -666,6 +735,10 @@ func run(cfg runConfig) error {
 		if scorer.wix != nil {
 			mode += fmt.Sprintf(", walk index over %d seeds", scorer.wix.SeedCount())
 		}
+		if scorer.tk != nil {
+			mode += fmt.Sprintf(", certified top-%d ranking over %d candidates",
+				cfg.topk, len(scorer.tk.Candidates()))
+		}
 		if names := scorer.Tenants(); len(names) > 1 {
 			mode += fmt.Sprintf(", tenants %s", strings.Join(names, ","))
 		}
@@ -674,6 +747,23 @@ func run(cfg runConfig) error {
 		cfg.id, tr.Addr(), len(spec.neighbors), len(spec.docs), mode)
 
 	issue := func(word retrieval.DocID) error {
+		if scorer != nil && cfg.topk > 0 {
+			// The certified ranking answers "which hosts would a perfect
+			// relevance walk end at" before any message leaves this peer.
+			r, err := scorer.RankQuery(vocab.Vector(word), cfg.topk)
+			if err != nil {
+				return err
+			}
+			status := "certified early-stop"
+			if !r.Certified {
+				status = "fully converged, no certificate"
+			}
+			fmt.Printf("query %s top-%d hosts (%s):", vocab.Word(word), len(r.IDs), status)
+			for i, id := range r.IDs {
+				fmt.Printf(" %d(%.4f)", id, r.Scores[i])
+			}
+			fmt.Println()
+		}
 		results, err := peer.Query(vocab.Vector(word), cfg.ttl, cfg.k, 30*time.Second)
 		if err != nil {
 			return err
@@ -740,6 +830,9 @@ func run(cfg runConfig) error {
 		}
 		if scorer.wix != nil {
 			fmt.Printf("%v\n", scorer.wix)
+		}
+		if scorer.tk != nil {
+			fmt.Printf("%v\n", scorer.tk)
 		}
 	}
 	return nil

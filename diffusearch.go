@@ -74,6 +74,7 @@ import (
 	"diffusearch/internal/retrieval"
 	"diffusearch/internal/serve"
 	"diffusearch/internal/shard"
+	"diffusearch/internal/topk"
 	"diffusearch/internal/walkindex"
 )
 
@@ -210,6 +211,25 @@ type (
 	// ScorerKind names a scoring backend (csr, sharded, or walkindex);
 	// parse command-line values with ParseScorer.
 	ScorerKind = core.ScorerKind
+	// RankedResult is one query's top-k document hosts with their scores;
+	// Certified reports whether the set was proven equal to the
+	// full-vector top-k by an early-stop certificate (false means the
+	// diffusion ran to full convergence instead — exact either way).
+	// Returned by Network.ScoreBatchTopK (DiffusionRequest.TopK) and
+	// Scheduler.SubmitRanked.
+	RankedResult = core.RankedResult
+	// TopKBackend is the bidirectional top-k scorer: reverse-push tables
+	// from the candidate set bound each candidate's final score, so the
+	// forward diffusion stops as soon as the k/(k+1) gap certifies the
+	// ranking. Construct with AttachTopK; PatchTopology follows topology
+	// changes under the same changed-closure contract as the walk index.
+	TopKBackend = topk.Backend
+	// TopKConfig parameterizes AttachTopK (teleport probability, reverse
+	// table accuracy, certificate cadence, build engine, candidate set).
+	TopKConfig = topk.Config
+	// RankedServeBackend is the optional serve.Backend extension behind
+	// Scheduler.SubmitRanked; *Network satisfies it.
+	RankedServeBackend = serve.RankedBackend
 )
 
 // Diffusion engines (§IV-B). EngineAsynchronous is the deterministic
@@ -312,6 +332,11 @@ var (
 	// ParseScorer maps a command-line name (csr|sharded|walkindex) to a
 	// ScorerKind.
 	ParseScorer = core.ParseScorer
+	// AttachTopK installs the bidirectional top-k ranker on an existing
+	// Network in place (candidates default to the document hosts) and
+	// returns the TopKBackend; Network.ScoreBatchTopK then answers
+	// DiffusionRequest{TopK: k} with certified early-stopped rankings.
+	AttachTopK = topk.Attach
 )
 
 // NewPaperEnvironment builds the full-scale evaluation setting of §V: a

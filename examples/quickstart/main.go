@@ -230,4 +230,26 @@ func main() {
 		}
 	}
 	fmt.Printf("walk-index scores match CSR within %.1e\n", maxDiff)
+
+	// 10. Certified top-k: attach the bidirectional ranker (reverse-push
+	//     tables from the document hosts) and ask for the k best hosts via
+	//     DiffusionRequest.TopK — the forward diffusion stops at the first
+	//     sweep whose k/(k+1) score gap is provably final. The result set
+	//     always equals the full-vector top-k: without a certificate the
+	//     backend falls back to full convergence, never an approximation.
+	net.SetScorer(nil) // rank on the plain CSR backend
+	if _, err := diffusearch.AttachTopK(net, diffusearch.TopKConfig{Alpha: 0.5}); err != nil {
+		log.Fatal(err)
+	}
+	ranked, rst, err := net.ScoreBatchTopK([][]float64{query},
+		diffusearch.DiffusionRequest{Alpha: 0.5, TopK: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-3 document hosts (certified=%v, %d sweeps vs %d full):",
+		ranked[0].Certified, rst.Sweeps, st.Sweeps)
+	for i, id := range ranked[0].IDs {
+		fmt.Printf(" %d(%.4f)", id, ranked[0].Scores[i])
+	}
+	fmt.Println()
 }

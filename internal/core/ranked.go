@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/vecmath"
+)
+
+// RankedResult is one query's answer on the top-k scoring path: the k
+// best-scoring document-host nodes (fewer when the network hosts fewer than
+// k candidates), ordered by score descending with ties broken by ascending
+// node id.
+//
+// Certified reports how the result was produced. True means a bidirectional
+// ranker proved the top-k SET stable before the diffusion converged
+// (reverse-push residual bounds separated the k-th candidate from the
+// (k+1)-th), so the set matches the fully-converged diffusion exactly while
+// the scores — and the order within the set — come from the early-stopped
+// iterate. False means the scores are fully-converged full-vector values
+// (the fallback path, or a ranker column whose certificate never fired
+// before plain convergence); set and order are then exact at Tol.
+type RankedResult struct {
+	IDs       []graph.NodeID
+	Scores    []float64
+	Certified bool
+}
+
+// Ranker is the top-k scoring backend seam: given the projected n×B
+// relevance signal of a query batch, it returns one RankedResult per column.
+// internal/topk implements it with reverse-push candidate pruning; a Network
+// without a ranker answers ScoreBatchTopK by ranking a full-vector
+// diffusion. The backend must never approximate: when it cannot certify a
+// column it finishes that column to full convergence (or propagates
+// ErrNoConvergence exactly as ScoreBatch would).
+type Ranker interface {
+	RankSignal(x *vecmath.Matrix, req DiffusionRequest, seed uint64) ([]RankedResult, diffuse.Stats, error)
+}
+
+// SetRanker installs a top-k scoring backend (e.g. internal/topk's
+// bidirectional backend). Passing nil restores the full-vector fallback.
+// The backend must rank over the same topology and candidate set the
+// network holds — results are indexed by this network's node ids.
+func (n *Network) SetRanker(r Ranker) { n.ranker = r }
+
+// RankerBackend returns the active top-k backend, or nil when
+// ScoreBatchTopK falls back to full-vector ranking.
+func (n *Network) RankerBackend() Ranker { return n.ranker }
+
+// DocHosts returns the distinct nodes hosting at least one document, sorted
+// ascending — the candidate set every top-k ranking draws from. The slice
+// is freshly allocated per call.
+func (n *Network) DocHosts() []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{}, len(n.hostOf))
+	for _, u := range n.hostOf {
+		seen[u] = struct{}{}
+	}
+	hosts := make([]graph.NodeID, 0, len(seen))
+	for u := range seen {
+		hosts = append(hosts, u)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return hosts
+}
+
+// ScoreBatchTopK answers a batch of queries with each query's req.TopK
+// best-scoring document hosts instead of full per-node score vectors. With
+// a ranker installed (SetRanker) and no Filter override, the ranker runs
+// the bidirectional path: reverse-push bounds from the candidate set let
+// the forward diffusion retire a column as soon as its top-k set is
+// provably stable. Otherwise it is exactly ScoreBatch followed by ranking
+// over DocHosts, with Certified=false.
+//
+// Like Filters, the top-k path runs on the network's full CSR: the reverse
+// bounds are defined over the whole operator. Requires the DotProduct
+// scorer and computed personalization; Tol 0 selects DefaultScoreTol.
+func (n *Network) ScoreBatchTopK(queries [][]float64, req DiffusionRequest) ([]RankedResult, diffuse.Stats, error) {
+	if req.TopK <= 0 {
+		return nil, diffuse.Stats{}, fmt.Errorf("core: ScoreBatchTopK requires TopK > 0, have %d", req.TopK)
+	}
+	if n.ranker != nil && req.Filter == nil {
+		x, err := n.projectQueries(queries)
+		if err != nil {
+			return nil, diffuse.Stats{}, err
+		}
+		if req.Tol <= 0 {
+			req.Tol = DefaultScoreTol
+		}
+		return n.ranker.RankSignal(x, req, req.Seed)
+	}
+	scores, st, err := n.ScoreBatch(queries, req)
+	if err != nil {
+		return nil, st, err
+	}
+	cands := n.DocHosts()
+	out := make([]RankedResult, len(scores))
+	for j, col := range scores {
+		out[j] = RankTop(col, cands, req.TopK)
+	}
+	return out, st, nil
+}
+
+// RankTop ranks the candidate nodes by scores (descending, ties by
+// ascending node id) and returns the first min(k, len(cands)) as an
+// uncertified RankedResult. Shared by the full-vector fallback, the
+// bidirectional backend, and tests asserting set equality between the two.
+func RankTop(scores []float64, cands []graph.NodeID, k int) RankedResult {
+	order := make([]graph.NodeID, len(cands))
+	copy(order, cands)
+	sort.SliceStable(order, func(i, j int) bool {
+		si, sj := scores[order[i]], scores[order[j]]
+		if si != sj {
+			return si > sj
+		}
+		return order[i] < order[j]
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	res := RankedResult{IDs: order[:k:k], Scores: make([]float64, k)}
+	for i, u := range res.IDs {
+		res.Scores[i] = scores[u]
+	}
+	return res
+}

@@ -84,6 +84,14 @@ type DiffusionRequest struct {
 	// width-filling background work (prewarms, analytics) and
 	// ClassInteractive otherwise. The engines ignore it, like Tenant.
 	Class ServeClass
+	// TopK, when > 0, asks for the k best-scoring document-host nodes
+	// instead of the full per-node score vector. ScoreBatchTopK serves it —
+	// through the bidirectional ranker when one is attached (internal/topk:
+	// reverse-push bounds let the forward diffusion stop as soon as the
+	// top-k set is provably stable), through a full-vector diffusion plus
+	// ranking otherwise. Run and ScoreBatch ignore it, like Tenant and
+	// Class: a full-vector entry point always returns the full vector.
+	TopK int
 }
 
 // engine resolves the default driver.
@@ -97,6 +105,31 @@ func (r DiffusionRequest) engine() diffuse.Engine {
 // params converts the request to engine parameters.
 func (r DiffusionRequest) params() diffuse.Params {
 	return diffuse.Params{Alpha: r.Alpha, Tol: r.Tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers}
+}
+
+// projectQueries builds the n×B relevance signal x_j[v] = e_qj · E0[v] that
+// both ScoreBatch and ScoreBatchTopK diffuse (the linearity trick of
+// FastNodeScores). Requires the DotProduct scorer and computed
+// personalization.
+func (n *Network) projectQueries(queries [][]float64) (*vecmath.Matrix, error) {
+	if n.perso == nil {
+		return nil, ErrNoPersonalization
+	}
+	if n.scorer != retrieval.DotProduct {
+		return nil, fmt.Errorf("core: fast scoring requires the dot-product scorer, have %v", n.scorer)
+	}
+	dim := n.vocab.Dim()
+	for j, q := range queries {
+		if len(q) != dim {
+			return nil, fmt.Errorf("core: query %d has %d dims, vocabulary has %d", j, len(q), dim)
+		}
+	}
+	nn := n.g.NumNodes()
+	x := vecmath.NewMatrix(nn, len(queries))
+	for u := 0; u < nn; u++ {
+		vecmath.DotColumns(x.Row(u), queries, n.perso.Row(u))
+	}
+	return x, nil
 }
 
 // filterStats maps filter iteration statistics onto the engine Stats shape
@@ -155,31 +188,18 @@ func (n *Network) Run(req DiffusionRequest) (diffuse.Stats, error) {
 // Requires the DotProduct scorer and computed personalization. Tol 0
 // selects DefaultScoreTol on every engine.
 func (n *Network) ScoreBatch(queries [][]float64, req DiffusionRequest) ([][]float64, diffuse.Stats, error) {
-	if n.perso == nil {
-		return nil, diffuse.Stats{}, ErrNoPersonalization
-	}
-	if n.scorer != retrieval.DotProduct {
-		return nil, diffuse.Stats{}, fmt.Errorf("core: fast scoring requires the dot-product scorer, have %v", n.scorer)
-	}
-	dim := n.vocab.Dim()
-	for j, q := range queries {
-		if len(q) != dim {
-			return nil, diffuse.Stats{}, fmt.Errorf("core: query %d has %d dims, vocabulary has %d", j, len(q), dim)
-		}
+	x, err := n.projectQueries(queries)
+	if err != nil {
+		return nil, diffuse.Stats{}, err
 	}
 	nn := n.g.NumNodes()
 	b := len(queries)
-	x := vecmath.NewMatrix(nn, b)
-	for u := 0; u < nn; u++ {
-		vecmath.DotColumns(x.Row(u), queries, n.perso.Row(u))
-	}
 	if req.Tol <= 0 {
 		req.Tol = DefaultScoreTol
 	}
 	var (
 		out *vecmath.Matrix
 		st  diffuse.Stats
-		err error
 	)
 	if req.Filter != nil {
 		var pst ppr.Stats

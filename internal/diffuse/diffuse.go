@@ -67,6 +67,11 @@ type Params struct {
 	Tol       float64 // max-norm convergence tolerance; 0 means DefaultTol
 	MaxSweeps int     // sweep/round budget; 0 means DefaultMaxSweeps
 	Workers   int     // Parallel engine only: pool size; 0 means GOMAXPROCS
+
+	// Stop, when non-nil, lets the column-blocked Signal kernels retire
+	// columns before their residual converges (see StopPredicate). The
+	// matrix engines (Run) ignore it.
+	Stop StopPredicate
 }
 
 func (p Params) controls() (tol float64, maxSweeps int) {

@@ -281,7 +281,11 @@ func ShardedParallelColumns(ss *graph.ShardSet, sig *Signal, p Params, pool *Poo
 				sl.next[s] = sl.next[s][:0]
 			}
 		}
-		keep, done := cb.retireSweep(cr, pushTol, round, cur)
+		var stop []bool
+		if p.Stop != nil {
+			stop = p.Stop.Stop(round, cb.act, cur)
+		}
+		keep, done := cb.retireSweep(cr, pushTol, stop, round, cur)
 		if done {
 			st.Converged = true
 			return cb.signal(&st), st, nil
@@ -376,7 +380,11 @@ func ShardedSynchronousColumns(ss *graph.ShardSet, sig *Signal, p Params, pool *
 			vecmath.Zero(slotRes[i][:w])
 		}
 		st.Residual = maxOf(cr)
-		keep, done := cb.retireSweep(cr, tol, sweep, cur)
+		var stop []bool
+		if p.Stop != nil {
+			stop = p.Stop.Stop(sweep, cb.act, cur)
+		}
+		keep, done := cb.retireSweep(cr, tol, stop, sweep, cur)
 		if done {
 			st.Converged = true
 			return cb.signal(&st), st, nil

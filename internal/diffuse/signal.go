@@ -99,14 +99,16 @@ func (cb *colBlock) retireAll(sweep int, cur *vecmath.Matrix) {
 
 // retireSweep is the shared per-sweep retirement step of every column
 // kernel: it retires each active slot whose residual in cr dropped to
-// thresh. It returns the still-active compact indices for repacking via
-// vecmath.SelectColumns — nil when nothing retired (callers skip the
-// repack) — and whether the whole block is now done.
-func (cb *colBlock) retireSweep(cr []float64, thresh float64, sweep int, cur *vecmath.Matrix) (keep []int, done bool) {
+// thresh, plus every slot flagged by stop (a StopPredicate's early
+// terminations; nil means none). It returns the still-active compact
+// indices for repacking via vecmath.SelectColumns — nil when nothing
+// retired (callers skip the repack) — and whether the whole block is now
+// done.
+func (cb *colBlock) retireSweep(cr []float64, thresh float64, stop []bool, sweep int, cur *vecmath.Matrix) (keep []int, done bool) {
 	frozen := make([]bool, len(cr))
 	any := false
 	for j, v := range cr {
-		frozen[j] = v <= thresh
+		frozen[j] = v <= thresh || (stop != nil && stop[j])
 		any = any || frozen[j]
 	}
 	if !any {
@@ -176,7 +178,11 @@ func SynchronousColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, S
 		st.Updates += int64(n)
 		st.Messages += 2 * int64(g.NumEdges())
 		st.Residual = maxOf(cr)
-		keep, done := cb.retireSweep(cr, tol, sweep, cur)
+		var stop []bool
+		if p.Stop != nil {
+			stop = p.Stop.Stop(sweep, cb.act, cur)
+		}
+		keep, done := cb.retireSweep(cr, tol, stop, sweep, cur)
 		if done {
 			st.Converged = true
 			return cb.signal(&st), st, nil
@@ -233,7 +239,11 @@ func AsynchronousColumns(tr *graph.Transition, sig *Signal, p Params, r *randx.R
 		}
 		st.Sweeps = sweep
 		st.Residual = maxOf(cr)
-		keep, done := cb.retireSweep(cr, tol, sweep, cur)
+		var stop []bool
+		if p.Stop != nil {
+			stop = p.Stop.Stop(sweep, cb.act, cur)
+		}
+		keep, done := cb.retireSweep(cr, tol, stop, sweep, cur)
 		if done {
 			st.Converged = true
 			return cb.signal(&st), st, nil
@@ -378,7 +388,11 @@ func ParallelColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, Stat
 			return cb.signal(&st), st, nil
 		}
 		frontier = rebuildFrontier(shards, queued, frontier)
-		keep, done := cb.retireSweep(cr, pushTol, round, cur)
+		var stop []bool
+		if p.Stop != nil {
+			stop = p.Stop.Stop(round, cb.act, cur)
+		}
+		keep, done := cb.retireSweep(cr, pushTol, stop, round, cur)
 		if done {
 			st.Converged = true
 			return cb.signal(&st), st, nil

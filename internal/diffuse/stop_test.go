@@ -1,0 +1,124 @@
+package diffuse_test
+
+import (
+	"errors"
+	"testing"
+
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+// stopAt stops one original column at a fixed sweep, leaving the rest to
+// converge normally.
+type stopAt struct {
+	col   int
+	sweep int
+	flags []bool
+}
+
+func (s *stopAt) Stop(sweep int, act []int, _ *vecmath.Matrix) []bool {
+	if cap(s.flags) < len(act) {
+		s.flags = make([]bool, len(act))
+	}
+	s.flags = s.flags[:len(act)]
+	for k := range s.flags {
+		s.flags[k] = sweep >= s.sweep && act[k] == s.col
+	}
+	return s.flags
+}
+
+func stopTestInput(t *testing.T) (*graph.Transition, *vecmath.Matrix) {
+	t.Helper()
+	b := graph.NewBuilder(40)
+	for u := 0; u < 40; u++ {
+		b.AddEdge(u, (u+1)%40)
+		if u%4 == 0 {
+			b.AddEdge(u, (u+9)%40)
+		}
+	}
+	tr := graph.NewTransition(b.Build(), graph.ColumnStochastic)
+	r := randx.New(3)
+	x := vecmath.NewMatrix(40, 3)
+	for u := 0; u < 40; u++ {
+		for j := 0; j < 3; j++ {
+			x.Set(u, j, r.Float64())
+		}
+	}
+	return tr, x
+}
+
+// TestStopPredicateRetiresColumnEarly pins the StopPredicate contract on
+// the sync engine: the flagged column retires at exactly the requested
+// sweep with the iterate's values at that sweep (bit-identical to a run
+// whose sweep budget simply ran out there), while unflagged columns
+// converge bit-identically to a predicate-free run.
+func TestStopPredicateRetiresColumnEarly(t *testing.T) {
+	tr, x := stopTestInput(t)
+	p := diffuse.Params{Alpha: 0.5, Tol: 1e-10}
+
+	ref, _, err := diffuse.RunSignal(diffuse.EngineSync, tr, diffuse.NewSignal(x), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := &stopAt{col: 1, sweep: 3}
+	ps := p
+	ps.Stop = pred
+	got, st, err := diffuse.RunSignal(diffuse.EngineSync, tr, diffuse.NewSignal(x), ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ColumnSweeps[1] != 3 {
+		t.Fatalf("stopped column retired at sweep %d, want 3", st.ColumnSweeps[1])
+	}
+	// A budget-truncated run holds the same iterate at sweep 3.
+	pt := p
+	pt.MaxSweeps = 3
+	trunc, _, err := diffuse.RunSignal(diffuse.EngineSync, tr, diffuse.NewSignal(x), pt, 1)
+	if !errors.Is(err, diffuse.ErrNoConvergence) {
+		t.Fatalf("truncated run: got err %v, want ErrNoConvergence", err)
+	}
+	for u := 0; u < x.Rows(); u++ {
+		if got.Matrix().At(u, 1) != trunc.Matrix().At(u, 1) {
+			t.Fatalf("node %d: stopped column %g != sweep-3 iterate %g", u, got.Matrix().At(u, 1), trunc.Matrix().At(u, 1))
+		}
+		for _, j := range []int{0, 2} {
+			if got.Matrix().At(u, j) != ref.Matrix().At(u, j) {
+				t.Fatalf("node %d col %d: unstopped column diverged from predicate-free run", u, j)
+			}
+		}
+	}
+}
+
+// TestStopPredicateAllColumnsEveryEngine: a predicate stopping everything
+// at the first sweep terminates every engine immediately with Converged
+// set and every column's sweep count at 1.
+func TestStopPredicateAllColumnsEveryEngine(t *testing.T) {
+	tr, x := stopTestInput(t)
+	for _, eng := range []diffuse.Engine{diffuse.EngineSync, diffuse.EngineAsynchronous, diffuse.EngineParallel} {
+		p := diffuse.Params{Alpha: 0.5, Tol: 1e-10, Stop: stopEverything{}}
+		_, st, err := diffuse.RunSignal(eng, tr, diffuse.NewSignal(x), p, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if !st.Converged {
+			t.Fatalf("%v: block did not report converged", eng)
+		}
+		for j, s := range st.ColumnSweeps {
+			if s != 1 {
+				t.Fatalf("%v: column %d retired at sweep %d, want 1", eng, j, s)
+			}
+		}
+	}
+}
+
+type stopEverything struct{}
+
+func (stopEverything) Stop(sweep int, act []int, _ *vecmath.Matrix) []bool {
+	flags := make([]bool, len(act))
+	for k := range flags {
+		flags[k] = true
+	}
+	return flags
+}

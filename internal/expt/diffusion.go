@@ -141,7 +141,9 @@ func SummarizeColumnSweeps(cols []int) string {
 
 // FormatDiffusion renders CompareDiffusionEngines rows; speedup is
 // wall-clock relative to the first row, and col-sweeps summarizes the
-// per-column sweep counts (min/med/max) of the column-blocked rows.
+// per-column sweep counts (min/med/max) of the column-blocked rows. The
+// engine column clips through the shared labelCell width, like every
+// other engine-labelled table.
 func FormatDiffusion(rows []DiffusionRow) *stats.Table {
 	t := &stats.Table{Header: []string{"engine", "wall", "speedup", "sweeps", "col-sweeps", "updates", "messages", "max|Δ| vs sync"}}
 	for _, r := range rows {
@@ -150,7 +152,7 @@ func FormatDiffusion(rows []DiffusionRow) *stats.Table {
 			speedup = fmt.Sprintf("%.2fx", float64(rows[0].Wall)/float64(r.Wall))
 		}
 		t.AddRow(
-			r.Engine,
+			labelCell(r.Engine),
 			r.Wall.Round(time.Microsecond).String(),
 			speedup,
 			fmt.Sprintf("%d", r.Sweeps),

@@ -1,0 +1,20 @@
+package expt
+
+// Engine-name label columns appear in several -exp tables (FormatDiffusion
+// and FormatTopK build derived labels like "parallel(cols)" or
+// "parallel/k=25"), and each formatter used to bound them ad hoc — so the
+// same engine could render untruncated in one table and clipped in
+// another. Every label column now goes through labelCell, which clips at
+// one shared width with one shared ellipsis convention.
+const labelWidth = 18
+
+// labelCell clips a row label to labelWidth runes, marking the cut with a
+// trailing ellipsis. Labels at or under the width pass through unchanged,
+// so the standard engine names are never altered.
+func labelCell(s string) string {
+	r := []rune(s)
+	if len(r) <= labelWidth {
+		return s
+	}
+	return string(r[:labelWidth-1]) + "…"
+}

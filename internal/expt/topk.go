@@ -1,0 +1,214 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/stats"
+	"diffusearch/internal/topk"
+)
+
+// TopKConfig parameterizes TopKSweep: one placement, one query pool, then
+// an engines × k sweep of the bidirectional top-k path against the
+// full-vector ScoreBatch baseline on the identical queries.
+type TopKConfig struct {
+	M       int     // documents placed; 0 means min(1000, pool)
+	Alpha   float64 // teleport probability; 0 means 0.5
+	Tol     float64 // request tolerance; 0 means core.DefaultScoreTol
+	Workers int     // parallel engine pool size; 0 means GOMAXPROCS
+	Seed    uint64
+
+	// Engines are the forward engines swept; nil means {Parallel}.
+	Engines []diffuse.Engine
+	// Ks are the result-set sizes swept per engine; nil means {1, 5, 10, 25}.
+	Ks []int
+	// Queries is the distinct query count timed per cell; 0 means 16.
+	Queries int
+	// Iters repeats each timing loop; 0 means 3.
+	Iters int
+}
+
+func (c TopKConfig) withDefaults(env *Environment) TopKConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.M <= 0 {
+		c.M = 1000
+	}
+	if c.M > env.MaxPoolDocs() {
+		c.M = env.MaxPoolDocs()
+	}
+	if len(c.Engines) == 0 {
+		c.Engines = []diffuse.Engine{diffuse.EngineParallel}
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{1, 5, 10, 25}
+	}
+	if c.Queries <= 0 {
+		c.Queries = 16
+	}
+	if c.Iters <= 0 {
+		c.Iters = 3
+	}
+	return c
+}
+
+// TopKRow reports one engine × k cell: what the certified early stop buys
+// per query against the full-vector path, how often the certificate fires,
+// and the exactness check — the returned set must equal the full-vector
+// top-k (ties broken by node id) on every query.
+type TopKRow struct {
+	Engine string
+	K      int
+
+	FullNsPerQuery int64 // B=1 full-vector ScoreBatch + RankTop
+	TopKNsPerQuery int64 // B=1 ScoreBatchTopK through the topk backend
+	Speedup        float64
+	FullMsgsPerQ   float64 // diffusion messages per full-vector query
+	TopKMsgsPerQ   float64 // diffusion messages per top-k query
+	Certified      float64 // fraction of queries answered with a certificate
+	Agreement      float64 // fraction whose set equals the full-vector top-k
+}
+
+// TopKSweep measures the bidirectional top-k backend across engines and k
+// on the environment's workload. The baseline is the plain CSR path: a
+// full-vector ScoreBatch per query followed by an exact candidate ranking
+// (the answer a caller without the ranked path would compute). Each engine
+// then attaches a fresh topk backend, builds its reverse tables once
+// (offline, excluded from the per-query timings like the walk-index
+// build), and re-answers the identical queries through ScoreBatchTopK.
+func TopKSweep(env *Environment, cfg TopKConfig) ([]TopKRow, error) {
+	cfg = cfg.withDefaults(env)
+	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
+	r := randx.Derive(cfg.Seed, "topk-expt")
+	pair := env.Bench.SamplePair(r)
+	docs := append([]retrieval.DocID{pair.Gold}, env.Bench.SamplePool(r, cfg.M-1)...)
+	if err := net.PlaceDocuments(docs, core.UniformHosts(r, len(docs), env.Graph.NumNodes())); err != nil {
+		return nil, err
+	}
+	if err := net.ComputePersonalization(); err != nil {
+		return nil, err
+	}
+	queries := make([][]float64, cfg.Queries)
+	for j := range queries {
+		queries[j] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
+	}
+	cands := net.DocHosts()
+
+	rows := make([]TopKRow, 0, len(cfg.Engines)*len(cfg.Ks))
+	for _, eng := range cfg.Engines {
+		req := core.DiffusionRequest{
+			Engine: eng, Alpha: cfg.Alpha, Tol: cfg.Tol,
+			Workers: cfg.Workers, Seed: cfg.Seed,
+		}
+		// Full-vector baseline on the untouched CSR path; the last pass's
+		// rankings are the exactness reference for every k.
+		net.SetRanker(nil)
+		ref := make([][]float64, len(queries))
+		var fullMsgs int64
+		fullStart := time.Now()
+		for it := 0; it < cfg.Iters; it++ {
+			for j, q := range queries {
+				scores, st, err := net.ScoreBatch([][]float64{q}, req)
+				if err != nil {
+					return nil, fmt.Errorf("expt: full-vector query: %w", err)
+				}
+				ref[j] = scores[0]
+				fullMsgs += st.Messages
+			}
+		}
+		perQ := int64(cfg.Iters * len(queries))
+		fullNs := time.Since(fullStart).Nanoseconds() / perQ
+
+		b, err := topk.Attach(net, topk.Config{
+			Alpha: cfg.Alpha, Engine: eng, Workers: cfg.Workers, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.Build(); err != nil {
+			net.SetRanker(nil)
+			return nil, fmt.Errorf("expt: reverse-table build: %w", err)
+		}
+
+		for _, k := range cfg.Ks {
+			row := TopKRow{Engine: eng.String(), K: k, FullNsPerQuery: fullNs,
+				FullMsgsPerQ: float64(fullMsgs) / float64(perQ)}
+			kreq := req
+			kreq.TopK = k
+			var topkMsgs int64
+			certified, agree := 0, 0
+			topkStart := time.Now()
+			for it := 0; it < cfg.Iters; it++ {
+				for j, q := range queries {
+					res, st, err := net.ScoreBatchTopK([][]float64{q}, kreq)
+					if err != nil {
+						return nil, fmt.Errorf("expt: top-%d query: %w", k, err)
+					}
+					topkMsgs += st.Messages
+					if res[0].Certified {
+						certified++
+					}
+					if sameRankedSet(res[0].IDs, core.RankTop(ref[j], cands, k).IDs) {
+						agree++
+					}
+				}
+			}
+			row.TopKNsPerQuery = time.Since(topkStart).Nanoseconds() / perQ
+			if row.TopKNsPerQuery > 0 {
+				row.Speedup = float64(row.FullNsPerQuery) / float64(row.TopKNsPerQuery)
+			}
+			row.TopKMsgsPerQ = float64(topkMsgs) / float64(perQ)
+			row.Certified = float64(certified) / float64(perQ)
+			row.Agreement = float64(agree) / float64(perQ)
+			rows = append(rows, row)
+		}
+		net.SetRanker(nil)
+	}
+	return rows, nil
+}
+
+// sameRankedSet reports set equality of two ranked id lists (the ranked
+// contract is set-exact: within-set order may differ under early stop).
+func sameRankedSet(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[graph.NodeID]bool, len(a))
+	for _, id := range a {
+		seen[id] = true
+	}
+	for _, id := range b {
+		if !seen[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatTopK renders TopKSweep rows. The engine column clips through the
+// shared labelCell width, like every other engine-labelled table.
+func FormatTopK(rows []TopKRow) *stats.Table {
+	t := &stats.Table{Header: []string{
+		"engine", "k", "full ns/q", "topk ns/q", "speedup", "full msgs/q", "topk msgs/q", "certified", "agree",
+	}}
+	for _, r := range rows {
+		t.AddRow(
+			labelCell(r.Engine),
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%d", r.FullNsPerQuery),
+			fmt.Sprintf("%d", r.TopKNsPerQuery),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.0f", r.FullMsgsPerQ),
+			fmt.Sprintf("%.0f", r.TopKMsgsPerQ),
+			fmt.Sprintf("%.2f", r.Certified),
+			fmt.Sprintf("%.2f", r.Agreement),
+		)
+	}
+	return t
+}

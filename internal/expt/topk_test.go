@@ -1,0 +1,56 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"diffusearch/internal/diffuse"
+)
+
+func TestTopKSweepShape(t *testing.T) {
+	env := scaledEnv(t)
+	rows, err := TopKSweep(env, TopKConfig{
+		M: 50, Alpha: 0.5, Seed: 3, Workers: 2,
+		Engines: []diffuse.Engine{diffuse.EngineParallel},
+		Ks:      []int{1, 5}, Queries: 4, Iters: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.Engine != "parallel" || r.FullNsPerQuery <= 0 || r.TopKNsPerQuery <= 0 {
+			t.Fatalf("row %d unmeasured: %+v", i, r)
+		}
+		// The exactness contract: ranked answers are never approximate,
+		// certified or not.
+		if r.Agreement != 1 {
+			t.Fatalf("row %d agreement %v, want 1: %+v", i, r.Agreement, r)
+		}
+		if r.Certified < 0 || r.Certified > 1 {
+			t.Fatalf("row %d certified fraction %v out of range", i, r.Certified)
+		}
+	}
+	if rows[0].K != 1 || rows[1].K != 5 {
+		t.Fatalf("k order %d,%d, want 1,5", rows[0].K, rows[1].K)
+	}
+	table := FormatTopK(rows).String()
+	for _, col := range []string{"engine", "speedup", "certified", "agree"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("table missing column %q:\n%s", col, table)
+		}
+	}
+}
+
+func TestLabelCellClipsUniformly(t *testing.T) {
+	if got := labelCell("parallel(cols)"); got != "parallel(cols)" {
+		t.Fatalf("short label altered: %q", got)
+	}
+	long := strings.Repeat("x", labelWidth+5)
+	got := labelCell(long)
+	if len([]rune(got)) != labelWidth || !strings.HasSuffix(got, "…") {
+		t.Fatalf("long label clipped to %q (%d runes)", got, len([]rune(got)))
+	}
+}

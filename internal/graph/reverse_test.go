@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"diffusearch/internal/randx"
+)
+
+// TestReverseIsAdjoint pins the defining property of Reverse: for every
+// normalization, ⟨y, A·x⟩ = ⟨Aᵀ·y, x⟩ on random vectors, so the reversed
+// operator really is the transpose of the forward one on the same graph.
+func TestReverseIsAdjoint(t *testing.T) {
+	g := randomGraph(41, 37, 0.2)
+	g, _ = g.LargestComponent()
+	n := g.NumNodes()
+	r := randx.New(9)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() - 0.5
+		y[i] = r.Float64() - 0.5
+	}
+	ax := make([]float64, n)
+	rty := make([]float64, n)
+	for _, norm := range []Normalization{ColumnStochastic, RowStochastic, Symmetric} {
+		tr := NewTransition(g, norm)
+		rev := tr.Reverse()
+		if rev.Graph() != g {
+			t.Fatalf("%v: Reverse rebuilt the graph", norm)
+		}
+		tr.Apply(ax, x)
+		rev.Apply(rty, y)
+		var lhs, rhs float64
+		for i := range x {
+			lhs += y[i] * ax[i]
+			rhs += rty[i] * x[i]
+		}
+		if math.Abs(lhs-rhs) > 1e-12*(1+math.Abs(lhs)) {
+			t.Fatalf("%v: ⟨y,Ax⟩=%g but ⟨Aᵀy,x⟩=%g", norm, lhs, rhs)
+		}
+	}
+}
+
+// TestReverseNormFlip pins the implementation shortcut the fused kernels
+// rely on: on an undirected graph, transposing the column-stochastic
+// operator IS the row-stochastic one (and vice versa), the symmetric
+// operator is self-adjoint (same object back), and a double Reverse
+// reproduces the original CSR weights bit-for-bit.
+func TestReverseNormFlip(t *testing.T) {
+	g := star(17)
+	cs := NewTransition(g, ColumnStochastic)
+	rs := NewTransition(g, RowStochastic)
+	sym := NewTransition(g, Symmetric)
+
+	if got := cs.Reverse().Kind(); got != RowStochastic {
+		t.Fatalf("Reverse(column-stochastic) = %v, want row-stochastic", got)
+	}
+	if got := rs.Reverse().Kind(); got != ColumnStochastic {
+		t.Fatalf("Reverse(row-stochastic) = %v, want column-stochastic", got)
+	}
+	if sym.Reverse() != sym {
+		t.Fatal("Reverse(symmetric) allocated a new operator; want the receiver")
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		want := rs.Weights(u)
+		got := cs.Reverse().Weights(u)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("node %d edge %d: reversed weight %g != row-stochastic %g", u, i, got[i], want[i])
+			}
+		}
+		back := cs.Reverse().Reverse().Weights(u)
+		orig := cs.Weights(u)
+		for i := range orig {
+			if back[i] != orig[i] {
+				t.Fatalf("node %d edge %d: double Reverse weight %g != original %g", u, i, back[i], orig[i])
+			}
+		}
+	}
+}

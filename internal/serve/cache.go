@@ -21,6 +21,32 @@ func Key(query []float64) string {
 	return string(b)
 }
 
+// RankedKey fingerprints a top-k submission: the query's exact Key bytes,
+// then k as eight little-endian bytes, then a 'K' tag byte. A plain Key is
+// always a multiple of 8 bytes long while a RankedKey is 8m+9 — never a
+// multiple of 8 — so a ranked submission can never alias a full-vector one
+// (no (query', k') concatenation collides with any plain query's bit
+// pattern), and distinct k values differ in the k bytes. Ranked results
+// are not cached (the LRU stores only full-vector columns), but the key
+// still partitions in-batch dedup: identical (query, k) submissions
+// coalesce into one ranked column. Class and Tenant are deliberately NOT
+// part of either key — the same query yields the same scores regardless of
+// scheduling class (sharing is correct), and tenants are isolated by
+// per-tenant Scheduler instances (see Multi), each with its own cache.
+// TestRankedKeyNeverAliases pins all of this.
+func RankedKey(query []float64, k int) string {
+	b := make([]byte, 0, len(query)*8+9)
+	for _, x := range query {
+		v := math.Float64bits(x)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	v := uint64(k)
+	b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56), 'K')
+	return string(b)
+}
+
 // lru is a bounded least-recently-used score cache. A zero or negative
 // capacity disables it (every get misses, every put is dropped), which
 // keeps the scheduler's fast path branch-free at the call sites.

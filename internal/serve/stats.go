@@ -89,6 +89,15 @@ type Stats struct {
 	// (background maintenance such as walk-index segment rebuilds).
 	TasksRun uint64
 
+	// RankedScored counts SubmitRanked columns diffused through the
+	// ranked (top-k) path; Downgraded counts full-vector columns the
+	// planner converted to certified top-k answers under deadline
+	// pressure (their waiters received sparse full-length slices). Both
+	// are column counts after dedup, like QueriesScored — which includes
+	// them.
+	RankedScored uint64
+	Downgraded   uint64
+
 	// CacheBytes is the LRU score cache's live payload size at snapshot
 	// time (keys plus score columns) — the memory the Cache entry bound
 	// actually admitted, reported in bytes like walkindex.StoreBytes so
@@ -145,6 +154,9 @@ func (s Stats) String() string {
 	}
 	if s.TasksRun > 0 {
 		line += fmt.Sprintf(" tasks_run=%d", s.TasksRun)
+	}
+	if s.RankedScored > 0 || s.Downgraded > 0 {
+		line += fmt.Sprintf(" ranked=%d downgraded=%d", s.RankedScored, s.Downgraded)
 	}
 	return line
 }
@@ -226,6 +238,15 @@ func (m *metrics) deadlineMissed() { m.mu.Lock(); m.s.DeadlineMissed++; m.mu.Unl
 
 // taskRan records one SubmitTask closure executed by the collector.
 func (m *metrics) taskRan() { m.mu.Lock(); m.s.TasksRun++; m.mu.Unlock() }
+
+// ranked records one ranked dispatch group: its SubmitRanked columns and
+// the full-vector columns downgraded onto it.
+func (m *metrics) ranked(cols, downgraded int) {
+	m.mu.Lock()
+	m.s.RankedScored += uint64(cols)
+	m.s.Downgraded += uint64(downgraded)
+	m.mu.Unlock()
+}
 
 // promoted records Bulk queries crossing the starvation bound.
 func (m *metrics) promoted(n int) {

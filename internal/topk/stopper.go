@@ -1,0 +1,180 @@
+package topk
+
+import (
+	"math"
+	"sort"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/vecmath"
+)
+
+// stopper is the per-batch diffuse.StopPredicate driving early
+// termination. One instance serves one RankSignal call: it keeps the
+// original signal x (the engines treat their input as read-only, so it
+// can alias), the forward operator, and the reverse-table snapshot, and
+// on each check it measures the exact forward residual
+// ρ_j = α·x_j + (1−α)·A·p_j − p_j of every still-active column in one
+// fused apply pass, then evaluates each candidate's error bound
+//
+//	err[c] = (1/α)·( Σ_v q̃_c[v]·|ρ[v]| + errInf_c·‖ρ‖₁ )
+//
+// and certifies a column once the k-th candidate's score lower bound
+// strictly clears the (k+1)-th's upper bound. Checks are throttled
+// (from/every) because each one costs about a sweep of apply work; the
+// cadence is global across columns so the residual pass is shared.
+//
+// The predicate only observes the iterate — an uncertified column's
+// trajectory is bit-identical to a predicate-free run.
+type stopper struct {
+	tr    *graph.Transition
+	x     *vecmath.Matrix
+	cands []graph.NodeID
+	tabs  []*table
+	alpha float64
+	k     int
+	every int
+
+	next      int    // next sweep to run a check at
+	certified []bool // per original column
+
+	flags []bool    // reused return slice
+	tmp   []float64 // w-wide apply accumulator
+	absR  []float64 // w×n |ρ|, column-major per slot for the table scans
+	l1    []float64
+	errs  []float64            // per-candidate error bounds
+	score []float64            // per-candidate current estimates
+	order []graph.NodeID       // rank scratch
+	pos   map[graph.NodeID]int // candidate -> index in cands
+}
+
+func newStopper(tr *graph.Transition, x *vecmath.Matrix, cands []graph.NodeID, tabs []*table, alpha float64, k, from, every int) *stopper {
+	s := &stopper{
+		tr:        tr,
+		x:         x,
+		cands:     cands,
+		tabs:      tabs,
+		alpha:     alpha,
+		k:         k,
+		every:     every,
+		next:      from,
+		certified: make([]bool, x.Cols()),
+		errs:      make([]float64, len(cands)),
+		score:     make([]float64, len(cands)),
+		order:     make([]graph.NodeID, len(cands)),
+	}
+	return s
+}
+
+// Stop implements diffuse.StopPredicate.
+func (s *stopper) Stop(sweep int, act []int, cur *vecmath.Matrix) []bool {
+	w := len(act)
+	if cap(s.flags) < w {
+		s.flags = make([]bool, w)
+	}
+	s.flags = s.flags[:w]
+	for i := range s.flags {
+		s.flags[i] = false
+	}
+	if s.k >= len(s.cands) {
+		// The top-k set is the whole candidate set regardless of scores:
+		// certified at the first opportunity, no residual pass needed.
+		for slot, j := range act {
+			s.certified[j] = true
+			s.flags[slot] = true
+		}
+		return s.flags
+	}
+	if sweep < s.next {
+		return nil
+	}
+	s.next = sweep + s.every
+
+	// Exact residual pass: one fused CSR sweep over the active block.
+	// |ρ| is laid out per-slot contiguous so the per-candidate table
+	// scans below stream it.
+	n := s.x.Rows()
+	if cap(s.tmp) < w {
+		s.tmp = make([]float64, w)
+	}
+	tmp := s.tmp[:w]
+	if cap(s.absR) < w*n {
+		s.absR = make([]float64, w*n)
+	}
+	absR := s.absR[:w*n]
+	if cap(s.l1) < w {
+		s.l1 = make([]float64, w)
+	}
+	l1 := s.l1[:w]
+	vecmath.Zero(l1)
+	for u := 0; u < n; u++ {
+		vecmath.Zero(tmp)
+		s.tr.ApplyRow(tmp, u, 1-s.alpha, cur)
+		curRow := cur.Row(u)
+		xrow := s.x.Row(u)
+		for slot, j := range act {
+			rv := s.alpha*xrow[j] + tmp[slot] - curRow[slot]
+			av := math.Abs(rv)
+			absR[slot*n+u] = av
+			l1[slot] += av
+		}
+	}
+
+	invA := 1 / s.alpha
+	for slot, j := range act {
+		ar := absR[slot*n : (slot+1)*n]
+		for ci, t := range s.tabs {
+			sum := 0.0
+			if t.ids == nil {
+				for u, wv := range t.w {
+					sum += wv * ar[u]
+				}
+			} else {
+				for kk, id := range t.ids {
+					sum += t.w[kk] * ar[id]
+				}
+			}
+			s.errs[ci] = invA * (sum + t.errInf*l1[slot])
+			s.score[ci] = cur.Row(int(s.cands[ci]))[slot]
+		}
+		if s.certify() {
+			s.certified[j] = true
+			s.flags[slot] = true
+		}
+	}
+	return s.flags
+}
+
+// certify reports whether the current estimates separate the top-k set:
+// rank candidates by (score desc, id asc) and require the k-th lower
+// bound to strictly exceed the (k+1)-th-onwards upper bound.
+func (s *stopper) certify() bool {
+	if s.pos == nil {
+		s.pos = make(map[graph.NodeID]int, len(s.cands))
+		for i, c := range s.cands {
+			s.pos[c] = i
+		}
+	}
+	copy(s.order, s.cands)
+	sort.SliceStable(s.order, func(a, b int) bool {
+		sa, sb := s.score[s.pos[s.order[a]]], s.score[s.pos[s.order[b]]]
+		if sa != sb {
+			return sa > sb
+		}
+		return s.order[a] < s.order[b]
+	})
+	low := math.Inf(1)
+	for _, c := range s.order[:s.k] {
+		i := s.pos[c]
+		if v := s.score[i] - s.errs[i]; v < low {
+			low = v
+		}
+	}
+	high := math.Inf(-1)
+	for _, c := range s.order[s.k:] {
+		i := s.pos[c]
+		if v := s.score[i] + s.errs[i]; v > high {
+			high = v
+		}
+	}
+	return low > high
+}

@@ -1,0 +1,535 @@
+// Package topk is the bidirectional top-k scoring path: a core.Ranker
+// that answers DiffusionRequest{TopK: k} queries without diffusing every
+// column to full convergence, by combining the forward engines with
+// reverse-push candidate pruning (the BiPPR decomposition of Lofgren et
+// al. adapted to the batch-scoring stack).
+//
+// # The certificate
+//
+// Forward scoring solves p = α·x + (1−α)·A·p, whose fixed point is
+// p* = H·x with H = α(I−(1−α)A)⁻¹. For ANY iterate p with forward
+// residual ρ = α·x + (1−α)·A·p − p, the error is exactly
+//
+//	p* − p = (1/α)·H·ρ,   so   p*[c] − p[c] = (1/α)·h_c·ρ
+//
+// where h_c, row c of H, solves the REVERSED system
+// h = α·e_c + (1−α)·Aᵀ·h — a PPR diffusion of the one-hot e_c on the
+// transposed operator. The backend precomputes, per candidate document
+// host c, a truncated reverse table q̃_c ≈ h_c by diffusing e_c on
+// graph.Transition.Reverse() (the same CSR layout and fused ApplyRow
+// kernels as forward diffusion) at a loose tolerance Theta, plus the
+// exactly-measured certificate ‖h_c − q̃_c‖∞ ≤ (1/α)·‖ρ_c‖∞. Online, a
+// diffuse.StopPredicate measures the forward residual exactly once per
+// check and bounds every candidate's remaining error:
+//
+//	|p*[c] − p[c]| ≤ (1/α)·( Σ_v q̃_c[v]·|ρ[v]|  +  errInf_c·‖ρ‖₁ )
+//
+// (valid for any q̃_c ≥ 0, which is what makes kept-but-stale tables
+// safe after a topology patch — see PatchTopology). As soon as the k-th
+// candidate's lower bound strictly exceeds the (k+1)-th's upper bound,
+// the top-k SET is provably that of the fully-converged diffusion and
+// the column retires early with Certified=true. Both bound terms are
+// linear in the residual, so the certificate always fires eventually
+// for strictly separated candidates; exact ties simply converge to Tol
+// and return Certified=false — exact, never approximated.
+//
+// # Semantics
+//
+// Certified results are SET-exact: membership matches the converged
+// diffusion, while scores (and the order within the set) come from the
+// early-stopped iterate. A column whose certificate never fires follows
+// the identical trajectory a plain ScoreBatch would (the predicate
+// observes, never perturbs), converges at the request tolerance, and
+// reports Certified=false. MaxSweeps exhaustion propagates
+// diffuse.ErrNoConvergence exactly as ScoreBatch does.
+package topk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"diffusearch/internal/core"
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/vecmath"
+)
+
+// DefaultTheta is the reverse-table build tolerance and truncation
+// threshold. Deliberately loose: both certificate terms shrink with the
+// forward residual, so a loose table only delays certification by a few
+// sweeps — while a tight one costs reverse build sweeps and table bytes
+// up front. 1e-4 lands the certificate roughly a third of the way into a
+// tol=1e-8 forward run on the paper graphs.
+const DefaultTheta = 1e-4
+
+// DefaultCheckFrom is the first sweep the stop predicate measures the
+// forward residual at; earlier sweeps never certify on realistic gaps,
+// so checking them would only add apply passes.
+const DefaultCheckFrom = 3
+
+// DefaultCheckEvery is the sweep cadence between certificate checks.
+// Each check costs about one extra sweep of apply work for the still-
+// active columns, so checking every sweep would halve the early-stop
+// win; every other sweep loses at most one sweep of latency.
+const DefaultCheckEvery = 2
+
+// DefaultBuildBlock is how many candidate one-hots one reverse build
+// diffusion carries (the same batching economics as walkindex).
+const DefaultBuildBlock = 64
+
+// Config parameterizes a Backend.
+type Config struct {
+	// Alpha is the teleport probability the reverse tables encode (h_c
+	// depends on it). Requests at any other alpha fall back to a plain
+	// full-vector diffusion plus ranking. Required; Attach defaults it
+	// to the network's recorded alpha when left zero.
+	Alpha float64
+	// Theta is the reverse-table accuracy: build tolerance and the
+	// truncation threshold for stored entries. 0 means DefaultTheta.
+	Theta float64
+	// CheckFrom is the first sweep the certificate is checked at;
+	// 0 means DefaultCheckFrom.
+	CheckFrom int
+	// CheckEvery is the sweep cadence between checks; 0 means
+	// DefaultCheckEvery.
+	CheckEvery int
+	// BuildBlock is the number of candidate columns per reverse build
+	// diffusion. 0 means DefaultBuildBlock.
+	BuildBlock int
+	// Engine drives the reverse build diffusions. 0 means EngineParallel.
+	Engine diffuse.Engine
+	// Workers bounds the build diffusion's worker pool (Parallel engine).
+	Workers int
+	// MaxSweeps bounds each build diffusion; 0 means the engine default.
+	MaxSweeps int
+	// Seed feeds the asynchronous build engine's permutation stream.
+	Seed uint64
+	// Candidates is the document-host node set rankings draw from.
+	// Attach defaults it to net.DocHosts().
+	Candidates []graph.NodeID
+}
+
+func (c Config) withDefaults() Config {
+	if c.Theta <= 0 {
+		c.Theta = DefaultTheta
+	}
+	if c.CheckFrom <= 0 {
+		c.CheckFrom = DefaultCheckFrom
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = DefaultCheckEvery
+	}
+	if c.BuildBlock <= 0 {
+		c.BuildBlock = DefaultBuildBlock
+	}
+	if c.Engine == 0 {
+		c.Engine = diffuse.EngineParallel
+	}
+	return c
+}
+
+// table is one candidate's truncated reverse column q̃_c ≈ h_c,
+// immutable once built (the slice holding tables is replaced
+// copy-on-write, as in walkindex). A nil ids slice marks the dense
+// representation. errInf is the certified bound ‖h_c − q̃_c‖∞ =
+// (1/α)·‖ρ_c‖∞ with the reverse residual ρ_c measured EXACTLY against
+// the operator the table currently vouches for; PatchTopology poisons
+// it to +Inf on kept tables until ensure re-measures them against the
+// new operator (the bound identity holds for any nonnegative q̃, so
+// only the measurement goes stale, never the weights).
+type table struct {
+	ids    []int32
+	w      []float64
+	errInf float64
+}
+
+// bytes is the table payload accounting StoreBytes reports.
+func (t *table) bytes() int64 {
+	return int64(len(t.ids))*4 + int64(len(t.w))*8
+}
+
+// maxID returns the largest node id the table references.
+func (t *table) maxID() int {
+	if t.ids == nil {
+		return len(t.w) - 1
+	}
+	if len(t.ids) == 0 {
+		return -1
+	}
+	return int(t.ids[len(t.ids)-1])
+}
+
+// Backend is the bidirectional core.Ranker. Construct with NewBackend or
+// Attach; all methods are safe for concurrent use.
+type Backend struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	tr    *graph.Transition // forward operator (the network's full CSR)
+	rev   *graph.Transition // tr.Reverse(): same layout, transposed weights
+	cands []graph.NodeID    // sorted ascending, deduped, in-range
+	tabs  []*table          // aligned with cands; nil = not built; COW
+	gen   uint64            // bumped by PatchTopology/SetCandidates
+	built int
+}
+
+// NewBackend creates a bidirectional backend over tr ranking among cands.
+// Reverse tables build lazily on first use; call Build to prepay.
+func NewBackend(tr *graph.Transition, cfg Config) (*Backend, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("topk: nil transition")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("topk: alpha %g outside (0,1]", cfg.Alpha)
+	}
+	cfg = cfg.withDefaults()
+	b := &Backend{cfg: cfg, tr: tr, rev: tr.Reverse()}
+	b.setCandidatesLocked(cfg.Candidates)
+	return b, nil
+}
+
+// setCandidatesLocked installs the candidate set (callers hold mu or own
+// b exclusively), carrying over any still-valid tables.
+func (b *Backend) setCandidatesLocked(cands []graph.NodeID) {
+	n := b.tr.Graph().NumNodes()
+	old := make(map[graph.NodeID]*table, len(b.cands))
+	for i, c := range b.cands {
+		old[c] = b.tabs[i]
+	}
+	seen := make(map[graph.NodeID]struct{}, len(cands))
+	next := make([]graph.NodeID, 0, len(cands))
+	for _, c := range cands {
+		if c < 0 || c >= n {
+			continue
+		}
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		next = append(next, c)
+	}
+	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	b.cands = next
+	b.tabs = make([]*table, len(next))
+	b.built = 0
+	for i, c := range next {
+		if t := old[c]; t != nil {
+			b.tabs[i] = t
+			b.built++
+		}
+	}
+}
+
+// SetCandidates replaces the candidate set (e.g. after a document
+// placement change): tables for retained candidates are kept, new
+// candidates build lazily on the next ranked query.
+func (b *Backend) SetCandidates(cands []graph.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gen++
+	b.setCandidatesLocked(cands)
+}
+
+// Candidates returns the active candidate set (sorted ascending). The
+// slice is freshly allocated per call.
+func (b *Backend) Candidates() []graph.NodeID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]graph.NodeID(nil), b.cands...)
+}
+
+// Tables returns how many candidates currently hold a built reverse
+// table (stale-but-kept tables count: their weights still prune).
+func (b *Backend) Tables() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.built
+}
+
+// StoreBytes returns the reverse-table payload size in bytes.
+func (b *Backend) StoreBytes() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var total int64
+	for _, t := range b.tabs {
+		if t != nil {
+			total += t.bytes()
+		}
+	}
+	return total
+}
+
+// String summarizes the store for logs.
+func (b *Backend) String() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return fmt.Sprintf("topk: %d/%d reverse tables, alpha %g, theta %g",
+		b.built, len(b.cands), b.cfg.Alpha, b.cfg.Theta)
+}
+
+// PatchTopology installs the transition operator of a patched topology
+// and applies the walk-index staleness contract: tables of the patch's
+// changed set (cmd/peerd passes the closed neighbourhood over both
+// topologies) are dropped for rebuild, as is any table referencing a
+// node id the new graph no longer has. The rest keep their weights but
+// have their errInf certificate poisoned to +Inf — the error-bound
+// identity holds for any nonnegative q̃, so ensure only needs to
+// re-MEASURE their reverse residual against the new operator (one apply
+// pass per block) before they certify again. In-flight builds against
+// the old operator are discarded via the generation counter.
+func (b *Backend) PatchTopology(tr *graph.Transition, changed []graph.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gen++
+	b.tr = tr
+	b.rev = tr.Reverse()
+	n := tr.Graph().NumNodes()
+	dropped := make(map[graph.NodeID]struct{}, len(changed))
+	for _, id := range changed {
+		dropped[id] = struct{}{}
+	}
+	tabs := make([]*table, len(b.tabs))
+	b.built = 0
+	keep := b.cands[:0]
+	for i, c := range b.cands {
+		if c >= n {
+			continue
+		}
+		keep = append(keep, c)
+		t := b.tabs[i]
+		if t == nil {
+			continue
+		}
+		if _, hit := dropped[c]; hit || t.maxID() >= n {
+			continue
+		}
+		tabs[len(keep)-1] = &table{ids: t.ids, w: t.w, errInf: math.Inf(1)}
+		b.built++
+	}
+	b.cands = keep
+	b.tabs = tabs[:len(keep)]
+}
+
+// Build synchronously builds every missing reverse table and re-measures
+// every stale certificate, returning how many tables were built. RankSignal
+// does the same lazily; Build lets deployments prepay the cost.
+func (b *Backend) Build() (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	before := b.built
+	if err := b.ensureLocked(); err != nil {
+		return b.built - before, err
+	}
+	return b.built - before, nil
+}
+
+// ensureLocked brings every candidate's table to a certified state
+// against the current operator: missing tables are built by diffusing
+// one-hot blocks on the REVERSED operator at Theta, and kept-but-stale
+// tables (errInf = +Inf after a patch) get their reverse residual
+// re-measured exactly. Callers hold b.mu.
+func (b *Backend) ensureLocked() error {
+	var missing, stale []int
+	for i, t := range b.tabs {
+		switch {
+		case t == nil:
+			missing = append(missing, i)
+		case math.IsInf(t.errInf, 1):
+			stale = append(stale, i)
+		}
+	}
+	if len(missing) == 0 && len(stale) == 0 {
+		return nil
+	}
+	n := b.rev.Graph().NumNodes()
+	tabs := append([]*table(nil), b.tabs...) // COW: RankSignal snapshots b.tabs
+	for lo := 0; lo < len(missing); lo += b.cfg.BuildBlock {
+		hi := lo + b.cfg.BuildBlock
+		if hi > len(missing) {
+			hi = len(missing)
+		}
+		chunk := missing[lo:hi]
+		delta := vecmath.NewMatrix(n, len(chunk))
+		for j, i := range chunk {
+			delta.Set(int(b.cands[i]), j, 1)
+		}
+		p := diffuse.Params{Alpha: b.cfg.Alpha, Tol: b.cfg.Theta, MaxSweeps: b.cfg.MaxSweeps, Workers: b.cfg.Workers}
+		out, _, err := diffuse.RunSignal(b.cfg.Engine, b.rev, diffuse.NewSignal(delta), p, b.cfg.Seed)
+		if err != nil && !errors.Is(err, diffuse.ErrNoConvergence) {
+			// A sweep-budget miss still yields a usable table — the exact
+			// residual measurement below prices its looseness into errInf.
+			return err
+		}
+		m := out.Matrix()
+		for j, i := range chunk {
+			tabs[i] = truncate(m, j, n, b.cfg.Theta)
+		}
+		b.measure(tabs, chunk)
+	}
+	for lo := 0; lo < len(stale); lo += b.cfg.BuildBlock {
+		hi := lo + b.cfg.BuildBlock
+		if hi > len(stale) {
+			hi = len(stale)
+		}
+		chunk := stale[lo:hi]
+		for _, i := range chunk {
+			t := tabs[i]
+			tabs[i] = &table{ids: t.ids, w: t.w} // fresh header: published tables are immutable
+		}
+		b.measure(tabs, chunk)
+	}
+	b.tabs = tabs
+	b.built = 0
+	for _, t := range tabs {
+		if t != nil {
+			b.built++
+		}
+	}
+	return nil
+}
+
+// measure sets each chunk table's errInf to the certified bound
+// (1/α)·‖ρ_c‖∞ with ρ_c = α·e_c + (1−α)·Aᵀ·q̃_c − q̃_c measured exactly
+// against the current reversed operator — one fused apply pass over the
+// block, the walkindex measureResiduals pattern with a max-norm
+// accumulator.
+func (b *Backend) measure(tabs []*table, chunk []int) {
+	n := b.rev.Graph().NumNodes()
+	q := vecmath.NewMatrix(n, len(chunk))
+	for j, i := range chunk {
+		t := tabs[i]
+		if t.ids == nil {
+			for u, w := range t.w {
+				q.Set(u, j, w)
+			}
+			continue
+		}
+		for k, id := range t.ids {
+			q.Set(int(id), j, t.w[k])
+		}
+	}
+	maxAbs := make([]float64, len(chunk))
+	tmp := make([]float64, len(chunk))
+	for u := 0; u < n; u++ {
+		vecmath.Zero(tmp)
+		b.rev.ApplyRow(tmp, u, 1-b.cfg.Alpha, q)
+		qrow := q.Row(u)
+		for j, i := range chunk {
+			rv := tmp[j] - qrow[j]
+			if graph.NodeID(u) == b.cands[i] {
+				rv += b.cfg.Alpha
+			}
+			if rv < 0 {
+				rv = -rv
+			}
+			if rv > maxAbs[j] {
+				maxAbs[j] = rv
+			}
+		}
+	}
+	for j, i := range chunk {
+		tabs[i].errInf = maxAbs[j] / b.cfg.Alpha
+	}
+}
+
+// truncate extracts column col of m as a table, dropping entries below
+// theta. Near-dense columns store the full column (smaller and faster to
+// scan; same break-even as walkindex: 12·nnz sparse bytes vs 8·n dense).
+func truncate(m *vecmath.Matrix, col, n int, theta float64) *table {
+	nnz := 0
+	for u := 0; u < n; u++ {
+		if m.At(u, col) >= theta {
+			nnz++
+		}
+	}
+	if 3*nnz >= 2*n {
+		w := make([]float64, n)
+		for u := 0; u < n; u++ {
+			w[u] = m.At(u, col)
+		}
+		return &table{w: w}
+	}
+	ids := make([]int32, 0, nnz)
+	w := make([]float64, 0, nnz)
+	for u := 0; u < n; u++ {
+		if v := m.At(u, col); v >= theta {
+			ids = append(ids, int32(u))
+			w = append(w, v)
+		}
+	}
+	return &table{ids: ids, w: w}
+}
+
+// RankSignal implements core.Ranker: diffuse the projected signal on the
+// forward operator with the certificate predicate installed, then rank
+// each column's candidates from its (early-stopped or converged) scores.
+// Requests at a different alpha fall back to a plain engine diffusion
+// plus ranking (the tables encode H for cfg.Alpha only), Certified=false.
+func (b *Backend) RankSignal(x *vecmath.Matrix, req core.DiffusionRequest, seed uint64) ([]core.RankedResult, diffuse.Stats, error) {
+	k := req.TopK
+	if k <= 0 {
+		return nil, diffuse.Stats{}, fmt.Errorf("topk: RankSignal requires TopK > 0, have %d", k)
+	}
+	b.mu.Lock()
+	err := b.ensureLocked()
+	tr, cands, tabs := b.tr, b.cands, b.tabs
+	b.mu.Unlock()
+	if err != nil {
+		return nil, diffuse.Stats{}, err
+	}
+	if x.Rows() != tr.Graph().NumNodes() {
+		return nil, diffuse.Stats{}, fmt.Errorf("topk: signal has %d rows, graph has %d nodes", x.Rows(), tr.Graph().NumNodes())
+	}
+	engine := req.Engine
+	if engine == 0 {
+		engine = diffuse.EngineParallel
+	}
+	p := diffuse.Params{Alpha: req.Alpha, Tol: req.Tol, MaxSweeps: req.MaxSweeps, Workers: req.Workers}
+	var stp *stopper
+	if req.Alpha == b.cfg.Alpha {
+		stp = newStopper(tr, x, cands, tabs, req.Alpha, k, b.cfg.CheckFrom, b.cfg.CheckEvery)
+		p.Stop = stp
+	}
+	sig, st, err := diffuse.RunSignal(engine, tr, diffuse.NewSignal(x), p, seed)
+	if err != nil {
+		return nil, st, err
+	}
+	out := sig.Matrix()
+	n := x.Rows()
+	cols := x.Cols()
+	scratch := make([]float64, n)
+	results := make([]core.RankedResult, cols)
+	for j := 0; j < cols; j++ {
+		for u := 0; u < n; u++ {
+			scratch[u] = out.At(u, j)
+		}
+		results[j] = core.RankTop(scratch, cands, k)
+		if stp != nil {
+			results[j].Certified = stp.certified[j]
+		}
+	}
+	return results, st, nil
+}
+
+// Attach installs a bidirectional backend as net's ranker. Alpha defaults
+// to the network's recorded alpha and Candidates to net.DocHosts().
+// Reverse tables build lazily on the first ranked query; call
+// Backend.Build to prepay. net.SetRanker(nil) restores the full-vector
+// fallback.
+func Attach(net *core.Network, cfg Config) (*Backend, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = net.Alpha()
+	}
+	if len(cfg.Candidates) == 0 {
+		cfg.Candidates = net.DocHosts()
+	}
+	b, err := NewBackend(net.Transition(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	net.SetRanker(b)
+	return b, nil
+}
