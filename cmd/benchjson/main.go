@@ -52,6 +52,13 @@
 // equal the full-vector top-k exactly (agreement 1.0 — the path is exact
 // by construction, certificate or fallback).
 //
+// The telemetry row times the identical B=8 ScoreBatch bare and with the
+// full sweep observer feeding a live telemetry registry, interleaved
+// min-of-3 so clock drift hits both sides equally. The within-run overhead
+// fraction carries the instrumentation acceptance bar (≤3% ns/query) and
+// is gated absolutely — no baseline row needed, both sides are measured
+// back-to-back in this run.
+//
 // The apply_row_affine rows re-run the kernel-unrolling comparison behind
 // graph.Transition.ApplyRowAffine (shipped 4-edge-unrolled; the historical
 // 2-edge kernel is kept as ApplyRowAffine2) so the snapshot records why the
@@ -83,6 +90,7 @@ import (
 	"diffusearch/internal/expt"
 	"diffusearch/internal/randx"
 	"diffusearch/internal/retrieval"
+	"diffusearch/internal/telemetry"
 	"diffusearch/internal/vecmath"
 )
 
@@ -211,6 +219,22 @@ type topKResult struct {
 	Agreement      float64 `json:"agreement"`
 }
 
+// maxTelemetryOverhead is the instrumentation acceptance bar: an attached
+// sweep observer may not cost more than this fraction of ns/query over
+// the bare ScoreBatch path. The gate is absolute (both sides measured in
+// one run), so it holds on any hardware.
+const maxTelemetryOverhead = 0.03
+
+// telemetryResult records the instrumentation overhead measurement: the
+// same B-query ScoreBatch with no observer and with the full telemetry
+// sweep observer attached, each the min of three interleaved runs.
+type telemetryResult struct {
+	Batch           int     `json:"batch"`
+	BaseNsPerQuery  int64   `json:"base_ns_per_query"`
+	InstrNsPerQuery int64   `json:"instrumented_ns_per_query"`
+	OverheadFrac    float64 `json:"overhead_frac"`
+}
+
 type snapshot struct {
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
@@ -240,6 +264,9 @@ type snapshot struct {
 	// carries the ≥2×-vs-full-vector acceptance number, and every row's
 	// agreement with the exact full-vector top-k must be 1.0.
 	TopK []topKResult `json:"topk"`
+	// Telemetry records the instrumentation overhead row; OverheadFrac is
+	// gated absolutely at maxTelemetryOverhead (≤3% ns/query).
+	Telemetry []telemetryResult `json:"telemetry"`
 	// ApplyRowAffine records the kernel-unrolling evaluation; Kernel
 	// "unroll4" is the shipped ApplyRowAffine, "unroll2" the historical
 	// variant kept as ApplyRowAffine2.
@@ -424,6 +451,40 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 			bw, br.NsPerOp, br.NsPerQuery, br.AllocsPerOp, br.MessagesPerQuery, br.SpeedupVsSequential)
 		snap.ScoreBatch = append(snap.ScoreBatch, br)
 	}
+
+	// Telemetry overhead: the B=8 ScoreBatch bare vs with the sweep
+	// observer feeding a live registry. Three interleaved rounds, min on
+	// each side, so a clock-speed drift mid-measurement cannot charge the
+	// instrumented side for machine noise.
+	treg := telemetry.New()
+	instReq := req
+	instReq.Observer = telemetry.NewDiffusionMetrics(treg)
+	batch8 := queries[:8]
+	measure := func(r core.DiffusionRequest) int64 {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := net.ScoreBatch(batch8, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}).NsPerOp()
+	}
+	telem := telemetryResult{Batch: 8}
+	for i := 0; i < 3; i++ {
+		if ns := measure(req); telem.BaseNsPerQuery == 0 || ns < telem.BaseNsPerQuery {
+			telem.BaseNsPerQuery = ns
+		}
+		if ns := measure(instReq); telem.InstrNsPerQuery == 0 || ns < telem.InstrNsPerQuery {
+			telem.InstrNsPerQuery = ns
+		}
+	}
+	telem.BaseNsPerQuery /= int64(telem.Batch)
+	telem.InstrNsPerQuery /= int64(telem.Batch)
+	telem.OverheadFrac = float64(telem.InstrNsPerQuery-telem.BaseNsPerQuery) /
+		float64(telem.BaseNsPerQuery)
+	fmt.Printf("telemetry-%-5d %12d ns/query bare %8d ns/query instrumented  overhead=%+.2f%%\n",
+		telem.Batch, telem.BaseNsPerQuery, telem.InstrNsPerQuery, 100*telem.OverheadFrac)
+	snap.Telemetry = append(snap.Telemetry, telem)
 
 	// ApplyRowAffine kernel evaluation (the ROADMAP profile-guided-kernel
 	// item): one full pass over every CSR row at each serving batch width,
@@ -863,8 +924,17 @@ func checkRegression(baselinePath string, fresh snapshot, maxRegress float64) er
 				tr.K, tr.Speedup, b.Speedup))
 		}
 	}
+	// The telemetry row's bar is purely absolute: overhead is a within-run
+	// ratio (bare and instrumented ScoreBatch measured interleaved), so no
+	// baseline row is consulted and the bar holds on any hardware.
+	for _, tr := range fresh.Telemetry {
+		if tr.OverheadFrac > maxTelemetryOverhead {
+			problems = append(problems, fmt.Sprintf("telemetry B=%d: instrumentation overhead %.1f%% ns/query, want ≤ %.0f%%",
+				tr.Batch, 100*tr.OverheadFrac, 100*maxTelemetryOverhead))
+		}
+	}
 	if len(problems) > 0 {
-		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / serve / shard / priority / walkindex / topk) regressed beyond %.0f%% of %s:\n  %s",
+		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / serve / shard / priority / walkindex / topk / telemetry) regressed beyond %.0f%% of %s:\n  %s",
 			maxRegress*100, baselinePath, strings.Join(problems, "\n  "))
 	}
 	mode := "ratio checks only — baseline hardware differs"

@@ -1,0 +1,364 @@
+// Admin surface for a long-running peer: a telemetry registry fed by the
+// diffusion observer and per-tenant query-trace sinks, one status
+// snapshot struct behind every reporting surface (/statusz JSON, the
+// -statsevery log line, and the shutdown banner render the same fields,
+// so text and JSON cannot drift), and the -admin HTTP endpoint serving
+// /metrics (Prometheus text), /statusz, /healthz, and /debug/pprof.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"diffusearch/internal/diffuse"
+	"diffusearch/internal/peernet"
+	"diffusearch/internal/serve"
+	"diffusearch/internal/telemetry"
+)
+
+// adminTelemetry owns the peer's metrics registry and the hooks that feed
+// it: one diffusion observer shared by every dispatched batch (the
+// sweep-level convergence profile) and one trace sink per tenant
+// scheduler (query resolution paths and stage latencies). It exists only
+// when -admin or -statsevery asked for it; every method tolerates a nil
+// receiver and returns nil hooks, so the uninstrumented peer carries no
+// registry at all — not even dormant counters.
+type adminTelemetry struct {
+	reg  *telemetry.Registry
+	diff *telemetry.DiffusionMetrics
+}
+
+func newAdminTelemetry() *adminTelemetry {
+	reg := telemetry.New()
+	return &adminTelemetry{reg: reg, diff: telemetry.NewDiffusionMetrics(reg)}
+}
+
+// observer returns the sweep-level diffusion observer to thread into the
+// scorer's DiffusionRequest, or nil without telemetry.
+func (a *adminTelemetry) observer() diffuse.Observer {
+	if a == nil {
+		return nil
+	}
+	return a.diff
+}
+
+// traceWindow bounds the per-tenant latency sample rings the summary
+// quantiles are computed over, mirroring the serve package's own
+// sliding-window philosophy: recent behaviour, not lifetime averages.
+const traceWindow = 1024
+
+// sink builds the serve.Config.OnTrace hook for one tenant's scheduler:
+// per-path resolution counters, wait/score latency quantile windows, and
+// — when the tenant scores through the walk index — warm/cold finish
+// attribution (a scored batch reporting zero sweeps was answered entirely
+// from precomputed segments; any residual finish diffuses at least one).
+func (a *adminTelemetry) sink(tenant string, walkindexBacked bool) func(serve.Trace) {
+	if a == nil {
+		return nil
+	}
+	paths := make(map[serve.Path]*telemetry.Counter, len(serve.Paths))
+	for _, p := range serve.Paths {
+		paths[p] = a.reg.Counter("diffusearch_serve_queries_total",
+			"Resolved query submissions by resolution path.",
+			"tenant", tenant, "path", string(p))
+	}
+	wait := a.reg.Window("diffusearch_serve_wait_seconds",
+		"Coalescing wait (arrival to dispatch) of resolved queries.",
+		traceWindow, "tenant", tenant)
+	score := a.reg.Window("diffusearch_serve_score_seconds",
+		"Backend scoring time of the batch each query rode.",
+		traceWindow, "tenant", tenant)
+	var warm, cold *telemetry.Counter
+	if walkindexBacked {
+		const help = "Scored batches by walk-index finish kind: warm " +
+			"batches were answered entirely from precomputed segments " +
+			"(zero diffusion sweeps), cold ones needed a residual finish."
+		warm = a.reg.Counter("diffusearch_walkindex_finishes_total", help,
+			"tenant", tenant, "kind", "warm")
+		cold = a.reg.Counter("diffusearch_walkindex_finishes_total", help,
+			"tenant", tenant, "kind", "cold")
+	}
+	return func(t serve.Trace) {
+		if c := paths[t.Path]; c != nil {
+			c.Inc()
+		}
+		if t.Wait > 0 {
+			wait.Observe(t.Wait.Seconds())
+		}
+		if t.Score > 0 {
+			score.Observe(t.Score.Seconds())
+		}
+		if warm != nil && t.Path == serve.PathScored {
+			if t.Sweeps == 0 {
+				warm.Inc()
+			} else {
+				cold.Inc()
+			}
+		}
+	}
+}
+
+// registerPeer exposes the transport-level gossip counters. They live in
+// the peer, not the registry, so a Producer reads them at scrape time.
+func (a *adminTelemetry) registerPeer(peer *peernet.Peer) {
+	if a == nil {
+		return
+	}
+	a.reg.Producer(func(e *telemetry.Emitter) {
+		updates, messages := peer.Stats()
+		e.Counter("diffusearch_peer_diffusion_updates_total",
+			"Gossip diffusion updates applied by this peer.", float64(updates))
+		e.Counter("diffusearch_peer_messages_sent_total",
+			"Transport messages sent by this peer.", float64(messages))
+	})
+}
+
+// registerScorer exposes the serving-side gauges: per-tenant scheduler
+// state, the shared worker pool, and the memory-bounded stores (walk
+// index and reverse top-k tables). All of them are owned by the scorer
+// and sampled at scrape time, so the hot path pays nothing for them.
+func (a *adminTelemetry) registerScorer(s *queryScorer) {
+	if a == nil || s == nil {
+		return
+	}
+	if s.pool != nil {
+		a.reg.GaugeFunc("diffusearch_pool_workers",
+			"Shared diffusion worker pool size.",
+			func() float64 { return float64(s.pool.Workers()) })
+	}
+	if s.wix != nil {
+		a.reg.GaugeFunc("diffusearch_walkindex_store_bytes",
+			"Walk-index segment store payload size.",
+			func() float64 { return float64(s.wix.StoreBytes()) })
+		a.reg.GaugeFunc("diffusearch_walkindex_coverage",
+			"Built fraction of the walk-index seed set in [0,1].",
+			s.wix.Coverage)
+		a.reg.GaugeFunc("diffusearch_walkindex_segments",
+			"Built walk-index segments.",
+			func() float64 { return float64(s.wix.Segments()) })
+		a.reg.GaugeFunc("diffusearch_walkindex_poisoned_segments",
+			"Built segments whose error certificate a topology patch "+
+				"poisoned; persistently non-zero means rebuilds lag patches.",
+			func() float64 { return float64(s.wix.Poisoned()) })
+		a.reg.GaugeFunc("diffusearch_walkindex_saturated",
+			"1 when the store is pinned at its byte budget with seeds "+
+				"still unbuilt, 0 otherwise.",
+			func() float64 {
+				if s.wix.Saturated() {
+					return 1
+				}
+				return 0
+			})
+	}
+	if s.tk != nil {
+		a.reg.GaugeFunc("diffusearch_topk_tables",
+			"Built reverse-push top-k tables.",
+			func() float64 { return float64(s.tk.Tables()) })
+		a.reg.GaugeFunc("diffusearch_topk_candidates",
+			"Candidate set size of the certified top-k ranker.",
+			func() float64 { return float64(len(s.tk.Candidates())) })
+		a.reg.GaugeFunc("diffusearch_topk_store_bytes",
+			"Reverse-table store payload size.",
+			func() float64 { return float64(s.tk.StoreBytes()) })
+		a.reg.GaugeFunc("diffusearch_topk_poisoned_tables",
+			"Reverse tables running without early-stop certificates "+
+				"after a topology patch.",
+			func() float64 { return float64(s.tk.Poisoned()) })
+	}
+	a.reg.Producer(func(e *telemetry.Emitter) {
+		for name, st := range s.Stats() {
+			e.Gauge("diffusearch_serve_queue_depth",
+				"Submission-queue occupancy at scrape time.",
+				float64(st.QueueDepth), "tenant", name)
+			e.Gauge("diffusearch_serve_cache_bytes",
+				"Live LRU score-cache payload size.",
+				float64(st.CacheBytes), "tenant", name)
+			e.Counter("diffusearch_serve_batches_total",
+				"Diffusions dispatched by the scheduler.",
+				float64(st.Batches), "tenant", name)
+			e.Counter("diffusearch_serve_messages_total",
+				"Embedding messages spent by dispatched batches.",
+				float64(st.MessagesTotal), "tenant", name)
+			e.Counter("diffusearch_serve_cross_messages_total",
+				"Cross-shard subset of the dispatched batches' messages.",
+				float64(st.CrossMessagesTotal), "tenant", name)
+		}
+	})
+}
+
+// statusSnapshot is the one status structure behind every reporting
+// surface. /statusz marshals it; text renders the shutdown banner and
+// the -statsevery log line from the same fields.
+type statusSnapshot struct {
+	Peer        int                    `json:"peer"`
+	UptimeSecs  float64                `json:"uptime_secs"`
+	Updates     int64                  `json:"diffusion_updates"`
+	Messages    int64                  `json:"messages_sent"`
+	PoolWorkers int                    `json:"pool_workers,omitempty"`
+	Schedulers  map[string]serve.Stats `json:"schedulers,omitempty"`
+	WalkIndex   *walkIndexStatus       `json:"walkindex,omitempty"`
+	TopK        *topKStatus            `json:"topk,omitempty"`
+}
+
+type walkIndexStatus struct {
+	Segments   int     `json:"segments"`
+	Seeds      int     `json:"seeds"`
+	Coverage   float64 `json:"coverage"`
+	StoreBytes int64   `json:"store_bytes"`
+	Poisoned   int     `json:"poisoned"`
+	Saturated  bool    `json:"saturated"`
+}
+
+type topKStatus struct {
+	Tables     int   `json:"tables"`
+	Candidates int   `json:"candidates"`
+	StoreBytes int64 `json:"store_bytes"`
+	Poisoned   int   `json:"poisoned"`
+}
+
+// statusSource binds the live objects a snapshot reads from. scorer is
+// nil for a gossip-only peer (no -engine).
+type statusSource struct {
+	id     int
+	start  time.Time
+	peer   *peernet.Peer
+	scorer *queryScorer
+}
+
+func (src statusSource) snapshot() statusSnapshot {
+	updates, messages := src.peer.Stats()
+	sn := statusSnapshot{
+		Peer:       src.id,
+		UptimeSecs: time.Since(src.start).Seconds(),
+		Updates:    updates,
+		Messages:   messages,
+	}
+	s := src.scorer
+	if s == nil {
+		return sn
+	}
+	sn.Schedulers = s.Stats()
+	if s.pool != nil {
+		sn.PoolWorkers = s.pool.Workers()
+	}
+	if s.wix != nil {
+		sn.WalkIndex = &walkIndexStatus{
+			Segments: s.wix.Segments(), Seeds: s.wix.SeedCount(),
+			Coverage: s.wix.Coverage(), StoreBytes: s.wix.StoreBytes(),
+			Poisoned: s.wix.Poisoned(), Saturated: s.wix.Saturated(),
+		}
+	}
+	if s.tk != nil {
+		sn.TopK = &topKStatus{
+			Tables: s.tk.Tables(), Candidates: len(s.tk.Candidates()),
+			StoreBytes: s.tk.StoreBytes(), Poisoned: s.tk.Poisoned(),
+		}
+	}
+	return sn
+}
+
+// text renders the snapshot for logs: one header line plus one line per
+// scheduler and store, tenants in sorted order for stable output.
+func (sn statusSnapshot) text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "peer %d up %s: %d diffusion updates, %d messages sent\n",
+		sn.Peer, (time.Duration(sn.UptimeSecs*float64(time.Second))).Round(time.Second),
+		sn.Updates, sn.Messages)
+	names := make([]string, 0, len(sn.Schedulers))
+	for name := range sn.Schedulers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "scheduler[%s]: %v\n", name, sn.Schedulers[name])
+	}
+	if w := sn.WalkIndex; w != nil {
+		fmt.Fprintf(&b, "walkindex: %d/%d segments (%.0f%% coverage), %d bytes",
+			w.Segments, w.Seeds, 100*w.Coverage, w.StoreBytes)
+		if w.Poisoned > 0 {
+			fmt.Fprintf(&b, ", %d poisoned", w.Poisoned)
+		}
+		if w.Saturated {
+			b.WriteString(", saturated")
+		}
+		b.WriteByte('\n')
+	}
+	if t := sn.TopK; t != nil {
+		fmt.Fprintf(&b, "topk: %d/%d reverse tables, %d bytes",
+			t.Tables, t.Candidates, t.StoreBytes)
+		if t.Poisoned > 0 {
+			fmt.Fprintf(&b, ", %d poisoned", t.Poisoned)
+		}
+		b.WriteByte('\n')
+	}
+	if sn.PoolWorkers > 0 {
+		fmt.Fprintf(&b, "pool: %d workers\n", sn.PoolWorkers)
+	}
+	return b.String()
+}
+
+// newAdminMux assembles the admin surface: Prometheus metrics, the JSON
+// status snapshot, a liveness probe, and the stock pprof profiles. pprof
+// is mounted explicitly rather than via the package's DefaultServeMux
+// side effect, so the main service ports never grow debug handlers.
+func newAdminMux(reg *telemetry.Registry, snap func() statusSnapshot) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startAdmin binds addr and serves the admin mux until the returned
+// server is closed. The resolved address is returned so ":0" works in
+// tests and logs print something dialable.
+func startAdmin(addr string, mux *http.ServeMux) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("admin endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// startStatsLoop prints the status snapshot every interval until the
+// returned stop function is called — the log-line twin of /statusz.
+func startStatsLoop(every time.Duration, snap func() statusSnapshot) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Print(snap().text())
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -135,6 +135,8 @@ func main() {
 		topkN    = flag.Int("topk", 0, "serve certified top-k rankings through the bidirectional scoring path and print them for -query/-batch (0 disables; needs -engine)")
 		class    = flag.String("class", "interactive", "scheduling class for this peer's request-API submissions: interactive (jump the coalesce window) or bulk (wait up to 4×maxwait to widen batches)")
 		deadline = flag.Duration("deadline", 0, "per-query dispatch deadline for request-API submissions; queries not dispatched in time are shed, never scored (0 = none)")
+		admin    = flag.String("admin", "", "serve the admin endpoint (/metrics, /statusz, /healthz, /debug/pprof) on this address, e.g. :9090 (empty disables)")
+		statsEv  = flag.Duration("statsevery", 0, "print the status snapshot at this interval (0 disables)")
 		ttl      = flag.Int("ttl", 20, "query hop budget")
 		k        = flag.Int("k", 3, "tracked results")
 		wait     = flag.Duration("wait", 2*time.Second, "diffusion settling time before -query/-batch")
@@ -148,6 +150,7 @@ func main() {
 		shards: *shards, part: *part, tenants: *tenants,
 		scorer: *scorer, indexBudget: *indexBgt,
 		class: *class, deadline: *deadline, topk: *topkN,
+		admin: *admin, statsEvery: *statsEv,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peerd:", err)
@@ -180,6 +183,8 @@ type runConfig struct {
 	class       string
 	deadline    time.Duration
 	topk        int
+	admin       string
+	statsEvery  time.Duration
 }
 
 type peerSpec struct {
@@ -260,6 +265,11 @@ type scorerConfig struct {
 	// topk > 0 attaches the bidirectional ranker to the local mirror and
 	// prints certified top-k host rankings for issued queries.
 	topk int
+	// tel, when non-nil, instruments the scorer: its diffusion observer
+	// rides every dispatched batch and each tenant's scheduler gets a
+	// trace sink. Nil (the default, and every test's) keeps the hot path
+	// identical to an unobserved build.
+	tel *adminTelemetry
 }
 
 // newQueryScorer mirrors the topology and document placement into a
@@ -273,7 +283,10 @@ func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary, cfg scorerC
 		return nil, err
 	}
 	s := &queryScorer{
-		req:   core.DiffusionRequest{Engine: eng, Alpha: cfg.alpha, Workers: cfg.workers, Seed: cfg.seed},
+		req: core.DiffusionRequest{
+			Engine: eng, Alpha: cfg.alpha, Workers: cfg.workers, Seed: cfg.seed,
+			Observer: cfg.tel.observer(),
+		},
 		vocab: vocab,
 		multi: serve.NewMulti(),
 		cfg:   cfg,
@@ -298,6 +311,9 @@ func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary, cfg scorerC
 	schedCfg := serve.Config{
 		Request: s.req, MaxWait: cfg.maxWait, MaxBatch: cfg.maxBatch, Cache: cfg.cache,
 	}
+	// buildLocalMirror already ran, so the local sink knows whether the
+	// tenant scores through the walk index (warm/cold finish attribution).
+	schedCfg.OnTrace = cfg.tel.sink(localTenant, s.wix != nil)
 	if s.local, err = s.multi.Register(localTenant, s, schedCfg); err != nil {
 		return fail(err)
 	}
@@ -306,7 +322,9 @@ func newQueryScorer(specs map[int]peerSpec, vocab *embed.Vocabulary, cfg scorerC
 		if err != nil {
 			return fail(fmt.Errorf("tenant %s: %w", name, err))
 		}
-		if _, err := s.multi.Register(name, tnet, schedCfg); err != nil {
+		tenantCfg := schedCfg
+		tenantCfg.OnTrace = cfg.tel.sink(name, false)
+		if _, err := s.multi.Register(name, tnet, tenantCfg); err != nil {
 			return fail(err)
 		}
 	}
@@ -646,6 +664,15 @@ func run(cfg runConfig) error {
 		return err
 	}
 
+	// Telemetry exists only when a reporting surface asked for it; a nil
+	// adminTelemetry threads nil hooks everywhere, so the unobserved peer
+	// runs exactly the pre-instrumentation hot path.
+	var tel *adminTelemetry
+	if cfg.admin != "" || cfg.statsEvery > 0 {
+		tel = newAdminTelemetry()
+	}
+	start := time.Now()
+
 	// -engine alone decides the serving mode: -batch without it issues the
 	// queries over plain gossip scoring, same as the rest of a deployment
 	// that never opted into the request API.
@@ -691,10 +718,12 @@ func run(cfg runConfig) error {
 			shards: shards, partitioner: pt,
 			scorer: sk, indexBudget: cfg.indexBudget,
 			class: cl, deadline: cfg.deadline, topk: cfg.topk,
+			tel: tel,
 		}, tenantSpecs); err != nil {
 			return err
 		}
 		defer scorer.Close()
+		tel.registerScorer(scorer)
 	} else if cfg.shards > 0 || cfg.tenants != "" || cfg.scorer != "" || cfg.topk > 0 {
 		return fmt.Errorf("-shards, -tenants, -scorer, and -topk need -engine (request-API scoring)")
 	}
@@ -726,6 +755,19 @@ func run(cfg runConfig) error {
 	}
 	peer.Start()
 	defer peer.Stop()
+	tel.registerPeer(peer)
+	src := statusSource{id: cfg.id, start: start, peer: peer, scorer: scorer}
+	if cfg.admin != "" {
+		srv, addr, err := startAdmin(cfg.admin, newAdminMux(tel.reg, src.snapshot))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("admin endpoint on http://%s (/metrics /statusz /healthz /debug/pprof)\n", addr)
+	}
+	if cfg.statsEvery > 0 {
+		defer startStatsLoop(cfg.statsEvery, src.snapshot)()
+	}
 	mode := "gossip-cache scoring"
 	if scorer != nil {
 		mode = fmt.Sprintf("request-API scoring (engine %v)", scorer.req.Engine)
@@ -821,20 +863,9 @@ func run(cfg runConfig) error {
 			fmt.Printf("topology reload failed (keeping previous topology): %v\n", err)
 		}
 	}
-	updates, messages := peer.Stats()
-	fmt.Printf("\npeer %d shutting down: %d diffusion updates, %d messages sent\n", cfg.id, updates, messages)
-	if scorer != nil {
-		stats := scorer.Stats()
-		for _, name := range scorer.Tenants() {
-			fmt.Printf("scheduler[%s]: %v\n", name, stats[name])
-		}
-		if scorer.wix != nil {
-			fmt.Printf("%v\n", scorer.wix)
-		}
-		if scorer.tk != nil {
-			fmt.Printf("%v\n", scorer.tk)
-		}
-	}
+	// The shutdown report is the status snapshot's text rendering — the
+	// same struct /statusz serves, so the banner and the JSON can't drift.
+	fmt.Printf("\npeer %d shutting down\n%s", cfg.id, src.snapshot().text())
 	return nil
 }
 

@@ -74,6 +74,7 @@ import (
 	"diffusearch/internal/retrieval"
 	"diffusearch/internal/serve"
 	"diffusearch/internal/shard"
+	"diffusearch/internal/telemetry"
 	"diffusearch/internal/topk"
 	"diffusearch/internal/walkindex"
 )
@@ -230,6 +231,34 @@ type (
 	// RankedServeBackend is the optional serve.Backend extension behind
 	// Scheduler.SubmitRanked; *Network satisfies it.
 	RankedServeBackend = serve.RankedBackend
+	// DiffusionObserver is a read-only per-sweep tap on the column-blocked
+	// diffusion kernels (set DiffusionRequest.Observer or
+	// DiffusionParams.Observe): it receives one SweepStat per sweep and
+	// can never change the result — observed runs are bit-identical to
+	// bare ones.
+	DiffusionObserver = diffuse.Observer
+	// SweepStat is one sweep's convergence snapshot (1-based sweep index,
+	// active frontier and column counts, max and L1 residuals, and
+	// per-sweep message deltas whose sum equals DiffusionStats.Messages).
+	SweepStat = diffuse.SweepStat
+	// MetricsRegistry is the dependency-free metrics registry behind the
+	// telemetry layer: wait-free counters/gauges/histograms/quantile
+	// windows with a deterministic Prometheus text exposition
+	// (WritePrometheus, or Handler for an HTTP scrape endpoint).
+	// Construct with NewMetricsRegistry.
+	MetricsRegistry = telemetry.Registry
+	// DiffusionMetrics is the stock DiffusionObserver that turns sweep
+	// stats into registry histograms and counters. Construct with
+	// NewDiffusionMetrics.
+	DiffusionMetrics = telemetry.DiffusionMetrics
+	// ServeTrace is one resolved Scheduler submission's trace record:
+	// resolution path, scheduling class, wait/score stage durations,
+	// batch width, and sweep count. Delivered through ServeConfig.OnTrace
+	// on the resolver goroutine (the hook must not block).
+	ServeTrace = serve.Trace
+	// TracePath names a ServeTrace resolution path (TracePaths lists all
+	// of them in display order).
+	TracePath = serve.Path
 )
 
 // Diffusion engines (§IV-B). EngineAsynchronous is the deterministic
@@ -263,6 +292,21 @@ const (
 const (
 	ClassInteractive = core.ClassInteractive
 	ClassBulk        = core.ClassBulk
+)
+
+// ServeTrace resolution paths: how a Scheduler submission was resolved
+// (TracePaths lists them in display order).
+const (
+	TraceCacheHit   = serve.PathCacheHit
+	TraceScored     = serve.PathScored
+	TraceDedup      = serve.PathDedup
+	TraceRanked     = serve.PathRanked
+	TraceDowngraded = serve.PathDowngraded
+	TraceShed       = serve.PathShed
+	TraceRejected   = serve.PathRejected
+	TraceCancelled  = serve.PathCancelled
+	TraceTask       = serve.PathTask
+	TraceError      = serve.PathError
 )
 
 // ErrDeadlineMissed is returned by Scheduler.SubmitWith when a query's
@@ -337,6 +381,14 @@ var (
 	// returns the TopKBackend; Network.ScoreBatchTopK then answers
 	// DiffusionRequest{TopK: k} with certified early-stopped rankings.
 	AttachTopK = topk.Attach
+	// NewMetricsRegistry creates an empty MetricsRegistry.
+	NewMetricsRegistry = telemetry.New
+	// NewDiffusionMetrics registers the diffusion sweep metric families in
+	// a registry and returns the observer that feeds them.
+	NewDiffusionMetrics = telemetry.NewDiffusionMetrics
+	// TracePaths lists every ServeTrace resolution path in display order
+	// (pre-register per-path metrics by ranging over it).
+	TracePaths = serve.Paths
 )
 
 // NewPaperEnvironment builds the full-scale evaluation setting of §V: a

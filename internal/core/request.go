@@ -92,6 +92,14 @@ type DiffusionRequest struct {
 	// ranking otherwise. Run and ScoreBatch ignore it, like Tenant and
 	// Class: a full-vector entry point always returns the full vector.
 	TopK int
+	// Observer, when non-nil, taps the convergence profile: the column
+	// kernels behind Run, ScoreBatch, and ScoreBatchTopK deliver one
+	// diffuse.SweepStat per sweep (frontier size, residual mass,
+	// per-sweep message traffic) to it. Strictly read-only — an observed
+	// run is bit-identical to an unobserved one — and threaded through
+	// every scoring backend, so walk-index residual finishes and top-k
+	// certified stops report the same way plain CSR diffusions do.
+	Observer diffuse.Observer
 }
 
 // engine resolves the default driver.
@@ -104,7 +112,7 @@ func (r DiffusionRequest) engine() diffuse.Engine {
 
 // params converts the request to engine parameters.
 func (r DiffusionRequest) params() diffuse.Params {
-	return diffuse.Params{Alpha: r.Alpha, Tol: r.Tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers}
+	return diffuse.Params{Alpha: r.Alpha, Tol: r.Tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers, Observe: r.Observer}
 }
 
 // projectQueries builds the n×B relevance signal x_j[v] = e_qj · E0[v] that

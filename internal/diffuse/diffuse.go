@@ -72,6 +72,12 @@ type Params struct {
 	// columns before their residual converges (see StopPredicate). The
 	// matrix engines (Run) ignore it.
 	Stop StopPredicate
+
+	// Observe, when non-nil, receives one SweepStat per sweep/round from
+	// the column-blocked Signal kernels (see Observer) — a read-only tap
+	// on the convergence profile that can never change the result. The
+	// matrix engines (Run) ignore it, like Stop.
+	Observe Observer
 }
 
 func (p Params) controls() (tol float64, maxSweeps int) {

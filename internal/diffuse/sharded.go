@@ -142,6 +142,7 @@ func ShardedParallelColumns(ss *graph.ShardSet, sig *Signal, p Params, pool *Poo
 	var cursor atomic.Int64
 	cum := make([]int, k+1)
 	colRound := make([]float64, cols)
+	var obsMsgs, obsCross int64 // last totals handed to the observer
 
 	// Bootstrap accounting, as in ParallelColumns: every node announces its
 	// signal to its neighbourhood; announcements over boundary edges cross
@@ -259,6 +260,15 @@ func ShardedParallelColumns(ss *graph.ShardSet, sig *Signal, p Params, pool *Poo
 			}
 		}
 		st.Residual = roundResid
+		if p.Observe != nil {
+			p.Observe.ObserveSweep(SweepStat{
+				Sweep: round, ActiveNodes: total, ActiveColumns: w,
+				Residual: roundResid, ResidualL1: sumOf(cr),
+				Messages:      st.Messages - obsMsgs,
+				CrossMessages: st.CrossMessages - obsCross,
+			})
+			obsMsgs, obsCross = st.Messages, st.CrossMessages
+		}
 		if totalNext == 0 {
 			// Global quiescence across every shard: all remaining columns
 			// retire (per-column pending influence is below tol/4, the same
@@ -380,6 +390,14 @@ func ShardedSynchronousColumns(ss *graph.ShardSet, sig *Signal, p Params, pool *
 			vecmath.Zero(slotRes[i][:w])
 		}
 		st.Residual = maxOf(cr)
+		if p.Observe != nil {
+			p.Observe.ObserveSweep(SweepStat{
+				Sweep: sweep, ActiveNodes: n, ActiveColumns: w,
+				Residual: st.Residual, ResidualL1: sumOf(cr),
+				Messages:      2 * int64(g.NumEdges()),
+				CrossMessages: crossPerSweep,
+			})
+		}
 		var stop []bool
 		if p.Stop != nil {
 			stop = p.Stop.Stop(sweep, cb.act, cur)

@@ -178,6 +178,13 @@ func SynchronousColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, S
 		st.Updates += int64(n)
 		st.Messages += 2 * int64(g.NumEdges())
 		st.Residual = maxOf(cr)
+		if p.Observe != nil {
+			p.Observe.ObserveSweep(SweepStat{
+				Sweep: sweep, ActiveNodes: n, ActiveColumns: w,
+				Residual: st.Residual, ResidualL1: sumOf(cr),
+				Messages: 2 * int64(g.NumEdges()),
+			})
+		}
 		var stop []bool
 		if p.Stop != nil {
 			stop = p.Stop.Stop(sweep, cb.act, cur)
@@ -239,6 +246,13 @@ func AsynchronousColumns(tr *graph.Transition, sig *Signal, p Params, r *randx.R
 		}
 		st.Sweeps = sweep
 		st.Residual = maxOf(cr)
+		if p.Observe != nil {
+			p.Observe.ObserveSweep(SweepStat{
+				Sweep: sweep, ActiveNodes: n, ActiveColumns: w,
+				Residual: st.Residual, ResidualL1: sumOf(cr),
+				Messages: 2 * int64(g.NumEdges()),
+			})
+		}
 		var stop []bool
 		if p.Stop != nil {
 			stop = p.Stop.Stop(sweep, cb.act, cur)
@@ -310,6 +324,7 @@ func ParallelColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, Stat
 	defer pool.close()
 	var cursor atomic.Int64
 	colRound := make([]float64, cols)
+	var obsMsgs int64 // last Messages total handed to the observer
 
 	st.Messages = 2 * int64(g.NumEdges()) // bootstrap announcement, as in Parallel
 
@@ -379,6 +394,14 @@ func ParallelColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, Stat
 			total += len(sh.next)
 		}
 		st.Residual = roundResid
+		if p.Observe != nil {
+			p.Observe.ObserveSweep(SweepStat{
+				Sweep: round, ActiveNodes: len(frontier), ActiveColumns: w,
+				Residual: roundResid, ResidualL1: sumOf(cr),
+				Messages: st.Messages - obsMsgs,
+			})
+			obsMsgs = st.Messages
+		}
 		if total == 0 {
 			// Global quiescence: every receiver's pending incoming influence
 			// is below tol/4 for every column (per-column staleness never

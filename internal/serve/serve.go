@@ -167,6 +167,14 @@ type Config struct {
 	// rank (one per selection; see selectBatch) — so sustained Interactive
 	// load cannot park Bulk work forever. 0 means 4.
 	BulkEvery int
+	// OnTrace, when non-nil, receives one Trace per resolved submission:
+	// cache hits, deduped co-riders, scored/ranked/downgraded columns,
+	// shed and rejected queries, executed tasks. It is called on whichever
+	// goroutine resolves the query — the collector for dispatched paths,
+	// the submitter for admission fast paths — so implementations must be
+	// fast and must never block (a slow sink stalls the batch pipeline).
+	// Nil costs one nil check per resolution.
+	OnTrace func(Trace)
 }
 
 func (c Config) withDefaults() Config {
@@ -283,11 +291,13 @@ func (s *Scheduler) SubmitWith(ctx context.Context, query []float64, opts Submit
 		// A cache hit costs no diffusion, so it is served even right at the
 		// deadline — shedding only protects the scoring path.
 		s.m.cacheHit()
+		s.trace(Trace{Path: PathCacheHit, Class: opts.Class})
 		return scores, nil
 	}
 	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
 		// Dead on arrival: never admitted, never scored.
 		s.m.deadlineMissed()
+		s.trace(Trace{Path: PathShed, Class: opts.Class, Err: ErrDeadlineMissed})
 		return nil, ErrDeadlineMissed
 	}
 	s.mu.Lock()
@@ -332,6 +342,7 @@ func (s *Scheduler) SubmitWith(ctx context.Context, query []float64, opts Submit
 			// caller's whole patience.
 			s.live.Add(-1)
 			s.m.rejected()
+			s.trace(Trace{Path: PathRejected, Class: p.class, Wait: time.Since(p.enq), Err: ctx.Err()})
 			return nil, ctx.Err()
 		case <-expiry:
 			// The queue stayed full past the deadline: shed at admission
@@ -339,6 +350,7 @@ func (s *Scheduler) SubmitWith(ctx context.Context, query []float64, opts Submit
 			// here).
 			s.live.Add(-1)
 			s.m.deadlineMissed()
+			s.trace(Trace{Path: PathShed, Class: p.class, Wait: time.Since(p.enq), Err: ErrDeadlineMissed})
 			return nil, ErrDeadlineMissed
 		}
 	}
@@ -384,6 +396,7 @@ func (s *Scheduler) SubmitRanked(ctx context.Context, query []float64, k int, op
 	}
 	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
 		s.m.deadlineMissed()
+		s.trace(Trace{Path: PathShed, Class: opts.Class, Err: ErrDeadlineMissed})
 		return core.RankedResult{}, ErrDeadlineMissed
 	}
 	s.mu.Lock()
@@ -417,10 +430,12 @@ func (s *Scheduler) SubmitRanked(ctx context.Context, query []float64, k int, op
 		case <-ctx.Done():
 			s.live.Add(-1)
 			s.m.rejected()
+			s.trace(Trace{Path: PathRejected, Class: p.class, Wait: time.Since(p.enq), Err: ctx.Err()})
 			return core.RankedResult{}, ctx.Err()
 		case <-expiry:
 			s.live.Add(-1)
 			s.m.deadlineMissed()
+			s.trace(Trace{Path: PathShed, Class: p.class, Wait: time.Since(p.enq), Err: ErrDeadlineMissed})
 			return core.RankedResult{}, ErrDeadlineMissed
 		}
 	}
@@ -464,6 +479,7 @@ func (s *Scheduler) SubmitTask(ctx context.Context, opts SubmitOpts, fn func()) 
 	}
 	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
 		s.m.deadlineMissed()
+		s.trace(Trace{Path: PathShed, Class: opts.Class, Err: ErrDeadlineMissed})
 		return ErrDeadlineMissed
 	}
 	s.mu.Lock()
@@ -497,10 +513,12 @@ func (s *Scheduler) SubmitTask(ctx context.Context, opts SubmitOpts, fn func()) 
 		case <-ctx.Done():
 			s.live.Add(-1)
 			s.m.rejected()
+			s.trace(Trace{Path: PathRejected, Class: p.class, Wait: time.Since(p.enq), Err: ctx.Err()})
 			return ctx.Err()
 		case <-expiry:
 			s.live.Add(-1)
 			s.m.deadlineMissed()
+			s.trace(Trace{Path: PathShed, Class: p.class, Wait: time.Since(p.enq), Err: ErrDeadlineMissed})
 			return ErrDeadlineMissed
 		}
 	}
@@ -795,6 +813,7 @@ func (s *Scheduler) dispatch(batch []*pending) {
 			// The caller gave up mid-coalesce: drop it before dispatch so
 			// its column is never scored.
 			s.m.cancelled()
+			s.trace(Trace{Path: PathCancelled, Class: p.class, Wait: start.Sub(p.enq), Err: p.ctx.Err()})
 			continue
 		}
 		if p.task != nil {
@@ -803,6 +822,7 @@ func (s *Scheduler) dispatch(batch []*pending) {
 			// execute after the batch's waiters resolve.
 			if expired(p, start) {
 				s.m.deadlineMissed()
+				s.trace(Trace{Path: PathShed, Class: p.class, Wait: start.Sub(p.enq), Err: ErrDeadlineMissed})
 				p.done <- result{err: ErrDeadlineMissed}
 				continue
 			}
@@ -822,6 +842,7 @@ func (s *Scheduler) dispatch(batch []*pending) {
 				// one, so a cached column is never returned for a top-k
 				// request.
 				s.m.waited(start.Sub(p.enq), p.class)
+				s.trace(Trace{Path: PathCacheHit, Class: p.class, Wait: start.Sub(p.enq)})
 				p.done <- result{scores: scores, cached: true}
 				continue
 			}
@@ -830,6 +851,7 @@ func (s *Scheduler) dispatch(batch []*pending) {
 			// Deadline-miss shedding: the window could not dispatch this
 			// query in time, so it is rejected rather than scored late.
 			s.m.deadlineMissed()
+			s.trace(Trace{Path: PathShed, Class: p.class, Wait: start.Sub(p.enq), Err: ErrDeadlineMissed})
 			p.done <- result{err: ErrDeadlineMissed}
 			continue
 		}
@@ -889,11 +911,14 @@ func (s *Scheduler) dispatch(batch []*pending) {
 		// them instead of re-caching pre-patch answers (waiters still get the
 		// scores — their query raced the patch, either ordering is valid).
 		gen := s.cache.generation()
+		scoreStart := time.Now()
 		scores, st, err := s.backend.ScoreBatch(queries, req)
+		scoreDur := time.Since(scoreStart)
 		if err != nil {
 			s.m.failed(len(full))
 			for _, p := range full {
 				for _, w := range groups[p.key] {
+					s.trace(Trace{Path: PathError, Class: w.class, Wait: start.Sub(w.enq), Score: scoreDur, Batch: len(full), Err: err})
 					w.done <- result{err: err}
 				}
 			}
@@ -903,6 +928,11 @@ func (s *Scheduler) dispatch(batch []*pending) {
 			for i, p := range full {
 				s.cache.putAt(gen, p.key, scores[i])
 				for _, w := range groups[p.key] {
+					path := PathDedup
+					if w == p {
+						path = PathScored
+					}
+					s.trace(Trace{Path: path, Class: w.class, Wait: start.Sub(w.enq), Score: scoreDur, Batch: len(full), Sweeps: st.Sweeps})
 					w.done <- result{scores: scores[i]}
 				}
 			}
@@ -931,6 +961,7 @@ func (s *Scheduler) dispatch(batch []*pending) {
 			s.m.failed(len(cols))
 			for _, p := range cols {
 				for _, w := range groups[p.key] {
+					s.trace(Trace{Path: PathError, Class: w.class, Wait: start.Sub(w.enq), Batch: len(cols), Err: err})
 					w.done <- result{err: err}
 				}
 			}
@@ -944,11 +975,14 @@ func (s *Scheduler) dispatch(batch []*pending) {
 		if nInteractive == 0 {
 			req.Class = Bulk
 		}
+		scoreStart := time.Now()
 		results, st, err := rb.ScoreBatchTopK(queries, req)
+		scoreDur := time.Since(scoreStart)
 		if err != nil {
 			s.m.failed(len(cols))
 			for _, p := range cols {
 				for _, w := range groups[p.key] {
+					s.trace(Trace{Path: PathError, Class: w.class, Wait: start.Sub(w.enq), Score: scoreDur, Batch: len(cols), Err: err})
 					w.done <- result{err: err}
 				}
 			}
@@ -959,6 +993,11 @@ func (s *Scheduler) dispatch(batch []*pending) {
 		for i, p := range cols {
 			if p.topk > 0 {
 				for _, w := range groups[p.key] {
+					path := PathDedup
+					if w == p {
+						path = PathRanked
+					}
+					s.trace(Trace{Path: path, Class: w.class, Wait: start.Sub(w.enq), Score: scoreDur, Batch: len(cols), Sweeps: st.Sweeps})
 					w.done <- result{ranked: results[i]}
 				}
 				continue
@@ -974,6 +1013,11 @@ func (s *Scheduler) dispatch(batch []*pending) {
 				}
 			}
 			for _, w := range groups[p.key] {
+				path := PathDedup
+				if w == p {
+					path = PathDowngraded
+				}
+				s.trace(Trace{Path: path, Class: w.class, Wait: start.Sub(w.enq), Score: scoreDur, Batch: len(cols), Sweeps: st.Sweeps})
 				w.done <- result{scores: sparse}
 			}
 		}
@@ -1016,11 +1060,13 @@ func (s *Scheduler) runTasks(tasks []*pending) {
 	for _, p := range tasks {
 		if p.ctx.Err() != nil {
 			s.m.cancelled()
+			s.trace(Trace{Path: PathCancelled, Class: p.class, Wait: time.Since(p.enq), Err: p.ctx.Err()})
 			p.done <- result{err: p.ctx.Err()}
 			continue
 		}
 		p.task()
 		s.m.taskRan()
+		s.trace(Trace{Path: PathTask, Class: p.class, Wait: time.Since(p.enq)})
 		p.done <- result{}
 	}
 }

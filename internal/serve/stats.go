@@ -85,6 +85,13 @@ type Stats struct {
 	SweepsTotal       uint64
 	ColumnSweepsTotal uint64
 
+	// MessagesTotal sums the dispatched batches' embedding-message counts
+	// (diffuse.Stats.Messages) and CrossMessagesTotal their cross-shard
+	// subset — the paper's headline traffic metric, aggregated where the
+	// batches are dispatched so msgs/query needs no second bookkeeper.
+	MessagesTotal      uint64
+	CrossMessagesTotal uint64
+
 	// TasksRun counts SubmitTask closures executed on the collector
 	// (background maintenance such as walk-index segment rebuilds).
 	TasksRun uint64
@@ -139,6 +146,24 @@ func (s Stats) SweepsPerQuery() float64 {
 	return float64(s.ColumnSweepsTotal) / float64(s.QueriesScored)
 }
 
+// MessagesPerQuery returns the amortized embedding messages per scored
+// query — batch coalescing exists to push this down.
+func (s Stats) MessagesPerQuery() float64 {
+	if s.QueriesScored == 0 {
+		return 0
+	}
+	return float64(s.MessagesTotal) / float64(s.QueriesScored)
+}
+
+// CrossShare returns the cross-shard fraction of the dispatched message
+// traffic (0 for unsharded backends).
+func (s Stats) CrossShare() float64 {
+	if s.MessagesTotal == 0 {
+		return 0
+	}
+	return float64(s.CrossMessagesTotal) / float64(s.MessagesTotal)
+}
+
 // String renders a one-line summary for logs and shutdown banners.
 func (s Stats) String() string {
 	line := fmt.Sprintf(
@@ -157,6 +182,20 @@ func (s Stats) String() string {
 	}
 	if s.RankedScored > 0 || s.Downgraded > 0 {
 		line += fmt.Sprintf(" ranked=%d downgraded=%d", s.RankedScored, s.Downgraded)
+	}
+	if s.QueueDepth > 0 {
+		line += fmt.Sprintf(" queue_depth=%d", s.QueueDepth)
+	}
+	if s.ClassWait[Interactive].Max > 0 || s.ClassWait[Bulk].Max > 0 {
+		line += fmt.Sprintf(" int_wait p50=%v p99=%v bulk_wait p50=%v p99=%v",
+			s.ClassWait[Interactive].P50, s.ClassWait[Interactive].P99,
+			s.ClassWait[Bulk].P50, s.ClassWait[Bulk].P99)
+	}
+	if s.MessagesTotal > 0 {
+		line += fmt.Sprintf(" msgs/query=%.0f", s.MessagesPerQuery())
+		if s.CrossMessagesTotal > 0 {
+			line += fmt.Sprintf(" cross_share=%.2f", s.CrossShare())
+		}
 	}
 	return line
 }
@@ -298,6 +337,8 @@ func (m *metrics) dispatched(width, nInteractive, nBulk int, st diffuse.Stats) {
 		m.s.ClassHist[Bulk][histBucket(nBulk)]++
 	}
 	m.s.SweepsTotal += uint64(st.Sweeps)
+	m.s.MessagesTotal += uint64(st.Messages)
+	m.s.CrossMessagesTotal += uint64(st.CrossMessages)
 	if len(st.ColumnSweeps) > 0 {
 		for _, cs := range st.ColumnSweeps {
 			m.s.ColumnSweepsTotal += uint64(cs)

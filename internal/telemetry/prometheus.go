@@ -1,0 +1,127 @@
+// Prometheus text-format (0.0.4) exposition: the registry renders every
+// family as # HELP / # TYPE header lines followed by its samples.
+// Families are sorted by name and each family's metrics by label set, so
+// output is deterministic for fixed values (the golden test relies on
+// this); histogram buckets keep their natural ascending order.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+type outFamily struct {
+	name    string
+	help    string
+	kind    kind
+	samples []sample
+}
+
+// Emitter collects producer-emitted samples during one exposition pass.
+// All methods take ("key", "value", ...) label pairs like the registry.
+type Emitter struct {
+	fams map[string]*outFamily
+}
+
+func (e *Emitter) emit(name, help string, k kind, s sample) {
+	f := e.fams[name]
+	if f == nil {
+		f = &outFamily{name: name, help: help, kind: k}
+		e.fams[name] = f
+	}
+	f.samples = append(f.samples, s)
+}
+
+// Counter emits one counter sample.
+func (e *Emitter) Counter(name, help string, v float64, labels ...string) {
+	e.emit(name, help, kindCounter, sample{name, renderLabels(labels), v})
+}
+
+// Gauge emits one gauge sample.
+func (e *Emitter) Gauge(name, help string, v float64, labels ...string) {
+	e.emit(name, help, kindGauge, sample{name, renderLabels(labels), v})
+}
+
+// Quantile emits one summary sample carrying a quantile label — call it
+// once per quantile of a precomputed digest (serve's wait windows).
+func (e *Emitter) Quantile(name, help string, q, v float64, labels ...string) {
+	e.emit(name, help, kindSummary, sample{name, withLabel(renderLabels(labels), "quantile", formatFloat(q)), v})
+}
+
+// WritePrometheus writes every registered family (and every producer's
+// output) in Prometheus text exposition format 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	producers := append([]func(*Emitter){}, r.producers...)
+	r.mu.RUnlock()
+
+	out := make(map[string]*outFamily, len(fams))
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.metrics))
+		for k := range f.metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ms := make([]metric, len(keys))
+		for i, k := range keys {
+			ms[i] = f.metrics[k]
+		}
+		f.mu.Unlock()
+		of := &outFamily{name: f.name, help: f.help, kind: f.kind}
+		for i, k := range keys {
+			of.samples = ms[i].sampleInto(of.samples, f.name, k)
+		}
+		out[f.name] = of
+	}
+	if len(producers) > 0 {
+		e := &Emitter{fams: make(map[string]*outFamily)}
+		for _, fn := range producers {
+			fn(e)
+		}
+		for name, pf := range e.fams {
+			sort.SliceStable(pf.samples, func(i, j int) bool { return pf.samples[i].labels < pf.samples[j].labels })
+			if of := out[name]; of != nil && of.kind == pf.kind {
+				of.samples = append(of.samples, pf.samples...)
+				continue
+			}
+			out[name] = pf
+		}
+	}
+
+	names := make([]string, 0, len(out))
+	for name := range out {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		of := out[name]
+		help := strings.ReplaceAll(of.help, "\n", " ")
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, of.kind); err != nil {
+			return err
+		}
+		for _, s := range of.samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, formatFloat(s.value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry as
+// text/plain; version=0.0.4 — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

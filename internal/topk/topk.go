@@ -262,6 +262,23 @@ func (b *Backend) StoreBytes() int64 {
 	return total
 }
 
+// Poisoned returns how many kept reverse tables carry an infinite error
+// bound — tables a topology patch invalidated, whose weights still prune
+// candidates but whose certificates are disabled until rebuilt. A
+// persistently non-zero value means ranked queries are running without
+// early-stop certificates.
+func (b *Backend) Poisoned() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := 0
+	for _, t := range b.tabs {
+		if t != nil && math.IsInf(t.errInf, 1) {
+			n++
+		}
+	}
+	return n
+}
+
 // String summarizes the store for logs.
 func (b *Backend) String() string {
 	b.mu.RLock()
@@ -487,7 +504,7 @@ func (b *Backend) RankSignal(x *vecmath.Matrix, req core.DiffusionRequest, seed 
 	if engine == 0 {
 		engine = diffuse.EngineParallel
 	}
-	p := diffuse.Params{Alpha: req.Alpha, Tol: req.Tol, MaxSweeps: req.MaxSweeps, Workers: req.Workers}
+	p := diffuse.Params{Alpha: req.Alpha, Tol: req.Tol, MaxSweeps: req.MaxSweeps, Workers: req.Workers, Observe: req.Observer}
 	var stp *stopper
 	if req.Alpha == b.cfg.Alpha {
 		stp = newStopper(tr, x, cands, tabs, req.Alpha, k, b.cfg.CheckFrom, b.cfg.CheckEvery)

@@ -532,6 +532,32 @@ func (b *Backend) Coverage() float64 {
 	return float64(b.built) / float64(len(b.seeds))
 }
 
+// Poisoned returns how many built segments carry an infinite error
+// certificate — segments a topology patch invalidated, kept only so
+// queries park their mass in the exact residual until the refresher
+// rebuilds them. A persistently non-zero value means rebuild capacity is
+// not keeping up with patch rate.
+func (b *Backend) Poisoned() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := 0
+	for _, seg := range b.segs {
+		if seg != nil && math.IsInf(seg.errL1, 1) {
+			n++
+		}
+	}
+	return n
+}
+
+// Saturated reports whether the store is pinned at its byte Budget with
+// seeds still unbuilt — the signal that coverage stopped growing for
+// capacity reasons rather than workload ones.
+func (b *Backend) Saturated() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.saturated
+}
+
 // String summarizes the store for logs.
 func (b *Backend) String() string {
 	b.mu.RLock()
