@@ -282,6 +282,10 @@ func BenchmarkFastNodeScores(b *testing.B) {
 // BenchmarkFastNodeScores to see the amortization (tracked in
 // BENCH_diffuse.json via cmd/benchjson).
 func benchmarkScoreBatch(b *testing.B, batchSize int) {
+	benchmarkScoreBatchTiled(b, batchSize, 0)
+}
+
+func benchmarkScoreBatchTiled(b *testing.B, batchSize, colTile int) {
 	env := benchEnvironment(b)
 	net := core.NewNetwork(env.Graph, env.Bench.Vocabulary())
 	r := randx.New(6)
@@ -297,7 +301,7 @@ func benchmarkScoreBatch(b *testing.B, batchSize int) {
 	for j := range queries {
 		queries[j] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
 	}
-	req := core.DiffusionRequest{Alpha: 0.5, Seed: 6}
+	req := core.DiffusionRequest{Alpha: 0.5, Seed: 6, ColTile: colTile}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -310,6 +314,16 @@ func benchmarkScoreBatch(b *testing.B, batchSize int) {
 func BenchmarkScoreBatch1(b *testing.B)  { benchmarkScoreBatch(b, 1) }
 func BenchmarkScoreBatch8(b *testing.B)  { benchmarkScoreBatch(b, 8) }
 func BenchmarkScoreBatch64(b *testing.B) { benchmarkScoreBatch(b, 64) }
+
+// BenchmarkScoreBatchWide256 drives the cache-blocked wide-batch path:
+// one B=256 ScoreBatch per step through the column-tiled kernels. At the
+// bench environment's quarter scale the auto policy leaves B=256 untiled
+// (the cache-model tile is as wide as the batch), so the request forces a
+// 64-column width — the explicit-width contract is bit-identical to auto
+// and runs the same tile retirement and coalescing the full-scale
+// BENCH_diffuse.json batch_wide rows measure. Under -benchtime 1x this
+// doubles as the CI smoke of the tiled kernels.
+func BenchmarkScoreBatchWide256(b *testing.B) { benchmarkScoreBatchTiled(b, 256, 64) }
 
 // BenchmarkWalkIndexWarm measures the walk-index serving path: one B=1
 // ScoreBatch per b.N step against a fully built segment store (compare

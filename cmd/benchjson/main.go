@@ -17,6 +17,14 @@
 // sequential baseline of B independent FastNodeScores calls; the batch=64
 // row is the ScoreBatch amortization acceptance number.
 //
+// Batch_wide rows (B=256/512) compare the legacy untiled column kernels
+// against the auto column-tiled + SIMD path on the Parallel engine over
+// the projected wide relevance signal; outputs are bit-identical and the
+// B=512 row carries the ≥1.3× tiling acceptance bar. The gs row compares
+// the multi-color Gauss–Seidel engine's sweep count against the Parallel
+// engine's block-Jacobi rounds at the same tolerance (bar: ≤0.8×) and its
+// tight-tolerance scores against the Synchronous reference (bar: ≤1e-9).
+//
 // Serve rows measure the internal/serve admission-controlled scheduler
 // under closed-loop load at 1/8/64 concurrent clients: offered load grows
 // with concurrency, the scheduler coalesces the concurrent callers into
@@ -219,6 +227,39 @@ type topKResult struct {
 	Agreement      float64 `json:"agreement"`
 }
 
+// batchWideResult records one wide-batch width of the column-tiled kernel
+// comparison: the Parallel engine diffusing the projected B-query
+// relevance signal with tiling disabled (ColTile -1, the legacy untiled
+// path) and with the auto policy (ColTile 0, which engages at these
+// widths). Both runs are bit-identical in results; the row records the
+// throughput gap, and the B=512 row carries the tiling acceptance bar
+// (tiled ≥ 1.3× untiled ns/query).
+type batchWideResult struct {
+	Batch             int     `json:"batch"`
+	Engine            string  `json:"engine"`
+	TileWidth         int     `json:"tile_width"` // auto-picked by the cache model
+	UntiledNsPerQuery int64   `json:"untiled_ns_per_query"`
+	TiledNsPerQuery   int64   `json:"tiled_ns_per_query"`
+	Speedup           float64 `json:"speedup"`
+	Sweeps            int     `json:"sweeps"`
+}
+
+// gsResult records the multi-color Gauss–Seidel engine against the
+// Parallel engine's block-Jacobi rounds on the snapshot's embedding
+// diffusion at the snapshot tolerance: sweep counts (the convergence
+// acceptance bar — GS sweeps ≤ 0.8× Parallel rounds), the number of color
+// classes the greedy coloring produced, wall clock, and the max absolute
+// score difference vs the Synchronous engine at a tight tolerance (the
+// correctness bar, ≤ 1e-9).
+type gsResult struct {
+	Sweeps         int     `json:"sweeps"`
+	ParallelRounds int     `json:"parallel_rounds"`
+	SweepRatio     float64 `json:"sweep_ratio"`
+	Colors         int     `json:"colors"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	MaxErrVsSync   float64 `json:"max_err_vs_sync"`
+}
+
 // maxTelemetryOverhead is the instrumentation acceptance bar: an attached
 // sweep observer may not cost more than this fraction of ns/query over
 // the bare ScoreBatch path. The gate is absolute (both sides measured in
@@ -236,8 +277,14 @@ type telemetryResult struct {
 }
 
 type snapshot struct {
-	GOOS       string         `json:"goos"`
-	GOARCH     string         `json:"goarch"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// CPUModel and GoVersion describe the recording machine and toolchain.
+	// They are informational: the regression gate keys its config-equality
+	// and same-hardware checks on the fields below, so snapshots recorded
+	// before these stamps existed stay comparable.
+	CPUModel   string         `json:"cpu_model,omitempty"`
+	GoVersion  string         `json:"go_version,omitempty"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	Workers    int            `json:"workers"`
 	Nodes      int            `json:"nodes"`
@@ -249,7 +296,14 @@ type snapshot struct {
 	Seed       uint64         `json:"seed"`
 	Engines    []engineResult `json:"engines"`
 	ScoreBatch []batchResult  `json:"score_batch"`
-	Serve      []serveResult  `json:"serve"`
+	// BatchWide records the column-tiled wide-batch rows; the B=512 row
+	// carries the ≥1.3× tiled-vs-untiled acceptance number.
+	BatchWide []batchWideResult `json:"batch_wide"`
+	// GS records the multi-color Gauss–Seidel engine row; it carries the
+	// sweeps ≤ 0.8× Parallel-rounds and ≤1e-9-vs-Synchronous acceptance
+	// numbers.
+	GS    []gsResult    `json:"gs"`
+	Serve []serveResult `json:"serve"`
 	// Shard records the multi-tenant sharded-environment rows; the
 	// tenants≥4 rows carry the ≥1.5×-vs-single-CSR acceptance number.
 	Shard []shardResult `json:"shard"`
@@ -322,6 +376,8 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 	snap := snapshot{
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		CPUModel:   cpuModel(),
+		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    workers,
 		Nodes:      env.Graph.NumNodes(),
@@ -351,6 +407,10 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 		}},
 		driver{"parallel", func() (diffuse.Stats, error) {
 			_, st, err := diffuse.Run(diffuse.EngineParallel, tr, e0, params, seed)
+			return st, err
+		}},
+		driver{"gs", func() (diffuse.Stats, error) {
+			_, st, err := diffuse.Run(diffuse.EngineParallelGS, tr, e0, params, seed)
 			return st, err
 		}},
 	)
@@ -403,7 +463,7 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 	// BenchmarkScoreBatch: the Parallel engine scoring B queries through
 	// one multi-column diffusion, vs the sequential baseline of B
 	// independent FastNodeScores calls (the legacy per-query path).
-	queries := make([][]float64, 64)
+	queries := make([][]float64, 512)
 	for j := range queries {
 		queries[j] = env.Bench.Vocabulary().Vector(env.Bench.SamplePair(r).Query)
 	}
@@ -450,6 +510,119 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 		fmt.Printf("scorebatch-%-5d %12d ns/op %12d ns/query %8d allocs/op  msgs/query=%.0f speedup_vs_seq=%.2fx\n",
 			bw, br.NsPerOp, br.NsPerQuery, br.AllocsPerOp, br.MessagesPerQuery, br.SpeedupVsSequential)
 		snap.ScoreBatch = append(snap.ScoreBatch, br)
+	}
+
+	// Wide-batch tiled rows: the Parallel engine diffusing the projected
+	// B-query relevance signal (the same x_j[v] = e_qj · E0[v] construction
+	// ScoreBatch diffuses) with tiling disabled — the legacy untiled path,
+	// byte-for-byte the pre-tiling kernel — and with the auto column-tile
+	// policy, which engages at these widths and also routes the compute
+	// through the SIMD affine and residual kernels. Outputs are
+	// bit-identical; the rows record the throughput gap at serving batch
+	// widths and the B=512 row carries the tiling acceptance bar.
+	nodes := env.Graph.NumNodes()
+	wideX := vecmath.NewMatrix(nodes, len(queries))
+	for u := 0; u < nodes; u++ {
+		vecmath.DotColumns(wideX.Row(u), queries, e0.Row(u))
+	}
+	for _, bw := range []int{256, 512} {
+		idx := make([]int, bw)
+		for j := range idx {
+			idx[j] = j
+		}
+		sub := vecmath.SelectColumns(wideX, idx)
+		var perQuery [2]int64
+		var sweeps int
+		for i, ct := range []int{-1, 0} {
+			p := params
+			p.ColTile = ct
+			_, st, err := diffuse.RunSignal(diffuse.EngineParallel, tr, diffuse.NewSignal(sub), p, seed)
+			if err != nil {
+				return fmt.Errorf("batch_wide B=%d coltile=%d: %w", bw, ct, err)
+			}
+			sweeps = st.Sweeps // identical on both sides by the tiling contract
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := diffuse.RunSignal(diffuse.EngineParallel, tr, diffuse.NewSignal(sub), p, seed); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			perQuery[i] = res.NsPerOp() / int64(bw)
+		}
+		wr := batchWideResult{
+			Batch:             bw,
+			Engine:            "parallel",
+			TileWidth:         diffuse.AutoTileWidth(nodes, bw),
+			UntiledNsPerQuery: perQuery[0],
+			TiledNsPerQuery:   perQuery[1],
+			Sweeps:            sweeps,
+		}
+		if wr.TiledNsPerQuery > 0 {
+			wr.Speedup = float64(wr.UntiledNsPerQuery) / float64(wr.TiledNsPerQuery)
+		}
+		fmt.Printf("batchwide-%-4d %12d ns/query untiled %8d ns/query tiled (T=%d, speedup %.2fx)\n",
+			wr.Batch, wr.UntiledNsPerQuery, wr.TiledNsPerQuery, wr.TileWidth, wr.Speedup)
+		snap.BatchWide = append(snap.BatchWide, wr)
+	}
+
+	// GS row: the multi-color Gauss–Seidel engine against the Parallel
+	// engine's block-Jacobi rounds on the snapshot's embedding diffusion at
+	// the snapshot tolerance. The sweep-count ratio is schedule-structural
+	// (GS reads fresher values across color-class barriers), so it
+	// transfers across hardware; the correctness half compares GS and
+	// Synchronous at a tight tolerance, where both are within 1e-10 of the
+	// joint fixed point.
+	{
+		_, gsSt, err := diffuse.Run(diffuse.EngineParallelGS, tr, e0, params, seed)
+		if err != nil {
+			return fmt.Errorf("gs: %w", err)
+		}
+		_, parSt, err := diffuse.Run(diffuse.EngineParallel, tr, e0, params, seed)
+		if err != nil {
+			return fmt.Errorf("gs parallel reference: %w", err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := diffuse.Run(diffuse.EngineParallelGS, tr, e0, params, seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		tight := params
+		tight.Tol = 1e-10
+		gsM, _, err := diffuse.Run(diffuse.EngineParallelGS, tr, e0, tight, seed)
+		if err != nil {
+			return fmt.Errorf("gs tight: %w", err)
+		}
+		syncM, _, err := diffuse.Run(diffuse.EngineSync, tr, e0, tight, seed)
+		if err != nil {
+			return fmt.Errorf("gs sync reference: %w", err)
+		}
+		var maxErr float64
+		for u := 0; u < nodes; u++ {
+			gr, sr := gsM.Row(u), syncM.Row(u)
+			for j := range gr {
+				if d := gr[j] - sr[j]; d > maxErr {
+					maxErr = d
+				} else if -d > maxErr {
+					maxErr = -d
+				}
+			}
+		}
+		gr := gsResult{
+			Sweeps:         gsSt.Sweeps,
+			ParallelRounds: parSt.Sweeps,
+			Colors:         tr.Coloring().NumColors(),
+			NsPerOp:        res.NsPerOp(),
+			MaxErrVsSync:   maxErr,
+		}
+		if parSt.Sweeps > 0 {
+			gr.SweepRatio = float64(gsSt.Sweeps) / float64(parSt.Sweeps)
+		}
+		fmt.Printf("gs              %12d ns/op  sweeps=%d vs parallel rounds=%d (ratio %.2f) colors=%d err_vs_sync=%.1e\n",
+			gr.NsPerOp, gr.Sweeps, gr.ParallelRounds, gr.SweepRatio, gr.Colors, gr.MaxErrVsSync)
+		snap.GS = append(snap.GS, gr)
 	}
 
 	// Telemetry overhead: the B=8 ScoreBatch bare vs with the sweep
@@ -711,6 +884,24 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 	return nil
 }
 
+// cpuModel reports the recording machine's CPU model string (linux
+// /proc/cpuinfo), or "" where unavailable. Informational only — the
+// regression gate never keys on it.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(rest, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
 // checkRegression gates the Parallel-engine rows of a fresh snapshot
 // against a committed baseline (the ROADMAP perf-tracking item). Allocs
 // are compared absolutely — machine-independent because both snapshots
@@ -786,6 +977,51 @@ func checkRegression(baselinePath string, fresh snapshot, maxRegress float64) er
 		if sameHardware && b.NsPerQuery > 0 && float64(br.NsPerQuery) > float64(b.NsPerQuery)*(1+maxRegress) {
 			problems = append(problems, fmt.Sprintf("scorebatch B=%d: %d ns/query vs baseline %d (same hardware)",
 				br.Batch, br.NsPerQuery, b.NsPerQuery))
+		}
+	}
+	// Wide-batch rows carry an absolute bar on top of the regression
+	// comparison: at B=512 the auto-tiled path must beat the legacy
+	// untiled path by ≥1.3× ns/query — a within-run ratio (both sides
+	// measured back-to-back on identical inputs producing bit-identical
+	// outputs), so the bar transfers across hardware. Rows absent from the
+	// baseline (first snapshot after tiling landed) still face the
+	// absolute bar.
+	const (
+		wideAcceptanceB     = 512
+		minWideTiledSpeedup = 1.3
+	)
+	baseWide := make(map[int]batchWideResult, len(base.BatchWide))
+	for _, wr := range base.BatchWide {
+		baseWide[wr.Batch] = wr
+	}
+	for _, wr := range fresh.BatchWide {
+		if wr.Batch == wideAcceptanceB && wr.Speedup < minWideTiledSpeedup {
+			problems = append(problems, fmt.Sprintf("batch_wide B=%d: tiled speedup %.2fx vs untiled, want ≥ %.1fx",
+				wr.Batch, wr.Speedup, minWideTiledSpeedup))
+		}
+		if b, ok := baseWide[wr.Batch]; ok && b.Speedup > 0 && wr.Speedup < b.Speedup*(1-maxRegress) {
+			problems = append(problems, fmt.Sprintf("batch_wide B=%d: tiled speedup %.2fx vs baseline %.2fx",
+				wr.Batch, wr.Speedup, b.Speedup))
+		}
+	}
+	// The GS row carries two absolute bars: the multi-color schedule must
+	// realize Gauss–Seidel's convergence advantage (sweeps ≤ 0.8× the
+	// Parallel engine's block-Jacobi rounds at the same tolerance — a
+	// structural property of the schedules, hardware-independent), and its
+	// tight-tolerance scores must agree with the Synchronous reference to
+	// 1e-9 (the determinism/correctness half of the contract).
+	const (
+		maxGSSweepRatio = 0.8
+		maxGSErrVsSync  = 1e-9
+	)
+	for _, gr := range fresh.GS {
+		if gr.SweepRatio > maxGSSweepRatio {
+			problems = append(problems, fmt.Sprintf("gs: %d sweeps vs %d parallel rounds (ratio %.2f), want ≤ %.1f",
+				gr.Sweeps, gr.ParallelRounds, gr.SweepRatio, maxGSSweepRatio))
+		}
+		if gr.MaxErrVsSync > maxGSErrVsSync {
+			problems = append(problems, fmt.Sprintf("gs: max score error %.1e vs the Synchronous reference, want ≤ %.0e",
+				gr.MaxErrVsSync, maxGSErrVsSync))
 		}
 	}
 	// Serve rows gate on the coalescing speedup over the per-query path
@@ -934,7 +1170,7 @@ func checkRegression(baselinePath string, fresh snapshot, maxRegress float64) er
 		}
 	}
 	if len(problems) > 0 {
-		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / serve / shard / priority / walkindex / topk / telemetry) regressed beyond %.0f%% of %s:\n  %s",
+		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / batch_wide / gs / serve / shard / priority / walkindex / topk / telemetry) regressed beyond %.0f%% of %s:\n  %s",
 			maxRegress*100, baselinePath, strings.Join(problems, "\n  "))
 	}
 	mode := "ratio checks only — baseline hardware differs"

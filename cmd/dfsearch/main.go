@@ -26,7 +26,7 @@ func main() {
 		ttl     = flag.Int("ttl", 50, "query hop budget")
 		seed    = flag.Uint64("seed", 42, "master seed")
 		k       = flag.Int("k", 3, "tracked results per query")
-		engine  = flag.String("engine", "parallel", "diffusion engine: async|parallel|sync")
+		engine  = flag.String("engine", "parallel", "diffusion engine: async|parallel|sync|gs")
 		workers = flag.Int("workers", 0, "parallel engine pool size (0 = GOMAXPROCS)")
 		topk    = flag.Int("topk", 0, "also rank the top N document hosts through the certified top-k path (0 disables)")
 	)

@@ -123,7 +123,8 @@ type (
 	// Environment bundles a topology with a mined workload.
 	Environment = expt.Environment
 	// DiffusionEngine selects a diffusion driver (async reference, the
-	// residual-driven parallel engine, or the synchronous eq. 7 iteration).
+	// residual-driven parallel engine, the synchronous eq. 7 iteration, or
+	// the multi-color Gauss–Seidel engine).
 	DiffusionEngine = diffuse.Engine
 	// DiffusionParams configure one diffusion run.
 	DiffusionParams = diffuse.Params
@@ -265,11 +266,15 @@ type (
 // sequential reference; EngineParallel is the residual-driven frontier
 // engine on a fixed worker pool (the zero-value default of a
 // DiffusionRequest); EngineSync is the synchronous eq. 7 iteration,
-// bit-compatible with the historical ppr.PPRFilter scoring path.
+// bit-compatible with the historical ppr.PPRFilter scoring path;
+// EngineParallelGS is the deterministic multi-color Gauss–Seidel engine
+// (Gauss–Seidel sweep counts at parallel-engine worker scaling, identical
+// results for every worker count).
 const (
 	EngineAsynchronous = diffuse.EngineAsynchronous
 	EngineParallel     = diffuse.EngineParallel
 	EngineSync         = diffuse.EngineSync
+	EngineParallelGS   = diffuse.EngineParallelGS
 )
 
 // Visited-avoidance modes (§IV-C).
@@ -328,7 +333,7 @@ var (
 	UniformHosts = core.UniformHosts
 	// NewRand returns a deterministic PRNG for the given seed.
 	NewRand = randx.New
-	// ParseEngine maps a command-line name (async|parallel|sync) to an
+	// ParseEngine maps a command-line name (async|parallel|sync|gs) to an
 	// engine.
 	ParseEngine = diffuse.ParseEngine
 	// RunDiffusion dispatches one diffusion over a transition operator to

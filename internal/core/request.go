@@ -62,8 +62,17 @@ type DiffusionRequest struct {
 	Tol float64
 	// MaxSweeps bounds sweeps/rounds; 0 selects the engine default.
 	MaxSweeps int
-	// Workers sizes the Parallel engine's pool; 0 means GOMAXPROCS.
+	// Workers sizes the Parallel and ParallelGS engines' pools; 0 means
+	// GOMAXPROCS.
 	Workers int
+	// ColTile controls column tiling of wide batch diffusions: 0 (the
+	// default) auto-tiles batches of 256+ columns with a tile width from
+	// the engine's L2 cache model, < 0 disables tiling, > 0 forces that
+	// tile width. Tiled runs produce bit-identical scores — the knob
+	// trades only throughput — so it is safe to leave on auto everywhere;
+	// override it when profiling shows the default tile misfits the
+	// host's cache. Sharded scoring backends ignore it.
+	ColTile int
 	// Seed drives the Asynchronous engine's update schedule; the other
 	// engines are schedule-independent and ignore it.
 	Seed uint64
@@ -112,7 +121,7 @@ func (r DiffusionRequest) engine() diffuse.Engine {
 
 // params converts the request to engine parameters.
 func (r DiffusionRequest) params() diffuse.Params {
-	return diffuse.Params{Alpha: r.Alpha, Tol: r.Tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers, Observe: r.Observer}
+	return diffuse.Params{Alpha: r.Alpha, Tol: r.Tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers, ColTile: r.ColTile, Observe: r.Observer}
 }
 
 // projectQueries builds the n×B relevance signal x_j[v] = e_qj · E0[v] that

@@ -68,6 +68,14 @@ type Params struct {
 	MaxSweeps int     // sweep/round budget; 0 means DefaultMaxSweeps
 	Workers   int     // Parallel engine only: pool size; 0 means GOMAXPROCS
 
+	// ColTile controls column tiling of the single-CSR Signal kernels
+	// (see tile.go): 0 auto-tiles wide batches (B ≥ 256) with a width from
+	// the L2 cache model, < 0 disables tiling (the legacy untiled kernels
+	// run), > 0 forces that tile width at any batch width. Tiled runs are
+	// bit-identical to untiled ones — the knob trades only speed. The
+	// matrix engines and the sharded kernels ignore it.
+	ColTile int
+
 	// Stop, when non-nil, lets the column-blocked Signal kernels retire
 	// columns before their residual converges (see StopPredicate). The
 	// matrix engines (Run) ignore it.

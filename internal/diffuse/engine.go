@@ -24,6 +24,14 @@ const (
 	// with the historical ppr.PPRFilter path and keeps that path's tighter
 	// default tolerance, so it is the scoring-grade reference engine.
 	EngineSync
+	// EngineParallelGS is the deterministic multi-color Gauss–Seidel
+	// engine: one sweep updates the graph's color classes in fixed order
+	// (no class contains an edge, so each class parallelizes freely), so
+	// updates read the freshest cross-class values like the Asynchronous
+	// engine while results stay identical across worker counts. Fewer
+	// sweeps than EngineParallel's block-Jacobi rounds at equal tolerance,
+	// at the cost of one barrier per color class per sweep.
+	EngineParallelGS
 )
 
 // String implements fmt.Stringer.
@@ -35,6 +43,8 @@ func (e Engine) String() string {
 		return "parallel"
 	case EngineSync:
 		return "sync"
+	case EngineParallelGS:
+		return "gs"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -42,7 +52,7 @@ func (e Engine) String() string {
 
 // Valid reports whether e is a known engine.
 func (e Engine) Valid() bool {
-	return e == EngineAsynchronous || e == EngineParallel || e == EngineSync
+	return e == EngineAsynchronous || e == EngineParallel || e == EngineSync || e == EngineParallelGS
 }
 
 // ParseEngine maps a command-line name to an Engine.
@@ -54,8 +64,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineParallel, nil
 	case "sync", "synchronous":
 		return EngineSync, nil
+	case "gs", "parallel-gs", "gauss-seidel":
+		return EngineParallelGS, nil
 	}
-	return 0, fmt.Errorf("diffuse: unknown engine %q (want async|parallel|sync)", s)
+	return 0, fmt.Errorf("diffuse: unknown engine %q (want async|parallel|sync|gs)", s)
 }
 
 // Run dispatches one diffusion to the selected engine. seed feeds the
@@ -69,6 +81,8 @@ func Run(e Engine, tr *graph.Transition, e0 *vecmath.Matrix, p Params, seed uint
 		return Parallel(tr, e0, p)
 	case EngineSync:
 		return Synchronous(tr, e0, p)
+	case EngineParallelGS:
+		return ParallelGS(tr, e0, p)
 	}
 	return nil, Stats{}, fmt.Errorf("diffuse: unknown engine %d", int(e))
 }
@@ -78,10 +92,12 @@ func Run(e Engine, tr *graph.Transition, e0 *vecmath.Matrix, p Params, seed uint
 // retire columns from the working block as soon as they individually
 // converge (see Signal). seed feeds the Asynchronous engine's update
 // schedule exactly as in Run. Batch results are bit-identical to diffusing
-// each column as its own single-column Signal on the sync and async
-// engines; EngineSync is additionally bit-identical to Run (the async and
-// parallel column kernels use the fused-teleport batch kernel, whose
-// rounding differs from the matrix path's Zero+ApplyRow+AXPY sequence).
+// each column as its own single-column Signal on the sync, async, and GS
+// engines; EngineSync is additionally bit-identical to Run (the async,
+// parallel, and GS column kernels use the fused-teleport batch kernel,
+// whose rounding differs from the matrix path's Zero+ApplyRow+AXPY
+// sequence). Wide batches run column-tiled per Params.ColTile —
+// bit-identical to untiled on every engine, just faster.
 func RunSignal(e Engine, tr *graph.Transition, sig *Signal, p Params, seed uint64) (*Signal, Stats, error) {
 	switch e {
 	case EngineAsynchronous:
@@ -90,6 +106,8 @@ func RunSignal(e Engine, tr *graph.Transition, sig *Signal, p Params, seed uint6
 		return ParallelColumns(tr, sig, p)
 	case EngineSync:
 		return SynchronousColumns(tr, sig, p)
+	case EngineParallelGS:
+		return ParallelGSColumns(tr, sig, p)
 	}
 	return nil, Stats{}, fmt.Errorf("diffuse: unknown engine %d", int(e))
 }

@@ -193,6 +193,11 @@ type commitCtx struct {
 	frontier  []graph.NodeID
 	fullRound bool
 	cur, next *vecmath.Matrix
+	// tiles, when non-nil, selects the column-tiled publish: each tile's
+	// row is copied from its own next matrix (cur/next above stay nil).
+	// The push-and-requeue logic below is untouched — tiling changes the
+	// storage layout of the iterate, never the scheduling.
+	tiles     []*colTile
 	resid     []float64
 	edgeOff   []int
 	edgeThr   []float64
@@ -208,7 +213,13 @@ func (c *commitCtx) work(sh *parShard) {
 	forEachClaimed(c.cursor, c.cum[:], func(_, lo, hi int) {
 		for _, u := range c.frontier[lo:hi] {
 			if !c.fullRound {
-				copy(c.cur.Row(u), c.next.Row(u))
+				if c.tiles != nil {
+					for _, t := range c.tiles {
+						copy(t.cur.Row(u), t.next.Row(u))
+					}
+				} else {
+					copy(c.cur.Row(u), c.next.Row(u))
+				}
 			}
 			r := c.resid[u]
 			if r > sh.maxResid {

@@ -42,6 +42,13 @@ func RunSharded(e Engine, ss *graph.ShardSet, sig *Signal, p Params, seed uint64
 		return ShardedParallelColumns(ss, sig, p, pool)
 	case EngineSync:
 		return ShardedSynchronousColumns(ss, sig, p, pool)
+	case EngineParallelGS:
+		// The multi-color schedule is global by construction (a class
+		// barrier spans every shard), so the sharded deployment story is
+		// block Jacobi across boundaries. Here GS runs on the full CSR —
+		// exact, deterministic, and reporting no cross-shard traffic —
+		// the same fallback shape as the Asynchronous reference above.
+		return ParallelGSColumns(ss.Transition(), sig, p)
 	}
 	return nil, Stats{}, fmt.Errorf("diffuse: unknown engine %d", int(e))
 }

@@ -152,6 +152,9 @@ func SynchronousColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, S
 		st.Converged = true
 		return cb.signal(&st), st, nil
 	}
+	if widths := tileWidths(n, cols, p.ColTile); widths != nil {
+		return synchronousColumnsTiled(tr, sig, p, widths)
+	}
 	g := tr.Graph()
 	cur := sig.mat.Clone()
 	e0c := sig.mat.Clone()
@@ -221,6 +224,9 @@ func AsynchronousColumns(tr *graph.Transition, sig *Signal, p Params, r *randx.R
 	if n == 0 || cols == 0 {
 		st.Converged = true
 		return cb.signal(&st), st, nil
+	}
+	if widths := tileWidths(n, cols, p.ColTile); widths != nil {
+		return asynchronousColumnsTiled(tr, sig, p, r, widths)
 	}
 	g := tr.Graph()
 	cur := sig.mat.Clone()
@@ -303,6 +309,9 @@ func ParallelColumns(tr *graph.Transition, sig *Signal, p Params) (*Signal, Stat
 	if n == 0 || cols == 0 {
 		st.Converged = true
 		return cb.signal(&st), st, nil
+	}
+	if widths := tileWidths(n, cols, p.ColTile); widths != nil {
+		return parallelColumnsTiled(tr, sig, p, widths)
 	}
 	g := tr.Graph()
 	cur := sig.mat.Clone()

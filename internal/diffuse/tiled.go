@@ -1,0 +1,284 @@
+package diffuse
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/vecmath"
+)
+
+// This file holds the column-tiled bodies of the three single-CSR column
+// kernels (see tile.go for the tiling model). Each is a pure loop-order
+// restructure of its untiled counterpart in signal.go: per-column values,
+// retirement sweeps, Stats, and Observer aggregates are bit-identical.
+// The untiled code paths are kept verbatim — ColTile < 0 selects them —
+// so the legacy kernels remain the reference the property tests compare
+// against.
+
+// synchronousColumnsTiled is SynchronousColumns with the sweep loop run
+// tile by tile. It keeps the unfused Zero+ApplyRow+AXPY sequence (not the
+// SIMD affine kernel): the sync engine is the bit-compatibility anchor of
+// the historical ppr.PPRFilter path, whose addition order the fused
+// kernel does not reproduce. Tiling it still wins the L2 residency of the
+// tile while columns retire per tile.
+func synchronousColumnsTiled(tr *graph.Transition, sig *Signal, p Params, widths []int) (*Signal, Stats, error) {
+	n := sig.mat.Rows()
+	tol, maxSweeps := p.syncControls()
+	ts := newTileSet(sig, widths, true)
+	live := make([]*colTile, 0, len(ts.tiles))
+	global := make([]float64, sig.mat.Cols())
+	g := tr.Graph()
+	var st Stats
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		live = ts.live(live)
+		for _, t := range live {
+			w := t.width()
+			cr := t.cr[:w]
+			vecmath.Zero(cr)
+			for u := 0; u < n; u++ {
+				row := t.next.Row(u)
+				vecmath.Zero(row)
+				tr.ApplyRow(row, u, 1-p.Alpha, t.cur)
+				vecmath.AXPY(row, p.Alpha, t.e0row(u))
+				vecmath.ResidMax(cr, t.cur.Row(u), row)
+			}
+			t.cur, t.next = t.next, t.cur
+		}
+		st.Sweeps = sweep
+		st.Updates += int64(n)
+		st.Messages += 2 * int64(g.NumEdges())
+		cr := mergeResiduals(live, global)
+		st.Residual = maxOf(cr)
+		if p.Observe != nil {
+			p.Observe.ObserveSweep(SweepStat{
+				Sweep: sweep, ActiveNodes: n, ActiveColumns: len(cr),
+				Residual: st.Residual, ResidualL1: sumOf(cr),
+				Messages: 2 * int64(g.NumEdges()),
+			})
+		}
+		for _, t := range live {
+			var stop []bool
+			if p.Stop != nil {
+				stop = p.Stop.Stop(sweep, t.cb.act, t.cur)
+			}
+			t.retireSweep(t.cr[:t.width()], tol, stop, sweep)
+		}
+		if ts.activeWidth() == 0 {
+			st.Converged = true
+			return ts.signal(&st), st, nil
+		}
+	}
+	ts.retireAll(maxSweeps)
+	return ts.signal(&st), st, fmt.Errorf("%w after %d sweeps (residual %g)", ErrNoConvergence, maxSweeps, st.Residual)
+}
+
+// asynchronousColumnsTiled is AsynchronousColumns tile by tile. One node
+// permutation is drawn per sweep and shared by every tile, so the Rand
+// stream — and with it each column's update schedule and trajectory — is
+// exactly the untiled kernel's. The fused affine kernel runs through its
+// SIMD body (ApplyRowAffineVec), which is bit-identical to the scalar
+// ApplyRowAffine.
+func asynchronousColumnsTiled(tr *graph.Transition, sig *Signal, p Params, r *randx.Rand, widths []int) (*Signal, Stats, error) {
+	n := sig.mat.Rows()
+	tol, maxSweeps := p.controls()
+	ts := newTileSet(sig, widths, false)
+	live := make([]*colTile, 0, len(ts.tiles))
+	global := make([]float64, sig.mat.Cols())
+	scratch := make([]float64, maxWidth(widths))
+	g := tr.Graph()
+	var st Stats
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		live = ts.live(live)
+		perm := r.Perm(n)
+		for _, t := range live {
+			w := t.width()
+			cr := t.cr[:w]
+			vecmath.Zero(cr)
+			sc := scratch[:w]
+			for _, u := range perm {
+				tr.ApplyRowAffineVec(sc, u, 1-p.Alpha, t.cur, p.Alpha, t.e0row(u))
+				vecmath.ResidMaxCopy(cr, t.cur.Row(u), sc)
+			}
+		}
+		st.Sweeps = sweep
+		st.Updates += int64(n)
+		st.Messages += 2 * int64(g.NumEdges())
+		cr := mergeResiduals(live, global)
+		st.Residual = maxOf(cr)
+		if p.Observe != nil {
+			p.Observe.ObserveSweep(SweepStat{
+				Sweep: sweep, ActiveNodes: n, ActiveColumns: len(cr),
+				Residual: st.Residual, ResidualL1: sumOf(cr),
+				Messages: 2 * int64(g.NumEdges()),
+			})
+		}
+		for _, t := range live {
+			var stop []bool
+			if p.Stop != nil {
+				stop = p.Stop.Stop(sweep, t.cb.act, t.cur)
+			}
+			t.retireSweep(t.cr[:t.width()], tol, stop, sweep)
+		}
+		if ts.activeWidth() == 0 {
+			st.Converged = true
+			return ts.signal(&st), st, nil
+		}
+	}
+	ts.retireAll(maxSweeps)
+	return ts.signal(&st), st, fmt.Errorf("%w after %d sweeps (residual %g)", ErrNoConvergence, maxSweeps, st.Residual)
+}
+
+// parallelColumnsTiled is ParallelColumns tile by tile. Scheduling state
+// — the frontier, per-node residual maxima, per-edge staleness, and push
+// thresholds — stays shared across the whole batch exactly as untiled: a
+// node's residual is its largest change over every tile's columns, so
+// frontier evolution, message counts, and retirement sweeps are
+// bit-identical to the untiled kernel while each tile's compute pass
+// enjoys L2 residency and the SIMD affine body.
+func parallelColumnsTiled(tr *graph.Transition, sig *Signal, p Params, widths []int) (*Signal, Stats, error) {
+	n, cols := sig.mat.Rows(), sig.mat.Cols()
+	tol, maxRounds := p.controls()
+	pushTol := tol / 4
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+	ts := newTileSet(sig, widths, true)
+	live := make([]*colTile, 0, len(ts.tiles))
+	offs := make([]int, len(ts.tiles))
+	g := tr.Graph()
+	resid := make([]float64, n)
+	queued := make([]atomic.Bool, n)
+	frontier := make([]graph.NodeID, n)
+	for u := range frontier {
+		frontier[u] = u
+	}
+	edgeOff, edgeThr, edgeStale := pushState(tr, pushTol, p.Alpha)
+
+	shards := make([]parShard, workers)
+	for w := range shards {
+		shards[w].colRes = make([]float64, cols)
+	}
+	pool := newWorkerPool(workers)
+	defer pool.close()
+	var cursor atomic.Int64
+	colRound := make([]float64, cols)
+	var obsMsgs int64
+	var st Stats
+
+	st.Messages = 2 * int64(g.NumEdges()) // bootstrap announcement, as in Parallel
+
+	var cum [2]int
+	for round := 1; round <= maxRounds; round++ {
+		live = ts.live(live)
+		w := 0
+		for ti, t := range live {
+			offs[ti] = w
+			w += t.width()
+		}
+		nt := len(live)
+		cum[1] = len(frontier)
+		cursor.Store(0)
+		pool.run(func(id int) {
+			sh := &shards[id]
+			forEachClaimed(&cursor, cum[:], func(_, lo, hi int) {
+				for _, u := range frontier[lo:hi] {
+					var nodeRes float64
+					for ti := 0; ti < nt; ti++ {
+						t := live[ti]
+						row := t.next.Row(u)
+						tr.ApplyRowAffineVec(row, u, 1-p.Alpha, t.cur, p.Alpha, t.e0row(u))
+						cr := sh.colRes[offs[ti] : offs[ti]+len(row)]
+						if d := vecmath.ResidMax(cr, t.cur.Row(u), row); d > nodeRes {
+							nodeRes = d
+						}
+					}
+					resid[u] = nodeRes
+					sh.updates++
+				}
+			})
+		})
+		fullRound := len(frontier) == n
+		commit := commitCtx{
+			tr: tr, frontier: frontier, fullRound: fullRound,
+			tiles: live, resid: resid,
+			edgeOff: edgeOff, edgeThr: edgeThr, edgeStale: edgeStale,
+			queued: queued, cursor: &cursor, cum: [2]int{0, len(frontier)},
+		}
+		cursor.Store(0)
+		pool.run(func(id int) { commit.work(&shards[id]) })
+		if fullRound {
+			for _, t := range live {
+				t.cur, t.next = t.next, t.cur
+			}
+		}
+		st.Sweeps = round
+		var roundResid float64
+		total := 0
+		cr := colRound[:w]
+		vecmath.Zero(cr)
+		for id := range shards {
+			sh := &shards[id]
+			st.Updates += sh.updates
+			st.Messages += sh.messages
+			if sh.maxResid > roundResid {
+				roundResid = sh.maxResid
+			}
+			for j, v := range sh.colRes[:w] {
+				if v > cr[j] {
+					cr[j] = v
+				}
+			}
+			vecmath.Zero(sh.colRes[:w])
+			sh.updates, sh.messages, sh.maxResid = 0, 0, 0
+			total += len(sh.next)
+		}
+		st.Residual = roundResid
+		if p.Observe != nil {
+			p.Observe.ObserveSweep(SweepStat{
+				Sweep: round, ActiveNodes: len(frontier), ActiveColumns: w,
+				Residual: roundResid, ResidualL1: sumOf(cr),
+				Messages: st.Messages - obsMsgs,
+			})
+			obsMsgs = st.Messages
+		}
+		if total == 0 {
+			// Global quiescence, as in ParallelColumns: all remaining
+			// columns of every tile retire.
+			ts.retireAll(round)
+			st.Converged = true
+			return ts.signal(&st), st, nil
+		}
+		frontier = rebuildFrontier(shards, queued, frontier)
+		for ti, t := range live {
+			var stop []bool
+			if p.Stop != nil {
+				stop = p.Stop.Stop(round, t.cb.act, t.cur)
+			}
+			t.retireSweep(cr[offs[ti]:offs[ti]+t.width()], pushTol, stop, round)
+		}
+		if ts.activeWidth() == 0 {
+			st.Converged = true
+			return ts.signal(&st), st, nil
+		}
+	}
+	ts.retireAll(maxRounds)
+	return ts.signal(&st), st, fmt.Errorf("%w after %d rounds (residual %g)", ErrNoConvergence, maxRounds, st.Residual)
+}
+
+// maxWidth returns the largest planned tile width.
+func maxWidth(widths []int) int {
+	m := 0
+	for _, w := range widths {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}

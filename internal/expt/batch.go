@@ -34,7 +34,7 @@ func (c BatchConfig) withDefaults(env *Environment) BatchConfig {
 		c.M = env.MaxPoolDocs()
 	}
 	if len(c.Sizes) == 0 {
-		c.Sizes = []int{1, 4, 16, 64}
+		c.Sizes = []int{1, 4, 16, 64, 256, 512}
 	}
 	return c
 }
@@ -50,6 +50,13 @@ type BatchRow struct {
 	MessagesPerQuery float64
 	Sweeps           int
 	ColumnSweeps     []int
+	// TileWidth is the column tile the auto policy picked for this width
+	// (0: the batch ran untiled), and UntiledNsPerQuery the cost of the
+	// same call with tiling disabled (ColTile -1) — only measured on
+	// widths where auto-tiling engages, 0 otherwise. The two runs return
+	// bit-identical scores; the gap is the tiled+SIMD kernel dividend.
+	TileWidth         int
+	UntiledNsPerQuery float64
 }
 
 // BatchScaling measures ScoreBatch amortization: B distinct benchmark
@@ -95,26 +102,47 @@ func BatchScaling(env *Environment, cfg BatchConfig) ([]BatchRow, error) {
 			return nil, fmt.Errorf("expt: batch B=%d: %w", b, err)
 		}
 		wall := time.Since(start)
-		rows = append(rows, BatchRow{
+		row := BatchRow{
 			B:                b,
 			Wall:             wall,
 			NsPerQuery:       float64(wall.Nanoseconds()) / float64(b),
 			MessagesPerQuery: float64(st.Messages) / float64(b),
 			Sweeps:           st.Sweeps,
 			ColumnSweeps:     st.ColumnSweeps,
-		})
+		}
+		if tw := diffuse.AutoTileWidth(env.Graph.NumNodes(), b); tw > 0 {
+			row.TileWidth = tw
+			ureq := req
+			ureq.ColTile = -1 // legacy untiled kernels, bit-identical scores
+			ustart := time.Now()
+			if _, _, err := net.ScoreBatch(queries[:b], ureq); err != nil {
+				return nil, fmt.Errorf("expt: batch B=%d untiled: %w", b, err)
+			}
+			row.UntiledNsPerQuery = float64(time.Since(ustart).Nanoseconds()) / float64(b)
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
 // FormatBatch renders BatchScaling rows; speedup/query is amortized cost
-// relative to the first row's per-query cost.
+// relative to the first row's per-query cost. The tile and tiled-gain
+// columns appear on widths where auto-tiling engaged: the picked tile
+// width and the untiled-vs-tiled per-query cost ratio (both runs return
+// bit-identical scores).
 func FormatBatch(rows []BatchRow) *stats.Table {
-	t := &stats.Table{Header: []string{"B", "wall", "ns/query", "speedup/query", "msgs/query", "sweeps", "col-sweeps"}}
+	t := &stats.Table{Header: []string{"B", "wall", "ns/query", "speedup/query", "msgs/query", "sweeps", "tile", "tiled-gain", "col-sweeps"}}
 	for _, r := range rows {
 		speedup := "n/a"
 		if r.NsPerQuery > 0 {
 			speedup = fmt.Sprintf("%.2fx", rows[0].NsPerQuery/r.NsPerQuery)
+		}
+		tile, gain := "-", "-"
+		if r.TileWidth > 0 {
+			tile = fmt.Sprintf("%d", r.TileWidth)
+			if r.NsPerQuery > 0 {
+				gain = fmt.Sprintf("%.2fx", r.UntiledNsPerQuery/r.NsPerQuery)
+			}
 		}
 		t.AddRow(
 			fmt.Sprintf("%d", r.B),
@@ -123,6 +151,8 @@ func FormatBatch(rows []BatchRow) *stats.Table {
 			speedup,
 			fmt.Sprintf("%.0f", r.MessagesPerQuery),
 			fmt.Sprintf("%d", r.Sweeps),
+			tile,
+			gain,
 			SummarizeColumnSweeps(r.ColumnSweeps),
 		)
 	}

@@ -1,0 +1,100 @@
+package graph
+
+import "sort"
+
+// Coloring is a partition of a graph's nodes into independent classes: no
+// two adjacent nodes share a class. It is the schedule backbone of the
+// deterministic multi-color Gauss–Seidel engine (diffuse.EngineParallelGS):
+// within one class no node reads another's value, so a worker pool can
+// update a whole class concurrently and — because every update's inputs
+// were fixed when the class started — produce the same values as any other
+// worker count or schedule. Sweeping the classes in fixed ascending order
+// makes the whole sweep deterministic while still reading the freshest
+// cross-class values, like sequential Gauss–Seidel.
+type Coloring struct {
+	colors  []int      // per node: its class id
+	classes [][]NodeID // class id -> member nodes, ascending
+}
+
+// NumColors returns the number of classes.
+func (c *Coloring) NumColors() int { return len(c.classes) }
+
+// ColorOf returns u's class id.
+func (c *Coloring) ColorOf(u NodeID) int { return c.colors[u] }
+
+// Classes returns the classes in sweep order: Classes()[k] holds the nodes
+// of class k in ascending id order. The slices alias internal storage and
+// must not be mutated.
+func (c *Coloring) Classes() [][]NodeID { return c.classes }
+
+// Coloring returns the graph's greedy coloring, computed once per
+// Transition and cached. Graphs and Transitions are immutable — a patched
+// overlay builds a new Graph and new Transitions — so the cache can never
+// go stale: invalidation on patch falls out of the rebuild.
+//
+// The coloring is deterministic: nodes are colored in Welsh–Powell order
+// (degree descending, id ascending on ties) and each takes the smallest
+// color absent from its neighborhood. Greedy coloring is not minimal, but
+// class count only affects the number of barriers per sweep, never
+// correctness or determinism.
+func (t *Transition) Coloring() *Coloring {
+	t.colorOnce.Do(func() { t.coloring = greedyColoring(t.g) })
+	return t.coloring
+}
+
+// greedyColoring runs the Welsh–Powell pass over g.
+func greedyColoring(g *Graph) *Coloring {
+	n := g.NumNodes()
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	// taken[c] == stamp marks color c as used by a neighbor of the node
+	// being colored; the stamp bump replaces clearing the array per node.
+	var taken []int
+	stamp := 0
+	numColors := 0
+	for _, u := range order {
+		stamp++
+		for _, v := range g.Neighbors(u) {
+			if c := colors[v]; c >= 0 {
+				taken[c] = stamp
+			}
+		}
+		c := 0
+		for c < len(taken) && taken[c] == stamp {
+			c++
+		}
+		if c == len(taken) {
+			taken = append(taken, 0)
+		}
+		colors[u] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	classes := make([][]NodeID, numColors)
+	sizes := make([]int, numColors)
+	for u := 0; u < n; u++ {
+		sizes[colors[u]]++
+	}
+	for c := range classes {
+		classes[c] = make([]NodeID, 0, sizes[c])
+	}
+	// Ascending node order within each class, by construction of this loop.
+	for u := 0; u < n; u++ {
+		classes[colors[u]] = append(classes[colors[u]], u)
+	}
+	return &Coloring{colors: colors, classes: classes}
+}

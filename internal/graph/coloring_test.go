@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestColoringValid checks the core invariant on random graphs: no edge
+// connects two nodes of the same class, every node is in exactly one
+// class, and classes list their members in ascending order.
+func TestColoringValid(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		tr := randTransition(t, 50+r.Intn(200), r)
+		g := tr.Graph()
+		col := tr.Coloring()
+		n := g.NumNodes()
+		for u := 0; u < n; u++ {
+			cu := col.ColorOf(u)
+			if cu < 0 || cu >= col.NumColors() {
+				t.Fatalf("node %d has out-of-range color %d", u, cu)
+			}
+			for _, v := range g.Neighbors(u) {
+				if col.ColorOf(v) == cu {
+					t.Fatalf("adjacent nodes %d and %d share color %d", u, v, cu)
+				}
+			}
+		}
+		seen := 0
+		for c, class := range col.Classes() {
+			for i, u := range class {
+				if col.ColorOf(u) != c {
+					t.Fatalf("class %d lists node %d whose color is %d", c, u, col.ColorOf(u))
+				}
+				if i > 0 && class[i-1] >= u {
+					t.Fatalf("class %d not ascending at index %d", c, i)
+				}
+				seen++
+			}
+		}
+		if seen != n {
+			t.Fatalf("classes cover %d nodes, graph has %d", seen, n)
+		}
+	}
+}
+
+// TestColoringDeterministicAndCached checks that the coloring is a pure
+// function of the graph (two Transitions over the same graph agree) and
+// that repeated calls return the cached object.
+func TestColoringDeterministicAndCached(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tr := randTransition(t, 120, r)
+	col := tr.Coloring()
+	if tr.Coloring() != col {
+		t.Fatal("Coloring not cached: second call returned a different object")
+	}
+	tr2 := NewTransition(tr.Graph(), RowStochastic)
+	col2 := tr2.Coloring()
+	if !reflect.DeepEqual(col.Classes(), col2.Classes()) {
+		t.Fatal("coloring differs across Transitions over the same graph")
+	}
+}

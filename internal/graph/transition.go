@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"diffusearch/internal/vecmath"
 )
@@ -63,6 +64,12 @@ type Transition struct {
 	invDeg  []float64
 	invSqrt []float64
 	weights []float64 // CSR-aligned: weights[i] = A[u][neighbors[i]]
+
+	// Cached greedy coloring for the multi-color Gauss–Seidel engine,
+	// computed on first use (see Coloring). Transitions are immutable, so
+	// once computed it is valid for the object's lifetime.
+	colorOnce sync.Once
+	coloring  *Coloring
 }
 
 // NewTransition precomputes degree normalizers and the CSR-aligned edge
@@ -245,6 +252,26 @@ func applyRowAffineKernel(dst []float64, coeff float64, nbrs []NodeID, ws []floa
 			d[j] += w * x
 		}
 	}
+}
+
+// HasVectorKernel reports whether ApplyRowAffineVec runs on a SIMD
+// implementation (amd64 with AVX2) rather than the portable Go kernel.
+// Exposed so benchmarks and snapshot metadata can record which body
+// produced a measurement.
+func HasVectorKernel() bool { return hasVec }
+
+// ApplyRowAffineVec is ApplyRowAffine backed by a SIMD kernel when the CPU
+// has one (see HasVectorKernel). The vector body performs one IEEE
+// multiply/add per scalar multiply/add of applyRowAffineKernel in the same
+// per-element order, so the two are bit-for-bit identical; the tiled
+// wide-batch kernels in internal/diffuse call this on their hot path and
+// stay exactly equal to the untiled scalar path.
+func (t *Transition) ApplyRowAffineVec(dst []float64, u NodeID, coeff float64, src *vecmath.Matrix, tele float64, e0row []float64) {
+	if len(dst) != src.Cols() || len(e0row) != len(dst) {
+		panic(fmt.Sprintf("graph: ApplyRowAffineVec width mismatch dst=%d e0=%d src=%d", len(dst), len(e0row), src.Cols()))
+	}
+	start, end := t.g.offsets[u], t.g.offsets[u+1]
+	applyRowAffineVec(dst, coeff, t.g.neighbors[start:end], t.weights[start:end], src, tele, e0row)
 }
 
 // ApplyRowAffine2 is the historical 2-edge-unrolled kernel, kept as the

@@ -35,6 +35,7 @@ type stopper struct {
 	every int
 
 	next      int    // next sweep to run a check at
+	last      int    // sweep of the most recent check (0 = none yet)
 	certified []bool // per original column
 
 	flags []bool    // reused return slice
@@ -84,10 +85,18 @@ func (s *stopper) Stop(sweep int, act []int, cur *vecmath.Matrix) []bool {
 		}
 		return s.flags
 	}
-	if sweep < s.next {
-		return nil
+	// Throttle by sweep, not by call: the tiled kernels invoke the
+	// predicate once per column tile within a sweep, so a sweep that
+	// passes the cadence check stays open for its remaining tiles —
+	// advancing next on the first call alone would starve every tile
+	// after the first forever.
+	if sweep != s.last {
+		if sweep < s.next {
+			return nil
+		}
+		s.last = sweep
+		s.next = sweep + s.every
 	}
-	s.next = sweep + s.every
 
 	// Exact residual pass: one fused CSR sweep over the active block.
 	// |ρ| is laid out per-slot contiguous so the per-candidate table

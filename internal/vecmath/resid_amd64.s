@@ -1,0 +1,138 @@
+// AVX2 bodies for the fused residual-tracking helpers (see resid.go).
+// Each performs the exact per-element operations of its Go reference —
+// subtract, clear the sign bit, max — so results are bit-for-bit
+// identical (all three ops are exact; max is order-independent).
+
+#include "textflag.h"
+
+// func x86HasAVX2() bool
+TEXT ·x86HasAVX2(SB), NOSPLIT, $0-1
+	// CPUID.1:ECX — OSXSAVE (27) and AVX (28) must both be set.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<27 | 1<<28), CX
+	CMPL CX, $(1<<27 | 1<<28)
+	JNE  no
+	// XCR0 bits 1,2: OS saves XMM and YMM state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	// CPUID.7.0:EBX bit 5 — AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func residMaxCopyAVX2(cr, row, sc []float64) float64
+//
+// cr[j] = max(cr[j], |row[j]-sc[j]|); row[j] = sc[j]; returns max_j of
+// the deltas. SI=cr DI=row DX=sc CX=len BX=len&^3 AX=j;
+// Y4 = sign-clear mask, Y5 = running row max.
+TEXT ·residMaxCopyAVX2(SB), NOSPLIT, $0-80
+	MOVQ cr_base+0(FP), SI
+	MOVQ cr_len+8(FP), CX
+	MOVQ row_base+24(FP), DI
+	MOVQ sc_base+48(FP), DX
+	VPCMPEQD Y4, Y4, Y4
+	VPSRLQ   $1, Y4, Y4
+	VXORPD   Y5, Y5, Y5
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	XORQ AX, AX
+loop4:
+	CMPQ AX, BX
+	JGE  fold
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD (DX)(AX*8), Y1
+	VSUBPD  Y1, Y0, Y2
+	VANDPD  Y4, Y2, Y2
+	VMAXPD  Y2, Y5, Y5
+	VMOVUPD (SI)(AX*8), Y3
+	VMAXPD  Y2, Y3, Y3
+	VMOVUPD Y3, (SI)(AX*8)
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  loop4
+fold:
+	// Horizontal max of Y5 into X5's low lane.
+	VEXTRACTF128 $1, Y5, X6
+	VMAXPD       X6, X5, X5
+	VUNPCKHPD    X5, X5, X6
+	VMAXSD       X6, X5, X5
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (DI)(AX*8), X0
+	VMOVSD (DX)(AX*8), X1
+	VSUBSD X1, X0, X2
+	VANDPD X4, X2, X2
+	VMAXSD X2, X5, X5
+	VMOVSD (SI)(AX*8), X3
+	VMAXSD X2, X3, X3
+	VMOVSD X3, (SI)(AX*8)
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  tail
+done:
+	VMOVSD X5, ret+72(FP)
+	VZEROUPPER
+	RET
+
+// func residMaxAVX2(cr, old, upd []float64) float64
+//
+// residMaxCopyAVX2 without the copy-back: both value rows are read-only.
+TEXT ·residMaxAVX2(SB), NOSPLIT, $0-80
+	MOVQ cr_base+0(FP), SI
+	MOVQ old_base+24(FP), DI
+	MOVQ upd_base+48(FP), DX
+	MOVQ cr_len+8(FP), CX
+	VPCMPEQD Y4, Y4, Y4
+	VPSRLQ   $1, Y4, Y4
+	VXORPD   Y5, Y5, Y5
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	XORQ AX, AX
+loop4:
+	CMPQ AX, BX
+	JGE  fold
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD (DX)(AX*8), Y1
+	VSUBPD  Y1, Y0, Y2
+	VANDPD  Y4, Y2, Y2
+	VMAXPD  Y2, Y5, Y5
+	VMOVUPD (SI)(AX*8), Y3
+	VMAXPD  Y2, Y3, Y3
+	VMOVUPD Y3, (SI)(AX*8)
+	ADDQ $4, AX
+	JMP  loop4
+fold:
+	VEXTRACTF128 $1, Y5, X6
+	VMAXPD       X6, X5, X5
+	VUNPCKHPD    X5, X5, X6
+	VMAXSD       X6, X5, X5
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (DI)(AX*8), X0
+	VMOVSD (DX)(AX*8), X1
+	VSUBSD X1, X0, X2
+	VANDPD X4, X2, X2
+	VMAXSD X2, X5, X5
+	VMOVSD (SI)(AX*8), X3
+	VMAXSD X2, X3, X3
+	VMOVSD X3, (SI)(AX*8)
+	INCQ AX
+	JMP  tail
+done:
+	VMOVSD X5, ret+72(FP)
+	VZEROUPPER
+	RET

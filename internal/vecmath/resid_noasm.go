@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package vecmath
+
+// No SIMD residual kernels on this architecture; the portable bodies
+// are the implementation.
+
+func residMaxCopy(cr, row, sc []float64) float64 { return residMaxCopyGo(cr, row, sc) }
+
+func residMax(cr, old, upd []float64) float64 { return residMaxGo(cr, old, upd) }

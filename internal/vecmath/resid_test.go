@@ -1,0 +1,74 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestResidMaxBitIdentical drives the dispatched helpers against the
+// portable reference bodies on every width that exercises the SIMD quad
+// loop, its tail, and the empty case, requiring exact equality — the
+// helpers sit on bit-compatibility-critical diffusion paths.
+func TestResidMaxBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 64, 129} {
+		for trial := 0; trial < 10; trial++ {
+			cr := make([]float64, n)
+			old := make([]float64, n)
+			upd := make([]float64, n)
+			for j := range cr {
+				cr[j] = r.Float64() * 1e-3
+				old[j] = r.NormFloat64()
+				upd[j] = old[j] + r.NormFloat64()*1e-2
+				if r.Intn(5) == 0 {
+					upd[j] = old[j] // exercise zero deltas
+				}
+			}
+			crRef := append([]float64(nil), cr...)
+			oldRef := append([]float64(nil), old...)
+
+			wantMax := residMaxGo(crRef, oldRef, upd)
+			gotMax := ResidMax(cr, old, upd)
+			if gotMax != wantMax {
+				t.Fatalf("n=%d: ResidMax returned %v, reference %v", n, gotMax, wantMax)
+			}
+			for j := range cr {
+				if cr[j] != crRef[j] {
+					t.Fatalf("n=%d: cr[%d] = %v, reference %v", n, j, cr[j], crRef[j])
+				}
+				if old[j] != oldRef[j] {
+					t.Fatalf("n=%d: ResidMax mutated old[%d]", n, j)
+				}
+			}
+
+			// Copy variant: row takes the new values, residuals match.
+			rowRef := append([]float64(nil), oldRef...)
+			wantMax = residMaxCopyGo(crRef, rowRef, upd)
+			gotMax = ResidMaxCopy(cr, old, upd)
+			if gotMax != wantMax {
+				t.Fatalf("n=%d: ResidMaxCopy returned %v, reference %v", n, gotMax, wantMax)
+			}
+			for j := range cr {
+				if cr[j] != crRef[j] || old[j] != rowRef[j] {
+					t.Fatalf("n=%d slot %d: copy variant diverged from reference", n, j)
+				}
+			}
+		}
+	}
+}
+
+func TestResidMaxLengthMismatchPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ResidMax(make([]float64, 2), make([]float64, 3), make([]float64, 2)) },
+		func() { ResidMaxCopy(make([]float64, 2), make([]float64, 2), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("length mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
