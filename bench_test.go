@@ -390,6 +390,28 @@ func BenchmarkRunQueryGreedyTTL50(b *testing.B) {
 	}
 }
 
+// BenchmarkFanout runs one bloom-routed fan-out sweep iteration on the
+// quarter-scale environment (single filter size, small query set): gossip
+// to quiescence, then routed vs unrouted walks on identical queries. The
+// CI bench-smoke step runs it once per push so the protocol harness and
+// the routing gate stay exercised end to end; the gated numbers live in
+// cmd/benchjson's fanout rows.
+func BenchmarkFanout(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.FanoutSweep(env, expt.FanoutConfig{
+			M: 200, Queries: 16, BitsGrid: []int{1024}, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0].RoutedMsgsPerQ <= 0 {
+			b.Fatalf("fanout sweep produced no routed traffic: %+v", rows)
+		}
+	}
+}
+
 func BenchmarkCentralizedSearch(b *testing.B) {
 	env := benchEnvironment(b)
 	vocab := env.Bench.Vocabulary()

@@ -60,6 +60,14 @@
 // equal the full-vector top-k exactly (agreement 1.0 — the path is exact
 // by construction, certificate or fallback).
 //
+// Fanout rows measure bloom-filter routed query fan-out on the peernet
+// protocol harness (a deterministic count-based simulation, so the rows
+// are bit-identical across hardware): at each filter size, the routed
+// walk's messages/query and recall@K against the unrouted greedy walk on
+// identical queries and origins. The bits=1024 row carries the acceptance
+// bars — routed messages ≤ 0.7× unrouted with recall ratio ≥ 1.0 — and
+// the message reduction is gated against the committed row.
+//
 // The telemetry row times the identical B=8 ScoreBatch bare and with the
 // full sweep observer feeding a live telemetry registry, interleaved
 // min-of-3 so clock drift hits both sides equally. The within-run overhead
@@ -74,7 +82,8 @@
 //
 // With -baseline, the freshly measured snapshot is gated against a
 // committed one and the command exits non-zero when a Parallel-engine,
-// ScoreBatch, serve, shard, priority, walkindex, or topk row regressed
+// ScoreBatch, serve, shard, priority, walkindex, topk, or fanout row
+// regressed
 // more than -max-regress (CI's bench-regression step).
 //
 // Usage:
@@ -260,6 +269,35 @@ type gsResult struct {
 	MaxErrVsSync   float64 `json:"max_err_vs_sync"`
 }
 
+// fanoutResult records one filter size of the bloom-routed fan-out sweep on
+// the deterministic protocol harness: the routed walk's message cost and
+// recall against the unrouted greedy walk on identical queries (counts, not
+// timings — the row is bit-reproducible in the seed on any hardware).
+type fanoutResult struct {
+	Bits             int     `json:"bits"`
+	FilterBytes      int     `json:"filter_bytes"`
+	GossipRounds     int     `json:"gossip_rounds"`
+	UnroutedMsgsPerQ float64 `json:"unrouted_msgs_per_query"`
+	RoutedMsgsPerQ   float64 `json:"routed_msgs_per_query"`
+	MsgRatio         float64 `json:"msg_ratio"`
+	UnroutedRecall   float64 `json:"unrouted_recall"`
+	RoutedRecall     float64 `json:"routed_recall"`
+	RecallRatio      float64 `json:"recall_ratio"`
+	HitsPerQ         float64 `json:"hits_per_query"`
+	EarlyStopFrac    float64 `json:"early_stop_frac"`
+}
+
+// Fanout acceptance bars: at the deployment default filter size the routed
+// walk must cut messages/query to ≤0.7× the unrouted baseline while finding
+// the gold document at least as often (recall ratio ≥ 1.0). Both are
+// within-run count ratios on a deterministic simulation, so they hold
+// bit-exactly on any hardware.
+const (
+	fanoutAcceptanceBits = 1024
+	maxFanoutMsgRatio    = 0.7
+	minFanoutRecallRatio = 1.0
+)
+
 // maxTelemetryOverhead is the instrumentation acceptance bar: an attached
 // sweep observer may not cost more than this fraction of ns/query over
 // the bare ScoreBatch path. The gate is absolute (both sides measured in
@@ -318,6 +356,10 @@ type snapshot struct {
 	// carries the ≥2×-vs-full-vector acceptance number, and every row's
 	// agreement with the exact full-vector top-k must be 1.0.
 	TopK []topKResult `json:"topk"`
+	// Fanout records the bloom-routed query fan-out rows; the
+	// fanoutAcceptanceBits row carries the ≤0.7× messages/query and
+	// recall-ratio ≥1.0 acceptance numbers.
+	Fanout []fanoutResult `json:"fanout"`
 	// Telemetry records the instrumentation overhead row; OverheadFrac is
 	// gated absolutely at maxTelemetryOverhead (≤3% ns/query).
 	Telemetry []telemetryResult `json:"telemetry"`
@@ -869,6 +911,37 @@ func run(scale float64, numDocs int, alpha, tol float64, seed uint64, out string
 		snap.TopK = append(snap.TopK, tr)
 	}
 
+	// Fanout rows: the bloom-routed walk vs the unrouted greedy walk on the
+	// deterministic protocol harness (counts, not timings — bit-reproducible
+	// in the seed). The bits=1024 row carries the ISSUE-10 acceptance
+	// numbers: messages/query ≤ 0.7× unrouted with recall ratio ≥ 1.0.
+	fanoutRows, err := expt.FanoutSweep(env, expt.FanoutConfig{
+		M: numDocs, Alpha: alpha, Seed: seed,
+		BitsGrid: []int{256, 1024, 4096},
+	})
+	if err != nil {
+		return fmt.Errorf("fanout sweep: %w", err)
+	}
+	for _, row := range fanoutRows {
+		fr := fanoutResult{
+			Bits:             row.Bits,
+			FilterBytes:      row.FilterBytes,
+			GossipRounds:     row.GossipRounds,
+			UnroutedMsgsPerQ: row.UnroutedMsgsPerQ,
+			RoutedMsgsPerQ:   row.RoutedMsgsPerQ,
+			MsgRatio:         row.MsgRatio,
+			UnroutedRecall:   row.UnroutedRecall,
+			RoutedRecall:     row.RoutedRecall,
+			RecallRatio:      row.RecallRatio,
+			HitsPerQ:         row.HitsPerQ,
+			EarlyStopFrac:    row.EarlyStopFrac,
+		}
+		fmt.Printf("fanout-%-6d %8.1f msgs/query routed (unrouted %.1f, ratio %.2f) recall %.2f vs %.2f (ratio %.2f) stops=%.2f\n",
+			fr.Bits, fr.RoutedMsgsPerQ, fr.UnroutedMsgsPerQ, fr.MsgRatio,
+			fr.RoutedRecall, fr.UnroutedRecall, fr.RecallRatio, fr.EarlyStopFrac)
+		snap.Fanout = append(snap.Fanout, fr)
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -1160,6 +1233,42 @@ func checkRegression(baselinePath string, fresh snapshot, maxRegress float64) er
 				tr.K, tr.Speedup, b.Speedup))
 		}
 	}
+	// Fanout rows carry two absolute bars on top of the regression
+	// comparison: at the deployment default filter size the routed walk must
+	// spend ≤0.7× the unrouted walk's messages/query, and it must find the
+	// gold document at least as often (recall ratio ≥ 1.0). Both sides are
+	// counted in one deterministic simulation, so the bars hold bit-exactly
+	// on any hardware. The regression half compares the message reduction
+	// (1 − ratio) against the committed row so the routed walk cannot
+	// quietly give back the savings. Rows absent from the baseline (first
+	// snapshot after routing landed) still face the absolute bars.
+	baseFanout := make(map[int]fanoutResult, len(base.Fanout))
+	for _, fr := range base.Fanout {
+		baseFanout[fr.Bits] = fr
+	}
+	for _, fr := range fresh.Fanout {
+		if fr.Bits == fanoutAcceptanceBits {
+			if fr.MsgRatio > maxFanoutMsgRatio {
+				problems = append(problems, fmt.Sprintf("fanout bits=%d: routed messages/query ratio %.2f vs unrouted, want ≤ %.1f",
+					fr.Bits, fr.MsgRatio, maxFanoutMsgRatio))
+			}
+			if fr.RecallRatio < minFanoutRecallRatio {
+				problems = append(problems, fmt.Sprintf("fanout bits=%d: recall ratio %.2f vs unrouted, want ≥ %.1f",
+					fr.Bits, fr.RecallRatio, minFanoutRecallRatio))
+			}
+		}
+		if b, ok := baseFanout[fr.Bits]; ok {
+			baseSaved, saved := 1-b.MsgRatio, 1-fr.MsgRatio
+			if baseSaved > 0 && saved < baseSaved*(1-maxRegress) {
+				problems = append(problems, fmt.Sprintf("fanout bits=%d: message reduction %.0f%% vs baseline %.0f%%",
+					fr.Bits, 100*saved, 100*baseSaved))
+			}
+			if b.RecallRatio > 0 && fr.RecallRatio < b.RecallRatio*(1-maxRegress) {
+				problems = append(problems, fmt.Sprintf("fanout bits=%d: recall ratio %.2f vs baseline %.2f",
+					fr.Bits, fr.RecallRatio, b.RecallRatio))
+			}
+		}
+	}
 	// The telemetry row's bar is purely absolute: overhead is a within-run
 	// ratio (bare and instrumented ScoreBatch measured interleaved), so no
 	// baseline row is consulted and the bar holds on any hardware.
@@ -1170,7 +1279,7 @@ func checkRegression(baselinePath string, fresh snapshot, maxRegress float64) er
 		}
 	}
 	if len(problems) > 0 {
-		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / batch_wide / gs / serve / shard / priority / walkindex / topk / telemetry) regressed beyond %.0f%% of %s:\n  %s",
+		return fmt.Errorf("gated benchmark rows (parallel engine / scorebatch / batch_wide / gs / serve / shard / priority / walkindex / topk / fanout / telemetry) regressed beyond %.0f%% of %s:\n  %s",
 			maxRegress*100, baselinePath, strings.Join(problems, "\n  "))
 	}
 	mode := "ratio checks only — baseline hardware differs"

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|recall|placement|summary|visited|baselines|norm|diffusion|batch|serve|shard|priority|walkindex|topk|all")
+		exp   = flag.String("exp", "all", "experiment: fig3|table1|parallel|recall|placement|summary|visited|baselines|norm|diffusion|batch|serve|shard|priority|walkindex|topk|fanout|all")
 		seed  = flag.Uint64("seed", 42, "master seed (all results are deterministic in it)")
 		quick = flag.Bool("quick", false, "scaled-down environment and iteration counts")
 		iters = flag.Int("iters", 0, "override iteration count (0 = experiment default)")
@@ -81,9 +81,10 @@ func run(exp string, seed uint64, quick bool, iters int, csv bool) error {
 		"shard":     r.shard,
 		"priority":  r.priority,
 		"walkindex": r.walkindex,
+		"fanout":    r.fanout,
 	}
 	if exp == "all" {
-		for _, name := range []string{"fig3", "table1", "parallel", "recall", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch", "serve", "shard", "priority", "walkindex", "topk"} {
+		for _, name := range []string{"fig3", "table1", "parallel", "recall", "placement", "summary", "visited", "baselines", "norm", "diffusion", "batch", "serve", "shard", "priority", "walkindex", "topk", "fanout"} {
 			if err := known[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -368,6 +369,24 @@ func (r *runner) walkindex() error {
 	}
 	r.emit(fmt.Sprintf("walkindex — precomputed PPR segment store: budget vs speedup vs accuracy (M=500, α=0.5, %v)",
 		time.Since(start).Round(time.Millisecond)), expt.FormatWalkIndex(rows))
+	return nil
+}
+
+func (r *runner) fanout() error {
+	start := time.Now()
+	cfg := expt.FanoutConfig{
+		M: 500, Alpha: 0.5, Seed: r.seed,
+		Queries: r.itersOr(64, 16),
+	}
+	if r.quick {
+		cfg.BitsGrid = []int{1024}
+	}
+	rows, err := expt.FanoutSweep(r.env, cfg)
+	if err != nil {
+		return err
+	}
+	r.emit(fmt.Sprintf("fanout — bloom-routed walk vs unrouted greedy walk on the protocol harness (M=500, α=0.5, TTL 50, %v)",
+		time.Since(start).Round(time.Millisecond)), expt.FormatFanout(rows))
 	return nil
 }
 

@@ -117,6 +117,22 @@ func (a *adminTelemetry) registerPeer(peer *peernet.Peer) {
 			"Gossip diffusion updates applied by this peer.", float64(updates))
 		e.Counter("diffusearch_peer_messages_sent_total",
 			"Transport messages sent by this peer.", float64(messages))
+		fs := peer.FilterStats()
+		if !fs.Enabled {
+			return
+		}
+		e.Gauge("diffusearch_filter_fill_ratio",
+			"Saturation of this peer's gossiped bloom document summary.", fs.Fill)
+		e.Gauge("diffusearch_filter_neighbors_cached",
+			"Neighbour bloom summaries currently cached.", float64(fs.Cached))
+		e.Gauge("diffusearch_filter_neighbors_stale",
+			"Cached neighbour summaries awaiting re-proof after a topology change.", float64(fs.Stale))
+		e.Counter("diffusearch_filter_routed_hits_total",
+			"Query forwards steered by a neighbour filter hit.", float64(fs.Hits))
+		e.Counter("diffusearch_filter_routed_fallbacks_total",
+			"Query forwards that fell back to plain greedy (every candidate missed).", float64(fs.Misses))
+		e.Counter("diffusearch_filter_routed_early_stops_total",
+			"Queries answered locally because no fresh filter could extend the walk.", float64(fs.Stops))
 	})
 }
 
@@ -203,6 +219,7 @@ type statusSnapshot struct {
 	Messages    int64                  `json:"messages_sent"`
 	PoolWorkers int                    `json:"pool_workers,omitempty"`
 	Schedulers  map[string]serve.Stats `json:"schedulers,omitempty"`
+	Filter      *peernet.FilterStats   `json:"filter,omitempty"`
 	WalkIndex   *walkIndexStatus       `json:"walkindex,omitempty"`
 	TopK        *topKStatus            `json:"topk,omitempty"`
 }
@@ -240,6 +257,9 @@ func (src statusSource) snapshot() statusSnapshot {
 		Updates:    updates,
 		Messages:   messages,
 	}
+	if fs := src.peer.FilterStats(); fs.Enabled {
+		sn.Filter = &fs
+	}
 	s := src.scorer
 	if s == nil {
 		return sn
@@ -269,7 +289,7 @@ func (src statusSource) snapshot() statusSnapshot {
 func (sn statusSnapshot) text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "peer %d up %s: %d diffusion updates, %d messages sent\n",
-		sn.Peer, (time.Duration(sn.UptimeSecs*float64(time.Second))).Round(time.Second),
+		sn.Peer, (time.Duration(sn.UptimeSecs * float64(time.Second))).Round(time.Second),
 		sn.Updates, sn.Messages)
 	names := make([]string, 0, len(sn.Schedulers))
 	for name := range sn.Schedulers {
@@ -278,6 +298,10 @@ func (sn statusSnapshot) text() string {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(&b, "scheduler[%s]: %v\n", name, sn.Schedulers[name])
+	}
+	if f := sn.Filter; f != nil {
+		fmt.Fprintf(&b, "filter: %d bits × %d hashes, %.0f%% full, %d neighbours cached (%d stale), routed %d hits / %d fallbacks / %d early stops\n",
+			f.Bits, f.Hashes, 100*f.Fill, f.Cached, f.Stale, f.Hits, f.Misses, f.Stops)
 	}
 	if w := sn.WalkIndex; w != nil {
 		fmt.Fprintf(&b, "walkindex: %d/%d segments (%.0f%% coverage), %d bytes",

@@ -140,6 +140,9 @@ func main() {
 		statsEv  = flag.Duration("statsevery", 0, "print the status snapshot at this interval (0 disables)")
 		ttl      = flag.Int("ttl", 20, "query hop budget")
 		k        = flag.Int("k", 3, "tracked results")
+		fBits    = flag.Int("filterbits", 1024, "bloom document-summary size in bits gossiped to neighbours for routed query fan-out (0 disables filter routing)")
+		fHashes  = flag.Int("filterhashes", 4, "bloom probe count per document key")
+		qKeys    = flag.Int("querykeys", 8, "doc-term keys mined per forwarded query for filter routing")
 		wait     = flag.Duration("wait", 2*time.Second, "diffusion settling time before -query/-batch")
 	)
 	flag.Parse()
@@ -152,6 +155,7 @@ func main() {
 		scorer: *scorer, indexBudget: *indexBgt,
 		class: *class, deadline: *deadline, topk: *topkN,
 		admin: *admin, statsEvery: *statsEv,
+		filterBits: *fBits, filterHashes: *fHashes, queryKeys: *qKeys,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peerd:", err)
@@ -187,6 +191,10 @@ type runConfig struct {
 	topk        int
 	admin       string
 	statsEvery  time.Duration
+
+	filterBits   int
+	filterHashes int
+	queryKeys    int
 }
 
 type peerSpec struct {
@@ -748,6 +756,11 @@ func run(cfg runConfig) error {
 		Vocab:     vocab,
 		Docs:      spec.docs,
 		Alpha:     cfg.alpha,
+		Filter: peernet.FilterConfig{
+			Bits:      cfg.filterBits,
+			Hashes:    cfg.filterHashes,
+			QueryKeys: cfg.queryKeys,
+		},
 	}
 	if scorer != nil {
 		pcfg.ScoreQuery = scorer.Score
@@ -934,9 +947,37 @@ func reloadTopology(cfg runConfig, peer *peernet.Peer, tr *peernet.TCPTransport,
 	}
 	tr.SetDirectory(dir)
 	peer.UpdateNeighbors(spec.neighbors)
+	// A patched placement must also patch the routing filter: the local
+	// bloom summary is built from the holdings, so a doc delta rebuilds it
+	// and the next gossip round re-proves it to the (now possibly rewired)
+	// neighbour set. UpdateNeighbors already dropped departed peers'
+	// cached filters and marked the survivors' stale.
+	if !sameDocSet(peer.Docs(), spec.docs) {
+		peer.SetDocuments(spec.docs)
+		cacheNote += ", placement patched"
+	}
 	fmt.Printf("topology reloaded: %d peers, %d neighbours of peer %d%s\n",
 		len(specs), len(spec.neighbors), cfg.id, cacheNote)
 	return nil
+}
+
+// sameDocSet reports whether two holdings lists contain the same
+// documents, order-insensitively (topology files list docs in any order).
+func sameDocSet(a, b []retrieval.DocID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[retrieval.DocID]int, len(a))
+	for _, d := range a {
+		set[d]++
+	}
+	for _, d := range b {
+		if set[d] == 0 {
+			return false
+		}
+		set[d]--
+	}
+	return true
 }
 
 // parseWordList parses a comma-separated -batch argument.

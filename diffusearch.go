@@ -70,6 +70,7 @@ import (
 	"diffusearch/internal/expt"
 	"diffusearch/internal/gengraph"
 	"diffusearch/internal/graph"
+	"diffusearch/internal/peernet"
 	"diffusearch/internal/randx"
 	"diffusearch/internal/retrieval"
 	"diffusearch/internal/serve"
@@ -260,6 +261,34 @@ type (
 	// TracePath names a ServeTrace resolution path (TracePaths lists all
 	// of them in display order).
 	TracePath = serve.Path
+	// PeerFilterConfig sizes the bloom document summary each peer gossips
+	// for routed query fan-out (Bits=0 disables routing; see
+	// peernet.FilterConfig for the defaults a Bits>0 config fills in).
+	PeerFilterConfig = peernet.FilterConfig
+	// PeerFilterStats snapshots a peer's routing-gate state (filter fill,
+	// cached/stale neighbour summaries, hit/fallback/early-stop counters)
+	// — the struct `peerd -admin` serves on /statusz.
+	PeerFilterStats = peernet.FilterStats
+	// SimNetwork is the deterministic single-threaded replica of the
+	// peernet protocol (round-synchronous gossip, event-driven walks, the
+	// exact routing gate) for tests and count-based experiments. Construct
+	// with NewSimNetwork.
+	SimNetwork = peernet.SimNetwork
+	// SimNetworkConfig configures a SimNetwork.
+	SimNetworkConfig = peernet.SimConfig
+	// SimQueryOutcome is one SimNetwork walk's outcome: results, hop
+	// sequence, message count, filter hits, and whether the provable
+	// early stop fired.
+	SimQueryOutcome = peernet.SimQueryOutcome
+	// Scorer selects an embedding similarity measure (DotProduct is the
+	// paper's choice; CosineSim normalizes it).
+	Scorer = retrieval.Scorer
+)
+
+// Embedding similarity scorers.
+const (
+	DotProduct = retrieval.DotProduct
+	CosineSim  = retrieval.CosineSim
 )
 
 // Diffusion engines (§IV-B). EngineAsynchronous is the deterministic
@@ -394,6 +423,12 @@ var (
 	// TracePaths lists every ServeTrace resolution path in display order
 	// (pre-register per-path metrics by ranging over it).
 	TracePaths = serve.Paths
+	// NewSimNetwork builds the deterministic protocol harness.
+	NewSimNetwork = peernet.NewSimNetwork
+	// MineQueryKeys picks the document keys a routed query carries: the
+	// vocabulary words most similar to the query embedding under the
+	// given scorer.
+	MineQueryKeys = peernet.QueryKeys
 )
 
 // NewPaperEnvironment builds the full-scale evaluation setting of §V: a

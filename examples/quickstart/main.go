@@ -325,4 +325,49 @@ func main() {
 	}
 	fmt.Printf("statusz: local tenant resolved %d submissions (%d from cache)\n",
 		status["local"].Completed+status["local"].CacheHits, status["local"].CacheHits)
+
+	// 12. Routed fan-out: each peer gossips a compact bloom summary of its
+	//     document holdings piggybacked on the embed messages, and a
+	//     forwarded query carries doc-term keys mined from its embedding.
+	//     Every hop consults its cached neighbour summaries — steering to
+	//     the best-scoring filter hit, falling back to plain greedy when
+	//     every candidate misses, and answering early when the walk
+	//     already tracks its primary key document and no fresh filter can
+	//     extend it. The deterministic protocol harness below runs the
+	//     exact peer logic without goroutines or clocks, so routed vs
+	//     unrouted costs compare on identical walks.
+	adj := make([][]diffusearch.NodeID, g.NumNodes())
+	for u := range adj {
+		adj[u] = g.Neighbors(u)
+	}
+	placement := make(map[diffusearch.NodeID][]diffusearch.DocID, len(docs))
+	for _, d := range docs {
+		placement[net.HostOf(d)] = append(placement[net.HostOf(d)], d)
+	}
+	sim, err := diffusearch.NewSimNetwork(diffusearch.SimNetworkConfig{
+		Neighbors: adj, Vocab: env.Bench.Vocabulary(), Docs: placement,
+		Alpha: 0.5, Seed: seed,
+		Filter: diffusearch.PeerFilterConfig{Bits: 1024, Hashes: 4, QueryKeys: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rounds, converged := sim.Converge(300)
+	if !converged {
+		log.Fatal("gossip did not quiesce")
+	}
+	// The workload's query words are never placed as documents, so drop
+	// the query's own word (trivially its nearest neighbour) from the
+	// mined keys before routing.
+	rawKeys := diffusearch.MineQueryKeys(env.Bench.Vocabulary(), query, diffusearch.CosineSim, 9)
+	keys := make([]diffusearch.DocID, 0, 8)
+	for _, d := range rawKeys {
+		if d != pair.Query {
+			keys = append(keys, d)
+		}
+	}
+	unrouted := sim.RunQuery(origin, query, nil, 50, 3)
+	routed := sim.RunQuery(origin, query, keys, 50, 3)
+	fmt.Printf("routed fan-out: filters gossiped in %d rounds; unrouted walk %d messages, routed %d (%d filter hits, early stop %v)\n",
+		rounds, unrouted.Messages, routed.Messages, routed.FilterHits, routed.EarlyStop)
 }

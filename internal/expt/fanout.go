@@ -1,0 +1,275 @@
+package expt
+
+import (
+	"fmt"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/peernet"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/stats"
+)
+
+// FanoutConfig parameterizes FanoutSweep: one placement and one query set,
+// then a filter-size sweep of the bloom-routed walk against the unrouted
+// greedy walk on the identical queries, origins, and gossip state.
+type FanoutConfig struct {
+	M       int     // documents placed (golds + pool fill); 0 means 500
+	Alpha   float64 // teleport probability; 0 means 0.5
+	PushTol float64 // gossip re-announce threshold; 0 means the peernet default
+	TTL     int     // hop budget (paper: 50)
+	K       int     // results per query (recall@K); 0 means 5
+	Queries int     // distinct query/gold pairs; 0 means 64
+
+	// MaxDistance bounds the sampled origin-to-gold-host hop distance, like
+	// the Fig. 3 protocol (queries are issued near relevant content; a
+	// uniformly random origin on the 4k-node graph is ~6 hops from
+	// everything and mostly exhausts the TTL for either walk). 0 means 4.
+	MaxDistance int
+
+	// BitsGrid are the filter sizes swept; nil means {256, 1024, 4096}.
+	BitsGrid []int
+	// Hashes is the probe count per key; 0 means 4.
+	Hashes int
+	// QueryKeys is the number of doc-term keys attached per query; 0 means 8.
+	QueryKeys int
+	// MaxRounds bounds gossip convergence; 0 means 300.
+	MaxRounds int
+	Seed      uint64
+}
+
+func (c FanoutConfig) withDefaults(env *Environment) FanoutConfig {
+	if c.M <= 0 {
+		c.M = 500
+	}
+	if c.M > env.MaxPoolDocs() {
+		c.M = env.MaxPoolDocs()
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.TTL <= 0 {
+		c.TTL = 50
+	}
+	if c.K <= 0 {
+		c.K = 5
+	}
+	if c.Queries <= 0 {
+		c.Queries = 64
+	}
+	if c.MaxDistance <= 0 {
+		c.MaxDistance = 4
+	}
+	if len(c.BitsGrid) == 0 {
+		c.BitsGrid = []int{256, 1024, 4096}
+	}
+	if c.Hashes <= 0 {
+		c.Hashes = 4
+	}
+	if c.QueryKeys <= 0 {
+		c.QueryKeys = 8
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 300
+	}
+	return c
+}
+
+// FanoutRow reports one filter size: the routed walk's message cost and
+// recall against the unrouted baseline on identical queries, plus how the
+// gate behaved (steered forwards per query, early-stop rate).
+type FanoutRow struct {
+	Bits         int // filter size in bits
+	FilterBytes  int // wire bytes gossiped per announcement
+	GossipRounds int // rounds to diffusion+filter quiescence
+
+	UnroutedMsgsPerQ float64
+	RoutedMsgsPerQ   float64
+	MsgRatio         float64 // routed / unrouted (≤ 0.7 is the acceptance bar)
+
+	UnroutedRecall float64
+	RoutedRecall   float64
+	RecallRatio    float64 // routed / unrouted (must not drop below 1.0)
+
+	HitsPerQ      float64 // forwards steered by a filter hit, per query
+	EarlyStopFrac float64 // fraction of queries answered by the provable stop
+}
+
+// FanoutSweep measures bloom-routed query fan-out on the deterministic
+// protocol harness (peernet.SimNetwork — the exact handleQuery logic,
+// including the shared routeDecision gate, minus goroutines and wall
+// clock). One placement and one query set are fixed; each filter size then
+// gossips to quiescence and answers the identical queries routed, against
+// a single unrouted baseline pass.
+//
+// Queries attach doc-term keys mined by cosine from the query embedding
+// (peernet.QueryKeys), with one workload-artifact correction: the
+// benchmark's query words are by construction never placed as documents
+// (queries, golds, and pool are mutually disjoint), so the query word
+// itself — trivially the most cosine-similar word to its own embedding —
+// is removed from the key list rather than letting an unfindable term
+// occupy the primary-key slot that arms the early stop.
+func FanoutSweep(env *Environment, cfg FanoutConfig) ([]FanoutRow, error) {
+	cfg = cfg.withDefaults(env)
+	vocab := env.Bench.Vocabulary()
+	r := randx.Derive(cfg.Seed, "fanout-expt")
+
+	// Distinct query/gold pairs; every gold is placed.
+	pairs := make([]embed.QueryPair, 0, cfg.Queries)
+	seen := make(map[embed.WordID]bool, cfg.Queries)
+	for len(pairs) < cfg.Queries {
+		pair := env.Bench.SamplePair(r)
+		if seen[pair.Query] {
+			continue
+		}
+		seen[pair.Query] = true
+		pairs = append(pairs, pair)
+	}
+	docs := make([]retrieval.DocID, 0, cfg.M)
+	placedGold := make(map[retrieval.DocID]bool, len(pairs))
+	for _, pair := range pairs {
+		if !placedGold[pair.Gold] {
+			placedGold[pair.Gold] = true
+			docs = append(docs, pair.Gold)
+		}
+	}
+	if fill := cfg.M - len(docs); fill > 0 {
+		docs = append(docs, env.Bench.SamplePool(r, fill)...)
+	}
+	n := env.Graph.NumNodes()
+	placement := make(map[graph.NodeID][]retrieval.DocID)
+	for _, d := range docs {
+		host := r.IntN(n)
+		placement[host] = append(placement[host], d)
+	}
+	adj := make([][]graph.NodeID, n)
+	for u := 0; u < n; u++ {
+		adj[u] = env.Graph.Neighbors(u)
+	}
+
+	hostOf := make(map[retrieval.DocID]graph.NodeID, len(docs))
+	for host, held := range placement {
+		for _, d := range held {
+			hostOf[d] = host
+		}
+	}
+	origins := make([]graph.NodeID, len(pairs))
+	keys := make([][]retrieval.DocID, len(pairs))
+	for i, pair := range pairs {
+		// Fig. 3 protocol: the origin sits 1..MaxDistance hops from the gold
+		// host (both walks get the identical origin, so the comparison is
+		// paired even when a distance bucket is empty and we fall back).
+		groups := env.Graph.NodesAtDistance(hostOf[pair.Gold], cfg.MaxDistance)
+		d := 1 + r.IntN(cfg.MaxDistance)
+		for d > 0 && len(groups[d]) == 0 {
+			d--
+		}
+		origins[i] = groups[d][r.IntN(len(groups[d]))]
+		raw := peernet.QueryKeys(vocab, vocab.Vector(pair.Query), retrieval.CosineSim, cfg.QueryKeys+1)
+		ks := make([]retrieval.DocID, 0, cfg.QueryKeys)
+		for _, d := range raw {
+			if d != pair.Query && len(ks) < cfg.QueryKeys {
+				ks = append(ks, d)
+			}
+		}
+		keys[i] = ks
+	}
+
+	var unroutedMsgs, unroutedFound int
+	rows := make([]FanoutRow, 0, len(cfg.BitsGrid))
+	for bi, bits := range cfg.BitsGrid {
+		s, err := peernet.NewSimNetwork(peernet.SimConfig{
+			Neighbors: adj,
+			Vocab:     vocab,
+			Docs:      placement,
+			Alpha:     cfg.Alpha,
+			PushTol:   cfg.PushTol,
+			Filter:    peernet.FilterConfig{Bits: bits, Hashes: cfg.Hashes, QueryKeys: cfg.QueryKeys},
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expt: fanout bits=%d: %w", bits, err)
+		}
+		rounds, ok := s.Converge(cfg.MaxRounds)
+		if !ok {
+			return nil, fmt.Errorf("expt: fanout bits=%d: gossip did not quiesce within %d rounds", bits, cfg.MaxRounds)
+		}
+		if bi == 0 {
+			// The unrouted baseline is filter-independent (keys=nil walks
+			// ignore cached summaries entirely), so one pass serves every row.
+			for i, pair := range pairs {
+				out := s.RunQuery(origins[i], vocab.Vector(pair.Query), nil, cfg.TTL, cfg.K)
+				unroutedMsgs += out.Messages
+				if fanoutFoundGold(out.Results, pair.Gold) {
+					unroutedFound++
+				}
+			}
+		}
+		row := FanoutRow{
+			Bits:         bits,
+			FilterBytes:  len(peernet.NewBloom(bits, cfg.Hashes).Encode()),
+			GossipRounds: rounds,
+		}
+		var routedMsgs, routedFound, hits, stops int
+		for i, pair := range pairs {
+			out := s.RunQuery(origins[i], vocab.Vector(pair.Query), keys[i], cfg.TTL, cfg.K)
+			routedMsgs += out.Messages
+			hits += out.FilterHits
+			if out.EarlyStop {
+				stops++
+			}
+			if fanoutFoundGold(out.Results, pair.Gold) {
+				routedFound++
+			}
+		}
+		q := float64(len(pairs))
+		row.UnroutedMsgsPerQ = float64(unroutedMsgs) / q
+		row.RoutedMsgsPerQ = float64(routedMsgs) / q
+		if unroutedMsgs > 0 {
+			row.MsgRatio = float64(routedMsgs) / float64(unroutedMsgs)
+		}
+		row.UnroutedRecall = float64(unroutedFound) / q
+		row.RoutedRecall = float64(routedFound) / q
+		if unroutedFound > 0 {
+			row.RecallRatio = float64(routedFound) / float64(unroutedFound)
+		}
+		row.HitsPerQ = float64(hits) / q
+		row.EarlyStopFrac = float64(stops) / q
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func fanoutFoundGold(results []retrieval.Result, gold retrieval.DocID) bool {
+	for _, res := range results {
+		if res.Doc == gold {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatFanout renders FanoutSweep rows.
+func FormatFanout(rows []FanoutRow) *stats.Table {
+	t := &stats.Table{Header: []string{
+		"bits", "B/peer", "rounds", "unrouted msgs/q", "routed msgs/q", "ratio",
+		"unrouted recall", "routed recall", "recall ratio", "hits/q", "stops",
+	}}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Bits),
+			fmt.Sprintf("%d", r.FilterBytes),
+			fmt.Sprintf("%d", r.GossipRounds),
+			fmt.Sprintf("%.1f", r.UnroutedMsgsPerQ),
+			fmt.Sprintf("%.1f", r.RoutedMsgsPerQ),
+			fmt.Sprintf("%.2f", r.MsgRatio),
+			fmt.Sprintf("%.2f", r.UnroutedRecall),
+			fmt.Sprintf("%.2f", r.RoutedRecall),
+			fmt.Sprintf("%.2f", r.RecallRatio),
+			fmt.Sprintf("%.1f", r.HitsPerQ),
+			fmt.Sprintf("%.2f", r.EarlyStopFrac),
+		)
+	}
+	return t
+}

@@ -1,0 +1,159 @@
+package peernet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// BloomFilter is a compact, dependency-free bloom summary of a peer's
+// document holdings, gossiped piggyback on embed messages so neighbours can
+// prune query forwarding (see filter.go). The probe positions come from
+// split-hash double hashing (Kirsch–Mitzenmacher): one 64-bit mix of the
+// key is split into two 32-bit halves h1, h2 and probe i touches bit
+// (h1 + i·h2) mod m, which preserves the asymptotic false-positive rate of
+// k independent hashes at the cost of a single multiply-shift mix.
+//
+// The zero-size filter is invalid; construct with NewBloom. A BloomFilter
+// can never produce a false negative: every added key always hits.
+type BloomFilter struct {
+	m     uint32 // filter size in bits
+	k     uint32 // probes per key
+	words []uint64
+}
+
+// Wire-encoding bounds: a filter larger than maxFilterBits bits or with
+// more than maxFilterHashes probes is rejected at decode time, so a
+// malformed (or hostile) gossip payload cannot make a peer allocate
+// unbounded memory.
+const (
+	maxFilterBits   = 1 << 24 // 2 MiB of bits
+	maxFilterHashes = 64
+)
+
+// NewBloom returns an empty filter of the given size. Both parameters must
+// be positive; callers validate configuration (FilterConfig normalization
+// supplies sane defaults), so violations panic.
+func NewBloom(bitsN, hashes int) *BloomFilter {
+	if bitsN <= 0 || bitsN > maxFilterBits {
+		panic(fmt.Sprintf("peernet: bloom bits %d out of (0, %d]", bitsN, maxFilterBits))
+	}
+	if hashes <= 0 || hashes > maxFilterHashes {
+		panic(fmt.Sprintf("peernet: bloom hashes %d out of (0, %d]", hashes, maxFilterHashes))
+	}
+	return &BloomFilter{
+		m:     uint32(bitsN),
+		k:     uint32(hashes),
+		words: make([]uint64, (bitsN+63)/64),
+	}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a full-avalanche
+// 64-bit mix, so consecutive document ids land on unrelated probe sequences.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// probeSeed derives the double-hashing pair for a key. h2 is forced odd so
+// the probe stride is never zero (and hits all residues for power-of-two m).
+func probeSeed(key uint64) (h1, h2 uint32) {
+	h := splitmix64(key)
+	return uint32(h), uint32(h>>32) | 1
+}
+
+// Add inserts a key.
+func (f *BloomFilter) Add(key uint64) {
+	h1, h2 := probeSeed(key)
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + i*h2) % f.m
+		f.words[bit>>6] |= 1 << (bit & 63)
+	}
+}
+
+// Contains reports whether the key may have been added. False positives
+// happen at the configured rate; false negatives never.
+func (f *BloomFilter) Contains(key uint64) bool {
+	h1, h2 := probeSeed(key)
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + i*h2) % f.m
+		if f.words[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the filter size in bits.
+func (f *BloomFilter) Bits() int { return int(f.m) }
+
+// Hashes returns the probe count per key.
+func (f *BloomFilter) Hashes() int { return int(f.k) }
+
+// FillRatio returns the fraction of set bits — the practical saturation
+// gauge (a filter near 1.0 hits on everything and prunes nothing).
+func (f *BloomFilter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.words {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+// filterWireVersion tags the binary encoding; bump on layout changes.
+const filterWireVersion = 1
+
+// Encode serializes the filter: one version byte, little-endian uint32 m
+// and k, then the bit words little-endian. The layout is fixed-width so
+// Decode can validate the exact length before touching the payload.
+func (f *BloomFilter) Encode() []byte {
+	out := make([]byte, 9+8*len(f.words))
+	out[0] = filterWireVersion
+	binary.LittleEndian.PutUint32(out[1:5], f.m)
+	binary.LittleEndian.PutUint32(out[5:9], f.k)
+	for i, w := range f.words {
+		binary.LittleEndian.PutUint64(out[9+8*i:], w)
+	}
+	return out
+}
+
+// DecodeBloom parses an Encode payload, validating version, parameter
+// bounds, and exact length. The result shares no memory with the input.
+func DecodeBloom(data []byte) (*BloomFilter, error) {
+	if len(data) < 9 {
+		return nil, fmt.Errorf("peernet: bloom payload %d bytes, want >= 9", len(data))
+	}
+	if data[0] != filterWireVersion {
+		return nil, fmt.Errorf("peernet: bloom wire version %d, want %d", data[0], filterWireVersion)
+	}
+	m := binary.LittleEndian.Uint32(data[1:5])
+	k := binary.LittleEndian.Uint32(data[5:9])
+	if m == 0 || m > maxFilterBits {
+		return nil, fmt.Errorf("peernet: bloom bits %d out of (0, %d]", m, maxFilterBits)
+	}
+	if k == 0 || k > maxFilterHashes {
+		return nil, fmt.Errorf("peernet: bloom hashes %d out of (0, %d]", k, maxFilterHashes)
+	}
+	words := int(m+63) / 64
+	if len(data) != 9+8*words {
+		return nil, fmt.Errorf("peernet: bloom payload %d bytes, want %d for %d bits", len(data), 9+8*words, m)
+	}
+	f := &BloomFilter{m: m, k: k, words: make([]uint64, words)}
+	for i := range f.words {
+		f.words[i] = binary.LittleEndian.Uint64(data[9+8*i:])
+	}
+	return f, nil
+}
+
+// TheoreticalFP returns the textbook false-positive rate
+// (1 − e^(−k·n/m))^k of a filter with m bits and k hashes holding n keys.
+// The bloom property test pins observed rates within 2× of this bound.
+func TheoreticalFP(bitsN, hashes, n int) float64 {
+	if bitsN <= 0 || hashes <= 0 || n < 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-float64(hashes)*float64(n)/float64(bitsN)), float64(hashes))
+}

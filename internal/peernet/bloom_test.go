@@ -1,0 +1,180 @@
+package peernet
+
+import (
+	"fmt"
+	"testing"
+
+	"diffusearch/internal/randx"
+)
+
+// TestBloomNeverFalseNegative pins the defining bloom property across a
+// (bits, hashes, n) grid: every inserted key hits, always.
+func TestBloomNeverFalseNegative(t *testing.T) {
+	r := randx.New(7)
+	for _, bits := range []int{64, 256, 1024, 4096} {
+		for _, hashes := range []int{1, 2, 4, 8} {
+			for _, n := range []int{1, 16, 128, 512} {
+				f := NewBloom(bits, hashes)
+				keys := make([]uint64, n)
+				for i := range keys {
+					keys[i] = r.Uint64()
+					f.Add(keys[i])
+				}
+				for _, k := range keys {
+					if !f.Contains(k) {
+						t.Fatalf("bits=%d hashes=%d n=%d: inserted key %d missing", bits, hashes, n, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBloomFalsePositiveRate checks the observed false-positive rate stays
+// within 2× the theoretical (1−e^(−kn/m))^k bound across the grid. Cells
+// are chosen so the expected count over the probe budget is large enough
+// that the 2× margin dominates sampling noise (expected rate ≥ 1e-3 →
+// ≥ 50 expected hits over 50k probes; 2× is then a > 7σ margin).
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const probes = 50000
+	cells := []struct{ bits, hashes, n int }{
+		{256, 2, 16},
+		{256, 4, 32},
+		{1024, 2, 64},
+		{1024, 4, 128},
+		{1024, 6, 128},
+		{4096, 4, 512},
+		{4096, 8, 512},
+	}
+	for _, c := range cells {
+		t.Run(fmt.Sprintf("m%d_k%d_n%d", c.bits, c.hashes, c.n), func(t *testing.T) {
+			r := randx.Derive(11, "bloom-fp", fmt.Sprint(c.bits, c.hashes, c.n))
+			f := NewBloom(c.bits, c.hashes)
+			inserted := make(map[uint64]bool, c.n)
+			for len(inserted) < c.n {
+				k := r.Uint64()
+				inserted[k] = true
+				f.Add(k)
+			}
+			theory := TheoreticalFP(c.bits, c.hashes, c.n)
+			if theory < 1e-3 {
+				t.Fatalf("cell too sparse for a meaningful bound: theory=%g", theory)
+			}
+			falsePos := 0
+			for i := 0; i < probes; i++ {
+				k := r.Uint64()
+				if inserted[k] {
+					continue
+				}
+				if f.Contains(k) {
+					falsePos++
+				}
+			}
+			observed := float64(falsePos) / float64(probes)
+			if observed > 2*theory {
+				t.Errorf("observed FP rate %.5f > 2x theoretical %.5f", observed, theory)
+			}
+		})
+	}
+}
+
+// TestBloomEncodeDecodeRoundTrip pins bit-exactness of the wire encoding.
+func TestBloomEncodeDecodeRoundTrip(t *testing.T) {
+	r := randx.New(23)
+	for _, bits := range []int{64, 100, 1024, 4097} { // incl. non-multiples of 64
+		for _, hashes := range []int{1, 4, 7} {
+			f := NewBloom(bits, hashes)
+			keys := make([]uint64, 200)
+			for i := range keys {
+				keys[i] = r.Uint64()
+				f.Add(keys[i])
+			}
+			g, err := DecodeBloom(f.Encode())
+			if err != nil {
+				t.Fatalf("bits=%d hashes=%d: decode: %v", bits, hashes, err)
+			}
+			if g.m != f.m || g.k != f.k {
+				t.Fatalf("params changed: (%d,%d) -> (%d,%d)", f.m, f.k, g.m, g.k)
+			}
+			for i, w := range f.words {
+				if g.words[i] != w {
+					t.Fatalf("bits=%d hashes=%d: word %d differs: %x vs %x", bits, hashes, i, w, g.words[i])
+				}
+			}
+			for _, k := range keys {
+				if !g.Contains(k) {
+					t.Fatalf("decoded filter lost key %d", k)
+				}
+			}
+		}
+	}
+}
+
+// TestBloomEmptyAndSaturated pins the boundary behaviours: an empty filter
+// hits nothing, a saturated filter hits everything.
+func TestBloomEmptyAndSaturated(t *testing.T) {
+	r := randx.New(31)
+	empty := NewBloom(512, 4)
+	if empty.FillRatio() != 0 {
+		t.Fatalf("fresh filter fill = %v, want 0", empty.FillRatio())
+	}
+	for i := 0; i < 1000; i++ {
+		if empty.Contains(r.Uint64()) {
+			t.Fatal("empty filter reported a hit")
+		}
+	}
+	sat := NewBloom(100, 4) // non-multiple of 64: padding bits must not matter
+	for i := range sat.words {
+		sat.words[i] = ^uint64(0)
+	}
+	if got := sat.FillRatio(); got < 1 {
+		// Padding bits beyond m are also set, so FillRatio can exceed 1
+		// only if miscounted against m; it must be >= 1 here.
+		t.Fatalf("saturated fill = %v, want >= 1", got)
+	}
+	for i := 0; i < 1000; i++ {
+		if !sat.Contains(r.Uint64()) {
+			t.Fatal("saturated filter reported a miss")
+		}
+	}
+}
+
+// TestBloomDecodeRejectsMalformed exercises the decode-side validation the
+// gossip path relies on (hostile payloads must not allocate unboundedly or
+// crash).
+func TestBloomDecodeRejectsMalformed(t *testing.T) {
+	valid := NewBloom(256, 4).Encode()
+	cases := map[string][]byte{
+		"empty":         {},
+		"truncated":     valid[:8],
+		"short body":    valid[:len(valid)-1],
+		"long body":     append(append([]byte{}, valid...), 0),
+		"bad version":   append([]byte{99}, valid[1:]...),
+		"zero bits":     {filterWireVersion, 0, 0, 0, 0, 4, 0, 0, 0},
+		"zero hashes":   {filterWireVersion, 64, 0, 0, 0, 0, 0, 0, 0},
+		"oversize bits": {filterWireVersion, 0xff, 0xff, 0xff, 0xff, 4, 0, 0, 0},
+	}
+	for name, data := range cases {
+		if _, err := DecodeBloom(data); err == nil {
+			t.Errorf("%s: decode accepted malformed payload", name)
+		}
+	}
+}
+
+// TestBloomTheoreticalFP sanity-checks the bound used by the property test
+// and the sizing guidance in the README.
+func TestBloomTheoreticalFP(t *testing.T) {
+	if fp := TheoreticalFP(1024, 4, 0); fp != 0 {
+		t.Errorf("empty filter theoretical FP = %v, want 0", fp)
+	}
+	if fp := TheoreticalFP(0, 4, 10); fp != 1 {
+		t.Errorf("degenerate filter theoretical FP = %v, want 1", fp)
+	}
+	// More bits must never hurt; more keys must never help.
+	if TheoreticalFP(2048, 4, 64) > TheoreticalFP(1024, 4, 64) {
+		t.Error("FP bound increased with more bits")
+	}
+	if TheoreticalFP(1024, 4, 128) < TheoreticalFP(1024, 4, 64) {
+		t.Error("FP bound decreased with more keys")
+	}
+}

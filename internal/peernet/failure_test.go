@@ -2,6 +2,7 @@ package peernet
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 	"time"
 
@@ -137,6 +138,238 @@ func TestPeerDropsStrayResponse(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 	if _, err := p.Query(vocab.Vector(1), 0, 1, 5*time.Second); err != nil {
 		t.Fatalf("peer unusable after stray response: %v", err)
+	}
+}
+
+// launchFilteredLine builds and starts peers with bloom filters enabled over
+// an explicit per-peer neighbour map (not necessarily symmetric — tests use
+// that to model partially joined topologies).
+func launchFilteredLine(t *testing.T, neighbors map[graph.NodeID][]graph.NodeID,
+	docs map[graph.NodeID][]retrieval.DocID, start map[graph.NodeID]bool) ([]*Peer, *ChannelFabric) {
+	t.Helper()
+	vocab := testVocab(t)
+	fabric := NewChannelFabric(len(neighbors), 64)
+	peers := make([]*Peer, len(neighbors))
+	for u := range peers {
+		p, err := NewPeer(PeerConfig{
+			ID: graph.NodeID(u), Neighbors: neighbors[u], Vocab: vocab,
+			Docs: docs[u], Alpha: 0.5, PushTol: 1e-8,
+			Filter: FilterConfig{Bits: 1024, Hashes: 4, QueryKeys: 4},
+		}, fabric.Transport(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[u] = p
+	}
+	for u, p := range peers {
+		if start == nil || start[graph.NodeID(u)] {
+			p.Start()
+		}
+	}
+	return peers, fabric
+}
+
+// pollUntil retries cond until it holds or the deadline passes.
+func pollUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChurnDropsDepartedFilters pins the staleness contract on the live
+// runtime: churn mid-gossip leaves no stale filter entries — the departed
+// neighbour's summary is dropped outright and survivors are marked stale, so
+// neither is consulted by the routing gate until a fresh announcement
+// re-proves the survivor.
+func TestChurnDropsDepartedFilters(t *testing.T) {
+	// Star around peer 0: neighbours 1 (doc 7) and 2 (doc 8).
+	peers, fabric := launchFilteredLine(t,
+		map[graph.NodeID][]graph.NodeID{0: {1, 2}, 1: {0}, 2: {0}},
+		map[graph.NodeID][]retrieval.DocID{1: {7}, 2: {8}}, nil)
+	defer func() {
+		for _, p := range peers[:1] {
+			p.Stop()
+		}
+		peers[2].Stop()
+		fabric.Close()
+	}()
+	waitQuiescent(t, peers, 20*time.Second)
+	p0 := peers[0]
+	pollUntil(t, 5*time.Second, "filters cached at peer 0", func() bool {
+		p0.mu.Lock()
+		defer p0.mu.Unlock()
+		a, b := p0.nbFilters[1], p0.nbFilters[2]
+		return a != nil && !a.stale && b != nil && !b.stale
+	})
+
+	// Peer 1 departs: stop it, then patch peer 0's topology.
+	peers[1].Stop()
+	p0.UpdateNeighbors([]graph.NodeID{2})
+	p0.mu.Lock()
+	_, departed := p0.nbFilters[1]
+	survivor := p0.nbFilters[2]
+	p0.mu.Unlock()
+	if departed {
+		t.Fatal("departed neighbour's filter still cached after UpdateNeighbors")
+	}
+	if survivor == nil || !survivor.stale {
+		t.Fatal("surviving neighbour's filter not marked stale")
+	}
+
+	// A query keyed to the departed doc must not consult any filter: the
+	// survivor is stale and the departed entry is gone, so the gate falls
+	// back to the plain greedy walk (routed fallback, no hits, no stop).
+	// Peer 2 stays quiescent (no drift), so the stale entry cannot refresh
+	// underneath the query.
+	vocab := p0.cfg.Vocab
+	if _, err := p0.Query(vocab.Vector(7), 2, 1, 5*time.Second); err != nil {
+		t.Fatalf("query after churn: %v", err)
+	}
+	st := p0.FilterStats()
+	if st.Hits != 0 || st.Stops != 0 {
+		t.Fatalf("stale/departed filter consulted: hits=%d stops=%d", st.Hits, st.Stops)
+	}
+	if st.Misses == 0 {
+		t.Fatal("routed query did not take the all-miss fallback")
+	}
+
+	// The survivor's next announcement re-proves its summary. Force one via
+	// its own topology patch (filterDirty) and wait for freshness to return.
+	peers[2].UpdateNeighbors([]graph.NodeID{0})
+	pollUntil(t, 5*time.Second, "survivor filter refreshed", func() bool {
+		p0.mu.Lock()
+		defer p0.mu.Unlock()
+		nf := p0.nbFilters[2]
+		return nf != nil && !nf.stale
+	})
+	if _, err := p0.Query(vocab.Vector(8), 2, 1, 5*time.Second); err != nil {
+		t.Fatalf("query after refresh: %v", err)
+	}
+	if p0.FilterStats().Hits == 0 {
+		t.Fatal("refreshed survivor filter not consulted")
+	}
+}
+
+// TestLateJoinerReachedViaFallback pins the joiner half of the contract: a
+// peer that joins after bootstrap has no cached summary anywhere, so routed
+// queries reach it through the all-miss fallback until its first
+// announcement arrives — and via a filter hit afterwards.
+func TestLateJoinerReachedViaFallback(t *testing.T) {
+	// 0 — 1 — 2(joiner, holds doc 9). Peer 2 is built but not started.
+	peers, fabric := launchFilteredLine(t,
+		map[graph.NodeID][]graph.NodeID{0: {1}, 1: {0, 2}, 2: {1}},
+		map[graph.NodeID][]retrieval.DocID{1: {3}, 2: {9}},
+		map[graph.NodeID]bool{0: true, 1: true})
+	defer stopPeers(peers, fabric)
+	waitQuiescent(t, peers[:2], 20*time.Second)
+	vocab := peers[0].cfg.Vocab
+
+	// Query for doc 9 while the joiner is dark. Peer 1's candidate set is
+	// exactly {2} with no cached filter: the all-miss fallback must forward
+	// there (the walk parks in the joiner's inbox until it starts).
+	type qr struct {
+		res []retrieval.Result
+		err error
+	}
+	got := make(chan qr, 1)
+	go func() {
+		res, err := peers[0].Query(vocab.Vector(9), 3, 1, 10*time.Second)
+		got <- qr{res, err}
+	}()
+	pollUntil(t, 5*time.Second, "fallback forward at peer 1", func() bool {
+		return peers[1].FilterStats().Misses > 0
+	})
+	if peers[1].FilterStats().Hits != 0 {
+		t.Fatal("peer 1 reported a filter hit before the joiner ever announced")
+	}
+
+	// Now the joiner comes up, drains the parked walk, and answers.
+	peers[2].Start()
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("routed query through dark joiner: %v", r.err)
+	}
+	if len(r.res) == 0 || r.res[0].Doc != 9 {
+		t.Fatalf("fallback walk missed the joiner's doc: %v", r.res)
+	}
+
+	// After the joiner's first announcement its summary steers the gate.
+	pollUntil(t, 5*time.Second, "joiner filter cached at peer 1", func() bool {
+		p := peers[1]
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		nf := p.nbFilters[2]
+		return nf != nil && !nf.stale
+	})
+	if _, err := peers[0].Query(vocab.Vector(9), 3, 1, 5*time.Second); err != nil {
+		t.Fatalf("query after joiner announcement: %v", err)
+	}
+	if peers[1].FilterStats().Hits == 0 {
+		t.Fatal("joiner's announced filter never produced a routing hit")
+	}
+}
+
+// TestQueryStateEviction pins the maxQueryStates bound: the oldest states
+// are evicted FIFO, the map never exceeds the cap, and origin waiters are
+// not leaked after a query times out.
+func TestQueryStateEviction(t *testing.T) {
+	vocab := testVocab(t)
+	fabric := NewChannelFabric(2, 64)
+	defer fabric.Close()
+	p, err := NewPeer(PeerConfig{
+		ID: 0, Neighbors: []graph.NodeID{1}, Vocab: vocab, Alpha: 0.5,
+	}, fabric.Transport(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill to the cap, then push 5 more: q0..q4 must be evicted, the rest
+	// retained, and the bookkeeping slice must stay in lockstep.
+	for i := 0; i < maxQueryStates+5; i++ {
+		p.queryState(fmt.Sprintf("q%d", i))
+	}
+	p.mu.Lock()
+	nStates, nOrder := len(p.queries), len(p.queryOrder)
+	_, oldestAlive := p.queries["q5"]
+	_, evicted := p.queries["q4"]
+	head := p.queryOrder[0]
+	p.mu.Unlock()
+	if nStates != maxQueryStates || nOrder != maxQueryStates {
+		t.Fatalf("state map %d / order %d, want both %d", nStates, nOrder, maxQueryStates)
+	}
+	if evicted {
+		t.Fatal("q4 survived eviction")
+	}
+	if !oldestAlive || head != "q5" {
+		t.Fatalf("FIFO order broken: head=%q q5 alive=%v", head, oldestAlive)
+	}
+	// Re-touching a live state must not duplicate it in the order slice.
+	p.queryState("q5")
+	p.mu.Lock()
+	nOrder = len(p.queryOrder)
+	p.mu.Unlock()
+	if nOrder != maxQueryStates {
+		t.Fatalf("re-touch grew the order slice to %d", nOrder)
+	}
+
+	// Waiter cleanup: peer 1 never runs, so a forwarded walk dies and the
+	// origin times out — the waiter entry must be reclaimed regardless.
+	p.Start()
+	defer p.Stop()
+	if _, err := p.Query(vocab.Vector(0), 3, 1, 100*time.Millisecond); err == nil {
+		t.Fatal("query into a dead neighbour unexpectedly succeeded")
+	}
+	p.mu.Lock()
+	leaked := len(p.waiters)
+	p.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d waiter entries leaked after timeout", leaked)
 	}
 }
 

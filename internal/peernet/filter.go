@@ -1,0 +1,186 @@
+package peernet
+
+import (
+	"diffusearch/internal/embed"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/retrieval"
+)
+
+// FilterConfig sizes the per-peer bloom summary of document holdings.
+// Bits <= 0 disables filters entirely: the peer neither builds nor caches
+// summaries and queries forward by embedding similarity alone (the paper's
+// protocol). Filters are a pure routing overlay — a mixed network of
+// filtered and unfiltered peers interoperates, because a neighbour without
+// a cached summary simply counts as a miss and stays reachable through the
+// all-miss fallback.
+type FilterConfig struct {
+	Bits   int // filter size in bits; <= 0 disables filters
+	Hashes int // probes per key; <= 0 means 4
+
+	// QueryKeys is the number of doc-term keys a query origin attaches: the
+	// ids of the vocabulary words most similar to the query embedding
+	// (document ids double as word ids, so these are exactly the documents
+	// the query is after). <= 0 means 8.
+	QueryKeys int
+}
+
+// Enabled reports whether the configuration builds filters at all.
+func (c FilterConfig) Enabled() bool { return c.Bits > 0 }
+
+// withDefaults normalizes the tunables of an enabled configuration.
+func (c FilterConfig) withDefaults() FilterConfig {
+	if !c.Enabled() {
+		return c
+	}
+	if c.Bits > maxFilterBits {
+		c.Bits = maxFilterBits
+	}
+	if c.Hashes <= 0 {
+		c.Hashes = 4
+	}
+	if c.Hashes > maxFilterHashes {
+		c.Hashes = maxFilterHashes
+	}
+	if c.QueryKeys <= 0 {
+		c.QueryKeys = 8
+	}
+	return c
+}
+
+// docKey maps a document id to its bloom key. Document ids double as
+// vocabulary word ids, so the identity is enough — the filter's splitmix
+// finalizer supplies the avalanche.
+func docKey(doc retrieval.DocID) uint64 { return uint64(doc) }
+
+// buildFilter summarizes a document collection under the configuration.
+func buildFilter(cfg FilterConfig, docs []retrieval.DocID) *BloomFilter {
+	f := NewBloom(cfg.Bits, cfg.Hashes)
+	for _, d := range docs {
+		f.Add(docKey(d))
+	}
+	return f
+}
+
+// filterHitsAny reports whether the filter claims any of the keys.
+func filterHitsAny(f *BloomFilter, keys []retrieval.DocID) bool {
+	for _, d := range keys {
+		if f.Contains(docKey(d)) {
+			return true
+		}
+	}
+	return false
+}
+
+// neighborFilter is one cached neighbour summary. stale entries are never
+// consulted (staleness contract: UpdateNeighbors and SIGHUP topology
+// patches mark survivors stale until their next announcement re-proves the
+// summary; departed peers' entries are dropped outright).
+type neighborFilter struct {
+	f     *BloomFilter
+	stale bool
+}
+
+// QueryKeys computes the doc-term keys a query origin attaches to a routed
+// query: the ids of the n vocabulary words most similar to the embedding
+// under the scorer. Document ids double as word ids, so these are the
+// documents worth steering toward; neighbour filters are probed with
+// exactly these keys.
+func QueryKeys(vocab *embed.Vocabulary, embedding []float64, scorer retrieval.Scorer, n int) []retrieval.DocID {
+	if vocab == nil || n <= 0 {
+		return nil
+	}
+	top := retrieval.NewTopK(n)
+	for w := 0; w < vocab.Len(); w++ {
+		top.Offer(w, scorer.Score(embedding, vocab.Vector(w)))
+	}
+	res := top.Results()
+	keys := make([]retrieval.DocID, len(res))
+	for i, r := range res {
+		keys[i] = r.Doc
+	}
+	return keys
+}
+
+// routeDecision is the bloom routing gate, shared verbatim by the live peer
+// (handleQuery) and the deterministic protocol harness (simnet.go) so the
+// sim tests pin exactly the logic the live protocol runs.
+//
+// Given the greedy candidate set of one forwarding step it returns the
+// target to forward to, or stop=true when the walk should respond
+// immediately instead of forwarding:
+//
+//   - Candidates whose fresh cached filter hits any query key are
+//     preferred: forward to the best-scoring hit. hit=true.
+//   - A candidate whose filter misses on the query's doc-term keys is
+//     skipped — unless every candidate misses, in which case the
+//     best-scoring candidate of the full set is chosen exactly as the
+//     unrouted greedy walk would (the all-miss fallback that preserves the
+//     paper's reachability semantics; peers with no cached filter count as
+//     misses, so a freshly joined neighbour is reached this way until its
+//     first summary arrives).
+//   - stop=true only when the walk already tracks the primary key document
+//     (keys[0], the query's presumed target) AND every candidate has a fresh
+//     filter AND all of them miss: each remaining next hop provably holds
+//     none of the documents the query is after, so burning further TTL on
+//     them cannot improve on the best match already in hand.
+//
+// filterOf returns the fresh cached filter of a candidate, or nil when none
+// is cached (unknown, stale, or filters disabled). With no keys the gate
+// degenerates to the unrouted greedy walk. Ties break toward the lower node
+// id, matching the deterministic tie-break of the simulation policies.
+func routeDecision(
+	candidates []graph.NodeID,
+	keys []retrieval.DocID,
+	filterOf func(graph.NodeID) *BloomFilter,
+	scoreOf func(graph.NodeID) float64,
+	haveKeyDoc bool,
+) (target graph.NodeID, hit, stop bool) {
+	best := func(ids []graph.NodeID) graph.NodeID {
+		b, bs := ids[0], scoreOf(ids[0])
+		for _, v := range ids[1:] {
+			if s := scoreOf(v); s > bs {
+				b, bs = v, s
+			}
+		}
+		return b
+	}
+	if len(keys) > 0 {
+		hits := make([]graph.NodeID, 0, len(candidates))
+		known := 0
+		for _, v := range candidates {
+			f := filterOf(v)
+			if f == nil {
+				continue
+			}
+			known++
+			if filterHitsAny(f, keys) {
+				hits = append(hits, v)
+			}
+		}
+		if len(hits) > 0 {
+			return best(hits), true, false
+		}
+		if haveKeyDoc && known == len(candidates) {
+			return -1, false, true
+		}
+	}
+	return best(candidates), false, false
+}
+
+// resultsContainPrimary reports whether the carried results already include
+// the query's PRIMARY key — keys[0], the single vocabulary word most similar
+// to the query embedding, i.e. the document the query is presumed after.
+// This is the precondition for the early stop: stopping while holding only a
+// secondary key document would trade recall of the best match for messages,
+// so the gate deliberately requires the top one.
+func resultsContainPrimary(results []retrieval.Result, keys []retrieval.DocID) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	for _, r := range results {
+		if r.Doc == keys[0] {
+			return true
+		}
+	}
+	return false
+}

@@ -40,6 +40,12 @@ type PeerConfig struct {
 	// scores[neighbour] instead of gossip-cached embeddings; on error the
 	// peer falls back to gossip scoring (best effort, like the transport).
 	ScoreQuery func(query []float64) ([]float64, error)
+
+	// Filter sizes the bloom summary of the peer's document holdings that
+	// is gossiped piggyback on embed messages and consulted by the routing
+	// gate in handleQuery (see filter.go). The zero value disables filters:
+	// queries then forward by embedding similarity alone.
+	Filter FilterConfig
 }
 
 // Peer is a running protocol participant: it gossips embeddings until the
@@ -61,6 +67,23 @@ type Peer struct {
 	updates    atomic.Int64
 	messages   atomic.Int64
 
+	// Bloom routing state (nil/empty when cfg.Filter is disabled). The
+	// local filter re-encodes on every collection change; filterDirty
+	// forces the change onto the wire at the next gossip tick even when the
+	// embedding itself did not drift (bounded re-broadcast: at most one
+	// announcement per GossipInterval either way).
+	filter      *BloomFilter
+	filterWire  []byte
+	filterDirty bool
+	nbFilters   map[graph.NodeID]*neighborFilter
+
+	// Routing gate outcomes (see routeDecision): forwards steered by a
+	// filter hit, all-miss fallbacks to the plain greedy walk, and early
+	// stops where every candidate provably held none of the query's keys.
+	routedHits  atomic.Int64
+	routedMiss  atomic.Int64
+	routedStops atomic.Int64
+
 	// queryCh feeds the dedicated query goroutine: query handling may run
 	// a ScoreQuery oracle (a whole-graph diffusion on a cold cache), which
 	// must never stall the gossip event loop. One consumer keeps all
@@ -81,6 +104,9 @@ type peerQueryState struct {
 // Wire payloads.
 type embedPayload struct {
 	Embedding []float64 `json:"embedding"`
+	// Filter piggybacks the sender's encoded bloom summary (bloom.go wire
+	// format) on the gossip it already pays for; absent when disabled.
+	Filter []byte `json:"filter,omitempty"`
 }
 
 type queryPayload struct {
@@ -89,6 +115,10 @@ type queryPayload struct {
 	TTL       int                `json:"ttl"`
 	K         int                `json:"k"`
 	Results   []retrieval.Result `json:"results,omitempty"`
+	// Keys are the origin-computed doc-term keys the routing gate probes
+	// neighbour filters with (see QueryKeys); empty disables routing for
+	// this query.
+	Keys []retrieval.DocID `json:"keys,omitempty"`
 }
 
 type responsePayload struct {
@@ -113,6 +143,7 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 	if cfg.GossipInterval <= 0 {
 		cfg.GossipInterval = 2 * time.Millisecond
 	}
+	cfg.Filter = cfg.Filter.withDefaults()
 	neighbors := make([]graph.NodeID, len(cfg.Neighbors))
 	copy(neighbors, cfg.Neighbors)
 	sort.Ints(neighbors)
@@ -134,6 +165,11 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 	}
 	p.own = vecmath.Clone(p.e0)
 	p.lastPushed = vecmath.Clone(p.e0)
+	if cfg.Filter.Enabled() {
+		p.nbFilters = make(map[graph.NodeID]*neighborFilter, len(neighbors))
+		p.rebuildFilterLocked() // construction: no concurrent access yet
+		p.filterDirty = false   // Start's bootstrap announcement carries it
+	}
 	return p, nil
 }
 
@@ -145,7 +181,15 @@ func (p *Peer) ID() graph.NodeID { return p.cfg.ID }
 func (p *Peer) Start() {
 	go p.loop()
 	go p.queryLoop()
-	p.gossip(p.Embedding())
+	p.gossip(p.announcement())
+}
+
+// announcement snapshots the embed payload under the lock: the current
+// embedding plus, when filters are enabled, the encoded local filter.
+func (p *Peer) announcement() embedPayload {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return embedPayload{Embedding: vecmath.Clone(p.own), Filter: p.filterWire}
 }
 
 // Stop terminates the event loops and waits for them to exit. The transport
@@ -175,8 +219,35 @@ func (p *Peer) AddDocuments(docs ...retrieval.DocID) {
 	// Refresh our own embedding immediately so local answers and the next
 	// announcement reflect the new collection.
 	p.recomputeEmbeddingLocked()
+	p.rebuildFilterLocked()
 	p.mu.Unlock()
 	p.updates.Add(1)
+}
+
+// SetDocuments replaces the whole document collection — the placement-patch
+// path (cmd/peerd applies it when a SIGHUP-reloaded topology file moves
+// documents, rebuilding the local filter from the patched placement). The
+// personalization vector, embedding, and bloom filter are all recomputed;
+// the next gossip tick announces the change.
+func (p *Peer) SetDocuments(docs []retrieval.DocID) {
+	p.mu.Lock()
+	p.index = retrieval.NewLocalIndex(p.cfg.Vocab, docs)
+	p.e0 = p.index.PersonalizationVector()
+	p.recomputeEmbeddingLocked()
+	p.rebuildFilterLocked()
+	p.mu.Unlock()
+	p.updates.Add(1)
+}
+
+// rebuildFilterLocked re-summarizes the local collection and marks the
+// encoding for re-broadcast. Callers hold p.mu. No-op when disabled.
+func (p *Peer) rebuildFilterLocked() {
+	if !p.cfg.Filter.Enabled() {
+		return
+	}
+	p.filter = buildFilter(p.cfg.Filter, p.index.Docs())
+	p.filterWire = p.filter.Encode()
+	p.filterDirty = true
 }
 
 // Docs returns the peer's current document collection.
@@ -189,6 +260,46 @@ func (p *Peer) Docs() []retrieval.DocID {
 // Stats returns (local updates applied, messages sent).
 func (p *Peer) Stats() (updates, messages int64) {
 	return p.updates.Load(), p.messages.Load()
+}
+
+// FilterStats is a point-in-time snapshot of the bloom routing state,
+// exposed by cmd/peerd on /statusz and as telemetry gauges.
+type FilterStats struct {
+	Enabled bool    `json:"enabled"`
+	Bits    int     `json:"bits,omitempty"`
+	Hashes  int     `json:"hashes,omitempty"`
+	Fill    float64 `json:"fill,omitempty"`     // local filter saturation
+	Cached  int     `json:"cached"`             // neighbour summaries held
+	Stale   int     `json:"stale"`              // of those, awaiting re-proof
+	Hits    int64   `json:"routed_hits"`        // forwards steered by a filter hit
+	Misses  int64   `json:"routed_fallbacks"`   // all-miss fallbacks to plain greedy
+	Stops   int64   `json:"routed_early_stops"` // walks answered without forwarding
+}
+
+// FilterStats snapshots the routing-gate state.
+func (p *Peer) FilterStats() FilterStats {
+	s := FilterStats{
+		Enabled: p.cfg.Filter.Enabled(),
+		Hits:    p.routedHits.Load(),
+		Misses:  p.routedMiss.Load(),
+		Stops:   p.routedStops.Load(),
+	}
+	if !s.Enabled {
+		return s
+	}
+	s.Bits, s.Hashes = p.cfg.Filter.Bits, p.cfg.Filter.Hashes
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.filter != nil {
+		s.Fill = p.filter.FillRatio()
+	}
+	s.Cached = len(p.nbFilters)
+	for _, nf := range p.nbFilters {
+		if nf.stale {
+			s.Stale++
+		}
+	}
+	return s
 }
 
 func (p *Peer) loop() {
@@ -232,17 +343,20 @@ func (p *Peer) loop() {
 }
 
 // maybeGossip announces the current embedding when it drifted more than
-// PushTol from the last announcement.
+// PushTol from the last announcement, or when the local filter changed
+// since (filterDirty). Either way the announcement carries both, so a
+// filter change costs no extra messages beyond the one re-broadcast.
 func (p *Peer) maybeGossip() {
 	p.mu.Lock()
-	if vecmath.MaxAbsDiff(p.own, p.lastPushed) <= p.cfg.PushTol {
+	if vecmath.MaxAbsDiff(p.own, p.lastPushed) <= p.cfg.PushTol && !p.filterDirty {
 		p.mu.Unlock()
 		return
 	}
 	copy(p.lastPushed, p.own)
-	snapshot := vecmath.Clone(p.own)
+	pl := embedPayload{Embedding: vecmath.Clone(p.own), Filter: p.filterWire}
+	p.filterDirty = false
 	p.mu.Unlock()
-	p.gossip(snapshot)
+	p.gossip(pl)
 }
 
 // absorb processes one envelope: embed messages only update the neighbour
@@ -256,7 +370,7 @@ func (p *Peer) absorb(env Envelope) bool {
 		if json.Unmarshal(env.Data, &pl) != nil {
 			return false // malformed gossip: ignore
 		}
-		return p.cacheEmbed(env.From, pl.Embedding)
+		return p.cacheEmbed(env.From, pl)
 	case MsgQuery:
 		select {
 		case p.queryCh <- env:
@@ -294,16 +408,29 @@ func (p *Peer) queryLoop() {
 	}
 }
 
-func (p *Peer) cacheEmbed(from graph.NodeID, emb []float64) bool {
-	if !p.isNeighbor(from) || len(emb) != p.cfg.Vocab.Dim() {
+func (p *Peer) cacheEmbed(from graph.NodeID, pl embedPayload) bool {
+	if !p.isNeighbor(from) || len(pl.Embedding) != p.cfg.Vocab.Dim() {
 		return false
+	}
+	// Decode any piggybacked filter outside the lock; a malformed summary
+	// degrades the sender to filterless routing but keeps its embedding.
+	var nf *neighborFilter
+	if p.cfg.Filter.Enabled() && len(pl.Filter) > 0 {
+		if f, err := DecodeBloom(pl.Filter); err == nil {
+			nf = &neighborFilter{f: f}
+		}
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if prev, ok := p.cache[from]; ok {
-		copy(prev, emb)
+		copy(prev, pl.Embedding)
 	} else {
-		p.cache[from] = vecmath.Clone(emb)
+		p.cache[from] = vecmath.Clone(pl.Embedding)
+	}
+	if nf != nil {
+		// A fresh announcement re-proves the summary, clearing any stale
+		// mark left by a topology patch.
+		p.nbFilters[from] = nf
 	}
 	return true
 }
@@ -341,6 +468,13 @@ func (p *Peer) recomputeEmbeddingLocked() {
 // the local embedding is recomputed under the new degree, and the next
 // gossip ticks announce to the new set. The caller is responsible for
 // refreshing any scoring oracle that mirrors the topology.
+//
+// Cached bloom summaries follow the staleness contract: departed
+// neighbours' filters are dropped outright (never consulted again) and
+// survivors are marked stale — the patch may have moved documents, so a
+// stale summary is not consulted until the neighbour's next announcement
+// re-proves it. The local filter is forced back onto the wire so the new
+// neighbour set learns this peer's holdings within one gossip round.
 func (p *Peer) UpdateNeighbors(neighbors []graph.NodeID) {
 	next := make([]graph.NodeID, len(neighbors))
 	copy(next, neighbors)
@@ -351,6 +485,16 @@ func (p *Peer) UpdateNeighbors(neighbors []graph.NodeID) {
 		if !p.isNeighborLocked(v) {
 			delete(p.cache, v)
 		}
+	}
+	for v, nf := range p.nbFilters {
+		if !p.isNeighborLocked(v) {
+			delete(p.nbFilters, v)
+		} else {
+			nf.stale = true
+		}
+	}
+	if p.cfg.Filter.Enabled() {
+		p.filterDirty = true
 	}
 	p.recomputeEmbeddingLocked()
 	p.mu.Unlock()
@@ -431,11 +575,43 @@ func (p *Peer) handleQuery(from graph.NodeID, pl queryPayload) {
 			}
 		}
 	}
-	best, bestScore := candidates[0], scoreOf(candidates[0])
-	for _, v := range candidates[1:] {
-		if s := scoreOf(v); s > bestScore {
-			best, bestScore = v, s
+	// Bloom routing gate: snapshot the fresh cached filters of the
+	// candidates and let the shared routeDecision steer the greedy walk
+	// (filter.go). Disabled filters or an unkeyed query degrade to the
+	// plain greedy forwarding above.
+	keys := pl.Keys
+	filterOf := func(graph.NodeID) *BloomFilter { return nil }
+	if p.cfg.Filter.Enabled() && len(keys) > 0 {
+		snap := make(map[graph.NodeID]*BloomFilter, len(candidates))
+		p.mu.Lock()
+		for _, v := range candidates {
+			if nf, ok := p.nbFilters[v]; ok && !nf.stale {
+				snap[v] = nf.f
+			}
 		}
+		p.mu.Unlock()
+		filterOf = func(v graph.NodeID) *BloomFilter { return snap[v] }
+	} else {
+		keys = nil
+	}
+	best, hit, stop := routeDecision(candidates, keys, filterOf, scoreOf,
+		resultsContainPrimary(pl.Results, keys))
+	if len(keys) > 0 {
+		switch {
+		case stop:
+			p.routedStops.Add(1)
+		case hit:
+			p.routedHits.Add(1)
+		default:
+			p.routedMiss.Add(1)
+		}
+	}
+	if stop {
+		// Every candidate's fresh filter proves it holds none of the
+		// query's key documents, and one is already in the results:
+		// respond now instead of burning the remaining TTL.
+		p.respond(pl.QueryID, pl.Results)
+		return
 	}
 	p.mu.Lock()
 	st.sentTo[best] = struct{}{}
@@ -485,6 +661,11 @@ func (p *Peer) Query(embedding []float64, ttl, k int, timeout time.Duration) ([]
 	// Inject the query into our own loop through the transport so it is
 	// serialized with other traffic exactly like a remote query.
 	pl := queryPayload{QueryID: id, Embedding: embedding, TTL: ttl, K: k}
+	if p.cfg.Filter.Enabled() {
+		// Doc-term keys: the documents this query is after, probed against
+		// neighbour filters at every forwarding step (routing gate).
+		pl.Keys = QueryKeys(p.cfg.Vocab, embedding, p.cfg.Scorer, p.cfg.Filter.QueryKeys)
+	}
 	if err := p.sendTo(p.cfg.ID, MsgQuery, pl); err != nil {
 		return nil, err
 	}
@@ -550,9 +731,9 @@ func (p *Peer) respond(id string, results []retrieval.Result) {
 	}
 }
 
-func (p *Peer) gossip(embedding []float64) {
+func (p *Peer) gossip(pl embedPayload) {
 	for _, v := range p.neighborSnapshot() {
-		p.send(v, MsgEmbed, embedPayload{Embedding: embedding})
+		p.send(v, MsgEmbed, pl)
 	}
 }
 

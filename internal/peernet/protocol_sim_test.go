@@ -1,0 +1,257 @@
+package peernet
+
+import (
+	"fmt"
+	"testing"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/gengraph"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+)
+
+// adjacencyOf flattens a graph into the SimConfig adjacency form.
+func adjacencyOf(g *graph.Graph) [][]graph.NodeID {
+	adj := make([][]graph.NodeID, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		adj[u] = append([]graph.NodeID(nil), g.Neighbors(u)...)
+	}
+	return adj
+}
+
+// hubAdversarialAdj builds the gossip-adversarial topology: one hub wired
+// to every spoke, plus a long tail chained off the last spoke so
+// convergence must propagate through both a high-degree funnel and a
+// high-diameter path.
+func hubAdversarialAdj(spokes, tail int) [][]graph.NodeID {
+	n := 1 + spokes + tail
+	adj := make([][]graph.NodeID, n)
+	addEdge := func(u, v graph.NodeID) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for i := 1; i <= spokes; i++ {
+		addEdge(0, i)
+	}
+	for i := 0; i < tail; i++ {
+		addEdge(spokes+i, spokes+i+1)
+	}
+	return adj
+}
+
+// simEnv builds a small community SimNetwork: a social-circles graph, the
+// shared test vocabulary, and a deterministic uniform placement. It returns
+// the network config (so tests can tweak it before building) plus the
+// placement.
+func simEnv(t *testing.T, nodes, docs int, filter FilterConfig) (SimConfig, map[graph.NodeID][]retrieval.DocID, *embed.Vocabulary) {
+	t.Helper()
+	g, err := gengraph.SocialCircles(gengraph.SocialCirclesParams{
+		Nodes: nodes, TargetAvgDegree: 8, MeanCircleSize: 16, SizeSigma: 0.4,
+		IntraFraction: 0.9, MaxIntraProb: 0.7, BridgeLocality: 0.8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("generate graph: %v", err)
+	}
+	vocab := testVocab(t)
+	r := randx.Derive(9, "simnet-test-placement")
+	placement := make(map[graph.NodeID][]retrieval.DocID)
+	for d := 0; d < docs; d++ {
+		host := r.IntN(nodes)
+		placement[host] = append(placement[host], d)
+	}
+	cfg := SimConfig{
+		Neighbors: adjacencyOf(g),
+		Vocab:     vocab,
+		Docs:      placement,
+		Alpha:     0.5,
+		PushTol:   1e-8,
+		Filter:    filter,
+		Seed:      21,
+	}
+	return cfg, placement, vocab
+}
+
+// TestSimFilterGossipConvergesBounded pins the convergence guarantee on
+// both a community topology and the hub-adversarial one: filters are
+// complete after the bootstrap round's deliveries, and the embedding
+// diffusion quiesces within the geometric bound ⌈log(PushTol)/log(1−α)⌉
+// plus slack for the bootstrap cascade.
+func TestSimFilterGossipConvergesBounded(t *testing.T) {
+	community, _, _ := simEnv(t, 150, 60, FilterConfig{Bits: 512})
+	hub := community // same vocab/placement shape, different topology
+	hub.Neighbors = hubAdversarialAdj(100, 40)
+	hub.Docs = map[graph.NodeID][]retrieval.DocID{3: {0, 1}, 120: {2}}
+	for name, cfg := range map[string]SimConfig{"community": community, "hub-adversarial": hub} {
+		t.Run(name, func(t *testing.T) {
+			s, err := NewSimNetwork(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.FiltersComplete() {
+				t.Fatal("filters complete before any gossip")
+			}
+			if s.GossipRound() != s.NumPeers() {
+				t.Fatal("bootstrap round must announce every peer")
+			}
+			if !s.FiltersComplete() {
+				t.Fatal("filters incomplete after the bootstrap round")
+			}
+			// α=0.5: every round halves the maximum drift, so quiescence
+			// needs at most ~log2(1/PushTol)≈27 rounds after the cascade
+			// settles; 3× is generous headroom and still a real bound.
+			rounds, ok := s.Converge(80)
+			if !ok {
+				t.Fatalf("gossip did not converge within 80 rounds")
+			}
+			t.Logf("%s: converged in %d rounds, %d embed messages", name, rounds+1, s.EmbedMessages())
+			if !s.FiltersComplete() {
+				t.Fatal("filters incomplete after convergence")
+			}
+		})
+	}
+}
+
+// TestSimRoutedHopSequenceMatchesUnrouted is the executable form of the
+// "recall unchanged by construction" claim: with complete filters, a routed
+// query whose keys hit no candidate filter anywhere takes EXACTLY the
+// unrouted walk — same hop sequence, same message count, no early stop
+// (the all-miss fallback can only fire the stop once a key document has
+// been found, and none of these keys is placed at all).
+func TestSimRoutedHopSequenceMatchesUnrouted(t *testing.T) {
+	cfg, _, vocab := simEnv(t, 150, 60, FilterConfig{Bits: 1024})
+	s, err := NewSimNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Converge(200); !ok {
+		t.Fatal("no convergence")
+	}
+	if !s.FiltersComplete() {
+		t.Fatal("filters incomplete")
+	}
+	// Keys far outside the placed range [0,60): present in no filter.
+	unplaced := []retrieval.DocID{200, 210, 255}
+	for q := 0; q < 10; q++ {
+		origin := (q * 13) % s.NumPeers()
+		query := vocab.Vector(100 + q)
+		routed := s.RunQuery(origin, query, unplaced, 12, 3)
+		unrouted := s.RunQuery(origin, query, nil, 12, 3)
+		if routed.EarlyStop {
+			t.Fatalf("query %d: early stop without any key document", q)
+		}
+		if routed.FilterHits != 0 {
+			t.Fatalf("query %d: %d filter hits on unplaced keys", q, routed.FilterHits)
+		}
+		if fmt.Sprint(routed.Hops) != fmt.Sprint(unrouted.Hops) {
+			t.Fatalf("query %d: routed hops %v != unrouted hops %v", q, routed.Hops, unrouted.Hops)
+		}
+		if routed.Messages != unrouted.Messages {
+			t.Fatalf("query %d: routed msgs %d != unrouted msgs %d", q, routed.Messages, unrouted.Messages)
+		}
+	}
+}
+
+// TestSimRoutedFindsGoldWithFewerMessages exercises the productive side of
+// the gate on the same deterministic fixture: steering toward filter hits
+// plus the provable early stop never loses the gold relative to the
+// unrouted walk, and spends no more messages in aggregate.
+func TestSimRoutedFindsGoldWithFewerMessages(t *testing.T) {
+	cfg, placement, vocab := simEnv(t, 150, 60, FilterConfig{Bits: 1024, QueryKeys: 8})
+	s, err := NewSimNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Converge(200); !ok {
+		t.Fatal("no convergence")
+	}
+	hostOf := make(map[retrieval.DocID]graph.NodeID)
+	for host, docs := range placement {
+		for _, d := range docs {
+			hostOf[d] = host
+		}
+	}
+	var routedMsgs, unroutedMsgs, routedGold, unroutedGold, stops int
+	for gold := retrieval.DocID(0); gold < 40; gold++ {
+		query := vocab.Vector(gold) // gold doc's own embedding: top key by construction
+		origin := (int(gold)*29 + 7) % s.NumPeers()
+		keys := QueryKeys(vocab, query, retrieval.DotProduct, 8)
+		routed := s.RunQuery(origin, query, keys, 12, 3)
+		unrouted := s.RunQuery(origin, query, nil, 12, 3)
+		routedMsgs += routed.Messages
+		unroutedMsgs += unrouted.Messages
+		if resultsHaveDoc(routed.Results, gold) {
+			routedGold++
+		}
+		if resultsHaveDoc(unrouted.Results, gold) {
+			unroutedGold++
+		}
+		if routed.EarlyStop {
+			stops++
+		}
+	}
+	t.Logf("routed: %d msgs, %d/40 gold, %d early stops; unrouted: %d msgs, %d/40 gold",
+		routedMsgs, routedGold, stops, unroutedMsgs, unroutedGold)
+	if routedGold < unroutedGold {
+		t.Errorf("routing lost recall: %d < %d", routedGold, unroutedGold)
+	}
+	if routedMsgs > unroutedMsgs {
+		t.Errorf("routing spent more messages: %d > %d", routedMsgs, unroutedMsgs)
+	}
+	if stops == 0 {
+		t.Error("early stop never fired: the message reduction mechanism is dead")
+	}
+}
+
+// TestSimStalenessContract pins the UpdateNeighbors contract inside the
+// harness: departed summaries dropped, survivors stale (and therefore not
+// consulted), freshness restored by the next announcement.
+func TestSimStalenessContract(t *testing.T) {
+	cfg, _, _ := simEnv(t, 60, 20, FilterConfig{Bits: 512})
+	s, err := NewSimNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Converge(200); !ok {
+		t.Fatal("no convergence")
+	}
+	p := s.peers[0]
+	if len(p.neighbors) < 2 {
+		t.Fatal("fixture: peer 0 needs >= 2 neighbours")
+	}
+	departed := p.neighbors[0]
+	survivors := append([]graph.NodeID(nil), p.neighbors[1:]...)
+	s.UpdateNeighbors(0, survivors)
+	if _, ok := p.nbFilters[departed]; ok {
+		t.Fatal("departed neighbour's filter still cached")
+	}
+	for _, v := range survivors {
+		if nf := p.nbFilters[v]; nf == nil || !nf.stale {
+			t.Fatalf("survivor %d not marked stale", v)
+		}
+	}
+	if s.FiltersComplete() {
+		t.Fatal("FiltersComplete true with stale entries")
+	}
+	// The survivors re-announce only when they change; peer 0's own forced
+	// re-announce reaches THEM, while their stale entries at peer 0 clear
+	// on their next announcement. Force one by touching their docs.
+	for _, v := range survivors {
+		s.SetDocs(v, s.peers[v].index.Docs())
+	}
+	s.GossipRound()
+	for _, v := range survivors {
+		if nf := p.nbFilters[v]; nf == nil || nf.stale {
+			t.Fatalf("survivor %d still stale after re-announcement", v)
+		}
+	}
+}
+
+func resultsHaveDoc(results []retrieval.Result, doc retrieval.DocID) bool {
+	for _, r := range results {
+		if r.Doc == doc {
+			return true
+		}
+	}
+	return false
+}

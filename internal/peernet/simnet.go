@@ -1,0 +1,378 @@
+package peernet
+
+import (
+	"fmt"
+
+	"diffusearch/internal/embed"
+	"diffusearch/internal/graph"
+	"diffusearch/internal/randx"
+	"diffusearch/internal/retrieval"
+	"diffusearch/internal/sim"
+	"diffusearch/internal/vecmath"
+)
+
+// SimNetwork is a deterministic, single-threaded replica of the peer
+// protocol: round-synchronous filter/embedding gossip plus event-driven
+// query walks on the internal/sim scheduler (no goroutines, no sleeps, no
+// wall clock). It shares the decision logic of the live peer — the
+// diffusion update (recomputeEmbedding's math), the bloom wire encoding,
+// and most importantly routeDecision, the routing gate of handleQuery — so
+// protocol tests and the fanout experiment pin exactly what the live
+// runtime executes, with exact hop sequences and message counts.
+type SimNetwork struct {
+	cfg   SimConfig
+	peers []*simPeer
+	r     *randx.Rand
+
+	embedMsgs int64
+}
+
+// SimConfig sizes a SimNetwork.
+type SimConfig struct {
+	Neighbors [][]graph.NodeID                   // adjacency; index is the node id
+	Vocab     *embed.Vocabulary                  // shared vocabulary
+	Docs      map[graph.NodeID][]retrieval.DocID // placement
+	Alpha     float64                            // PPR teleport probability
+	PushTol   float64                            // re-gossip threshold; 0 means 1e-6
+	Scorer    retrieval.Scorer                   // 0 means DotProduct
+	Filter    FilterConfig                       // zero disables bloom routing
+	Latency   sim.LatencyModel                   // per-message walk latency; nil means constant 1
+	Seed      uint64
+}
+
+type simPeer struct {
+	id         graph.NodeID
+	neighbors  []graph.NodeID
+	index      *retrieval.LocalIndex
+	e0         []float64
+	own        []float64
+	lastPushed []float64
+	cache      map[graph.NodeID][]float64
+
+	filter      *BloomFilter
+	filterWire  []byte
+	filterDirty bool
+	nbFilters   map[graph.NodeID]*neighborFilter
+
+	bootstrap bool // announce unconditionally on the next round (Start semantics)
+}
+
+// NewSimNetwork builds the network. Every peer starts un-announced, exactly
+// like live peers before Start: the first gossip round is the bootstrap
+// announcement.
+func NewSimNetwork(cfg SimConfig) (*SimNetwork, error) {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("peernet: simnet teleport probability %v out of (0,1]", cfg.Alpha)
+	}
+	if cfg.Vocab == nil {
+		return nil, fmt.Errorf("peernet: simnet nil vocabulary")
+	}
+	if cfg.PushTol <= 0 {
+		cfg.PushTol = 1e-6
+	}
+	if cfg.Scorer == 0 {
+		cfg.Scorer = retrieval.DotProduct
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = sim.ConstantLatency(1)
+	}
+	cfg.Filter = cfg.Filter.withDefaults()
+	s := &SimNetwork{
+		cfg:   cfg,
+		peers: make([]*simPeer, len(cfg.Neighbors)),
+		r:     randx.Derive(cfg.Seed, "simnet"),
+	}
+	for id := range cfg.Neighbors {
+		index := retrieval.NewLocalIndex(cfg.Vocab, cfg.Docs[id])
+		p := &simPeer{
+			id:        id,
+			neighbors: append([]graph.NodeID(nil), cfg.Neighbors[id]...),
+			index:     index,
+			e0:        index.PersonalizationVector(),
+			cache:     make(map[graph.NodeID][]float64),
+			bootstrap: true,
+		}
+		p.own = vecmath.Clone(p.e0)
+		p.lastPushed = vecmath.Clone(p.e0)
+		if cfg.Filter.Enabled() {
+			p.nbFilters = make(map[graph.NodeID]*neighborFilter)
+			p.filter = buildFilter(cfg.Filter, index.Docs())
+			p.filterWire = p.filter.Encode()
+		}
+		s.peers[id] = p
+	}
+	return s, nil
+}
+
+// NumPeers returns the network size.
+func (s *SimNetwork) NumPeers() int { return len(s.peers) }
+
+// EmbedMessages returns the cumulative gossip message count.
+func (s *SimNetwork) EmbedMessages() int64 { return s.embedMsgs }
+
+// recompute applies the live peer's diffusion update (§IV-B, the body of
+// recomputeEmbeddingLocked): e_u ← (1−a)/deg(u)·Σ ê_v + a·e0_u.
+func (s *SimNetwork) recompute(p *simPeer) {
+	next := make([]float64, s.cfg.Vocab.Dim())
+	w := (1 - s.cfg.Alpha) / float64(max(len(p.neighbors), 1))
+	for _, v := range p.neighbors {
+		if e, ok := p.cache[v]; ok {
+			vecmath.AXPY(next, w, e)
+		}
+	}
+	vecmath.AXPY(next, s.cfg.Alpha, p.e0)
+	copy(p.own, next)
+}
+
+// GossipRound runs one synchronous gossip round: every peer due to
+// announce (bootstrap, embedding drift > PushTol, or a dirty filter) sends
+// its embed payload — with the encoded bloom summary piggybacked — to all
+// neighbours, then every receiver absorbs and recomputes. It returns the
+// number of announcing peers; 0 means the diffusion has converged.
+func (s *SimNetwork) GossipRound() int {
+	type announcement struct {
+		from graph.NodeID
+		emb  []float64
+		f    *BloomFilter
+	}
+	var anns []announcement
+	for _, p := range s.peers {
+		if !p.bootstrap && !p.filterDirty &&
+			vecmath.MaxAbsDiff(p.own, p.lastPushed) <= s.cfg.PushTol {
+			continue
+		}
+		p.bootstrap, p.filterDirty = false, false
+		copy(p.lastPushed, p.own)
+		a := announcement{from: p.id, emb: vecmath.Clone(p.own)}
+		if len(p.filterWire) > 0 {
+			// Round-trip through the wire encoding so the sim exercises the
+			// exact bytes the live transport carries.
+			f, err := DecodeBloom(p.filterWire)
+			if err != nil {
+				panic(fmt.Sprintf("peernet: simnet own filter corrupt: %v", err))
+			}
+			a.f = f
+		}
+		anns = append(anns, a)
+	}
+	touched := make(map[graph.NodeID]bool)
+	for _, a := range anns {
+		for _, v := range s.peers[a.from].neighbors {
+			q := s.peers[v]
+			s.embedMsgs++
+			if prev, ok := q.cache[a.from]; ok {
+				copy(prev, a.emb)
+			} else {
+				q.cache[a.from] = vecmath.Clone(a.emb)
+			}
+			if q.nbFilters != nil && a.f != nil {
+				q.nbFilters[a.from] = &neighborFilter{f: a.f}
+			}
+			touched[v] = true
+		}
+	}
+	for v := range touched {
+		s.recompute(s.peers[v])
+	}
+	return len(anns)
+}
+
+// Converge runs gossip rounds until quiescence, returning the round count.
+// ok is false when maxRounds elapsed first.
+func (s *SimNetwork) Converge(maxRounds int) (rounds int, ok bool) {
+	for rounds < maxRounds {
+		if s.GossipRound() == 0 {
+			return rounds, true
+		}
+		rounds++
+	}
+	return rounds, s.GossipRound() == 0
+}
+
+// FiltersComplete reports whether every peer holds a fresh (non-stale)
+// summary for each of its neighbours — the precondition of the
+// hop-sequence equivalence property (see routeDecision).
+func (s *SimNetwork) FiltersComplete() bool {
+	if !s.cfg.Filter.Enabled() {
+		return false
+	}
+	for _, p := range s.peers {
+		for _, v := range p.neighbors {
+			nf, ok := p.nbFilters[v]
+			if !ok || nf.stale {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UpdateNeighbors mirrors Peer.UpdateNeighbors including the filter
+// staleness contract: departed neighbours' summaries are dropped, survivors
+// are marked stale until their next announcement, and the peer re-announces
+// itself on the next round.
+func (s *SimNetwork) UpdateNeighbors(id graph.NodeID, neighbors []graph.NodeID) {
+	p := s.peers[id]
+	p.neighbors = append([]graph.NodeID(nil), neighbors...)
+	keep := make(map[graph.NodeID]bool, len(neighbors))
+	for _, v := range neighbors {
+		keep[v] = true
+	}
+	for v := range p.cache {
+		if !keep[v] {
+			delete(p.cache, v)
+		}
+	}
+	for v, nf := range p.nbFilters {
+		if !keep[v] {
+			delete(p.nbFilters, v)
+		} else {
+			nf.stale = true
+		}
+	}
+	if s.cfg.Filter.Enabled() {
+		p.filterDirty = true
+	}
+	s.recompute(p)
+}
+
+// SetDocs replaces a peer's collection, mirroring Peer.SetDocuments: the
+// personalization vector and bloom summary are rebuilt from the new
+// placement and re-announced on the next round.
+func (s *SimNetwork) SetDocs(id graph.NodeID, docs []retrieval.DocID) {
+	p := s.peers[id]
+	p.index = retrieval.NewLocalIndex(s.cfg.Vocab, docs)
+	p.e0 = p.index.PersonalizationVector()
+	s.recompute(p)
+	if s.cfg.Filter.Enabled() {
+		p.filter = buildFilter(s.cfg.Filter, p.index.Docs())
+		p.filterWire = p.filter.Encode()
+		p.filterDirty = true
+	}
+}
+
+// SimQueryOutcome reports one simulated query walk.
+type SimQueryOutcome struct {
+	Results    []retrieval.Result
+	Hops       []graph.NodeID // peers that processed the query, in order
+	Messages   int            // query forwards + response backtrack hops
+	FilterHits int            // forwards steered by a filter hit
+	EarlyStop  bool           // walk answered via the all-candidates-miss stop
+	Duration   float64        // simulated time until the origin held the response
+}
+
+// RunQuery executes one single-walk query from origin through the event
+// scheduler, mirroring handleQuery hop for hop (local search, TTL
+// bookkeeping, visited avoidance with the footnote-9 fallback, and the
+// shared routeDecision gate). keys are the query's doc-term keys; nil runs
+// the unrouted baseline walk regardless of filters.
+func (s *SimNetwork) RunQuery(origin graph.NodeID, query []float64, keys []retrieval.DocID, ttl, k int) SimQueryOutcome {
+	if k < 1 {
+		k = 1
+	}
+	if !s.cfg.Filter.Enabled() {
+		keys = nil
+	}
+	var (
+		sched   sim.Scheduler
+		r       = randx.Derive(s.cfg.Seed, "simnet-query")
+		states  = make(map[graph.NodeID]*peerQueryState)
+		tracker = retrieval.NewTopK(k)
+		out     SimQueryOutcome
+	)
+	stateOf := func(u graph.NodeID) *peerQueryState {
+		st, ok := states[u]
+		if !ok {
+			st = &peerQueryState{
+				parent:       -1,
+				receivedFrom: make(map[graph.NodeID]struct{}),
+				sentTo:       make(map[graph.NodeID]struct{}),
+			}
+			states[u] = st
+		}
+		return st
+	}
+	var respond func(at graph.NodeID)
+	respond = func(at graph.NodeID) {
+		if at == origin {
+			out.Results = tracker.Results()
+			return
+		}
+		parent := stateOf(at).parent
+		if parent < 0 {
+			return
+		}
+		out.Messages++
+		sched.After(s.cfg.Latency.Sample(r), func() { respond(parent) })
+	}
+	var process func(u, from graph.NodeID, ttl int)
+	process = func(u, from graph.NodeID, ttl int) {
+		p := s.peers[u]
+		st := stateOf(u)
+		if from >= 0 {
+			st.receivedFrom[from] = struct{}{}
+			if st.parent < 0 {
+				st.parent = from
+			}
+		}
+		out.Hops = append(out.Hops, u)
+		p.index.SearchInto(tracker, query, s.cfg.Scorer)
+
+		ttl--
+		if ttl < 0 {
+			respond(u)
+			return
+		}
+		candidates := make([]graph.NodeID, 0, len(p.neighbors))
+		for _, v := range p.neighbors {
+			if _, rcv := st.receivedFrom[v]; rcv {
+				continue
+			}
+			if _, snt := st.sentTo[v]; snt {
+				continue
+			}
+			candidates = append(candidates, v)
+		}
+		if len(candidates) == 0 { // footnote 9
+			candidates = append(candidates, p.neighbors...)
+		}
+		if len(candidates) == 0 { // isolated peer
+			respond(u)
+			return
+		}
+		scoreOf := func(v graph.NodeID) float64 {
+			e, ok := p.cache[v]
+			if !ok {
+				return 0
+			}
+			return s.cfg.Scorer.Score(query, e)
+		}
+		filterOf := func(graph.NodeID) *BloomFilter { return nil }
+		if len(keys) > 0 && p.nbFilters != nil {
+			filterOf = func(v graph.NodeID) *BloomFilter {
+				if nf, ok := p.nbFilters[v]; ok && !nf.stale {
+					return nf.f
+				}
+				return nil
+			}
+		}
+		best, hit, stop := routeDecision(candidates, keys, filterOf, scoreOf,
+			resultsContainPrimary(tracker.Results(), keys))
+		if stop {
+			out.EarlyStop = true
+			respond(u)
+			return
+		}
+		if hit {
+			out.FilterHits++
+		}
+		st.sentTo[best] = struct{}{}
+		out.Messages++
+		next := ttl
+		sched.After(s.cfg.Latency.Sample(r), func() { process(best, u, next) })
+	}
+	process(origin, -1, ttl)
+	sched.Run()
+	out.Duration = sched.Now()
+	return out
+}
